@@ -1,0 +1,39 @@
+# FlowGuard reproduction — stdlib-only Go; these targets just bundle the
+# common invocations.
+
+GO ?= go
+
+.PHONY: all test test-short race bench experiments examples vet fmt cover
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/trace/ipt/ ./internal/itc/ ./internal/guard/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/fgbench -all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/webserver
+	$(GO) run ./examples/attacks
+	$(GO) run ./examples/fuzztrain
+	$(GO) run ./examples/multiproc
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+cover:
+	$(GO) test -cover ./...

@@ -1,0 +1,263 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"flowguard/internal/apps"
+	"flowguard/internal/cfg"
+	"flowguard/internal/isa"
+	"flowguard/internal/itc"
+	"flowguard/internal/kernelsim"
+	"flowguard/internal/module"
+	"flowguard/internal/trace"
+	"flowguard/internal/trace/ipt"
+)
+
+// cmdDisasm prints a full symbolized listing of a workload's modules.
+func cmdDisasm(args []string) error {
+	if len(args) < 1 {
+		usage()
+	}
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	only := fs.String("module", "", "restrict to one module (e.g. libc)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	a, err := apps.ByName(args[0])
+	if err != nil {
+		return err
+	}
+	as, err := a.Load()
+	if err != nil {
+		return err
+	}
+	for _, l := range as.Mods {
+		if *only != "" && l.Mod.Name != *only {
+			continue
+		}
+		fmt.Printf("\n%s  .text %#x-%#x  .data %#x (+%d bytes, %d GOT slots)\n",
+			l.Mod.Name, l.CodeBase, l.CodeEnd(), l.DataBase, len(l.Mod.Data), l.Mod.GOTSlots)
+		// Function starts for labeling.
+		starts := map[uint64]string{}
+		for _, s := range l.Mod.Symbols {
+			if s.Kind == module.SymFunc {
+				starts[l.CodeBase+s.Off] = s.Name
+			}
+		}
+		for _, p := range l.Mod.PLT {
+			starts[l.CodeBase+p.Off] = p.Symbol + "@plt"
+		}
+		for addr := l.CodeBase; addr < l.CodeEnd(); addr += isa.InstrSize {
+			if name, ok := starts[addr]; ok {
+				fmt.Printf("\n<%s>:\n", name)
+			}
+			raw, err := as.FetchInstr(addr)
+			if err != nil {
+				return err
+			}
+			in, err := isa.Decode(raw)
+			if err != nil {
+				return err
+			}
+			line := in.String()
+			switch in.Op {
+			case isa.JMP, isa.JCC, isa.CALL:
+				line += fmt.Sprintf("    ; -> %s", as.SymbolFor(in.BranchTarget(addr)))
+			case isa.LEA:
+				line += fmt.Sprintf("    ; = %s", as.SymbolFor(addr+isa.InstrSize+uint64(int64(in.Imm))))
+			}
+			fmt.Printf("  %#08x: %s\n", addr, line)
+		}
+	}
+	return nil
+}
+
+// cmdTrace runs the workload briefly under the IPT model and prints the
+// packet listing — the Table 2 view of real execution.
+func cmdTrace(args []string) error {
+	if len(args) < 1 {
+		usage()
+	}
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	scale := fs.Int("scale", 1, "workload scale")
+	limit := fs.Int("n", 120, "packets to print")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	a, err := apps.ByName(args[0])
+	if err != nil {
+		return err
+	}
+	k := kernelsim.New()
+	p, err := a.Spawn(k, a.MakeInput(*scale, 1))
+	if err != nil {
+		return err
+	}
+	tr := ipt.NewTracer(ipt.NewToPA(16 << 20))
+	if err := tr.WriteMSR(ipt.MSRRTITCtl,
+		ipt.CtlTraceEn|ipt.CtlBranchEn|ipt.CtlUser|ipt.CtlToPA); err != nil {
+		return err
+	}
+	tr.SetCR3(p.CR3)
+	p.CPU.Branch = tr
+	st, err := k.Run(p, 100_000_000)
+	if err != nil {
+		return err
+	}
+	tr.Flush()
+	evs, err := ipt.DecodeFast(tr.Out.Snapshot())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("traced %d instructions -> %d bytes of packets (%.3f bytes/instr), status %v\n",
+		p.CPU.Instrs, tr.Out.TotalWritten(),
+		float64(tr.Out.TotalWritten())/float64(p.CPU.Instrs), st)
+	shown := 0
+	for _, e := range evs {
+		if shown >= *limit {
+			fmt.Printf("  ... %d more packets\n", len(evs)-shown)
+			break
+		}
+		shown++
+		switch e.Kind {
+		case ipt.KindTNT:
+			bits := make([]byte, e.TNTCount)
+			for i := range bits {
+				bits[i] = '0'
+				if e.TNTBits&(1<<i) != 0 {
+					bits[i] = '1'
+				}
+			}
+			fmt.Printf("  %6d: TNT(%s)\n", e.Off, bits)
+		case ipt.KindTIP:
+			fmt.Printf("  %6d: TIP(%#x)  %s\n", e.Off, e.IP, p.AS.SymbolFor(e.IP))
+		case ipt.KindTIPPGE:
+			fmt.Printf("  %6d: TIP.PGE(%#x)\n", e.Off, e.IP)
+		case ipt.KindTIPPGD:
+			fmt.Printf("  %6d: TIP.PGD\n", e.Off)
+		case ipt.KindFUP:
+			tag := ""
+			if e.Ctx {
+				tag = " (PSB+ context)"
+			}
+			fmt.Printf("  %6d: FUP(%#x)%s\n", e.Off, e.IP, tag)
+		case ipt.KindPSB:
+			fmt.Printf("  %6d: PSB\n", e.Off)
+		case ipt.KindPSBEND:
+			fmt.Printf("  %6d: PSBEND\n", e.Off)
+		case ipt.KindPIP:
+			fmt.Printf("  %6d: PIP(cr3=%#x)\n", e.Off, e.CR3)
+		case ipt.KindOVF:
+			fmt.Printf("  %6d: OVF\n", e.Off)
+		}
+	}
+	// Packet-mix summary.
+	counts := map[ipt.Kind]int{}
+	for _, e := range evs {
+		counts[e.Kind]++
+	}
+	keys := make([]ipt.Kind, 0, len(counts))
+	for kk := range counts {
+		keys = append(keys, kk)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	fmt.Print("packet mix:")
+	for _, kk := range keys {
+		fmt.Printf("  %v=%d", kk, counts[kk])
+	}
+	fmt.Println()
+	return nil
+}
+
+// cmdVerify runs the §4.2 correctness check for a workload: it executes
+// the app under the IPT model and validates that every retired branch is
+// contained in the conservative O-CFG and every consecutive TIP pair is
+// an ITC-CFG edge — the self-check an adopter runs after changing the
+// analyzer or the toolchain.
+func cmdVerify(args []string) error {
+	if len(args) < 1 {
+		usage()
+	}
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	scale := fs.Int("scale", 10, "workload scale")
+	seed := fs.Int64("seed", 1, "workload seed")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	a, err := apps.ByName(args[0])
+	if err != nil {
+		return err
+	}
+	k := kernelsim.New()
+	p, err := a.Spawn(k, a.MakeInput(*scale, *seed))
+	if err != nil {
+		return err
+	}
+	g, err := cfg.Build(p.AS)
+	if err != nil {
+		return err
+	}
+	ig := itc.FromCFG(g)
+
+	tr := ipt.NewTracer(ipt.NewToPA(256 << 20))
+	if err := tr.WriteMSR(ipt.MSRRTITCtl,
+		ipt.CtlTraceEn|ipt.CtlBranchEn|ipt.CtlUser|ipt.CtlToPA); err != nil {
+		return err
+	}
+	tr.SetCR3(p.CR3)
+	branches, ocfgMisses := 0, 0
+	check := trace.SinkFunc(func(br trace.Branch) {
+		branches++
+		if !g.ContainsEdge(br.Source, br.Target, br.Class) {
+			ocfgMisses++
+			if ocfgMisses <= 5 {
+				fmt.Printf("  O-CFG MISS: %v %s -> %s\n",
+					br.Class, p.AS.SymbolFor(br.Source), p.AS.SymbolFor(br.Target))
+			}
+		}
+	})
+	p.CPU.Branch = trace.MultiSink{tr, check}
+	st, err := k.Run(p, 2_000_000_000)
+	if err != nil {
+		return err
+	}
+	if !st.Exited {
+		return fmt.Errorf("workload did not finish cleanly: %v", st)
+	}
+	tr.Flush()
+	evs, err := ipt.DecodeFast(tr.Out.Snapshot())
+	if err != nil {
+		return err
+	}
+	tips := ipt.ExtractTIPs(evs)
+	itcMisses := 0
+	for i := 0; i+1 < len(tips); i++ {
+		if !ig.HasEdge(tips[i].IP, tips[i+1].IP) {
+			itcMisses++
+			if itcMisses <= 5 {
+				fmt.Printf("  ITC MISS: %s -> %s\n",
+					p.AS.SymbolFor(tips[i].IP), p.AS.SymbolFor(tips[i+1].IP))
+			}
+		}
+	}
+	ft, err := ipt.DecodeFull(p.AS, tr.Out.Snapshot(), 0)
+	if err != nil {
+		return err
+	}
+	fullOK := uint64(len(ft.Flow)) == uint64(branches)
+	fmt.Printf("workload:     %s (scale %d, seed %d)\n", a.Name, *scale, *seed)
+	fmt.Printf("branches:     %d retired, %d O-CFG misses\n", branches, ocfgMisses)
+	pairs := len(tips) - 1
+	if pairs < 0 {
+		pairs = 0
+	}
+	fmt.Printf("TIP pairs:    %d checked, %d ITC misses\n", pairs, itcMisses)
+	fmt.Printf("full decode:  %d/%d branches reconstructed (match=%v)\n", len(ft.Flow), branches, fullOK)
+	if ocfgMisses > 0 || itcMisses > 0 || !fullOK {
+		return fmt.Errorf("verification FAILED")
+	}
+	fmt.Println("verification PASSED: conservative containment and decoder fidelity hold")
+	return nil
+}

@@ -1,0 +1,247 @@
+// Command flowguard is the CLI front end of the reproduction: it runs
+// the offline analysis, the training phase and the protected execution
+// for any built-in workload, and launches the §7.1.2 attacks against the
+// vulnerable server.
+//
+//	flowguard list
+//	flowguard stats  nginx
+//	flowguard run    nginx  [-scale 30] [-seed 1] [-train 6] [-fuzz 0]
+//	flowguard attack rop    [-train 6]
+//	flowguard gadgets vulnd [-max 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flowguard"
+	"flowguard/internal/apps"
+	"flowguard/internal/attack"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  flowguard list
+  flowguard stats  <workload>
+  flowguard run    <workload> [-scale N] [-seed N] [-train N] [-fuzz N]
+                              [-save-graph F] [-load-graph F] [-pmi] [-paths]
+  flowguard attack <rop|srop|ret2lib|history-flush|endpoint-pruning> [-train N]
+  flowguard gadgets <workload> [-max N]
+  flowguard disasm <workload> [-module M]
+  flowguard trace  <workload> [-scale N] [-n packets]
+  flowguard verify <workload> [-scale N] [-seed N]
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = cmdList()
+	case "stats":
+		err = cmdStats(args)
+	case "run":
+		err = cmdRun(args)
+	case "attack":
+		err = cmdAttack(args)
+	case "gadgets":
+		err = cmdGadgets(args)
+	case "disasm":
+		err = cmdDisasm(args)
+	case "trace":
+		err = cmdTrace(args)
+	case "verify":
+		err = cmdVerify(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowguard:", err)
+		os.Exit(1)
+	}
+}
+
+func cmdList() error {
+	fmt.Printf("%-12s %s\n", "WORKLOAD", "CATEGORY")
+	for _, name := range flowguard.Workloads() {
+		w, err := flowguard.LoadWorkload(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %s\n", w.Name(), w.Category())
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	if len(args) < 1 {
+		usage()
+	}
+	w, err := flowguard.LoadWorkload(args[0])
+	if err != nil {
+		return err
+	}
+	sys, err := flowguard.Analyze(w)
+	if err != nil {
+		return err
+	}
+	st := sys.Stats()
+	fmt.Printf("workload:        %s (%s)\n", w.Name(), w.Category())
+	fmt.Printf("functions:       %d\n", st.Functions)
+	fmt.Printf("basic blocks:    %d\n", st.BasicBlocks)
+	fmt.Printf("libraries:       %d\n", st.Libraries)
+	fmt.Printf("O-CFG AIA:       %.2f\n", st.OCFGAIA)
+	fmt.Printf("ITC-CFG:         |V|=%d |E|=%d AIA=%.2f\n", st.ITCNodes, st.ITCEdges, st.ITCAIA)
+	fmt.Printf("fine AIA:        %.2f (TypeArmor forward + shadow-stack returns)\n", st.FineAIA)
+	fmt.Printf("graph memory:    %d bytes\n", st.MemoryBytes)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	if len(args) < 1 {
+		usage()
+	}
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	scale := fs.Int("scale", 30, "workload scale")
+	seed := fs.Int64("seed", 1, "workload seed")
+	train := fs.Int("train", 6, "training replays")
+	fuzzN := fs.Int("fuzz", 0, "additional fuzzing executions for training")
+	loadGraph := fs.String("load-graph", "", "load a trained ITC-CFG instead of training")
+	saveGraph := fs.String("save-graph", "", "write the trained ITC-CFG to this file")
+	pmi := fs.Bool("pmi", false, "also check on buffer-full PMIs")
+	paths := fs.Bool("paths", false, "path-sensitive fast path")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	w, err := flowguard.LoadWorkload(args[0])
+	if err != nil {
+		return err
+	}
+	sys, err := flowguard.Analyze(w)
+	if err != nil {
+		return err
+	}
+	if *loadGraph != "" {
+		f, err := os.Open(*loadGraph)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sys.LoadTrained(f); err != nil {
+			return err
+		}
+		fmt.Printf("trained graph:   loaded from %s\n", *loadGraph)
+	} else if err := sys.TrainGenerated(*train, *scale, *seed+100); err != nil {
+		return err
+	}
+	if *fuzzN > 0 {
+		stats, err := sys.TrainWithFuzzer(*fuzzN, [][]byte{w.Input(2, *seed)})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fuzz training:   %d execs, corpus %d, %d paths\n",
+			stats.Execs, stats.CorpusSize, stats.Paths)
+	}
+	if *saveGraph != "" {
+		f, err := os.Create(*saveGraph)
+		if err != nil {
+			return err
+		}
+		if err := sys.SaveTrained(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trained graph:   saved to %s\n", *saveGraph)
+	}
+	pol := flowguard.DefaultPolicy()
+	pol.CheckOnPMI = *pmi
+	pol.PathSensitive = *paths
+	out, err := sys.RunWithPolicy(w.Input(*scale, *seed), pol)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("status:          exited=%v killed=%v\n", out.Exited, out.Killed)
+	fmt.Printf("output:          %d bytes\n", len(out.Stdout))
+	fmt.Printf("checks:          %d (%d slow)\n", out.Checks, out.SlowChecks)
+	fmt.Printf("cred-ratio:      %.3f\n", out.CredRatio)
+	fmt.Printf("overhead:        %.2f%% (trace %.2f%% decode %.2f%% check %.2f%% other %.2f%%)\n",
+		out.OverheadPct, out.Parts.Trace, out.Parts.Decode, out.Parts.Check, out.Parts.Other)
+	for _, v := range out.Violations {
+		fmt.Println("violation:      ", v)
+	}
+	return nil
+}
+
+func cmdAttack(args []string) error {
+	if len(args) < 1 {
+		usage()
+	}
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	train := fs.Int("train", 6, "training replays")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	w, err := flowguard.LoadWorkload("vulnd")
+	if err != nil {
+		return err
+	}
+	payload, err := flowguard.AttackPayload(flowguard.AttackKind(args[0]), w)
+	if err != nil {
+		return err
+	}
+	sys, err := flowguard.Analyze(w)
+	if err != nil {
+		return err
+	}
+	if err := sys.TrainGenerated(*train, 20, 101); err != nil {
+		return err
+	}
+	fmt.Printf("launching %s against vulnd (%d-byte payload)...\n", args[0], len(payload))
+	out, err := sys.Run(payload)
+	if err != nil {
+		return err
+	}
+	if out.Killed {
+		fmt.Println("DETECTED: process killed by FlowGuard")
+		for _, v := range out.Violations {
+			fmt.Println(" ", v)
+		}
+		return nil
+	}
+	fmt.Println("NOT DETECTED: the attack completed")
+	return nil
+}
+
+func cmdGadgets(args []string) error {
+	if len(args) < 1 {
+		usage()
+	}
+	fs := flag.NewFlagSet("gadgets", flag.ExitOnError)
+	maxLen := fs.Int("max", 4, "max gadget length in instructions")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	a, err := apps.ByName(args[0])
+	if err != nil {
+		return err
+	}
+	as, err := a.Load()
+	if err != nil {
+		return err
+	}
+	gs := attack.FindGadgets(as, *maxLen)
+	for _, g := range gs {
+		fmt.Println(g)
+	}
+	fmt.Printf("%d gadgets (max %d instructions)\n", len(gs), *maxLen)
+	return nil
+}

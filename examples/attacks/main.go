@@ -1,0 +1,47 @@
+// Attacks: the full §7.1.2 matrix — ROP, SROP, return-to-lib and a
+// history-flushing attempt against the vulnerable server, each validated
+// unprotected and then detected under FlowGuard at the expected syscall
+// endpoint.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flowguard"
+)
+
+func main() {
+	w, err := flowguard.LoadWorkload("vulnd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := flowguard.Analyze(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.TrainGenerated(6, 25, 100); err != nil {
+		log.Fatal(err)
+	}
+
+	kinds := []flowguard.AttackKind{
+		flowguard.AttackROP,
+		flowguard.AttackSROP,
+		flowguard.AttackRet2Lib,
+		flowguard.AttackHistoryFlush,
+	}
+	for _, kind := range kinds {
+		payload, err := flowguard.AttackPayload(kind, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := sys.Run(payload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s killed=%v\n", kind, out.Killed)
+		for _, v := range out.Violations {
+			fmt.Println("   ", v)
+		}
+	}
+}

@@ -1,0 +1,408 @@
+// Package flowguard is the public API of the FlowGuard reproduction: a
+// transparent control-flow-integrity system that checks Intel-Processor-
+// Trace-style control-flow traces against an offline-built,
+// credit-labeled control-flow graph (Liu et al., "Transparent and
+// Efficient CFI Enforcement with Intel Processor Trace", HPCA 2017).
+//
+// The API mirrors the paper's pipeline:
+//
+//	w, _  := flowguard.LoadWorkload("nginx")      // a protected binary + libs
+//	sys, _ := flowguard.Analyze(w)                // O-CFG -> ITC-CFG (offline)
+//	sys.TrainGenerated(8, 30, 1)                  // fuzzing-like training
+//	out, _ := sys.Run(w.Input(30, 2))             // protected execution
+//	fmt.Println(out.OverheadPct, out.Violations)
+//
+// Attacks against the deliberately vulnerable server validate
+// enforcement:
+//
+//	v, _   := flowguard.LoadWorkload("vulnd")
+//	sys, _ := flowguard.Analyze(v)
+//	sys.TrainGenerated(6, 20, 1)
+//	payload, _ := flowguard.AttackPayload(flowguard.AttackROP, v)
+//	out, _ := sys.Run(payload)                    // out.Killed == true
+//
+// Everything underneath — the synthetic ISA, the CPU emulator, the IPT
+// packet model and decoders, the static analyzer, the fuzzer and the
+// kernel model — lives in internal packages; this package is the stable
+// surface.
+package flowguard
+
+import (
+	"fmt"
+	"io"
+
+	"flowguard/internal/apps"
+	"flowguard/internal/attack"
+	"flowguard/internal/cfg"
+	"flowguard/internal/fuzz"
+	"flowguard/internal/guard"
+	"flowguard/internal/itc"
+	"flowguard/internal/kernelsim"
+	"flowguard/internal/trace/ipt"
+)
+
+// Workload is a protected program: an executable with its shared
+// libraries, VDSO and a deterministic input generator.
+type Workload struct {
+	app *apps.App
+}
+
+// Workloads lists the built-in workload names: the four servers of
+// Table 4, the four utilities of Figure 5(b), the twelve SPEC-like
+// kernels of Figure 5(c), and "vulnd" (the deliberately vulnerable
+// server of §7.1.2).
+func Workloads() []string {
+	var names []string
+	for _, a := range apps.All() {
+		names = append(names, a.Name)
+	}
+	return append(names, "vulnd")
+}
+
+// LoadWorkload returns a built-in workload by name.
+func LoadWorkload(name string) (*Workload, error) {
+	a, err := apps.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{app: a}, nil
+}
+
+// Name returns the workload name.
+func (w *Workload) Name() string { return w.app.Name }
+
+// Category returns "server", "utility" or "spec".
+func (w *Workload) Category() string { return w.app.Category }
+
+// Input generates a deterministic stdin workload of roughly linear size
+// in scale.
+func (w *Workload) Input(scale int, seed int64) []byte {
+	return w.app.MakeInput(scale, seed)
+}
+
+// Policy holds the runtime-protection knobs of §7.1.1.
+type Policy struct {
+	// PktCount is the minimum number of TIP packets checked per
+	// endpoint trigger (the paper's lower bound is 30).
+	PktCount int
+	// CredRatio in [0,1]: the fraction of checked edges that must be
+	// credibly trained for the fast path to decide alone; 1.0 sends any
+	// low-credit edge to the slow path (the paper's setting).
+	CredRatio float64
+	// RequireModuleStride demands the window span multiple modules with
+	// at least one packet in the executable.
+	RequireModuleStride bool
+	// HWDecoder enables the §6 dedicated-hardware-decoder cost model.
+	HWDecoder bool
+	// CredMinCount raises the high-credit bar to edges observed at least
+	// this many times during training (multi-level credits, §4.3);
+	// 0 or 1 is the paper's binary labeling.
+	CredMinCount uint32
+	// PathSensitive additionally matches trained consecutive-edge pairs
+	// (the §7.1.2 future-work extension; stronger, more slow paths).
+	PathSensitive bool
+	// CheckOnPMI also checks whenever the trace buffer fills — the
+	// worst-case endpoint fallback against endpoint-pruning attacks.
+	CheckOnPMI bool
+}
+
+// DefaultPolicy returns the configuration the paper evaluates.
+func DefaultPolicy() Policy {
+	return Policy{PktCount: 30, CredRatio: 1.0, RequireModuleStride: true}
+}
+
+func (p Policy) internal() guard.Policy {
+	g := guard.DefaultPolicy()
+	if p.PktCount > 0 {
+		g.PktCount = p.PktCount
+	}
+	if p.CredRatio > 0 {
+		g.CredRatio = p.CredRatio
+	}
+	g.RequireModuleStride = p.RequireModuleStride
+	g.HWDecoder = p.HWDecoder
+	g.CredMinCount = p.CredMinCount
+	g.PathSensitive = p.PathSensitive
+	g.CheckOnPMI = p.CheckOnPMI
+	return g
+}
+
+// CFGStats summarizes the offline analysis (Table 4's columns).
+type CFGStats struct {
+	Functions     int
+	BasicBlocks   int
+	Libraries     int
+	OCFGAIA       float64
+	ITCNodes      int
+	ITCEdges      int
+	ITCAIA        float64
+	ITCAIAWithTNT float64
+	FineAIA       float64
+	// CredRatio is the trained fraction of ITC edges.
+	CredRatio float64
+	// MemoryBytes estimates the labeled graph's resident size.
+	MemoryBytes uint64
+}
+
+// System is an analyzed (and optionally trained) protection context for
+// one workload. It is not safe for concurrent use.
+type System struct {
+	w    *Workload
+	ocfg *cfg.Graph
+	ig   *itc.Graph
+}
+
+// Analyze runs the offline phase: load the binaries at their (fixed)
+// bases, build the conservative O-CFG with the TypeArmor-style analyses,
+// and reconstruct the IPT-compatible ITC-CFG (§4.1, §4.2).
+func Analyze(w *Workload) (*System, error) {
+	as, err := w.app.Load()
+	if err != nil {
+		return nil, err
+	}
+	g, err := cfg.Build(as)
+	if err != nil {
+		return nil, err
+	}
+	return &System{w: w, ocfg: g, ig: itc.FromCFG(g)}, nil
+}
+
+const ctlTrace = ipt.CtlTraceEn | ipt.CtlBranchEn | ipt.CtlUser | ipt.CtlToPA
+
+// TrainWithInputs replays the given inputs under the IPT model and
+// labels the observed ITC-CFG edges with credits and TNT signatures
+// (§4.3 step 3).
+func (s *System) TrainWithInputs(inputs ...[]byte) error {
+	for _, in := range inputs {
+		k := kernelsim.New()
+		p, err := s.w.app.Spawn(k, in)
+		if err != nil {
+			return err
+		}
+		tr := ipt.NewTracer(ipt.NewToPA(64 << 20))
+		if err := tr.WriteMSR(ipt.MSRRTITCtl, ctlTrace); err != nil {
+			return err
+		}
+		p.CPU.Branch = tr
+		if _, err := k.Run(p, 500_000_000); err != nil {
+			return err
+		}
+		tr.Flush()
+		evs, err := ipt.DecodeFast(tr.Out.Snapshot())
+		if err != nil {
+			return err
+		}
+		s.ig.ObserveWindow(ipt.ExtractTIPs(evs))
+	}
+	s.ig.RebuildCache()
+	return nil
+}
+
+// TrainGenerated trains with `runs` differently-seeded generated
+// workloads of the given scale.
+func (s *System) TrainGenerated(runs, scale int, seed int64) error {
+	var inputs [][]byte
+	for i := 0; i < runs; i++ {
+		inputs = append(inputs, s.w.Input(scale, seed+int64(i)))
+	}
+	return s.TrainWithInputs(inputs...)
+}
+
+// FuzzStats reports a training campaign (§4.3 steps 1-2).
+type FuzzStats struct {
+	Execs      int
+	CorpusSize int
+	Paths      int
+}
+
+// TrainWithFuzzer runs an AFL-style coverage-oriented campaign from the
+// seed inputs, then replays the resulting corpus as training data — the
+// full dynamic-training pipeline of §4.3.
+func (s *System) TrainWithFuzzer(execs int, seeds [][]byte) (FuzzStats, error) {
+	a := s.w.app
+	exec := func(input []byte, cov []byte) error {
+		k := kernelsim.New()
+		p, err := a.Spawn(k, input)
+		if err != nil {
+			return err
+		}
+		p.CPU.Branch = fuzz.CoverageSink(cov)
+		_, err = k.Run(p, 3_000_000)
+		return err
+	}
+	f := fuzz.New(exec, seeds, fuzz.DefaultConfig())
+	f.Run(execs)
+	if err := s.TrainWithInputs(f.Corpus()...); err != nil {
+		return FuzzStats{}, err
+	}
+	return FuzzStats{Execs: f.Execs, CorpusSize: len(f.Corpus()), Paths: f.CoveredSlots()}, nil
+}
+
+// Stats returns the analysis statistics.
+func (s *System) Stats() CFGStats {
+	st := s.ocfg.ComputeStats()
+	cs := s.ig.Credits()
+	return CFGStats{
+		Functions:     len(s.ocfg.Funcs),
+		BasicBlocks:   st.ExecBlocks + st.LibBlocks,
+		Libraries:     st.Libraries,
+		OCFGAIA:       st.AIA,
+		ITCNodes:      s.ig.NumNodes(),
+		ITCEdges:      s.ig.Edges,
+		ITCAIA:        s.ig.AIA(),
+		ITCAIAWithTNT: s.ig.AIAWithTNT(),
+		FineAIA:       itc.FineGrainedAIA(s.ocfg),
+		CredRatio:     cs.Ratio,
+		MemoryBytes:   s.ig.MemoryBytes(),
+	}
+}
+
+// Breakdown is the Figure 5 overhead decomposition, in percent of the
+// baseline execution cycles.
+type Breakdown struct {
+	Trace, Decode, Check, Other float64
+}
+
+// Outcome describes one protected execution.
+type Outcome struct {
+	// Exited/ExitCode describe a clean finish; Killed a CFI kill.
+	Exited   bool
+	ExitCode int
+	Killed   bool
+	// Violations lists the kernel module's reports.
+	Violations []string
+	// Stdout is the process output.
+	Stdout []byte
+	// Checks / SlowChecks count endpoint flow checks.
+	Checks, SlowChecks uint64
+	// CredRatio is the runtime fraction of credible edges.
+	CredRatio float64
+	// OverheadPct is the total protection overhead against the same
+	// run's execution cycles, per the calibrated cycle model.
+	OverheadPct float64
+	// Parts decomposes the overhead.
+	Parts Breakdown
+}
+
+// Run executes the workload on the input under full protection with the
+// default policy.
+func (s *System) Run(input []byte) (*Outcome, error) {
+	return s.RunWithPolicy(input, DefaultPolicy())
+}
+
+// RunWithPolicy executes the workload under the given policy.
+func (s *System) RunWithPolicy(input []byte, pol Policy) (*Outcome, error) {
+	k := kernelsim.New()
+	p, err := s.w.app.Spawn(k, input)
+	if err != nil {
+		return nil, err
+	}
+	km := guard.InstallModule(k)
+	g, err := km.Protect(p, s.ocfg, s.ig, pol.internal())
+	if err != nil {
+		return nil, err
+	}
+	st, err := k.Run(p, 500_000_000)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Exited:     st.Exited,
+		ExitCode:   st.Code,
+		Killed:     st.Killed,
+		Stdout:     p.Stdout,
+		Checks:     g.Stats.Checks,
+		SlowChecks: g.Stats.SlowChecks,
+		CredRatio:  g.Stats.CredRatioRuntime(),
+	}
+	for _, rep := range km.Reports {
+		out.Violations = append(out.Violations, rep.String())
+	}
+	base := p.CPU.CycleCount
+	if base > 0 {
+		b := float64(base)
+		out.Parts = Breakdown{
+			Trace:  100 * float64(g.Tracer.Cycles()) / b,
+			Decode: 100 * float64(g.Stats.DecodeCycles) / b,
+			Check:  100 * float64(g.Stats.CheckCycles+g.Stats.SlowCycles) / b,
+			Other:  100 * float64(g.Stats.OtherCycles) / b,
+		}
+		out.OverheadPct = out.Parts.Trace + out.Parts.Decode + out.Parts.Check + out.Parts.Other
+	}
+	return out, nil
+}
+
+// RunUnprotected executes the workload with no tracing or checking and
+// returns its stdout (for functional comparisons).
+func RunUnprotected(w *Workload, input []byte) ([]byte, error) {
+	k := kernelsim.New()
+	p, err := w.app.Spawn(k, input)
+	if err != nil {
+		return nil, err
+	}
+	st, err := k.Run(p, 500_000_000)
+	if err != nil {
+		return nil, err
+	}
+	if !st.Exited {
+		return p.Stdout, fmt.Errorf("flowguard: workload %s: %v", w.Name(), st)
+	}
+	return p.Stdout, nil
+}
+
+// SaveTrained writes the labeled ITC-CFG (the offline phase's
+// distributable artifact) to w; LoadTrained restores it into an analyzed
+// system, replacing any prior training.
+func (s *System) SaveTrained(w io.Writer) error { return s.ig.Encode(w) }
+
+// LoadTrained replaces the system's labeled graph with one previously
+// written by SaveTrained. The graph must come from the same binaries:
+// a shape mismatch with the freshly analyzed graph is rejected.
+func (s *System) LoadTrained(r io.Reader) error {
+	g, err := itc.Decode(r)
+	if err != nil {
+		return err
+	}
+	if g.NumNodes() != s.ig.NumNodes() || g.Edges != s.ig.Edges {
+		return fmt.Errorf("flowguard: trained graph does not match the analyzed binaries (|V|=%d/%d |E|=%d/%d)",
+			g.NumNodes(), s.ig.NumNodes(), g.Edges, s.ig.Edges)
+	}
+	s.ig = g
+	return nil
+}
+
+// AttackKind selects one of the §7.1.2 payload builders.
+type AttackKind string
+
+// The implemented attacks.
+const (
+	AttackROP             AttackKind = "rop"
+	AttackSROP            AttackKind = "srop"
+	AttackRet2Lib         AttackKind = "ret2lib"
+	AttackHistoryFlush    AttackKind = "history-flush"
+	AttackEndpointPruning AttackKind = "endpoint-pruning"
+)
+
+// AttackPayload builds a hijacking input for the vulnerable server
+// workload ("vulnd"). The payload includes benign warm-up traffic
+// followed by the overflow request.
+func AttackPayload(kind AttackKind, w *Workload) ([]byte, error) {
+	as, err := w.app.Load()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case AttackROP:
+		return attack.BuildROPWrite(as)
+	case AttackSROP:
+		return attack.BuildSROP(as)
+	case AttackRet2Lib:
+		return attack.BuildRet2Lib(as)
+	case AttackHistoryFlush:
+		return attack.BuildHistoryFlush(as, 48)
+	case AttackEndpointPruning:
+		return attack.BuildEndpointPruning(as)
+	default:
+		return nil, fmt.Errorf("flowguard: unknown attack %q", kind)
+	}
+}

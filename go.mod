@@ -1,0 +1,3 @@
+module flowguard
+
+go 1.22

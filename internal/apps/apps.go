@@ -1,0 +1,161 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flowguard/internal/asm"
+	"flowguard/internal/isa"
+	"flowguard/internal/kernelsim"
+	"flowguard/internal/module"
+)
+
+// App bundles an executable with its library closure and a deterministic
+// workload generator.
+type App struct {
+	// Name identifies the workload (matches the paper's app names).
+	Name string
+	// Exec is the executable module.
+	Exec *module.Module
+	// Libs holds the shared libraries by name (superset of the
+	// DT_NEEDED closure).
+	Libs map[string]*module.Module
+	// VDSO is the virtual DSO (may be nil).
+	VDSO *module.Module
+	// MakeInput generates a deterministic stdin workload: scale grows
+	// the run roughly linearly, seed varies content.
+	MakeInput func(scale int, seed int64) []byte
+	// Category groups apps for the Figure 5 panels: "server",
+	// "utility", "spec".
+	Category string
+}
+
+// Spawn creates a process running the app on the given kernel.
+func (a *App) Spawn(k *kernelsim.Kernel, stdin []byte) (*kernelsim.Process, error) {
+	return k.Spawn(a.Name, a.Exec, a.Libs, a.VDSO, stdin)
+}
+
+// Load maps the app into a fresh address space without a kernel (static
+// analysis use).
+func (a *App) Load() (*module.AddressSpace, error) {
+	return module.Load(a.Exec, a.Libs, a.VDSO)
+}
+
+// rng returns a deterministic generator for workload synthesis.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Servers returns the four server workloads of Table 4 / Figure 5(a).
+func Servers() []*App {
+	return []*App{Nginx(), Vsftpd(), OpenSSH(), Exim()}
+}
+
+// Utilities returns the Figure 5(b) utility workloads.
+func Utilities() []*App {
+	return []*App{Tar(), Make(), SCP(), DD()}
+}
+
+// All returns every workload: servers, utilities, and the SPEC-like
+// kernels.
+func All() []*App {
+	out := Servers()
+	out = append(out, Utilities()...)
+	out = append(out, SpecApps()...)
+	return out
+}
+
+// ByName finds a workload by its paper name.
+func ByName(name string) (*App, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	if name == "vulnd" {
+		return Vulnd(), nil
+	}
+	return nil, fmt.Errorf("apps: unknown app %q", name)
+}
+
+// --- shared assembly idioms -------------------------------------------------
+
+// emitReadLine defines read_line(buf r0, max r1) -> n: reads stdin one
+// byte at a time up to a newline (excluded) or max, NUL-terminates, and
+// returns the length, or -1 at EOF with nothing read.
+func emitReadLine(b *asm.Builder) {
+	f := b.Func("read_line", 2, false)
+	f.Prologue(32)
+	f.St(fp, -8, r0)  // buf
+	f.St(fp, -16, r1) // max
+	f.Movi(r11, 0)    // count
+	f.Label("loop")
+	f.Ld(r8, fp, -16)
+	f.Cmp(r11, r8)
+	f.Jcc(isa.GE, "done")
+	// read(0, buf+count, 1)
+	f.Movu64(r7, kernelsim.SysRead)
+	f.Movi(r0, 0)
+	f.Ld(r1, fp, -8)
+	f.Add(r1, r11)
+	f.Movi(r2, 1)
+	f.Syscall()
+	f.Cmpi(r0, 1)
+	f.Jcc(isa.LT, "eof")
+	f.Ld(r1, fp, -8)
+	f.Add(r1, r11)
+	f.Ldb(r8, r1, 0)
+	f.Cmpi(r8, '\n')
+	f.Jcc(isa.EQ, "done")
+	f.Addi(r11, 1)
+	f.Jmp("loop")
+	f.Label("eof")
+	f.Cmpi(r11, 0)
+	f.Jcc(isa.GT, "done")
+	f.Movi(r0, -1)
+	f.Epilogue()
+	f.Label("done")
+	// NUL-terminate.
+	f.Ld(r1, fp, -8)
+	f.Add(r1, r11)
+	f.Movi(r8, 0)
+	f.Stb(r1, 0, r8)
+	f.Mov(r0, r11)
+	f.Epilogue()
+}
+
+// emitRenderBody defines render_body(dst r0, n r1, seed r2) -> checksum:
+// fills dst with n pseudo-random printable bytes (LCG seeded by seed) and
+// returns a running checksum — the servers' response-generation work.
+func emitRenderBody(b *asm.Builder) {
+	f := b.Func("render_body", 3, false)
+	f.Mov(r9, r0)  // cursor
+	f.Mov(r10, r2) // lcg state
+	f.Movi(r11, 0) // checksum
+	f.Movi(r6, 0)  // i
+	f.Label("loop")
+	f.Cmp(r6, r1)
+	f.Jcc(isa.GE, "done")
+	f.Movu64(r8, 1103515245)
+	f.Mul(r10, r8)
+	f.Addi(r10, 12345)
+	f.Mov(r8, r10)
+	f.Movi(r5, 16)
+	f.Shr(r8, r5)
+	f.Movi(r5, 26)
+	f.Mod(r8, r5)
+	f.Addi(r8, 'A')
+	f.Stb(r9, 0, r8)
+	f.Add(r11, r8)
+	f.Addi(r9, 1)
+	f.Addi(r6, 1)
+	f.Jmp("loop")
+	f.Label("done")
+	f.Mov(r0, r11)
+	f.Ret()
+}
+
+// emitExitCall defines do_exit(code r0): exits via libc (PLT crossing).
+func emitExitCall(b *asm.Builder) {
+	f := b.Func("do_exit", 1, false)
+	f.Call("exit")
+	f.Halt() // unreachable
+}

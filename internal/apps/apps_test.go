@@ -1,0 +1,262 @@
+package apps_test
+
+import (
+	"testing"
+
+	"flowguard/internal/apps"
+	"flowguard/internal/cfg"
+	"flowguard/internal/itc"
+	"flowguard/internal/kernelsim"
+	"flowguard/internal/trace"
+	"flowguard/internal/trace/ipt"
+)
+
+const ctlDefault = ipt.CtlTraceEn | ipt.CtlBranchEn | ipt.CtlUser | ipt.CtlToPA
+
+// TestAllAppsRunCleanly executes every workload at a small scale and
+// checks for a clean exit with output.
+func TestAllAppsRunCleanly(t *testing.T) {
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			k := kernelsim.New()
+			p, err := a.Spawn(k, a.MakeInput(3, 42))
+			if err != nil {
+				t.Fatalf("spawn: %v", err)
+			}
+			st, err := k.Run(p, 80_000_000)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !st.Exited {
+				t.Fatalf("status = %v (fault: %v), want clean exit", st, st.FaultErr)
+			}
+			if len(p.Stdout) == 0 {
+				t.Error("no output produced")
+			}
+			t.Logf("%s: %d instrs, %d syscalls, %d bytes out",
+				a.Name, p.CPU.Instrs, k.SyscallCount, len(p.Stdout))
+		})
+	}
+}
+
+// TestAppsConservativeCFG is the suite-wide §4.1 guarantee: every edge
+// any workload executes must be present in its O-CFG, and every
+// consecutive TIP pair must be an ITC-CFG edge (§4.2).
+func TestAppsConservativeCFG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite CFG validation is slow")
+	}
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			k := kernelsim.New()
+			p, err := a.Spawn(k, a.MakeInput(2, 7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := cfg.Build(p.AS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ig := itc.FromCFG(g)
+
+			tr := ipt.NewTracer(ipt.NewToPA(64 << 20))
+			if err := tr.WriteMSR(ipt.MSRRTITCtl, ctlDefault); err != nil {
+				t.Fatal(err)
+			}
+			bad := 0
+			check := trace.SinkFunc(func(br trace.Branch) {
+				if bad < 5 && !g.ContainsEdge(br.Source, br.Target, br.Class) {
+					bad++
+					t.Errorf("executed edge not in O-CFG: %v %s -> %s",
+						br.Class, p.AS.SymbolFor(br.Source), p.AS.SymbolFor(br.Target))
+				}
+			})
+			p.CPU.Branch = trace.MultiSink{tr, check}
+			st, err := k.Run(p, 80_000_000)
+			if err != nil || !st.Exited {
+				t.Fatalf("run: %v %v", st, err)
+			}
+			tr.Flush()
+
+			evs, err := ipt.DecodeFast(tr.Out.Snapshot())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tips := ipt.ExtractTIPs(evs)
+			if len(tips) < 2 {
+				// dd is nearly indirect-free by design; nothing to pair.
+				t.Logf("%s: only %d TIPs traced", a.Name, len(tips))
+				return
+			}
+			misses := 0
+			for i := 0; i+1 < len(tips); i++ {
+				if !ig.HasEdge(tips[i].IP, tips[i+1].IP) {
+					if misses < 5 {
+						t.Errorf("consecutive TIPs not an ITC edge: %s -> %s",
+							p.AS.SymbolFor(tips[i].IP), p.AS.SymbolFor(tips[i+1].IP))
+					}
+					misses++
+				}
+			}
+			t.Logf("%s: O-CFG %v, %v, %d TIPs", a.Name, g, ig, len(tips))
+		})
+	}
+}
+
+// TestVDSOInterposed verifies the loader preference end to end: the
+// apps' gettimeofday binding lands in the VDSO, not libc.
+func TestVDSOInterposed(t *testing.T) {
+	a := apps.Nginx()
+	as, err := a.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, ok := as.ResolveSymbol("gettimeofday")
+	if !ok {
+		t.Fatal("gettimeofday unresolved")
+	}
+	if as.VDSO == nil || !as.VDSO.ContainsCode(addr) {
+		t.Errorf("gettimeofday bound to %s, want the VDSO", as.SymbolFor(addr))
+	}
+}
+
+// TestVulndBenignMatchesNginxShape runs vulnd on benign input: it must
+// behave like a normal server.
+func TestVulndBenignMatchesNginxShape(t *testing.T) {
+	a := apps.Vulnd()
+	k := kernelsim.New()
+	p, err := a.Spawn(k, []byte("G /index\nH /x\nP 32\n"+string(make([]byte, 32))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := k.Run(p, 20_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Exited {
+		t.Fatalf("benign vulnd: %v (fault %v)", st, st.FaultErr)
+	}
+	if len(p.Stdout) == 0 {
+		t.Error("no responses")
+	}
+}
+
+// TestWorkloadDeterminism pins MakeInput determinism (experiments must
+// be reproducible run to run).
+func TestWorkloadDeterminism(t *testing.T) {
+	for _, a := range apps.All() {
+		in1 := a.MakeInput(5, 99)
+		in2 := a.MakeInput(5, 99)
+		if string(in1) != string(in2) {
+			t.Errorf("%s: MakeInput not deterministic", a.Name)
+		}
+		if len(in1) == 0 {
+			t.Errorf("%s: empty workload", a.Name)
+		}
+	}
+}
+
+// TestByName covers the registry.
+func TestByName(t *testing.T) {
+	for _, name := range []string{"nginx", "vsftpd", "openssh", "exim", "tar", "dd", "make", "scp", "h264ref", "vulnd"} {
+		if _, err := apps.ByName(name); err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+	}
+	if _, err := apps.ByName("nope"); err == nil {
+		t.Error("ByName accepted unknown app")
+	}
+}
+
+// TestVDSOAppearsInEximTraces: exim's delivery timestamps call
+// gettimeofday, which the loader binds to the VDSO; the live trace must
+// therefore contain TIP packets landing in VDSO code (the §4.1 VDSO
+// handling is exercised at runtime, not just at bind time).
+func TestVDSOAppearsInEximTraces(t *testing.T) {
+	a, err := apps.ByName("exim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernelsim.New()
+	p, err := a.Spawn(k, a.MakeInput(3, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ipt.NewTracer(ipt.NewToPA(32 << 20))
+	if err := tr.WriteMSR(ipt.MSRRTITCtl, ctlDefault); err != nil {
+		t.Fatal(err)
+	}
+	p.CPU.Branch = tr
+	if st, err := k.Run(p, 80_000_000); err != nil || !st.Exited {
+		t.Fatalf("run: %v %v", st, err)
+	}
+	tr.Flush()
+	evs, err := ipt.DecodeFast(tr.Out.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inVDSO := 0
+	for _, r := range ipt.ExtractTIPs(evs) {
+		if p.AS.VDSO != nil && p.AS.VDSO.ContainsCode(r.IP) {
+			inVDSO++
+		}
+	}
+	if inVDSO == 0 {
+		t.Fatal("no TIP packets landed in the VDSO")
+	}
+}
+
+// TestTarArchiveContents: the buffered writer must deliver every header
+// and data byte into the archive file, in order.
+func TestTarArchiveContents(t *testing.T) {
+	a, err := apps.ByName("tar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernelsim.New()
+	input := a.MakeInput(3, 5)
+	p, err := a.Spawn(k, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := k.Run(p, 80_000_000); err != nil || !st.Exited {
+		t.Fatalf("run: %v %v", st, err)
+	}
+	archive, ok := k.FileContents("out.tar")
+	if !ok || len(archive) == 0 {
+		t.Fatalf("archive missing or empty (ok=%v, %d bytes)", ok, len(archive))
+	}
+	// The archive must contain every input data byte (headers add more).
+	dataBytes := 0
+	for _, line := range []byte(input) {
+		_ = line
+	}
+	// Input = 3 entries of (name\n size\n data); the data sizes are the
+	// numbers on the size lines.
+	rest := input
+	for i := 0; i < 3; i++ {
+		nl := indexByte(rest, '\n')
+		rest = rest[nl+1:]
+		nl = indexByte(rest, '\n')
+		n := 0
+		for _, c := range rest[:nl] {
+			n = n*10 + int(c-'0')
+		}
+		rest = rest[nl+1+n:]
+		dataBytes += n
+	}
+	if len(archive) < dataBytes {
+		t.Errorf("archive %d bytes < %d data bytes", len(archive), dataBytes)
+	}
+}
+
+func indexByte(p []byte, b byte) int {
+	for i, x := range p {
+		if x == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,403 @@
+// Package apps provides the synthetic workload suite of the evaluation
+// (§7): server daemons modeled on nginx/vsftpd/OpenSSH/exim, Linux
+// utilities modeled on tar/make/scp/dd, and twelve SPEC-CPU-2006-like
+// kernels — all assembled for the synthetic ISA against a shared set of
+// libraries (libc, libcrypt, libz, libfmt) and a VDSO, so that every
+// CFI-relevant structural feature of the paper's targets is present:
+// dispatch tables (indirect calls), deep call/return chains, PLT-crossing
+// library calls, VDSO-accelerated gettimeofday, tail calls and
+// syscall-heavy request loops.
+//
+// Network servers consume their byte streams from stdin, exactly as the
+// paper runs them under preeny's desock for fuzzing (§7).
+package apps
+
+import (
+	"fmt"
+
+	"flowguard/internal/asm"
+	"flowguard/internal/isa"
+	"flowguard/internal/kernelsim"
+	"flowguard/internal/module"
+)
+
+// Register-name shorthands keep the assembly readable.
+const (
+	r0  = isa.R0
+	r1  = isa.R1
+	r2  = isa.R2
+	r3  = isa.R3
+	r4  = isa.R4
+	r5  = isa.R5
+	r6  = isa.R6
+	r7  = isa.R7
+	r8  = isa.R8
+	r9  = isa.R9
+	r10 = isa.R10
+	r11 = isa.R11
+	r12 = isa.R12
+	r13 = isa.R13
+	fp  = isa.FP
+	sp  = isa.SP
+)
+
+// mustAssemble panics on assembler errors: the app sources are static
+// program text, so a failure is a build bug, not a runtime condition.
+func mustAssemble(b *asm.Builder) *module.Module {
+	m, err := b.Assemble()
+	if err != nil {
+		panic(fmt.Sprintf("apps: %v", err))
+	}
+	return m
+}
+
+// LibC builds the shared C-library analogue. Its exported surface:
+//
+//	read_stdin(buf, max) -> n        write_out(buf, n) -> n
+//	open_file(path) -> fd            write_fd(fd, buf, n) -> n
+//	memcpy(dst, src, n) -> dst       memset(dst, v, n) -> dst
+//	strlen(s) -> n                   strcmp(a, b) -> -1/0/1
+//	atoi(s) -> v                     u2dec(buf, v) -> len
+//	hash_fnv(buf, n) -> h            qsort(base, n, cmp)
+//	cmp_u64(a, b) -> -1/0/1          malloc(n) -> p
+//	free(p)                          raw_syscall(no, a, b, c) -> r
+//	spawn(path) -> r  (execve)       exit(code)
+//	gettimeofday(buf) -> 0           ctx_restore / ctx_save (coroutines)
+//	puts(s) -> n
+//
+// ctx_restore is the setcontext analogue: it resumes a register frame
+// previously pushed on the stack (the classic gadget source real
+// exploits lean on in glibc).
+func LibC() *module.Module {
+	b := asm.NewModule("libc")
+
+	// read_stdin(buf r0, max r1) -> n
+	f := b.Func("read_stdin", 2, true)
+	f.Mov(r2, r1)
+	f.Mov(r1, r0)
+	f.Movi(r0, 0)
+	f.Movu64(r7, kernelsim.SysRead)
+	f.Syscall()
+	f.Ret()
+
+	// write_out(buf r0, n r1) -> n
+	f = b.Func("write_out", 2, true)
+	f.Mov(r2, r1)
+	f.Mov(r1, r0)
+	f.Movi(r0, 1)
+	f.Movu64(r7, kernelsim.SysWrite)
+	f.Syscall()
+	f.Ret()
+
+	// write_fd(fd r0, buf r1, n r2) -> n
+	f = b.Func("write_fd", 3, true)
+	f.Movu64(r7, kernelsim.SysWrite)
+	f.Syscall()
+	f.Ret()
+
+	// open_file(path r0) -> fd
+	f = b.Func("open_file", 1, true)
+	f.Movu64(r7, kernelsim.SysOpen)
+	f.Syscall()
+	f.Ret()
+
+	// close_fd(fd r0)
+	f = b.Func("close_fd", 1, true)
+	f.Movu64(r7, kernelsim.SysClose)
+	f.Syscall()
+	f.Ret()
+
+	// memcpy(dst r0, src r1, n r2) -> dst
+	f = b.Func("memcpy", 3, true)
+	f.Mov(r9, r0)
+	f.Mov(r10, r1)
+	f.Movi(r6, 0)
+	f.Label("loop")
+	f.Cmp(r6, r2)
+	f.Jcc(isa.GE, "done")
+	f.Ldb(r8, r10, 0)
+	f.Stb(r9, 0, r8)
+	f.Addi(r9, 1)
+	f.Addi(r10, 1)
+	f.Addi(r6, 1)
+	f.Jmp("loop")
+	f.Label("done")
+	f.Ret()
+
+	// memset(dst r0, v r1, n r2) -> dst
+	f = b.Func("memset", 3, true)
+	f.Mov(r9, r0)
+	f.Movi(r6, 0)
+	f.Label("loop")
+	f.Cmp(r6, r2)
+	f.Jcc(isa.GE, "done")
+	f.Stb(r9, 0, r1)
+	f.Addi(r9, 1)
+	f.Addi(r6, 1)
+	f.Jmp("loop")
+	f.Label("done")
+	f.Ret()
+
+	// strlen(s r0) -> n
+	f = b.Func("strlen", 1, true)
+	f.Mov(r9, r0)
+	f.Movi(r0, 0)
+	f.Label("loop")
+	f.Ldb(r8, r9, 0)
+	f.Cmpi(r8, 0)
+	f.Jcc(isa.EQ, "done")
+	f.Addi(r9, 1)
+	f.Addi(r0, 1)
+	f.Jmp("loop")
+	f.Label("done")
+	f.Ret()
+
+	// strcmp(a r0, b r1) -> -1/0/1
+	f = b.Func("strcmp", 2, true)
+	f.Mov(r9, r0)
+	f.Mov(r10, r1)
+	f.Label("loop")
+	f.Ldb(r6, r9, 0)
+	f.Ldb(r8, r10, 0)
+	f.Cmp(r6, r8)
+	f.Jcc(isa.LT, "lt")
+	f.Jcc(isa.GT, "gt")
+	f.Cmpi(r6, 0)
+	f.Jcc(isa.EQ, "eq")
+	f.Addi(r9, 1)
+	f.Addi(r10, 1)
+	f.Jmp("loop")
+	f.Label("eq")
+	f.Movi(r0, 0)
+	f.Ret()
+	f.Label("lt")
+	f.Movi(r0, -1)
+	f.Ret()
+	f.Label("gt")
+	f.Movi(r0, 1)
+	f.Ret()
+
+	// atoi(s r0) -> v (stops at the first non-digit)
+	f = b.Func("atoi", 1, true)
+	f.Mov(r9, r0)
+	f.Movi(r0, 0)
+	f.Label("loop")
+	f.Ldb(r8, r9, 0)
+	f.Cmpi(r8, '0')
+	f.Jcc(isa.LT, "done")
+	f.Cmpi(r8, '9')
+	f.Jcc(isa.GT, "done")
+	f.Movi(r10, 10)
+	f.Mul(r0, r10)
+	f.Addi(r8, -'0')
+	f.Add(r0, r8)
+	f.Addi(r9, 1)
+	f.Jmp("loop")
+	f.Label("done")
+	f.Ret()
+
+	// u2dec(buf r0, v r1) -> len: render v in decimal.
+	f = b.Func("u2dec", 2, true)
+	f.Prologue(64)
+	f.Mov(r9, r0)  // out cursor
+	f.Mov(r8, r1)  // value
+	f.Movi(r10, 0) // digit count
+	f.Mov(r6, fp)
+	f.Addi(r6, -64) // temp digit buffer
+	f.Label("digits")
+	f.Mov(r11, r8)
+	f.Movi(r5, 10)
+	f.Mod(r11, r5)
+	f.Addi(r11, '0')
+	f.Stb(r6, 0, r11)
+	f.Addi(r6, 1)
+	f.Movi(r5, 10)
+	f.Div(r8, r5)
+	f.Addi(r10, 1)
+	f.Cmpi(r8, 0)
+	f.Jcc(isa.NE, "digits")
+	f.Mov(r4, r10) // length
+	f.Label("rev")
+	f.Addi(r6, -1)
+	f.Ldb(r11, r6, 0)
+	f.Stb(r9, 0, r11)
+	f.Addi(r9, 1)
+	f.Addi(r10, -1)
+	f.Cmpi(r10, 0)
+	f.Jcc(isa.GT, "rev")
+	f.Mov(r0, r4)
+	f.Epilogue()
+
+	// hash_fnv(buf r0, n r1) -> h: FNV-1a.
+	f = b.Func("hash_fnv", 2, true)
+	f.Mov(r9, r0)
+	f.Movu64(r0, 0xcbf29ce484222325)
+	f.Movi(r6, 0)
+	f.Label("loop")
+	f.Cmp(r6, r1)
+	f.Jcc(isa.GE, "done")
+	f.Ldb(r8, r9, 0)
+	f.Xor(r0, r8)
+	f.Movu64(r10, 0x100000001b3)
+	f.Mul(r0, r10)
+	f.Addi(r9, 1)
+	f.Addi(r6, 1)
+	f.Jmp("loop")
+	f.Label("done")
+	f.Ret()
+
+	// cmp_u64(a r0, b r1) -> -1/0/1 (the default qsort comparator,
+	// address-taken).
+	f = b.Func("cmp_u64", 2, true)
+	f.Cmp(r0, r1)
+	f.Jcc(isa.LT, "lt")
+	f.Jcc(isa.GT, "gt")
+	f.Movi(r0, 0)
+	f.Ret()
+	f.Label("lt")
+	f.Movi(r0, -1)
+	f.Ret()
+	f.Label("gt")
+	f.Movi(r0, 1)
+	f.Ret()
+
+	// qsort(base r0, n r1, cmp r2): insertion sort over u64 words,
+	// calling the comparator indirectly — the library's indirect-call
+	// hot spot.
+	f = b.Func("qsort", 3, true)
+	f.Prologue(32)
+	f.St(fp, -8, r0)
+	f.St(fp, -16, r1)
+	f.St(fp, -24, r2)
+	f.Movi(r11, 1) // i
+	f.Label("outer")
+	f.Ld(r5, fp, -16)
+	f.Cmp(r11, r5)
+	f.Jcc(isa.GE, "done")
+	f.Mov(r10, r11) // j
+	f.Label("inner")
+	f.Cmpi(r10, 0)
+	f.Jcc(isa.LE, "next")
+	f.Ld(r9, fp, -8) // base
+	f.Mov(r8, r10)
+	f.Addi(r8, -1)
+	f.Movi(r5, 8)
+	f.Mul(r8, r5)
+	f.Add(r8, r9) // &a[j-1]
+	f.Ld(r0, r8, 0)
+	f.Ld(r1, r8, 8)
+	f.Push(r8)
+	f.Push(r10)
+	f.Push(r11)
+	f.Ld(r6, fp, -24)
+	f.CallR(r6)
+	f.Pop(r11)
+	f.Pop(r10)
+	f.Pop(r8)
+	f.Cmpi(r0, 0)
+	f.Jcc(isa.LE, "next")
+	f.Ld(r0, r8, 0)
+	f.Ld(r1, r8, 8)
+	f.St(r8, 0, r1)
+	f.St(r8, 8, r0)
+	f.Addi(r10, -1)
+	f.Jmp("inner")
+	f.Label("next")
+	f.Addi(r11, 1)
+	f.Jmp("outer")
+	f.Label("done")
+	f.Epilogue()
+
+	// malloc(n r0) -> p: bump allocator over a static arena.
+	b.DataSpace("arena", 1<<16, false)
+	b.DataWords("arena_cursor", []uint64{0}, false)
+	f = b.Func("malloc", 1, true)
+	f.Addi(r0, 7)
+	f.Movi(r10, -8)
+	f.And(r0, r10)
+	f.AddrOf(r9, "arena_cursor")
+	f.Ld(r8, r9, 0)
+	f.Mov(r11, r8)
+	f.Add(r11, r0)
+	f.St(r9, 0, r11)
+	f.AddrOf(r10, "arena")
+	f.Mov(r0, r10)
+	f.Add(r0, r8)
+	f.Ret()
+
+	// free(p r0): bump allocators don't free.
+	f = b.Func("free", 1, true)
+	f.Ret()
+
+	// raw_syscall(no r0, a r1, b r2, c r3) -> r. Jumping into its tail
+	// is the classic "syscall; ret" gadget.
+	f = b.Func("raw_syscall", 4, true)
+	f.Mov(r7, r0)
+	f.Mov(r0, r1)
+	f.Mov(r1, r2)
+	f.Mov(r2, r3)
+	f.Syscall()
+	f.Ret()
+
+	// spawn(path r0) -> r: execve wrapper (the return-to-lib target).
+	f = b.Func("spawn", 1, true)
+	f.Movu64(r7, kernelsim.SysExecve)
+	f.Syscall()
+	f.Ret()
+
+	// exit(code r0): never returns.
+	f = b.Func("exit", 1, true)
+	f.Movu64(r7, kernelsim.SysExit)
+	f.Syscall()
+	f.Halt()
+
+	// gettimeofday(buf r0) -> 0: the syscall fallback; the VDSO
+	// definition interposes it when present (§4.1).
+	f = b.Func("gettimeofday", 1, true)
+	f.Movu64(r7, kernelsim.SysGettimeofday)
+	f.Syscall()
+	f.Ret()
+
+	// ctx_save(a r0, b r1, c r2, no r7 implicit): push a resumable
+	// register frame and hand it to the scheduler stub (coroutine
+	// support, setcontext analogue).
+	f = b.Func("ctx_save", 3, true)
+	f.Push(r0)
+	f.Push(r1)
+	f.Push(r2)
+	f.Push(r7)
+	f.TailJmp("ctx_restore")
+
+	// ctx_restore: resume the register frame on top of the stack. Its
+	// POP run is the register-loading gadget real exploits find in
+	// setcontext.
+	f = b.Func("ctx_restore", 0, true)
+	f.Pop(r7)
+	f.Pop(r2)
+	f.Pop(r1)
+	f.Pop(r0)
+	f.Ret()
+
+	// puts(s r0) -> n: strlen + write_out.
+	f = b.Func("puts", 1, true)
+	f.Prologue(16)
+	f.St(fp, -8, r0)
+	f.Call("strlen")
+	f.Mov(r1, r0)
+	f.Ld(r0, fp, -8)
+	f.Call("write_out")
+	f.Epilogue()
+
+	return mustAssemble(b)
+}
+
+// VDSO builds the virtual dynamic shared object: its gettimeofday takes
+// precedence over libc's (paper §4.1).
+func VDSO() *module.Module {
+	b := asm.NewModule("vdso")
+	f := b.Func("gettimeofday", 1, true)
+	f.Movu64(r7, kernelsim.SysGettimeofday)
+	f.Syscall()
+	f.Ret()
+	return mustAssemble(b)
+}

@@ -1,0 +1,256 @@
+package apps
+
+import (
+	"flowguard/internal/asm"
+	"flowguard/internal/isa"
+	"flowguard/internal/module"
+)
+
+// LibCrypt builds the crypto-library analogue. Its digest() dispatches
+// through a function-pointer table (indirect calls inside a library),
+// and hmac_lite() calls back into libc across the PLT.
+func LibCrypt() *module.Module {
+	b := asm.NewModule("libcrypt").Needs("libc")
+
+	// adler_lite(buf r0, n r1) -> h
+	f := b.Func("adler_lite", 2, true)
+	f.Mov(r9, r0)
+	f.Movi(r10, 1) // a
+	f.Movi(r11, 0) // b
+	f.Movi(r6, 0)
+	f.Label("loop")
+	f.Cmp(r6, r1)
+	f.Jcc(isa.GE, "done")
+	f.Ldb(r8, r9, 0)
+	f.Add(r10, r8)
+	f.Add(r11, r10)
+	f.Addi(r9, 1)
+	f.Addi(r6, 1)
+	f.Jmp("loop")
+	f.Label("done")
+	f.Movi(r8, 16)
+	f.Shl(r11, r8)
+	f.Mov(r0, r11)
+	f.Or(r0, r10)
+	f.Ret()
+
+	// djb_lite(buf r0, n r1) -> h
+	f = b.Func("djb_lite", 2, true)
+	f.Mov(r9, r0)
+	f.Movi(r0, 5381)
+	f.Movi(r6, 0)
+	f.Label("loop")
+	f.Cmp(r6, r1)
+	f.Jcc(isa.GE, "done")
+	f.Movi(r10, 33)
+	f.Mul(r0, r10)
+	f.Ldb(r8, r9, 0)
+	f.Add(r0, r8)
+	f.Addi(r9, 1)
+	f.Addi(r6, 1)
+	f.Jmp("loop")
+	f.Label("done")
+	f.Ret()
+
+	// xor_lite(buf r0, n r1) -> h: rolling xor.
+	f = b.Func("xor_lite", 2, true)
+	f.Mov(r9, r0)
+	f.Movi(r0, 0)
+	f.Movi(r6, 0)
+	f.Label("loop")
+	f.Cmp(r6, r1)
+	f.Jcc(isa.GE, "done")
+	f.Ldb(r8, r9, 0)
+	f.Xor(r0, r8)
+	f.Movi(r10, 7)
+	f.Shl(r0, r10)
+	f.Movi(r10, 57)
+	f.Shr(r0, r10)
+	f.Xor(r0, r8)
+	f.Addi(r9, 1)
+	f.Addi(r6, 1)
+	f.Jmp("loop")
+	f.Label("done")
+	f.Ret()
+
+	// The dispatch table: a library-internal source of indirect calls.
+	b.FuncTable("digest_tbl", []string{"adler_lite", "djb_lite", "xor_lite"}, false)
+
+	// digest(buf r0, n r1, alg r2) -> h: dispatch through digest_tbl.
+	f = b.Func("digest", 3, true)
+	f.Movi(r8, 3)
+	f.Mod(r2, r8)
+	f.Movi(r8, 8)
+	f.Mul(r2, r8)
+	f.AddrOf(r6, "digest_tbl")
+	f.Add(r6, r2)
+	f.Ld(r6, r6, 0)
+	f.CallR(r6)
+	f.Ret()
+
+	// hmac_lite(buf r0, n r1, key r2) -> h: inner hash via libc's
+	// hash_fnv (PLT), mixed with the key.
+	f = b.Func("hmac_lite", 3, true)
+	f.Prologue(16)
+	f.St(fp, -8, r2)
+	f.Call("hash_fnv")
+	f.Ld(r8, fp, -8)
+	f.Xor(r0, r8)
+	f.Movu64(r9, 0x9e3779b97f4a7c15)
+	f.Mul(r0, r9)
+	f.Epilogue()
+
+	return mustAssemble(b)
+}
+
+// LibZ builds the compression-library analogue: byte-granular RLE plus a
+// checksum, giving the utilities their inner loops.
+func LibZ() *module.Module {
+	b := asm.NewModule("libz")
+
+	// rle_compress(dst r0, src r1, n r2) -> outLen
+	f := b.Func("rle_compress", 3, true)
+	f.Mov(r9, r0)  // out
+	f.Mov(r10, r1) // in
+	f.Movi(r6, 0)  // i
+	f.Label("outer")
+	f.Cmp(r6, r2)
+	f.Jcc(isa.GE, "done")
+	f.Ldb(r8, r10, 0) // current byte
+	f.Movi(r11, 0)    // run length
+	f.Label("run")
+	f.Cmp(r6, r2)
+	f.Jcc(isa.GE, "flush")
+	f.Cmpi(r11, 255)
+	f.Jcc(isa.GE, "flush")
+	f.Ldb(r5, r10, 0)
+	f.Cmp(r5, r8)
+	f.Jcc(isa.NE, "flush")
+	f.Addi(r10, 1)
+	f.Addi(r6, 1)
+	f.Addi(r11, 1)
+	f.Jmp("run")
+	f.Label("flush")
+	f.Stb(r9, 0, r11)
+	f.Stb(r9, 1, r8)
+	f.Addi(r9, 2)
+	f.Jmp("outer")
+	f.Label("done")
+	f.Sub(r9, r0)
+	f.Mov(r0, r9)
+	f.Ret()
+
+	// rle_decompress(dst r0, src r1, n r2) -> outLen
+	f = b.Func("rle_decompress", 3, true)
+	f.Mov(r9, r0)
+	f.Mov(r10, r1)
+	f.Movi(r6, 0)
+	f.Label("outer")
+	f.Cmp(r6, r2)
+	f.Jcc(isa.GE, "done")
+	f.Ldb(r11, r10, 0) // count
+	f.Ldb(r8, r10, 1)  // byte
+	f.Addi(r10, 2)
+	f.Addi(r6, 2)
+	f.Label("emit")
+	f.Cmpi(r11, 0)
+	f.Jcc(isa.LE, "outer")
+	f.Stb(r9, 0, r8)
+	f.Addi(r9, 1)
+	f.Addi(r11, -1)
+	f.Jmp("emit")
+	f.Label("done")
+	f.Sub(r9, r0)
+	f.Mov(r0, r9)
+	f.Ret()
+
+	// checksum(buf r0, n r1) -> sum: 512-byte-block style byte sum (the
+	// tar header checksum).
+	f = b.Func("checksum", 2, true)
+	f.Mov(r9, r0)
+	f.Movi(r0, 0)
+	f.Movi(r6, 0)
+	f.Label("loop")
+	f.Cmp(r6, r1)
+	f.Jcc(isa.GE, "done")
+	f.Ldb(r8, r9, 0)
+	f.Add(r0, r8)
+	f.Addi(r9, 1)
+	f.Addi(r6, 1)
+	f.Jmp("loop")
+	f.Label("done")
+	f.Ret()
+
+	return mustAssemble(b)
+}
+
+// LibFmt builds the formatting-library analogue, calling into libc via
+// the PLT (u2dec, memcpy, strlen).
+func LibFmt() *module.Module {
+	b := asm.NewModule("libfmt").Needs("libc")
+
+	// fmt_copy(dst r0, src r1) -> len: strcpy returning the length.
+	f := b.Func("fmt_copy", 2, true)
+	f.Mov(r9, r0)
+	f.Mov(r10, r1)
+	f.Movi(r0, 0)
+	f.Label("loop")
+	f.Ldb(r8, r10, 0)
+	f.Cmpi(r8, 0)
+	f.Jcc(isa.EQ, "done")
+	f.Stb(r9, 0, r8)
+	f.Addi(r9, 1)
+	f.Addi(r10, 1)
+	f.Addi(r0, 1)
+	f.Jmp("loop")
+	f.Label("done")
+	f.Ret()
+
+	// fmt_num(dst r0, v r1) -> len: decimal rendering via libc u2dec.
+	f = b.Func("fmt_num", 2, true)
+	f.TailJmp("u2dec") // cross-module tail call through the PLT
+
+	// fmt_kv(dst r0, key r1, v r2) -> len: "key=<v>\n".
+	f = b.Func("fmt_kv", 3, true)
+	f.Prologue(32)
+	f.St(fp, -8, r0)  // dst
+	f.St(fp, -16, r2) // v
+	f.Mov(r10, r1)
+	f.Mov(r1, r10)
+	f.Call("fmt_copy") // dst <- key
+	f.Mov(r11, r0)     // running length
+	f.Ld(r9, fp, -8)
+	f.Add(r9, r11)
+	f.Movi(r8, '=')
+	f.Stb(r9, 0, r8)
+	f.Addi(r11, 1)
+	f.Ld(r0, fp, -8)
+	f.Add(r0, r11)
+	f.Ld(r1, fp, -16)
+	f.Call("fmt_num")
+	f.Add(r11, r0)
+	f.Ld(r9, fp, -8)
+	f.Add(r9, r11)
+	f.Movi(r8, '\n')
+	f.Stb(r9, 0, r8)
+	f.Addi(r11, 1)
+	f.Mov(r0, r11)
+	f.Epilogue()
+
+	return mustAssemble(b)
+}
+
+// StdLibs returns the shared library set keyed by module name, ready for
+// module.Load / kernelsim.Spawn. Applications name their DT_NEEDED
+// subset; the loader pulls the transitive closure.
+func StdLibs() map[string]*module.Module {
+	return map[string]*module.Module{
+		"libc":     LibC(),
+		"libcrypt": LibCrypt(),
+		"libz":     LibZ(),
+		"libfmt":   LibFmt(),
+		"libm":     LibM(),
+		"libio":    LibIO(),
+		"libutil":  LibUtil(),
+	}
+}

@@ -1,0 +1,331 @@
+package apps
+
+import (
+	"flowguard/internal/asm"
+	"flowguard/internal/isa"
+	"flowguard/internal/module"
+)
+
+// LibM builds the math-library analogue: integer square root, gcd,
+// modular exponentiation (the servers' key-exchange arithmetic), and
+// bit-length.
+func LibM() *module.Module {
+	b := asm.NewModule("libm")
+
+	// isqrt(x r0) -> floor(sqrt(x)): Newton iteration.
+	f := b.Func("isqrt", 1, true)
+	f.Cmpi(r0, 2)
+	f.Jcc(isa.LT, "tiny")
+	f.Mov(r9, r0)  // x
+	f.Mov(r10, r0) // guess
+	f.Movi(r8, 1)
+	f.Shr(r10, r8) // x/2
+	f.Label("iter")
+	f.Mov(r11, r9)
+	f.Div(r11, r10) // x/guess
+	f.Add(r11, r10)
+	f.Movi(r8, 1)
+	f.Shr(r11, r8) // next = (guess + x/guess)/2
+	f.Cmp(r11, r10)
+	f.Jcc(isa.GE, "done")
+	f.Mov(r10, r11)
+	f.Jmp("iter")
+	f.Label("done")
+	f.Mov(r0, r10)
+	f.Ret()
+	f.Label("tiny")
+	f.Ret() // 0 -> 0, 1 -> 1
+
+	// gcd(a r0, b r1) -> g: Euclid.
+	f = b.Func("gcd", 2, true)
+	f.Label("loop")
+	f.Cmpi(r1, 0)
+	f.Jcc(isa.EQ, "done")
+	f.Mov(r8, r0)
+	f.Mod(r8, r1)
+	f.Mov(r0, r1)
+	f.Mov(r1, r8)
+	f.Jmp("loop")
+	f.Label("done")
+	f.Ret()
+
+	// powmod(base r0, exp r1, mod r2) -> base^exp % mod: square and
+	// multiply — the Diffie-Hellman-style arithmetic sshd's key exchange
+	// uses.
+	f = b.Func("powmod", 3, true)
+	f.Cmpi(r2, 0)
+	f.Jcc(isa.NE, "ok")
+	f.Movi(r0, 0)
+	f.Ret()
+	f.Label("ok")
+	f.Mov(r9, r0)  // base
+	f.Mod(r9, r2)  // reduce
+	f.Mov(r10, r1) // exp
+	f.Movi(r0, 1)  // result
+	f.Label("loop")
+	f.Cmpi(r10, 0)
+	f.Jcc(isa.EQ, "done")
+	f.Mov(r8, r10)
+	f.Movi(r5, 1)
+	f.And(r8, r5)
+	f.Cmpi(r8, 0)
+	f.Jcc(isa.EQ, "even")
+	f.Mul(r0, r9)
+	f.Mod(r0, r2)
+	f.Label("even")
+	f.Mul(r9, r9)
+	f.Mod(r9, r2)
+	f.Movi(r5, 1)
+	f.Shr(r10, r5)
+	f.Jmp("loop")
+	f.Label("done")
+	f.Ret()
+
+	// ilog2(x r0) -> bit length - 1 (0 for x <= 1).
+	f = b.Func("ilog2", 1, true)
+	f.Movi(r9, 0)
+	f.Label("loop")
+	f.Cmpi(r0, 1)
+	f.Jcc(isa.LE, "done")
+	f.Movi(r5, 1)
+	f.Shr(r0, r5)
+	f.Addi(r9, 1)
+	f.Jmp("loop")
+	f.Label("done")
+	f.Mov(r0, r9)
+	f.Ret()
+
+	return mustAssemble(b)
+}
+
+// LibIO builds the buffered-I/O library analogue: a write buffer over
+// the raw fd syscalls (fewer, larger writes — how stdio batches output),
+// plus a simple hex dumper. Depends on libc through the PLT.
+func LibIO() *module.Module {
+	b := asm.NewModule("libio").Needs("libc")
+	const bufCap = 4096
+	b.DataSpace("iobuf", bufCap, false)
+	b.DataWords("iolen", []uint64{0}, false)
+	b.DataWords("iofd", []uint64{1}, false)
+
+	// io_setfd(fd r0): direct buffered output to fd.
+	f := b.Func("io_setfd", 1, true)
+	f.AddrOf(r9, "iofd")
+	f.St(r9, 0, r0)
+	f.Ret()
+
+	// io_flush() -> n: write the buffer out via libc write_fd.
+	f = b.Func("io_flush", 0, true)
+	f.Prologue(16)
+	f.AddrOf(r9, "iolen")
+	f.Ld(r2, r9, 0)
+	f.Cmpi(r2, 0)
+	f.Jcc(isa.EQ, "empty")
+	f.AddrOf(r9, "iofd")
+	f.Ld(r0, r9, 0)
+	f.AddrOf(r1, "iobuf")
+	f.Call("write_fd")
+	f.AddrOf(r9, "iolen")
+	f.Movi(r8, 0)
+	f.St(r9, 0, r8)
+	f.Epilogue()
+	f.Label("empty")
+	f.Movi(r0, 0)
+	f.Epilogue()
+
+	// io_write(buf r0, n r1) -> n: append to the buffer, flushing when
+	// full.
+	f = b.Func("io_write", 2, true)
+	f.Prologue(32)
+	f.St(fp, -8, r0)
+	f.St(fp, -16, r1)
+	// Flush if it would overflow.
+	f.AddrOf(r9, "iolen")
+	f.Ld(r8, r9, 0)
+	f.Add(r8, r1)
+	f.Cmpi(r8, bufCap)
+	f.Jcc(isa.LE, "fits")
+	f.Call("io_flush")
+	f.Label("fits")
+	// Oversized writes go straight through.
+	f.Ld(r1, fp, -16)
+	f.Cmpi(r1, bufCap)
+	f.Jcc(isa.LE, "buffer")
+	f.AddrOf(r9, "iofd")
+	f.Ld(r0, r9, 0)
+	f.Ld(r1, fp, -8)
+	f.Ld(r2, fp, -16)
+	f.Call("write_fd")
+	f.Epilogue()
+	f.Label("buffer")
+	f.AddrOf(r0, "iobuf")
+	f.AddrOf(r9, "iolen")
+	f.Ld(r8, r9, 0)
+	f.Add(r0, r8)
+	f.Ld(r1, fp, -8)
+	f.Ld(r2, fp, -16)
+	f.Call("memcpy")
+	f.AddrOf(r9, "iolen")
+	f.Ld(r8, r9, 0)
+	f.Ld(r5, fp, -16)
+	f.Add(r8, r5)
+	f.St(r9, 0, r8)
+	f.Ld(r0, fp, -16)
+	f.Epilogue()
+
+	// hex_encode(dst r0, src r1, n r2) -> 2n: lowercase hex.
+	f = b.Func("hex_encode", 3, true)
+	f.Mov(r9, r0)  // dst
+	f.Mov(r10, r1) // src
+	f.Movi(r6, 0)
+	f.Label("loop")
+	f.Cmp(r6, r2)
+	f.Jcc(isa.GE, "done")
+	f.Ldb(r8, r10, 0)
+	f.Mov(r11, r8)
+	f.Movi(r5, 4)
+	f.Shr(r11, r5)
+	f.Call("hexdigit")
+	f.Mov(r5, r0)
+	f.Stb(r9, 0, r5)
+	f.Movi(r5, 15)
+	f.And(r8, r5)
+	f.Mov(r11, r8)
+	f.Call("hexdigit")
+	f.Stb(r9, 1, r0)
+	f.Addi(r9, 2)
+	f.Addi(r10, 1)
+	f.Addi(r6, 1)
+	f.Jmp("loop")
+	f.Label("done")
+	f.Movi(r5, 2)
+	f.Mul(r6, r5)
+	f.Mov(r0, r6)
+	f.Ret()
+
+	// hexdigit(v r11) -> char r0 (internal helper with a register-based
+	// contract; declared arity 0 because it reads no argument register).
+	f = b.Func("hexdigit", 0, false)
+	f.Mov(r0, r11)
+	f.Cmpi(r0, 10)
+	f.Jcc(isa.GE, "alpha")
+	f.Addi(r0, '0')
+	f.Ret()
+	f.Label("alpha")
+	f.Addi(r0, 'a'-10)
+	f.Ret()
+
+	return mustAssemble(b)
+}
+
+// LibUtil builds the utility-library analogue: bitsets and array
+// helpers, including an indirect min/max fold through a comparator table.
+func LibUtil() *module.Module {
+	b := asm.NewModule("libutil")
+
+	// bs_set(bits r0, i r1): set bit i.
+	f := b.Func("bs_set", 2, true)
+	f.Mov(r8, r1)
+	f.Movi(r5, 6)
+	f.Shr(r8, r5) // word index
+	f.Movi(r5, 8)
+	f.Mul(r8, r5)
+	f.Add(r0, r8)
+	f.Movi(r5, 63)
+	f.And(r1, r5)
+	f.Movi(r8, 1)
+	f.Shl(r8, r1)
+	f.Ld(r9, r0, 0)
+	f.Or(r9, r8)
+	f.St(r0, 0, r9)
+	f.Ret()
+
+	// bs_test(bits r0, i r1) -> 0/1.
+	f = b.Func("bs_test", 2, true)
+	f.Mov(r8, r1)
+	f.Movi(r5, 6)
+	f.Shr(r8, r5)
+	f.Movi(r5, 8)
+	f.Mul(r8, r5)
+	f.Add(r0, r8)
+	f.Ld(r9, r0, 0)
+	f.Movi(r5, 63)
+	f.And(r1, r5)
+	f.Shr(r9, r1)
+	f.Movi(r5, 1)
+	f.And(r9, r5)
+	f.Mov(r0, r9)
+	f.Ret()
+
+	// popcount(x r0) -> bits set.
+	f = b.Func("popcount", 1, true)
+	f.Movi(r9, 0)
+	f.Label("loop")
+	f.Cmpi(r0, 0)
+	f.Jcc(isa.EQ, "done")
+	f.Mov(r8, r0)
+	f.Movi(r5, 1)
+	f.And(r8, r5)
+	f.Add(r9, r8)
+	f.Movi(r5, 1)
+	f.Shr(r0, r5)
+	f.Jmp("loop")
+	f.Label("done")
+	f.Mov(r0, r9)
+	f.Ret()
+
+	// Comparator pair for the fold (address-taken).
+	f = b.Func("pick_min", 2, true)
+	f.Cmp(r0, r1)
+	f.Jcc(isa.LE, "keep")
+	f.Mov(r0, r1)
+	f.Label("keep")
+	f.Ret()
+	f = b.Func("pick_max", 2, true)
+	f.Cmp(r0, r1)
+	f.Jcc(isa.GE, "keep")
+	f.Mov(r0, r1)
+	f.Label("keep")
+	f.Ret()
+	b.FuncTable("fold_tbl", []string{"pick_min", "pick_max"}, true)
+
+	// fold(base r0, n r1, which r2) -> extremum via the comparator table
+	// (an in-library indirect-call site).
+	f = b.Func("fold", 3, true)
+	f.Prologue(40)
+	f.St(fp, -8, r0)
+	f.St(fp, -16, r1)
+	f.Movi(r5, 1)
+	f.And(r2, r5)
+	f.Movi(r5, 8)
+	f.Mul(r2, r5)
+	f.AddrOf(r9, "fold_tbl")
+	f.Add(r9, r2)
+	f.Ld(r9, r9, 0)
+	f.St(fp, -24, r9) // comparator
+	f.Ld(r9, fp, -8)
+	f.Ld(r0, r9, 0) // acc = a[0]
+	f.Movi(r11, 1)
+	f.Label("loop")
+	f.Ld(r8, fp, -16)
+	f.Cmp(r11, r8)
+	f.Jcc(isa.GE, "done")
+	f.St(fp, -32, r11)
+	f.St(fp, -40, r0)
+	f.Ld(r9, fp, -8)
+	f.Mov(r8, r11)
+	f.Movi(r5, 8)
+	f.Mul(r8, r5)
+	f.Add(r9, r8)
+	f.Ld(r1, r9, 0)
+	f.Ld(r0, fp, -40)
+	f.Ld(r6, fp, -24)
+	f.CallR(r6)
+	f.Ld(r11, fp, -32)
+	f.Addi(r11, 1)
+	f.Jmp("loop")
+	f.Label("done")
+	f.Epilogue()
+
+	return mustAssemble(b)
+}

@@ -1,0 +1,230 @@
+package apps_test
+
+import (
+	"errors"
+	"testing"
+
+	"flowguard/internal/apps"
+	"flowguard/internal/asm"
+	"flowguard/internal/cpu"
+	"flowguard/internal/isa"
+	"flowguard/internal/kernelsim"
+	"flowguard/internal/module"
+)
+
+// callLib builds a throwaway executable that loads up to three arguments
+// and calls one library function, returning r0.
+func callLib(t *testing.T, fn string, args ...uint64) uint64 {
+	t.Helper()
+	b := asm.NewModule("drv").Needs("libc", "libcrypt", "libz", "libfmt", "libm", "libio", "libutil")
+	f := b.Func("main", 0, true)
+	b.SetEntry("main")
+	for i, a := range args {
+		f.Movu64(isa.Reg(i), a)
+	}
+	f.Call(fn)
+	f.Halt()
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := module.Load(m, apps.StdLibs(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(as)
+	if _, err := c.Run(2_000_000); !errors.Is(err, cpu.ErrHalted) {
+		t.Fatalf("call %s: %v (pc=%#x)", fn, err, c.PC)
+	}
+	return c.Regs[isa.R0]
+}
+
+func TestLibMSemantics(t *testing.T) {
+	for _, tc := range []struct {
+		x, want uint64
+	}{{0, 0}, {1, 1}, {2, 1}, {3, 1}, {4, 2}, {15, 3}, {16, 4}, {1 << 20, 1 << 10}, {99980001, 9999}} {
+		if got := callLib(t, "isqrt", tc.x); got != tc.want {
+			t.Errorf("isqrt(%d) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+	for _, tc := range []struct {
+		a, b, want uint64
+	}{{12, 18, 6}, {17, 5, 1}, {0, 9, 9}, {9, 0, 9}, {48, 36, 12}} {
+		if got := callLib(t, "gcd", tc.a, tc.b); got != tc.want {
+			t.Errorf("gcd(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+	for _, tc := range []struct {
+		b, e, m, want uint64
+	}{{2, 10, 1000, 24}, {5, 0, 7, 1}, {3, 4, 5, 1}, {7, 13, 11, 2}, {2, 3, 0, 0}} {
+		if got := callLib(t, "powmod", tc.b, tc.e, tc.m); got != tc.want {
+			t.Errorf("powmod(%d,%d,%d) = %d, want %d", tc.b, tc.e, tc.m, got, tc.want)
+		}
+	}
+	for _, tc := range []struct {
+		x, want uint64
+	}{{0, 0}, {1, 0}, {2, 1}, {255, 7}, {256, 8}} {
+		if got := callLib(t, "ilog2", tc.x); got != tc.want {
+			t.Errorf("ilog2(%d) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestLibUtilSemantics(t *testing.T) {
+	for _, tc := range []struct {
+		x, want uint64
+	}{{0, 0}, {1, 1}, {0b1011, 3}, {^uint64(0), 64}} {
+		if got := callLib(t, "popcount", tc.x); got != tc.want {
+			t.Errorf("popcount(%#b) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+// TestLibUtilFold drives the comparator-table fold over an in-memory
+// array.
+func TestLibUtilFold(t *testing.T) {
+	for which, want := range map[uint64]uint64{0: 3, 1: 99} {
+		b := asm.NewModule("drv").Needs("libutil")
+		b.DataWords("arr", []uint64{42, 3, 99, 7}, false)
+		f := b.Func("main", 0, true)
+		b.SetEntry("main")
+		f.AddrOf(isa.R0, "arr")
+		f.Movi(isa.R1, 4)
+		f.Movu64(isa.R2, which)
+		f.Call("fold")
+		f.Halt()
+		m, err := b.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, err := module.Load(m, apps.StdLibs(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cpu.New(as)
+		if _, err := c.Run(100000); !errors.Is(err, cpu.ErrHalted) {
+			t.Fatal(err)
+		}
+		if got := c.Regs[isa.R0]; got != want {
+			t.Errorf("fold(which=%d) = %d, want %d", which, got, want)
+		}
+	}
+}
+
+// TestLibUtilBitset exercises set/test through memory.
+func TestLibUtilBitset(t *testing.T) {
+	b := asm.NewModule("drv").Needs("libutil")
+	b.DataSpace("bits", 32, false)
+	f := b.Func("main", 0, true)
+	b.SetEntry("main")
+	for _, bit := range []int32{0, 63, 64, 100} {
+		f.AddrOf(isa.R0, "bits")
+		f.Movi(isa.R1, bit)
+		f.Call("bs_set")
+	}
+	// r0 = test(100)<<1 | test(99)
+	f.AddrOf(isa.R0, "bits")
+	f.Movi(isa.R1, 99)
+	f.Call("bs_test")
+	f.Push(isa.R0)
+	f.AddrOf(isa.R0, "bits")
+	f.Movi(isa.R1, 100)
+	f.Call("bs_test")
+	f.Movi(isa.R5, 1)
+	f.Shl(isa.R0, isa.R5)
+	f.Pop(isa.R5)
+	f.Or(isa.R0, isa.R5)
+	f.Halt()
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := module.Load(m, apps.StdLibs(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(as)
+	if _, err := c.Run(100000); !errors.Is(err, cpu.ErrHalted) {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.R0] != 0b10 {
+		t.Errorf("bitset test word = %#b, want 0b10 (bit 100 set, 99 clear)", c.Regs[isa.R0])
+	}
+}
+
+// TestLibIOBuffering: small writes coalesce into one flush.
+func TestLibIOBuffering(t *testing.T) {
+	b := asm.NewModule("drv").Needs("libio", "libc")
+	b.DataBytes("chunk", []byte("abcdefgh"), false)
+	f := b.Func("main", 0, true)
+	b.SetEntry("main")
+	f.Movi(isa.R0, 1)
+	f.Call("io_setfd")
+	for i := 0; i < 5; i++ {
+		f.AddrOf(isa.R0, "chunk")
+		f.Movi(isa.R1, 8)
+		f.Call("io_write")
+	}
+	f.Call("io_flush")
+	f.Movu64(isa.R7, 60) // exit
+	f.Movi(isa.R0, 0)
+	f.Syscall()
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Needs a kernel for the write syscall.
+	out := runDriver(t, m)
+	want := "abcdefghabcdefghabcdefghabcdefghabcdefgh"
+	if string(out) != want {
+		t.Errorf("buffered output = %q, want %q", out, want)
+	}
+}
+
+// TestLibIOHex checks the hex encoder.
+func TestLibIOHex(t *testing.T) {
+	b := asm.NewModule("drv").Needs("libio", "libc")
+	b.DataBytes("src", []byte{0x00, 0x0f, 0xa5, 0xff}, false)
+	b.DataSpace("dst", 16, false)
+	f := b.Func("main", 0, true)
+	b.SetEntry("main")
+	f.AddrOf(isa.R0, "dst")
+	f.AddrOf(isa.R1, "src")
+	f.Movi(isa.R2, 4)
+	f.Call("hex_encode")
+	// write(1, dst, r0)
+	f.Mov(isa.R2, isa.R0)
+	f.Movu64(isa.R7, 1)
+	f.Movi(isa.R0, 1)
+	f.AddrOf(isa.R1, "dst")
+	f.Syscall()
+	f.Movu64(isa.R7, 60)
+	f.Movi(isa.R0, 0)
+	f.Syscall()
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := runDriver(t, m)
+	if string(out) != "000fa5ff" {
+		t.Errorf("hex = %q, want 000fa5ff", out)
+	}
+}
+
+// runDriver executes a driver module under a kernel and returns stdout.
+func runDriver(t *testing.T, m *module.Module) []byte {
+	t.Helper()
+	k := kernelsim.New()
+	p, err := k.Spawn("drv", m, apps.StdLibs(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := k.Run(p, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Exited {
+		t.Fatalf("driver: %v (fault %v)", st, st.FaultErr)
+	}
+	return p.Stdout
+}

@@ -1,0 +1,636 @@
+package apps
+
+import (
+	"fmt"
+
+	"flowguard/internal/asm"
+	"flowguard/internal/isa"
+)
+
+// Nginx builds "ngind", the web-server analogue of the paper's
+// nginx-1.6.3 target: a request loop with two levels of indirect
+// dispatch (method table, content-generator table), library calls across
+// the PLT (libcrypt digest, libfmt header rendering, libc memcpy /
+// write), and one write syscall (a guarded endpoint) per request.
+//
+// Request protocol (one per line, from stdin per the desock convention):
+//
+//	G <path>   GET: render a content-dependent body
+//	P <n>      POST: allocate and ingest an n-byte payload
+//	H <path>   HEAD: header only
+//	<other>    400 path
+func Nginx() *App {
+	b := nginxBuilder("ngind", false)
+	return &App{
+		Name:     "nginx",
+		Exec:     mustAssemble(b),
+		Libs:     StdLibs(),
+		VDSO:     VDSO(),
+		Category: "server",
+		MakeInput: func(scale int, seed int64) []byte {
+			r := rng(seed)
+			var in []byte
+			paths := []string{"/index", "/static/logo", "/api/v1/users", "/about", "/health"}
+			for i := 0; i < scale; i++ {
+				switch r.Intn(10) {
+				case 0:
+					in = append(in, fmt.Sprintf("P %d\n", 64+r.Intn(1024))...)
+				case 1:
+					in = append(in, fmt.Sprintf("H %s\n", paths[r.Intn(len(paths))])...)
+				case 2:
+					in = append(in, "X junk-request\n"...)
+				default:
+					in = append(in, fmt.Sprintf("G %s%d\n", paths[r.Intn(len(paths))], r.Intn(100))...)
+				}
+			}
+			return in
+		},
+	}
+}
+
+// Vulnd is ngind with the artificially implanted stack-overflow of
+// §7.1.2: the POST handler copies the declared payload length into a
+// 64-byte stack buffer without a bounds check. Benign inputs behave like
+// nginx; a crafted P request smashes the saved return address.
+func Vulnd() *App {
+	b := nginxBuilder("vulnd", true)
+	a := Nginx()
+	a.Name = "vulnd"
+	a.Exec = mustAssemble(b)
+	a.MakeInput = func(scale int, seed int64) []byte {
+		r := rng(seed)
+		var in []byte
+		paths := []string{"/index", "/static/logo", "/api/v1/users", "/about"}
+		for i := 0; i < scale; i++ {
+			switch r.Intn(8) {
+			case 0:
+				// Benign upload: the declared length matches the inline
+				// payload and fits the 64-byte buffer.
+				n := 8 + r.Intn(40)
+				in = append(in, fmt.Sprintf("P %d\n", n)...)
+				blob := make([]byte, n)
+				for j := range blob {
+					blob[j] = byte('a' + r.Intn(26))
+				}
+				in = append(in, blob...)
+			case 1:
+				in = append(in, fmt.Sprintf("H %s\n", paths[r.Intn(len(paths))])...)
+			default:
+				in = append(in, fmt.Sprintf("G %s%d\n", paths[r.Intn(len(paths))], r.Intn(100))...)
+			}
+		}
+		return in
+	}
+	return a
+}
+
+const nginxBodyLen = 4096
+
+func nginxBuilder(name string, vulnerable bool) *asm.Builder {
+	b := asm.NewModule(name).Needs("libc", "libcrypt", "libfmt", "libz", "libm", "libio")
+	b.DataSpace("req", 512, false)
+	b.DataSpace("resp", 16384, false)
+	b.DataSpace("body", 8192, false)
+	b.DataSpace("db", 64*8, false)
+	b.DataWords("db_len", []uint64{0}, false)
+	b.DataBytes("k_len", []byte("len\x00"), false)
+	b.DataBytes("k_head", []byte("head\x00"), false)
+	b.DataBytes("k_post", []byte("stored\x00"), false)
+	b.DataBytes("s_bad", []byte("bad request\n"), false)
+	b.FuncTable("method_tbl", []string{"h_get", "h_post", "h_head", "h_bad"}, false)
+	b.FuncTable("content_tbl", []string{"c_index", "c_static", "c_api", "c_err"}, false)
+
+	emitReadLine(b)
+	emitRenderBody(b)
+	emitExitCall(b)
+
+	main := b.Func("main", 0, true)
+	b.SetEntry("main")
+	// Real servers enter request handlers under kilobytes of caller
+	// frames; reserve a comparable region so handler frames are not
+	// flush against the top of the stack.
+	main.Prologue(512)
+	main.Label("loop")
+	main.AddrOf(r0, "req")
+	main.Movi(r1, 511)
+	main.Call("read_line")
+	main.Cmpi(r0, 0)
+	main.Jcc(isa.LT, "shutdown")
+	main.Mov(r11, r0) // length
+	// Method dispatch index.
+	main.AddrOf(r9, "req")
+	main.Ldb(r8, r9, 0)
+	main.Cmpi(r8, 'G')
+	main.Jcc(isa.NE, "n1")
+	main.Movi(r10, 0)
+	main.Jmp("disp")
+	main.Label("n1")
+	main.Cmpi(r8, 'P')
+	main.Jcc(isa.NE, "n2")
+	main.Movi(r10, 1)
+	main.Jmp("disp")
+	main.Label("n2")
+	main.Cmpi(r8, 'H')
+	main.Jcc(isa.NE, "n3")
+	main.Movi(r10, 2)
+	main.Jmp("disp")
+	main.Label("n3")
+	main.Movi(r10, 3)
+	main.Label("disp")
+	main.Movi(r5, 8)
+	main.Mul(r10, r5)
+	main.AddrOf(r6, "method_tbl")
+	main.Add(r6, r10)
+	main.Ld(r6, r6, 0)
+	main.AddrOf(r0, "req")
+	main.Mov(r1, r11)
+	main.CallR(r6)
+	main.Jmp("loop")
+	main.Label("shutdown")
+	main.Movi(r0, 0)
+	main.Call("do_exit")
+	main.Halt()
+
+	// h_get(req r0, len r1)
+	g := b.Func("h_get", 2, false)
+	g.Prologue(48)
+	g.St(fp, -8, r0)
+	g.St(fp, -16, r1)
+	// Hash the path: digest(req+2, len-2, len).
+	g.Ld(r2, fp, -16)
+	g.Ld(r0, fp, -8)
+	g.Addi(r0, 2)
+	g.Ld(r1, fp, -16)
+	g.Addi(r1, -2)
+	g.Cmpi(r1, 0)
+	g.Jcc(isa.GE, "lenok")
+	g.Movi(r1, 0)
+	g.Label("lenok")
+	g.Call("digest")
+	g.St(fp, -24, r0) // path hash = body seed
+	// Content dispatch on the route hash (the route-table lookup).
+	g.Ld(r8, fp, -24)
+	g.Movi(r5, 4)
+	g.Mod(r8, r5)
+	g.Movi(r5, 8)
+	g.Mul(r8, r5)
+	g.AddrOf(r6, "content_tbl")
+	g.Add(r6, r8)
+	g.Ld(r6, r6, 0)
+	g.AddrOf(r0, "body")
+	g.Movi(r1, nginxBodyLen)
+	g.Ld(r2, fp, -24)
+	g.CallR(r6)
+	g.St(fp, -32, r0) // body length
+	// Header.
+	g.AddrOf(r0, "resp")
+	g.AddrOf(r1, "k_len")
+	g.Ld(r2, fp, -32)
+	g.Call("fmt_kv")
+	g.St(fp, -40, r0) // header length
+	// Append body.
+	g.AddrOf(r0, "resp")
+	g.Ld(r8, fp, -40)
+	g.Add(r0, r8)
+	g.AddrOf(r1, "body")
+	g.Ld(r2, fp, -32)
+	g.Call("memcpy")
+	// Single write per request: the guarded endpoint.
+	g.AddrOf(r0, "resp")
+	g.Ld(r1, fp, -40)
+	g.Ld(r8, fp, -32)
+	g.Add(r1, r8)
+	g.Call("write_out")
+	g.Epilogue()
+
+	// h_post(req r0, len r1)
+	p := b.Func("h_post", 2, false)
+	if vulnerable {
+		// The implanted bug (§7.1.2: "we artificially implant an obvious
+		// vulnerability in nginx code"): the declared Content-Length is
+		// read straight into a 64-byte stack buffer with no bounds
+		// check, so the raw payload bytes following the request line
+		// overwrite the saved frame pointer and return address.
+		p.Prologue(96) // buffer at [fp-96, fp-32): 64 bytes
+		p.St(fp, -8, r0)
+		p.St(fp, -16, r1)
+		p.Ld(r0, fp, -8)
+		p.Addi(r0, 2)
+		p.Call("atoi")
+		p.St(fp, -24, r0) // n: attacker-declared, unchecked
+		// read(0, stackbuf, n): the overflow.
+		p.Movu64(r7, 0) // SysRead
+		p.Movi(r0, 0)
+		p.Mov(r1, fp)
+		p.Addi(r1, -96)
+		p.Ld(r2, fp, -24)
+		p.Syscall()
+		p.AddrOf(r0, "resp")
+		p.AddrOf(r1, "k_post")
+		p.Ld(r2, fp, -24)
+		p.Call("fmt_kv")
+		p.Mov(r1, r0)
+		p.AddrOf(r0, "resp")
+		p.Call("write_out")
+		p.Epilogue()
+	} else {
+		p.Prologue(48)
+		p.St(fp, -8, r0)
+		p.St(fp, -16, r1)
+		p.Ld(r0, fp, -8)
+		p.Addi(r0, 2)
+		p.Call("atoi")
+		// Clamp to 4096.
+		p.Cmpi(r0, 4096)
+		p.Jcc(isa.LE, "szok")
+		p.Movi(r0, 4096)
+		p.Label("szok")
+		p.St(fp, -24, r0)
+		p.Call("malloc")
+		p.St(fp, -32, r0)
+		p.Mov(r0, r0)
+		p.Ld(r0, fp, -32)
+		p.Ld(r1, fp, -24)
+		p.Ld(r2, fp, -24)
+		p.Call("render_body")
+		p.St(fp, -40, r0) // payload checksum
+		// Record in the in-memory db.
+		p.AddrOf(r9, "db_len")
+		p.Ld(r8, r9, 0)
+		p.Movi(r5, 63)
+		p.And(r8, r5)
+		p.Mov(r10, r8)
+		p.Addi(r8, 1)
+		p.AddrOf(r9, "db_len")
+		p.St(r9, 0, r8)
+		p.Movi(r5, 8)
+		p.Mul(r10, r5)
+		p.AddrOf(r9, "db")
+		p.Add(r9, r10)
+		p.Ld(r8, fp, -40)
+		p.St(r9, 0, r8)
+		// Respond.
+		p.AddrOf(r0, "resp")
+		p.AddrOf(r1, "k_post")
+		p.Ld(r2, fp, -40)
+		p.Call("fmt_kv")
+		p.Mov(r1, r0)
+		p.AddrOf(r0, "resp")
+		p.Call("write_out")
+		p.Epilogue()
+	}
+
+	// h_head(req r0, len r1)
+	h := b.Func("h_head", 2, false)
+	h.Prologue(16)
+	h.St(fp, -8, r1)
+	h.AddrOf(r0, "resp")
+	h.AddrOf(r1, "k_head")
+	h.Ld(r2, fp, -8)
+	h.Call("fmt_kv")
+	h.Mov(r1, r0)
+	h.AddrOf(r0, "resp")
+	h.Call("write_out")
+	h.Epilogue()
+
+	// h_bad(req r0, len r1)
+	bad := b.Func("h_bad", 2, false)
+	bad.Prologue(0)
+	bad.AddrOf(r0, "s_bad")
+	bad.Movi(r1, 12)
+	bad.Call("write_out")
+	bad.Epilogue()
+
+	// Content generators (dst r0, n r1, seed r2) -> len.
+	ci := b.Func("c_index", 3, false)
+	ci.Prologue(16)
+	ci.St(fp, -8, r1)
+	ci.Call("render_body")
+	ci.Ld(r0, fp, -8)
+	ci.Epilogue()
+
+	cs := b.Func("c_static", 3, false)
+	cs.Prologue(16)
+	cs.Movi(r8, 1)
+	cs.Shr(r1, r8)
+	cs.St(fp, -8, r1)
+	cs.Call("render_body")
+	cs.Ld(r0, fp, -8)
+	cs.Epilogue()
+
+	ca := b.Func("c_api", 3, false)
+	ca.Prologue(16)
+	ca.Mov(r1, r2)
+	ca.AddrOf(r9, "k_len")
+	ca.Mov(r2, r1)
+	ca.Mov(r1, r9)
+	ca.Mov(r9, r0)
+	ca.Mov(r0, r9)
+	ca.Call("fmt_kv")
+	ca.Epilogue()
+
+	ce := b.Func("c_err", 3, false)
+	ce.Prologue(0)
+	ce.Movi(r8, 'E')
+	ce.Stb(r0, 0, r8)
+	ce.Stb(r0, 1, r8)
+	ce.Movi(r0, 2)
+	ce.Epilogue()
+
+	return b
+}
+
+// Vsftpd builds "ftpd", the FTP-server analogue: a verb loop matching
+// commands against a string table and dispatching through a handler
+// function table, with qsort-driven directory listing (indirect
+// comparator calls) and file transfers through the simulated filesystem.
+//
+// Protocol: USER <u> / PASS <p> / LIST / RETR <f> / STOR <f> <n> / QUIT.
+func Vsftpd() *App {
+	b := asm.NewModule("ftpd").Needs("libc", "libcrypt", "libfmt")
+	b.DataSpace("cmd", 256, false)
+	b.DataSpace("word", 32, false)
+	b.DataSpace("resp", 8192, false)
+	b.DataSpace("xfer", 8192, false)
+	b.DataSpace("listing", 64*8, false)
+	b.DataSpace("user", 64, false)
+	b.DataBytes("v_user", []byte("USER\x00"), false)
+	b.DataBytes("v_pass", []byte("PASS\x00"), false)
+	b.DataBytes("v_list", []byte("LIST\x00"), false)
+	b.DataBytes("v_retr", []byte("RETR\x00"), false)
+	b.DataBytes("v_stor", []byte("STOR\x00"), false)
+	b.DataBytes("v_quit", []byte("QUIT\x00"), false)
+	b.DataBytes("k_ok", []byte("ok\x00"), false)
+	b.DataBytes("k_file", []byte("file\x00"), false)
+	b.DataBytes("s_err", []byte("500 err\n"), false)
+	b.FuncTable("verb_names", []string{"v_user", "v_pass", "v_list", "v_retr", "v_stor", "v_quit"}, false)
+	b.FuncTable("verb_tbl", []string{"h_user", "h_pass", "h_list", "h_retr", "h_stor", "h_quit"}, false)
+
+	emitReadLine(b)
+	emitRenderBody(b)
+	emitExitCall(b)
+
+	main := b.Func("main", 0, true)
+	b.SetEntry("main")
+	main.Label("loop")
+	main.AddrOf(r0, "cmd")
+	main.Movi(r1, 255)
+	main.Call("read_line")
+	main.Cmpi(r0, 0)
+	main.Jcc(isa.LT, "shutdown")
+	// Extract the first word into "word".
+	main.AddrOf(r9, "cmd")
+	main.AddrOf(r10, "word")
+	main.Movi(r6, 0)
+	main.Label("word")
+	main.Cmpi(r6, 31)
+	main.Jcc(isa.GE, "wdone")
+	main.Ldb(r8, r9, 0)
+	main.Cmpi(r8, ' ')
+	main.Jcc(isa.EQ, "wdone")
+	main.Cmpi(r8, 0)
+	main.Jcc(isa.EQ, "wdone")
+	main.Stb(r10, 0, r8)
+	main.Addi(r9, 1)
+	main.Addi(r10, 1)
+	main.Addi(r6, 1)
+	main.Jmp("word")
+	main.Label("wdone")
+	main.Movi(r8, 0)
+	main.Stb(r10, 0, r8)
+	main.Push(r6) // word length survives the matching calls on the stack
+	// Match against verb_names.
+	main.Movi(r11, 0) // index
+	main.Label("match")
+	main.Cmpi(r11, 6)
+	main.Jcc(isa.GE, "nomatch")
+	main.Movi(r5, 8)
+	main.Mov(r8, r11)
+	main.Mul(r8, r5)
+	main.AddrOf(r9, "verb_names")
+	main.Add(r9, r8)
+	main.Ld(r1, r9, 0)
+	main.AddrOf(r0, "word")
+	main.Push(r11)
+	main.Call("strcmp")
+	main.Pop(r11)
+	main.Cmpi(r0, 0)
+	main.Jcc(isa.EQ, "found")
+	main.Addi(r11, 1)
+	main.Jmp("match")
+	main.Label("nomatch")
+	main.Pop(r6)
+	main.AddrOf(r0, "s_err")
+	main.Movi(r1, 8)
+	main.Call("write_out")
+	main.Jmp("loop")
+	main.Label("found")
+	main.Pop(r6) // word length
+	// Dispatch: handler(argptr r0) with argptr = cmd + wordlen + 1.
+	main.Movi(r5, 8)
+	main.Mul(r11, r5)
+	main.AddrOf(r9, "verb_tbl")
+	main.Add(r9, r11)
+	main.Ld(r9, r9, 0)
+	main.AddrOf(r0, "cmd")
+	main.Add(r0, r6)
+	main.Addi(r0, 1)
+	main.Mov(r6, r9)
+	main.CallR(r6)
+	main.Jmp("loop")
+	main.Label("shutdown")
+	main.Movi(r0, 0)
+	main.Call("do_exit")
+	main.Halt()
+
+	respOK := func(f *asm.Func, valueFrom isa.Reg) {
+		f.Mov(r2, valueFrom)
+		f.AddrOf(r0, "resp")
+		f.AddrOf(r1, "k_ok")
+		f.Call("fmt_kv")
+		f.Mov(r1, r0)
+		f.AddrOf(r0, "resp")
+		f.Call("write_out")
+	}
+
+	// h_user(arg r0): remember the user name.
+	f := b.Func("h_user", 1, false)
+	f.Prologue(16)
+	f.AddrOf(r9, "user")
+	f.Mov(r1, r0)
+	f.Mov(r0, r9)
+	f.Call("fmt_copy")
+	respOK(f, r0)
+	f.Epilogue()
+
+	// h_pass(arg r0): 50 rounds of hmac key stretching.
+	f = b.Func("h_pass", 1, false)
+	f.Prologue(32)
+	f.St(fp, -8, r0)
+	f.Call("strlen")
+	f.St(fp, -16, r0)
+	f.Movi(r11, 0)
+	f.Movi(r10, 42) // key
+	f.Label("round")
+	f.Cmpi(r11, 50)
+	f.Jcc(isa.GE, "done")
+	f.St(fp, -24, r11)
+	f.St(fp, -32, r10)
+	f.Ld(r0, fp, -8)
+	f.Ld(r1, fp, -16)
+	f.Ld(r2, fp, -32)
+	f.Call("hmac_lite")
+	f.Ld(r11, fp, -24)
+	f.Mov(r10, r0)
+	f.Addi(r11, 1)
+	f.Jmp("round")
+	f.Label("done")
+	respOK(f, r10)
+	f.Epilogue()
+
+	// h_list(arg r0): hash 16 synthetic names, qsort them with the libc
+	// comparator (indirect calls), respond with the first entry.
+	f = b.Func("h_list", 1, false)
+	f.Prologue(32)
+	f.Movi(r11, 0)
+	f.Label("fill")
+	f.Cmpi(r11, 16)
+	f.Jcc(isa.GE, "sort")
+	f.St(fp, -8, r11)
+	f.AddrOf(r0, "word")
+	f.Movi(r1, 8)
+	f.Mov(r2, r11)
+	f.Call("render_body")
+	f.Ld(r11, fp, -8)
+	f.AddrOf(r9, "listing")
+	f.Mov(r8, r11)
+	f.Movi(r5, 8)
+	f.Mul(r8, r5)
+	f.Add(r9, r8)
+	f.St(r9, 0, r0)
+	f.Addi(r11, 1)
+	f.Jmp("fill")
+	f.Label("sort")
+	f.AddrOf(r0, "listing")
+	f.Movi(r1, 16)
+	f.AddrOf(r2, "cmp_u64")
+	f.Call("qsort")
+	f.AddrOf(r9, "listing")
+	f.Ld(r8, r9, 0)
+	respOK(f, r8)
+	f.Epilogue()
+
+	// h_retr(arg r0): open the named file, read it, checksum, respond.
+	f = b.Func("h_retr", 1, false)
+	f.Prologue(32)
+	f.St(fp, -24, r0)
+	f.Call("open_file")
+	f.St(fp, -8, r0) // fd
+	// read(fd, xfer, 8192)
+	f.Movu64(r7, 0) // SysRead
+	f.Ld(r0, fp, -8)
+	f.AddrOf(r1, "xfer")
+	f.Movi(r2, 8192)
+	f.Syscall()
+	f.St(fp, -16, r0) // n
+	// A file nobody stored yet is materialized from the content store
+	// (4 KiB), like a CGI-backed listing.
+	f.Cmpi(r0, 0)
+	f.Jcc(isa.GT, "have")
+	f.Ld(r2, fp, -24)
+	f.AddrOf(r0, "xfer")
+	f.Movi(r1, 4096)
+	f.Call("render_body")
+	f.Movi(r8, 4096)
+	f.St(fp, -16, r8)
+	f.Label("have")
+	f.AddrOf(r0, "xfer")
+	f.Ld(r1, fp, -16)
+	f.Movi(r2, 1)
+	f.Call("digest")
+	f.St(fp, -24, r0)
+	f.Ld(r0, fp, -8)
+	f.Call("close_fd")
+	f.Ld(r8, fp, -24)
+	respOK(f, r8)
+	f.Epilogue()
+
+	// h_stor(arg r0): "name n" — generate n bytes and store them.
+	f = b.Func("h_stor", 1, false)
+	f.Prologue(48)
+	f.St(fp, -8, r0)
+	// Split: find the space, terminate the name.
+	f.Mov(r9, r0)
+	f.Label("sp")
+	f.Ldb(r8, r9, 0)
+	f.Cmpi(r8, 0)
+	f.Jcc(isa.EQ, "nolen")
+	f.Cmpi(r8, ' ')
+	f.Jcc(isa.EQ, "split")
+	f.Addi(r9, 1)
+	f.Jmp("sp")
+	f.Label("split")
+	f.Movi(r8, 0)
+	f.Stb(r9, 0, r8)
+	f.Addi(r9, 1)
+	f.Mov(r0, r9)
+	f.Call("atoi")
+	f.Jmp("have")
+	f.Label("nolen")
+	f.Movi(r0, 64)
+	f.Label("have")
+	f.Cmpi(r0, 8192)
+	f.Jcc(isa.LE, "szok")
+	f.Movi(r0, 8192)
+	f.Label("szok")
+	f.St(fp, -16, r0)
+	f.AddrOf(r0, "xfer")
+	f.Ld(r1, fp, -16)
+	f.Ld(r2, fp, -16)
+	f.Call("render_body")
+	f.Ld(r0, fp, -8)
+	f.Call("open_file")
+	f.St(fp, -24, r0)
+	f.Ld(r0, fp, -24)
+	f.AddrOf(r1, "xfer")
+	f.Ld(r2, fp, -16)
+	f.Call("write_fd") // endpoint
+	f.Ld(r0, fp, -24)
+	f.Call("close_fd")
+	f.Ld(r8, fp, -16)
+	respOK(f, r8)
+	f.Epilogue()
+
+	// h_quit(arg r0): exit.
+	f = b.Func("h_quit", 1, false)
+	f.Movi(r0, 0)
+	f.Call("do_exit")
+	f.Halt()
+
+	return &App{
+		Name:     "vsftpd",
+		Exec:     mustAssemble(b),
+		Libs:     StdLibs(),
+		VDSO:     VDSO(),
+		Category: "server",
+		MakeInput: func(scale int, seed int64) []byte {
+			r := rng(seed)
+			var in []byte
+			in = append(in, "USER alice\nPASS hunter2secret\n"...)
+			for i := 0; i < scale; i++ {
+				switch r.Intn(4) {
+				case 0:
+					in = append(in, "LIST\n"...)
+				case 1:
+					in = append(in, fmt.Sprintf("RETR file%d.txt\n", r.Intn(8))...)
+				case 2:
+					in = append(in, fmt.Sprintf("STOR up%d.bin %d\n", r.Intn(8), 256+r.Intn(2048))...)
+				default:
+					in = append(in, fmt.Sprintf("RETR readme%d\n", r.Intn(4))...)
+				}
+			}
+			in = append(in, "QUIT\n"...)
+			return in
+		},
+	}
+}

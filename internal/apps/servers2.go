@@ -1,0 +1,544 @@
+package apps
+
+import (
+	"fmt"
+
+	"flowguard/internal/asm"
+	"flowguard/internal/isa"
+)
+
+// OpenSSH builds "sshd", the SSH-server analogue: a protocol state
+// machine dispatched through a state function table (indirect call per
+// line), a key-stretching authentication phase (repeated hmac_lite PLT
+// calls), and a session phase running digest bursts per command.
+//
+// Protocol: "SSH-2.0-client" banner, then "auth <user> <pass>", then
+// "run <n>" commands, then "bye".
+func OpenSSH() *App {
+	b := asm.NewModule("sshd").Needs("libc", "libcrypt", "libfmt", "libz", "libm", "libio", "libutil")
+	b.DataSpace("line", 512, false)
+	b.DataSpace("resp", 4096, false)
+	b.DataSpace("work", 4096, false)
+	b.DataWords("state", []uint64{0}, false)
+	b.DataBytes("banner", []byte("SSH-2.0-flowguard\n"), false)
+	b.DataBytes("k_auth", []byte("auth\x00"), false)
+	b.DataBytes("k_run", []byte("run\x00"), false)
+	b.DataBytes("s_deny", []byte("denied\n"), false)
+	b.FuncTable("state_tbl", []string{"s_version", "s_auth", "s_session"}, false)
+
+	emitReadLine(b)
+	emitRenderBody(b)
+	emitExitCall(b)
+
+	main := b.Func("main", 0, true)
+	b.SetEntry("main")
+	main.Label("loop")
+	main.AddrOf(r0, "line")
+	main.Movi(r1, 511)
+	main.Call("read_line")
+	main.Cmpi(r0, 0)
+	main.Jcc(isa.LT, "shutdown")
+	main.Mov(r11, r0)
+	// Dispatch on the protocol state (indirect call).
+	main.AddrOf(r9, "state")
+	main.Ld(r8, r9, 0)
+	main.Movi(r5, 3)
+	main.Mod(r8, r5)
+	main.Movi(r5, 8)
+	main.Mul(r8, r5)
+	main.AddrOf(r6, "state_tbl")
+	main.Add(r6, r8)
+	main.Ld(r6, r6, 0)
+	main.AddrOf(r0, "line")
+	main.Mov(r1, r11)
+	main.CallR(r6)
+	main.Jmp("loop")
+	main.Label("shutdown")
+	main.Movi(r0, 0)
+	main.Call("do_exit")
+	main.Halt()
+
+	// s_version(line r0, len r1): any banner moves to auth.
+	f := b.Func("s_version", 2, false)
+	f.Prologue(0)
+	f.AddrOf(r9, "state")
+	f.Movi(r8, 1)
+	f.St(r9, 0, r8)
+	f.AddrOf(r0, "banner")
+	f.Movi(r1, 18)
+	f.Call("write_out")
+	f.Epilogue()
+
+	// s_auth(line r0, len r1): "auth user pass" with 200 stretching
+	// rounds over the whole line.
+	f = b.Func("s_auth", 2, false)
+	f.Prologue(48)
+	f.St(fp, -8, r0)
+	f.St(fp, -16, r1)
+	// Verify the verb prefix: line[0] == 'a'.
+	f.Ldb(r8, r0, 0)
+	f.Cmpi(r8, 'a')
+	f.Jcc(isa.NE, "deny")
+	f.Movi(r11, 0)
+	f.Movi(r10, 0x5f) // running key
+	f.Label("round")
+	f.Cmpi(r11, 200)
+	f.Jcc(isa.GE, "accept")
+	f.St(fp, -24, r11)
+	f.St(fp, -32, r10)
+	f.Ld(r0, fp, -8)
+	f.Ld(r1, fp, -16)
+	f.Ld(r2, fp, -32)
+	f.Call("hmac_lite")
+	f.Ld(r11, fp, -24)
+	f.Mov(r10, r0)
+	f.Addi(r11, 1)
+	f.Jmp("round")
+	f.Label("accept")
+	// Key exchange: modular exponentiation over the stretched secret
+	// (libm via the PLT).
+	f.St(fp, -24, r10)
+	f.Movi(r0, 5)
+	f.Mov(r1, r10)
+	f.Movu64(r5, 0xffff)
+	f.And(r1, r5)
+	f.Movu64(r2, 0x7fffffff)
+	f.Call("powmod")
+	f.Ld(r10, fp, -24)
+	f.Xor(r10, r0)
+	f.AddrOf(r9, "state")
+	f.Movi(r8, 2)
+	f.St(r9, 0, r8)
+	f.AddrOf(r0, "resp")
+	f.AddrOf(r1, "k_auth")
+	f.Mov(r2, r10)
+	f.Call("fmt_kv")
+	f.Mov(r1, r0)
+	f.AddrOf(r0, "resp")
+	f.Call("write_out")
+	f.Epilogue()
+	f.Label("deny")
+	f.AddrOf(r0, "s_deny")
+	f.Movi(r1, 7)
+	f.Call("write_out")
+	f.Epilogue()
+
+	// s_session(line r0, len r1): "run <n>" digests n work blocks;
+	// "bye" exits.
+	f = b.Func("s_session", 2, false)
+	f.Prologue(48)
+	f.St(fp, -8, r0)
+	f.Ldb(r8, r0, 0)
+	f.Cmpi(r8, 'b')
+	f.Jcc(isa.EQ, "bye")
+	// n = atoi(line+4), clamped to 64.
+	f.Ld(r0, fp, -8)
+	f.Addi(r0, 4)
+	f.Call("atoi")
+	f.Cmpi(r0, 64)
+	f.Jcc(isa.LE, "nok")
+	f.Movi(r0, 64)
+	f.Label("nok")
+	f.St(fp, -16, r0)
+	f.Movi(r11, 0)
+	f.Movi(r10, 0)
+	f.Label("blk")
+	f.Ld(r8, fp, -16)
+	f.Cmp(r11, r8)
+	f.Jcc(isa.GE, "done")
+	f.St(fp, -24, r11)
+	f.St(fp, -32, r10)
+	f.AddrOf(r0, "work")
+	f.Movi(r1, 1024)
+	f.Ld(r2, fp, -24)
+	f.Call("render_body")
+	f.AddrOf(r0, "work")
+	f.Movi(r1, 1024)
+	f.Ld(r2, fp, -24)
+	f.Call("digest") // table-dispatched hash (indirect, in-library)
+	f.Ld(r11, fp, -24)
+	f.Ld(r10, fp, -32)
+	f.Add(r10, r0)
+	f.Addi(r11, 1)
+	f.Jmp("blk")
+	f.Label("done")
+	f.AddrOf(r0, "resp")
+	f.AddrOf(r1, "k_run")
+	f.Mov(r2, r10)
+	f.Call("fmt_kv")
+	f.Mov(r1, r0)
+	f.AddrOf(r0, "resp")
+	f.Call("write_out")
+	f.Epilogue()
+	f.Label("bye")
+	f.Movi(r0, 0)
+	f.Call("do_exit")
+	f.Halt()
+
+	return &App{
+		Name:     "openssh",
+		Exec:     mustAssemble(b),
+		Libs:     StdLibs(),
+		VDSO:     VDSO(),
+		Category: "server",
+		MakeInput: func(scale int, seed int64) []byte {
+			r := rng(seed)
+			var in []byte
+			in = append(in, "SSH-2.0-testclient\n"...)
+			in = append(in, "auth alice s3cr3tpassphrase\n"...)
+			for i := 0; i < scale; i++ {
+				in = append(in, fmt.Sprintf("run %d\n", 1+r.Intn(6))...)
+			}
+			in = append(in, "bye\n"...)
+			return in
+		},
+	}
+}
+
+// Exim builds "maild", the mail-server analogue: SMTP verbs through the
+// usual string-table + function-table double dispatch, recursive-descent
+// address validation (deep call/return chains), message accumulation in
+// malloc'd memory, and delivery into the simulated filesystem.
+//
+// Protocol: HELO h / MAIL a@b.c / RCPT a@b.c / DATA line... . / QUIT.
+func Exim() *App {
+	b := asm.NewModule("maild").Needs("libc", "libcrypt", "libfmt", "libm", "libutil")
+	b.DataSpace("line", 512, false)
+	b.DataSpace("word", 16, false)
+	b.DataSpace("resp", 4096, false)
+	b.DataSpace("msg", 16384, false)
+	b.DataWords("msg_len", []uint64{0}, false)
+	b.DataWords("in_data", []uint64{0}, false)
+	b.DataSpace("tv", 16, false)
+	b.DataBytes("v_helo", []byte("HELO\x00"), false)
+	b.DataBytes("v_mail", []byte("MAIL\x00"), false)
+	b.DataBytes("v_rcpt", []byte("RCPT\x00"), false)
+	b.DataBytes("v_data", []byte("DATA\x00"), false)
+	b.DataBytes("v_quit", []byte("QUIT\x00"), false)
+	b.DataBytes("k_ok", []byte("250\x00"), false)
+	b.DataBytes("k_qd", []byte("queued\x00"), false)
+	b.DataBytes("s_err", []byte("550 bad\n"), false)
+	b.DataBytes("s_go", []byte("354 go\n"), false)
+	b.DataBytes("mbox", []byte("mbox\x00"), false)
+	b.FuncTable("verb_names", []string{"v_helo", "v_mail", "v_rcpt", "v_data", "v_quit"}, false)
+	b.FuncTable("verb_tbl", []string{"h_helo", "h_mail", "h_rcpt", "h_data", "h_quit"}, false)
+
+	emitReadLine(b)
+	emitRenderBody(b)
+	emitExitCall(b)
+
+	main := b.Func("main", 0, true)
+	b.SetEntry("main")
+	main.Label("loop")
+	main.AddrOf(r0, "line")
+	main.Movi(r1, 511)
+	main.Call("read_line")
+	main.Cmpi(r0, 0)
+	main.Jcc(isa.LT, "shutdown")
+	main.Push(r0) // line length
+	// In DATA mode every line goes to the collector.
+	main.AddrOf(r9, "in_data")
+	main.Ld(r8, r9, 0)
+	main.Cmpi(r8, 0)
+	main.Jcc(isa.EQ, "verb")
+	main.Pop(r1)
+	main.AddrOf(r0, "line")
+	main.Call("collect")
+	main.Jmp("loop")
+	main.Label("verb")
+	// First word.
+	main.AddrOf(r9, "line")
+	main.AddrOf(r10, "word")
+	main.Movi(r6, 0)
+	main.Label("word")
+	main.Cmpi(r6, 15)
+	main.Jcc(isa.GE, "wdone")
+	main.Ldb(r8, r9, 0)
+	main.Cmpi(r8, ' ')
+	main.Jcc(isa.EQ, "wdone")
+	main.Cmpi(r8, 0)
+	main.Jcc(isa.EQ, "wdone")
+	main.Stb(r10, 0, r8)
+	main.Addi(r9, 1)
+	main.Addi(r10, 1)
+	main.Addi(r6, 1)
+	main.Jmp("word")
+	main.Label("wdone")
+	main.Movi(r8, 0)
+	main.Stb(r10, 0, r8)
+	main.Push(r6)
+	main.Movi(r11, 0)
+	main.Label("match")
+	main.Cmpi(r11, 5)
+	main.Jcc(isa.GE, "nomatch")
+	main.Movi(r5, 8)
+	main.Mov(r8, r11)
+	main.Mul(r8, r5)
+	main.AddrOf(r9, "verb_names")
+	main.Add(r9, r8)
+	main.Ld(r1, r9, 0)
+	main.AddrOf(r0, "word")
+	main.Push(r11)
+	main.Call("strcmp")
+	main.Pop(r11)
+	main.Cmpi(r0, 0)
+	main.Jcc(isa.EQ, "found")
+	main.Addi(r11, 1)
+	main.Jmp("match")
+	main.Label("nomatch")
+	main.Pop(r6)
+	main.Pop(r6)
+	main.AddrOf(r0, "s_err")
+	main.Movi(r1, 8)
+	main.Call("write_out")
+	main.Jmp("loop")
+	main.Label("found")
+	main.Pop(r6) // word length
+	main.Pop(r8) // line length (unused by handlers)
+	main.Movi(r5, 8)
+	main.Mul(r11, r5)
+	main.AddrOf(r9, "verb_tbl")
+	main.Add(r9, r11)
+	main.Ld(r9, r9, 0)
+	main.AddrOf(r0, "line")
+	main.Add(r0, r6)
+	main.Addi(r0, 1)
+	main.Mov(r6, r9)
+	main.CallR(r6)
+	main.Jmp("loop")
+	main.Label("shutdown")
+	main.Movi(r0, 0)
+	main.Call("do_exit")
+	main.Halt()
+
+	respOK := func(f *asm.Func, key string, valueFrom isa.Reg) {
+		f.Mov(r2, valueFrom)
+		f.AddrOf(r0, "resp")
+		f.AddrOf(r1, key)
+		f.Call("fmt_kv")
+		f.Mov(r1, r0)
+		f.AddrOf(r0, "resp")
+		f.Call("write_out")
+	}
+
+	// validate_label(p r0) -> next (pointer past the label) or 0 on
+	// error: consumes [a-z0-9]+.
+	f := b.Func("validate_label", 1, false)
+	f.Mov(r9, r0)
+	f.Movi(r10, 0)
+	f.Label("loop")
+	f.Ldb(r8, r9, 0)
+	f.Cmpi(r8, 'a')
+	f.Jcc(isa.LT, "digit")
+	f.Cmpi(r8, 'z')
+	f.Jcc(isa.GT, "end")
+	f.Jmp("ok")
+	f.Label("digit")
+	f.Cmpi(r8, '0')
+	f.Jcc(isa.LT, "end")
+	f.Cmpi(r8, '9')
+	f.Jcc(isa.GT, "end")
+	f.Label("ok")
+	f.Addi(r9, 1)
+	f.Addi(r10, 1)
+	f.Jmp("loop")
+	f.Label("end")
+	f.Cmpi(r10, 0)
+	f.Jcc(isa.EQ, "bad")
+	f.Mov(r0, r9)
+	f.Ret()
+	f.Label("bad")
+	f.Movi(r0, 0)
+	f.Ret()
+
+	// validate_domain(p r0) -> 1/0: label ('.' label)* — recursive
+	// descent, one frame per dotted component.
+	f = b.Func("validate_domain", 1, false)
+	f.Prologue(16)
+	f.Call("validate_label")
+	f.Cmpi(r0, 0)
+	f.Jcc(isa.EQ, "bad")
+	f.Ldb(r8, r0, 0)
+	f.Cmpi(r8, '.')
+	f.Jcc(isa.NE, "leaf")
+	f.Addi(r0, 1)
+	f.Call("validate_domain") // recurse on the next component
+	f.Epilogue()
+	f.Label("leaf")
+	f.Movi(r0, 1)
+	f.Epilogue()
+	f.Label("bad")
+	f.Movi(r0, 0)
+	f.Epilogue()
+
+	// validate_addr(p r0) -> 1/0: local '@' domain.
+	f = b.Func("validate_addr", 1, false)
+	f.Prologue(16)
+	f.Call("validate_label")
+	f.Cmpi(r0, 0)
+	f.Jcc(isa.EQ, "bad")
+	f.Ldb(r8, r0, 0)
+	f.Cmpi(r8, '@')
+	f.Jcc(isa.NE, "bad")
+	f.Addi(r0, 1)
+	f.Call("validate_domain")
+	f.Epilogue()
+	f.Label("bad")
+	f.Movi(r0, 0)
+	f.Epilogue()
+
+	// h_helo(arg r0)
+	f = b.Func("h_helo", 1, false)
+	f.Prologue(16)
+	f.Call("strlen")
+	respOK(f, "k_ok", r0)
+	f.Epilogue()
+
+	// h_mail / h_rcpt(arg r0): validate the address.
+	for _, name := range []string{"h_mail", "h_rcpt"} {
+		f = b.Func(name, 1, false)
+		f.Prologue(16)
+		f.Call("validate_addr")
+		f.Cmpi(r0, 0)
+		f.Jcc(isa.EQ, "bad")
+		respOK(f, "k_ok", r0)
+		f.Epilogue()
+		f.Label("bad")
+		f.AddrOf(r0, "s_err")
+		f.Movi(r1, 8)
+		f.Call("write_out")
+		f.Epilogue()
+	}
+
+	// h_data(arg r0): switch to DATA mode.
+	f = b.Func("h_data", 1, false)
+	f.Prologue(0)
+	f.AddrOf(r9, "in_data")
+	f.Movi(r8, 1)
+	f.St(r9, 0, r8)
+	f.AddrOf(r9, "msg_len")
+	f.Movi(r8, 0)
+	f.St(r9, 0, r8)
+	f.AddrOf(r0, "s_go")
+	f.Movi(r1, 7)
+	f.Call("write_out")
+	f.Epilogue()
+
+	// collect(line r0, len r1): append the line to the message; a lone
+	// "." delivers.
+	f = b.Func("collect", 2, false)
+	f.Prologue(64)
+	f.St(fp, -8, r0)
+	f.St(fp, -16, r1)
+	f.Ldb(r8, r0, 0)
+	f.Cmpi(r8, '.')
+	f.Jcc(isa.NE, "append")
+	f.Cmpi(r1, 1)
+	f.Jcc(isa.EQ, "deliver")
+	f.Label("append")
+	f.AddrOf(r9, "msg_len")
+	f.Ld(r10, r9, 0)
+	// Cap the message well below the 16 KiB buffer (lines are up to 511 bytes).
+	f.Cmpi(r10, 15000)
+	f.Jcc(isa.GE, "full")
+	f.AddrOf(r0, "msg")
+	f.Add(r0, r10)
+	f.Ld(r1, fp, -8)
+	f.Ld(r2, fp, -16)
+	f.Push(r10)
+	f.Call("memcpy")
+	f.Pop(r10)
+	f.Ld(r8, fp, -16)
+	f.Add(r10, r8)
+	f.AddrOf(r9, "msg")
+	f.Add(r9, r10)
+	f.Movi(r8, '\n')
+	f.Stb(r9, 0, r8)
+	f.Addi(r10, 1)
+	f.AddrOf(r9, "msg_len")
+	f.St(r9, 0, r10)
+	f.Label("full")
+	f.Epilogue()
+	f.Label("deliver")
+	// Leave DATA mode, DKIM-sign (three hmac rounds over the whole
+	// message), digest, and append to the mbox file.
+	f.AddrOf(r9, "in_data")
+	f.Movi(r8, 0)
+	f.St(r9, 0, r8)
+	f.Movi(r10, 0x51) // signing key
+	f.Movi(r11, 0)
+	f.Label("dkim")
+	f.Cmpi(r11, 3)
+	f.Jcc(isa.GE, "signed")
+	f.St(fp, -40, r11)
+	f.St(fp, -48, r10)
+	f.AddrOf(r0, "msg")
+	f.AddrOf(r9, "msg_len")
+	f.Ld(r1, r9, 0)
+	f.Ld(r2, fp, -48)
+	f.Call("hmac_lite")
+	f.Mov(r10, r0)
+	f.Ld(r11, fp, -40)
+	f.Addi(r11, 1)
+	f.Jmp("dkim")
+	f.Label("signed")
+	f.AddrOf(r0, "msg")
+	f.AddrOf(r9, "msg_len")
+	f.Ld(r1, r9, 0)
+	f.Movi(r2, 2)
+	f.Call("digest")
+	f.St(fp, -24, r0)
+	// Timestamp the delivery: gettimeofday binds to the VDSO (the
+	// loader's interposition precedence, §4.1), so this call exercises
+	// the VDSO code path in live traces.
+	f.AddrOf(r0, "tv")
+	f.Call("gettimeofday")
+	f.AddrOf(r9, "tv")
+	f.Ld(r8, r9, 0)
+	f.Ld(r5, fp, -24)
+	f.Xor(r5, r8)
+	f.St(fp, -24, r5)
+	f.AddrOf(r0, "mbox")
+	f.Call("open_file")
+	f.St(fp, -32, r0)
+	f.Ld(r0, fp, -32)
+	f.AddrOf(r1, "msg")
+	f.AddrOf(r9, "msg_len")
+	f.Ld(r2, r9, 0)
+	f.Call("write_fd") // endpoint
+	f.Ld(r0, fp, -32)
+	f.Call("close_fd")
+	f.Ld(r8, fp, -24)
+	respOK(f, "k_qd", r8)
+	f.Epilogue()
+
+	// h_quit(arg r0)
+	f = b.Func("h_quit", 1, false)
+	f.Movi(r0, 0)
+	f.Call("do_exit")
+	f.Halt()
+
+	return &App{
+		Name:     "exim",
+		Exec:     mustAssemble(b),
+		Libs:     StdLibs(),
+		VDSO:     VDSO(),
+		Category: "server",
+		MakeInput: func(scale int, seed int64) []byte {
+			r := rng(seed)
+			var in []byte
+			in = append(in, "HELO example.org\n"...)
+			for i := 0; i < scale; i++ {
+				in = append(in, fmt.Sprintf("MAIL user%d@mail.example%d.org\n", r.Intn(20), r.Intn(5))...)
+				in = append(in, fmt.Sprintf("RCPT dst%d@deep.sub.domain.example.net\n", r.Intn(20))...)
+				in = append(in, "DATA\n"...)
+				for l := 0; l < 12+r.Intn(16); l++ {
+					in = append(in, fmt.Sprintf("body line %02d lorem ipsum dolor sit amet consectetur adipiscing elit %016x\n", l, r.Int63())...)
+				}
+				in = append(in, ".\n"...)
+			}
+			in = append(in, "QUIT\n"...)
+			return in
+		},
+	}
+}

@@ -1,0 +1,850 @@
+package apps
+
+import (
+	"fmt"
+
+	"flowguard/internal/asm"
+	"flowguard/internal/isa"
+	"flowguard/internal/module"
+)
+
+// SpecApps returns the twelve SPEC-CPU-2006-like kernels of Figure 5(c).
+// Each reads an iteration count from stdin, runs its compute kernel, and
+// writes a single result line (so, unlike the servers, endpoint checks
+// are rare and the overhead is tracing-dominated — except h264ref, whose
+// indirect-call-dense hot loop floods the trace with TIP packets, the
+// paper's outlier).
+func SpecApps() []*App {
+	return []*App{
+		specPerlbench(), specBzip2(), specGcc(), specMcf(), specMilc(),
+		specGobmk(), specHmmer(), specSjeng(), specLibquantum(),
+		specH264ref(), specLbm(), specSphinx3(),
+	}
+}
+
+// specShell wraps a kernel body in the common harness: main reads the
+// iteration count, calls kernel(n), reports the result. The body builder
+// must define the function "kernel" with arity 1 returning a checksum.
+func specShell(name string, needs []string, body func(b *asm.Builder)) *module.Module {
+	b := asm.NewModule(name).Needs(needs...)
+	b.DataSpace("inline", 32, false)
+	b.DataSpace("out", 128, false)
+	b.DataBytes("k_res", []byte("res\x00"), false)
+	emitReadLine(b)
+	emitExitCall(b)
+
+	main := b.Func("main", 0, true)
+	b.SetEntry("main")
+	main.Prologue(16)
+	main.AddrOf(r0, "inline")
+	main.Movi(r1, 31)
+	main.Call("read_line")
+	main.AddrOf(r0, "inline")
+	main.Call("atoi")
+	main.Cmpi(r0, 1)
+	main.Jcc(isa.GE, "run")
+	main.Movi(r0, 1)
+	main.Label("run")
+	main.Call("kernel")
+	main.Mov(r2, r0)
+	main.AddrOf(r0, "out")
+	main.AddrOf(r1, "k_res")
+	main.Call("fmt_kv")
+	main.Mov(r1, r0)
+	main.AddrOf(r0, "out")
+	main.Call("write_out")
+	main.Movi(r0, 0)
+	main.Call("do_exit")
+	main.Halt()
+
+	body(b)
+	return mustAssemble(b)
+}
+
+func specApp(name string, needs []string, body func(b *asm.Builder)) *App {
+	return &App{
+		Name:     name,
+		Exec:     specShell(name, needs, body),
+		Libs:     StdLibs(),
+		VDSO:     VDSO(),
+		Category: "spec",
+		MakeInput: func(scale int, seed int64) []byte {
+			return []byte(fmt.Sprintf("%d\n", scale))
+		},
+	}
+}
+
+// perlbench: a bytecode interpreter — dispatch through an op table with
+// moderately sized handlers (one indirect call per bytecode).
+func specPerlbench() *App {
+	return specApp("perlbench", []string{"libc", "libfmt"}, func(b *asm.Builder) {
+		prog := make([]byte, 256)
+		s := uint32(12345)
+		for i := range prog {
+			s = s*1664525 + 1013904223
+			prog[i] = byte(s >> 24)
+		}
+		b.DataBytes("prog", prog, false)
+		b.FuncTable("op_tbl", []string{"op_add", "op_mix", "op_rot", "op_sub"}, false)
+
+		// Handlers (acc r0, operand r1) -> acc, each with a small inner
+		// hash loop so dispatch density resembles an interpreter, not a
+		// trampoline.
+		mk := func(name string, inner func(f *asm.Func)) {
+			f := b.Func(name, 2, false)
+			f.Movi(r6, 0)
+			f.Label("w")
+			f.Cmpi(r6, 4)
+			f.Jcc(isa.GE, "x")
+			inner(f)
+			f.Addi(r6, 1)
+			f.Jmp("w")
+			f.Label("x")
+			f.Ret()
+		}
+		mk("op_add", func(f *asm.Func) {
+			f.Add(r0, r1)
+			f.Movu64(r8, 0x9e3779b97f4a7c15)
+			f.Mul(r0, r8)
+		})
+		mk("op_mix", func(f *asm.Func) {
+			f.Xor(r0, r1)
+			f.Movi(r8, 13)
+			f.Shl(r1, r8)
+			f.Add(r0, r1)
+		})
+		mk("op_rot", func(f *asm.Func) {
+			f.Movi(r8, 7)
+			f.Shl(r0, r8)
+			f.Movi(r8, 50)
+			f.Shr(r0, r8)
+			f.Add(r0, r1)
+		})
+		mk("op_sub", func(f *asm.Func) {
+			f.Sub(r0, r1)
+			f.Movi(r8, 3)
+			f.Shr(r0, r8)
+			f.Xor(r0, r1)
+		})
+
+		// kernel(n r0) -> acc.
+		f := b.Func("kernel", 1, false)
+		f.Prologue(32)
+		f.St(fp, -8, r0)
+		f.Movi(r11, 0) // iter
+		f.Movi(r10, 1) // acc
+		f.Label("iter")
+		f.Ld(r8, fp, -8)
+		f.Cmp(r11, r8)
+		f.Jcc(isa.GE, "done")
+		f.Movi(r13, 0) // pc
+		f.Label("fetch")
+		f.Cmpi(r13, 256)
+		f.Jcc(isa.GE, "iend")
+		f.AddrOf(r9, "prog")
+		f.Add(r9, r13)
+		f.Ldb(r8, r9, 0)
+		f.Mov(r1, r8) // operand = raw byte
+		f.Movi(r5, 3)
+		f.And(r8, r5) // opcode
+		f.Movi(r5, 8)
+		f.Mul(r8, r5)
+		f.AddrOf(r6, "op_tbl")
+		f.Add(r6, r8)
+		f.Ld(r6, r6, 0)
+		f.Mov(r0, r10)
+		f.St(fp, -16, r11)
+		f.St(fp, -24, r13)
+		f.CallR(r6)
+		f.Ld(r11, fp, -16)
+		f.Ld(r13, fp, -24)
+		f.Mov(r10, r0)
+		f.Addi(r13, 1)
+		f.Jmp("fetch")
+		f.Label("iend")
+		f.Addi(r11, 1)
+		f.Jmp("iter")
+		f.Label("done")
+		f.Mov(r0, r10)
+		f.Epilogue()
+	})
+}
+
+// bzip2: RLE compress/decompress rounds over a generated block
+// (branch-heavy, indirect-light, libz across the PLT).
+func specBzip2() *App {
+	return specApp("bzip2", []string{"libc", "libz", "libfmt"}, func(b *asm.Builder) {
+		b.DataSpace("blk", 4096, false)
+		b.DataSpace("cmp", 16384, false)
+		b.DataSpace("dec", 8192, false)
+		f := b.Func("kernel", 1, false)
+		f.Prologue(32)
+		f.St(fp, -8, r0)
+		f.Movi(r11, 0)
+		f.Movi(r10, 0) // checksum
+		f.Label("iter")
+		f.Ld(r8, fp, -8)
+		f.Cmp(r11, r8)
+		f.Jcc(isa.GE, "done")
+		f.St(fp, -16, r11)
+		f.St(fp, -24, r10)
+		// Fill a compressible block: runs of length (i%17)+1.
+		f.AddrOf(r9, "blk")
+		f.Movi(r6, 0)
+		f.Label("fill")
+		f.Cmpi(r6, 4096)
+		f.Jcc(isa.GE, "comp")
+		f.Mov(r8, r6)
+		f.Movi(r5, 17)
+		f.Div(r8, r5)
+		f.Ld(r5, fp, -16)
+		f.Add(r8, r5)
+		f.Stb(r9, 0, r8)
+		f.Addi(r9, 1)
+		f.Addi(r6, 1)
+		f.Jmp("fill")
+		f.Label("comp")
+		f.AddrOf(r0, "cmp")
+		f.AddrOf(r1, "blk")
+		f.Movi(r2, 4096)
+		f.Call("rle_compress")
+		f.St(fp, -32, r0)
+		f.AddrOf(r0, "dec")
+		f.AddrOf(r1, "cmp")
+		f.Ld(r2, fp, -32)
+		f.Call("rle_decompress")
+		f.Ld(r10, fp, -24)
+		f.Add(r10, r0)
+		f.Ld(r11, fp, -16)
+		f.Addi(r11, 1)
+		f.Jmp("iter")
+		f.Label("done")
+		f.Mov(r0, r10)
+		f.Epilogue()
+	})
+}
+
+// gcc: builds a binary search tree in the libc arena and walks it
+// recursively — allocation traffic plus deep call/return chains.
+func specGcc() *App {
+	return specApp("gcc", []string{"libc", "libfmt"}, func(b *asm.Builder) {
+		b.DataWords("root", []uint64{0}, false)
+
+		// insert(node r0, key r1) -> node: recursive BST insert.
+		// Node layout: [key][left][right].
+		f := b.Func("insert", 2, false)
+		f.Prologue(32)
+		f.Cmpi(r0, 0)
+		f.Jcc(isa.NE, "walk")
+		// New node.
+		f.St(fp, -16, r1)
+		f.Movi(r0, 24)
+		f.Call("malloc")
+		f.Ld(r1, fp, -16)
+		f.St(r0, 0, r1)
+		f.Movi(r8, 0)
+		f.St(r0, 8, r8)
+		f.St(r0, 16, r8)
+		f.Epilogue()
+		f.Label("walk")
+		f.St(fp, -8, r0)
+		f.St(fp, -16, r1)
+		f.Ld(r8, r0, 0)
+		f.Cmp(r1, r8)
+		f.Jcc(isa.LT, "left")
+		f.Ld(r0, r0, 16)
+		f.Call("insert")
+		f.Ld(r9, fp, -8)
+		f.St(r9, 16, r0)
+		f.Ld(r0, fp, -8)
+		f.Epilogue()
+		f.Label("left")
+		f.Ld(r0, r0, 8)
+		f.Call("insert")
+		f.Ld(r9, fp, -8)
+		f.St(r9, 8, r0)
+		f.Ld(r0, fp, -8)
+		f.Epilogue()
+
+		// sum(node r0) -> total: recursive walk.
+		f = b.Func("sum", 1, false)
+		f.Prologue(24)
+		f.Cmpi(r0, 0)
+		f.Jcc(isa.NE, "go")
+		f.Movi(r0, 0)
+		f.Epilogue()
+		f.Label("go")
+		f.St(fp, -8, r0)
+		f.Ld(r0, r0, 8)
+		f.Call("sum")
+		f.St(fp, -16, r0)
+		f.Ld(r9, fp, -8)
+		f.Ld(r0, r9, 16)
+		f.Call("sum")
+		f.Ld(r8, fp, -16)
+		f.Add(r0, r8)
+		f.Ld(r9, fp, -8)
+		f.Ld(r8, r9, 0)
+		f.Add(r0, r8)
+		f.Epilogue()
+
+		// kernel(n r0): per iteration insert 32 keys and sum the tree.
+		f = b.Func("kernel", 1, false)
+		f.Prologue(40)
+		f.St(fp, -8, r0)
+		f.Movi(r11, 0)
+		f.Movi(r10, 0)
+		f.Label("iter")
+		f.Ld(r8, fp, -8)
+		f.Cmp(r11, r8)
+		f.Jcc(isa.GE, "done")
+		f.St(fp, -16, r11)
+		f.St(fp, -24, r10)
+		f.Movi(r13, 0)
+		f.Label("ins")
+		f.Cmpi(r13, 32)
+		f.Jcc(isa.GE, "walk")
+		f.St(fp, -32, r13)
+		// key = (i*37 + j*101) % 1021
+		f.Ld(r1, fp, -16)
+		f.Movi(r5, 37)
+		f.Mul(r1, r5)
+		f.Mov(r8, r13)
+		f.Movi(r5, 101)
+		f.Mul(r8, r5)
+		f.Add(r1, r8)
+		f.Movi(r5, 1021)
+		f.Mod(r1, r5)
+		f.AddrOf(r9, "root")
+		f.Ld(r0, r9, 0)
+		f.Call("insert")
+		f.AddrOf(r9, "root")
+		f.St(r9, 0, r0)
+		f.Ld(r13, fp, -32)
+		f.Addi(r13, 1)
+		f.Jmp("ins")
+		f.Label("walk")
+		f.AddrOf(r9, "root")
+		f.Ld(r0, r9, 0)
+		f.Call("sum")
+		f.Ld(r10, fp, -24)
+		f.Xor(r10, r0)
+		f.Ld(r11, fp, -16)
+		f.Addi(r11, 1)
+		f.Jmp("iter")
+		f.Label("done")
+		f.Mov(r0, r10)
+		f.Epilogue()
+	})
+}
+
+// mcf: network-simplex-like relaxation sweeps over a static graph:
+// data-dependent conditional branches dominate.
+func specMcf() *App {
+	return specApp("mcf", []string{"libc", "libfmt"}, func(b *asm.Builder) {
+		b.DataSpace("dist", 1024*8, false)
+		f := b.Func("kernel", 1, false)
+		f.Prologue(16)
+		f.St(fp, -8, r0)
+		// init dist[i] = i*2654435761 % 65536
+		f.AddrOf(r9, "dist")
+		f.Movi(r6, 0)
+		f.Label("init")
+		f.Cmpi(r6, 1024)
+		f.Jcc(isa.GE, "sweeps")
+		f.Mov(r8, r6)
+		f.Movu64(r5, 2654435761)
+		f.Mul(r8, r5)
+		f.Movu64(r5, 65536)
+		f.Mod(r8, r5)
+		f.St(r9, 0, r8)
+		f.Addi(r9, 8)
+		f.Addi(r6, 1)
+		f.Jmp("init")
+		f.Label("sweeps")
+		f.Movi(r11, 0)
+		f.Movi(r10, 0) // relaxations done
+		f.Label("iter")
+		f.Ld(r8, fp, -8)
+		f.Cmp(r11, r8)
+		f.Jcc(isa.GE, "done")
+		f.Movi(r6, 1)
+		f.AddrOf(r9, "dist")
+		f.Label("relax")
+		f.Cmpi(r6, 1024)
+		f.Jcc(isa.GE, "iend")
+		f.Ld(r8, r9, 0) // dist[i-1]
+		f.Ld(r5, r9, 8) // dist[i]
+		f.Addi(r8, 3)   // edge weight
+		f.Cmp(r8, r5)
+		f.Jcc(isa.GE, "norelax")
+		f.St(r9, 8, r8)
+		f.Addi(r10, 1)
+		f.Label("norelax")
+		f.Addi(r9, 8)
+		f.Addi(r6, 1)
+		f.Jmp("relax")
+		f.Label("iend")
+		f.Addi(r11, 1)
+		f.Jmp("iter")
+		f.Label("done")
+		f.Mov(r0, r10)
+		f.Epilogue()
+	})
+}
+
+// milc: lattice arithmetic — long multiply chains, highly predictable
+// branches, minimal trace volume.
+func specMilc() *App {
+	return specApp("milc", []string{"libc", "libfmt"}, func(b *asm.Builder) {
+		f := b.Func("kernel", 1, false)
+		f.Mov(r11, r0)
+		f.Movi(r10, 0x243f)
+		f.Label("iter")
+		f.Cmpi(r11, 0)
+		f.Jcc(isa.LE, "done")
+		f.Movi(r6, 0)
+		f.Label("lat")
+		f.Cmpi(r6, 4096)
+		f.Jcc(isa.GE, "iend")
+		f.Movu64(r8, 6364136223846793005)
+		f.Mul(r10, r8)
+		f.Addi(r10, 1442695040888963407>>32)
+		f.Mov(r8, r10)
+		f.Movi(r5, 33)
+		f.Shr(r8, r5)
+		f.Xor(r10, r8)
+		f.Addi(r6, 1)
+		f.Jmp("lat")
+		f.Label("iend")
+		f.Addi(r11, -1)
+		f.Jmp("iter")
+		f.Label("done")
+		f.Mov(r0, r10)
+		f.Ret()
+	})
+}
+
+// gobmk: recursive game-tree evaluation — deep call/return chains with
+// data-dependent pruning branches.
+func specGobmk() *App {
+	return specApp("gobmk", []string{"libc", "libfmt"}, func(b *asm.Builder) {
+		// eval(depth r0, seed r1) -> score: fan-out 5, depth-limited.
+		f := b.Func("eval", 2, false)
+		f.Prologue(40)
+		f.Cmpi(r0, 0)
+		f.Jcc(isa.GT, "expand")
+		// Leaf: mix the seed.
+		f.Mov(r0, r1)
+		f.Movu64(r8, 0x9e3779b97f4a7c15)
+		f.Mul(r0, r8)
+		f.Movi(r8, 48)
+		f.Shr(r0, r8)
+		f.Epilogue()
+		f.Label("expand")
+		f.St(fp, -8, r0)
+		f.St(fp, -16, r1)
+		f.Movi(r11, 0) // move
+		f.Movi(r10, 0) // best
+		f.Label("moves")
+		f.Cmpi(r11, 5)
+		f.Jcc(isa.GE, "ret")
+		f.St(fp, -24, r11)
+		f.St(fp, -32, r10)
+		f.Ld(r0, fp, -8)
+		f.Addi(r0, -1)
+		f.Ld(r1, fp, -16)
+		f.Mov(r8, r11)
+		f.Addi(r8, 17)
+		f.Mul(r1, r8)
+		f.Addi(r1, 7)
+		f.Call("eval")
+		f.Ld(r10, fp, -32)
+		f.Ld(r11, fp, -24)
+		f.Cmp(r0, r10)
+		f.Jcc(isa.LE, "nobest")
+		f.Mov(r10, r0)
+		f.Label("nobest")
+		f.Addi(r11, 1)
+		f.Jmp("moves")
+		f.Label("ret")
+		f.Mov(r0, r10)
+		f.Epilogue()
+
+		f = b.Func("kernel", 1, false)
+		f.Prologue(24)
+		f.St(fp, -8, r0)
+		f.Movi(r11, 0)
+		f.Movi(r10, 0)
+		f.Label("iter")
+		f.Ld(r8, fp, -8)
+		f.Cmp(r11, r8)
+		f.Jcc(isa.GE, "done")
+		f.St(fp, -16, r11)
+		f.St(fp, -24, r10)
+		f.Movi(r0, 4) // depth
+		f.Ld(r1, fp, -16)
+		f.Addi(r1, 1)
+		f.Call("eval")
+		f.Ld(r10, fp, -24)
+		f.Add(r10, r0)
+		f.Ld(r11, fp, -16)
+		f.Addi(r11, 1)
+		f.Jmp("iter")
+		f.Label("done")
+		f.Mov(r0, r10)
+		f.Epilogue()
+	})
+}
+
+// hmmer: dynamic-programming table fill — nested loops with max()
+// branches, no indirect flow.
+func specHmmer() *App {
+	return specApp("hmmer", []string{"libc", "libfmt"}, func(b *asm.Builder) {
+		b.DataSpace("dp", 65*8, false)
+		f := b.Func("kernel", 1, false)
+		f.Mov(r13, r0)
+		f.Movi(r10, 0)
+		f.Label("iter")
+		f.Cmpi(r13, 0)
+		f.Jcc(isa.LE, "done")
+		f.Movi(r11, 0) // row
+		f.Label("row")
+		f.Cmpi(r11, 64)
+		f.Jcc(isa.GE, "iend")
+		f.AddrOf(r9, "dp")
+		f.Movi(r6, 0) // col
+		f.Label("col")
+		f.Cmpi(r6, 64)
+		f.Jcc(isa.GE, "rend")
+		f.Ld(r8, r9, 0)
+		f.Ld(r5, r9, 8)
+		f.Mov(r4, r11)
+		f.Add(r4, r6)
+		f.Add(r8, r4)
+		f.Cmp(r8, r5)
+		f.Jcc(isa.LE, "keep")
+		f.St(r9, 8, r8)
+		f.Jmp("adv")
+		f.Label("keep")
+		f.Addi(r5, 1)
+		f.St(r9, 8, r5)
+		f.Label("adv")
+		f.Addi(r9, 8)
+		f.Addi(r6, 1)
+		f.Jmp("col")
+		f.Label("rend")
+		f.Addi(r11, 1)
+		f.Jmp("row")
+		f.Label("iend")
+		f.AddrOf(r9, "dp")
+		f.Ld(r8, r9, 256)
+		f.Add(r10, r8)
+		f.Addi(r13, -1)
+		f.Jmp("iter")
+		f.Label("done")
+		f.Mov(r0, r10)
+		f.Ret()
+	})
+}
+
+// sjeng: minimax recursion with an indirect move-generator table — a mix
+// of deep returns and occasional indirect calls.
+func specSjeng() *App {
+	return specApp("sjeng", []string{"libc", "libfmt"}, func(b *asm.Builder) {
+		b.FuncTable("gen_tbl", []string{"gen_quiet", "gen_capture", "gen_check"}, false)
+		mk := func(name string, mix uint64) {
+			f := b.Func(name, 1, false)
+			f.Movu64(r8, mix)
+			f.Mul(r0, r8)
+			f.Mov(r8, r0)
+			f.Movi(r5, 29)
+			f.Shr(r8, r5)
+			f.Xor(r0, r8)
+			f.Ret()
+		}
+		mk("gen_quiet", 0x9e3779b97f4a7c15)
+		mk("gen_capture", 0xc2b2ae3d27d4eb4f)
+		mk("gen_check", 0x165667b19e3779f9)
+
+		// search(depth r0, pos r1) -> score.
+		f := b.Func("search", 2, false)
+		f.Prologue(40)
+		f.Cmpi(r0, 0)
+		f.Jcc(isa.GT, "expand")
+		f.Mov(r0, r1)
+		f.Epilogue()
+		f.Label("expand")
+		f.St(fp, -8, r0)
+		f.St(fp, -16, r1)
+		// Static evaluation of the node: a scoring loop keeps the
+		// instruction-per-branch ratio chess-like rather than
+		// trampoline-like.
+		f.Movi(r6, 0)
+		f.Label("score")
+		f.Cmpi(r6, 24)
+		f.Jcc(isa.GE, "gen")
+		f.Movu64(r8, 0x9e3779b97f4a7c15)
+		f.Mul(r1, r8)
+		f.Mov(r8, r1)
+		f.Movi(r5, 31)
+		f.Shr(r8, r5)
+		f.Xor(r1, r8)
+		f.Addi(r6, 1)
+		f.Jmp("score")
+		f.Label("gen")
+		f.Ld(r1, fp, -16)
+		// Generate moves via the table (indirect call).
+		f.Mov(r8, r1)
+		f.Movi(r5, 3)
+		f.Mod(r8, r5)
+		f.Movi(r5, 8)
+		f.Mul(r8, r5)
+		f.AddrOf(r6, "gen_tbl")
+		f.Add(r6, r8)
+		f.Ld(r6, r6, 0)
+		f.Mov(r0, r1)
+		f.CallR(r6)
+		f.St(fp, -24, r0) // move seed
+		f.Movi(r11, 0)
+		f.Movi(r10, 0)
+		f.Label("moves")
+		f.Cmpi(r11, 3)
+		f.Jcc(isa.GE, "ret")
+		f.St(fp, -32, r11)
+		f.St(fp, -40, r10)
+		f.Ld(r0, fp, -8)
+		f.Addi(r0, -1)
+		f.Ld(r1, fp, -24)
+		f.Add(r1, r11)
+		f.Call("search")
+		f.Ld(r10, fp, -40)
+		f.Ld(r11, fp, -32)
+		f.Xor(r10, r0)
+		f.Addi(r11, 1)
+		f.Jmp("moves")
+		f.Label("ret")
+		f.Mov(r0, r10)
+		f.Epilogue()
+
+		f = b.Func("kernel", 1, false)
+		f.Prologue(24)
+		f.St(fp, -8, r0)
+		f.Movi(r11, 0)
+		f.Movi(r10, 0)
+		f.Label("iter")
+		f.Ld(r8, fp, -8)
+		f.Cmp(r11, r8)
+		f.Jcc(isa.GE, "done")
+		f.St(fp, -16, r11)
+		f.St(fp, -24, r10)
+		f.Movi(r0, 4)
+		f.Ld(r1, fp, -16)
+		f.Addi(r1, 3)
+		f.Call("search")
+		f.Ld(r10, fp, -24)
+		f.Add(r10, r0)
+		f.Ld(r11, fp, -16)
+		f.Addi(r11, 1)
+		f.Jmp("iter")
+		f.Label("done")
+		f.Mov(r0, r10)
+		f.Epilogue()
+	})
+}
+
+// libquantum: gate operations as bit toggles over a register array —
+// regular strided loops.
+func specLibquantum() *App {
+	return specApp("libquantum", []string{"libc", "libfmt"}, func(b *asm.Builder) {
+		b.DataSpace("qreg", 2048*8, false)
+		f := b.Func("kernel", 1, false)
+		f.Mov(r13, r0)
+		f.Movi(r10, 0)
+		f.Label("iter")
+		f.Cmpi(r13, 0)
+		f.Jcc(isa.LE, "done")
+		f.AddrOf(r9, "qreg")
+		f.Movi(r6, 0)
+		f.Label("gate")
+		f.Cmpi(r6, 2048)
+		f.Jcc(isa.GE, "iend")
+		f.Ld(r8, r9, 0)
+		f.Mov(r5, r6)
+		f.Movi(r4, 63)
+		f.And(r5, r4)
+		f.Movi(r4, 1)
+		f.Shl(r4, r5)
+		f.Xor(r8, r4)
+		f.St(r9, 0, r8)
+		f.Add(r10, r8)
+		f.Addi(r9, 8)
+		f.Addi(r6, 1)
+		f.Jmp("gate")
+		f.Label("iend")
+		f.Addi(r13, -1)
+		f.Jmp("iter")
+		f.Label("done")
+		f.Mov(r0, r10)
+		f.Ret()
+	})
+}
+
+// h264ref: the Figure 5(c) outlier — the motion-estimation hot loop
+// dispatches a tiny prediction-mode handler through a function table for
+// every block, so the trace volume (TIP packets) is an order of
+// magnitude above the other kernels (the paper measures ~90% more trace
+// than the rest).
+func specH264ref() *App {
+	return specApp("h264ref", []string{"libc", "libfmt"}, func(b *asm.Builder) {
+		b.FuncTable("mode_tbl", []string{
+			"m_dc", "m_h", "m_v", "m_diag", "m_dc2", "m_h2", "m_v2", "m_diag2",
+		}, false)
+		mk := func(name string, k int32) {
+			f := b.Func(name, 1, false)
+			f.Addi(r0, k)
+			f.Movi(r8, 5)
+			f.Shl(r0, r8)
+			f.Movi(r8, 3)
+			f.Shr(r0, r8)
+			f.Ret()
+		}
+		mk("m_dc", 1)
+		mk("m_h", 3)
+		mk("m_v", 5)
+		mk("m_diag", 7)
+		mk("m_dc2", 11)
+		mk("m_h2", 13)
+		mk("m_v2", 17)
+		mk("m_diag2", 19)
+
+		f := b.Func("kernel", 1, false)
+		f.Prologue(32)
+		f.St(fp, -8, r0)
+		f.Movi(r11, 0)
+		f.Movi(r10, 0x1234)
+		f.Label("iter")
+		f.Ld(r8, fp, -8)
+		f.Cmp(r11, r8)
+		f.Jcc(isa.GE, "done")
+		f.Movi(r13, 0) // block
+		f.Label("blk")
+		f.Cmpi(r13, 512)
+		f.Jcc(isa.GE, "iend")
+		f.Mov(r8, r10)
+		f.Movi(r5, 7)
+		f.And(r8, r5)
+		f.Movi(r5, 8)
+		f.Mul(r8, r5)
+		f.AddrOf(r6, "mode_tbl")
+		f.Add(r6, r8)
+		f.Ld(r6, r6, 0)
+		f.Mov(r0, r10)
+		f.St(fp, -16, r11)
+		f.St(fp, -24, r13)
+		f.CallR(r6) // one TIP every handful of instructions
+		f.Ld(r11, fp, -16)
+		f.Ld(r13, fp, -24)
+		f.Mov(r10, r0)
+		f.Addi(r10, 1)
+		f.Addi(r13, 1)
+		f.Jmp("blk")
+		f.Label("iend")
+		f.Addi(r11, 1)
+		f.Jmp("iter")
+		f.Label("done")
+		f.Mov(r0, r10)
+		f.Epilogue()
+	})
+}
+
+// lbm: lattice-Boltzmann stencil — pure streaming loads/stores.
+func specLbm() *App {
+	return specApp("lbm", []string{"libc", "libfmt"}, func(b *asm.Builder) {
+		b.DataSpace("cells", 4098*8, false)
+		f := b.Func("kernel", 1, false)
+		f.Mov(r13, r0)
+		f.Movi(r10, 0)
+		f.Label("iter")
+		f.Cmpi(r13, 0)
+		f.Jcc(isa.LE, "done")
+		f.AddrOf(r9, "cells")
+		f.Addi(r9, 8)
+		f.Movi(r6, 1)
+		f.Label("cell")
+		f.Cmpi(r6, 4097)
+		f.Jcc(isa.GE, "iend")
+		f.Ld(r8, r9, -8)
+		f.Ld(r5, r9, 0)
+		f.Ld(r4, r9, 8)
+		f.Add(r8, r5)
+		f.Add(r8, r4)
+		f.Addi(r8, 1)
+		f.Movi(r5, 3)
+		f.Div(r8, r5)
+		f.St(r9, 0, r8)
+		f.Add(r10, r8)
+		f.Addi(r9, 8)
+		f.Addi(r6, 1)
+		f.Jmp("cell")
+		f.Label("iend")
+		f.Addi(r13, -1)
+		f.Jmp("iter")
+		f.Label("done")
+		f.Mov(r0, r10)
+		f.Ret()
+	})
+}
+
+// sphinx3: acoustic scoring — dot-product loops with a per-frame
+// codebook dispatch (sparse indirect calls).
+func specSphinx3() *App {
+	return specApp("sphinx3", []string{"libc", "libcrypt", "libfmt"}, func(b *asm.Builder) {
+		b.DataSpace("feat", 256*8, false)
+		f := b.Func("kernel", 1, false)
+		f.Prologue(32)
+		f.St(fp, -8, r0)
+		f.Movi(r11, 0)
+		f.Movi(r10, 0)
+		f.Label("iter")
+		f.Ld(r8, fp, -8)
+		f.Cmp(r11, r8)
+		f.Jcc(isa.GE, "done")
+		f.St(fp, -16, r11)
+		f.St(fp, -24, r10)
+		// Dot-product-like accumulation over the feature vector.
+		f.AddrOf(r9, "feat")
+		f.Movi(r6, 0)
+		f.Movi(r10, 0)
+		f.Label("dot")
+		f.Cmpi(r6, 256)
+		f.Jcc(isa.GE, "score")
+		f.Ld(r8, r9, 0)
+		f.Add(r8, r6)
+		f.St(r9, 0, r8)
+		f.Mov(r5, r8)
+		f.Mul(r5, r8)
+		f.Add(r10, r5)
+		f.Addi(r9, 8)
+		f.Addi(r6, 1)
+		f.Jmp("dot")
+		f.Label("score")
+		// Per-frame digest over the feature block (indirect dispatch in
+		// libcrypt).
+		f.AddrOf(r0, "feat")
+		f.Movi(r1, 2048)
+		f.Ld(r2, fp, -16)
+		f.St(fp, -32, r10)
+		f.Call("digest")
+		f.Ld(r10, fp, -24)
+		f.Ld(r8, fp, -32)
+		f.Xor(r8, r0)
+		f.Add(r10, r8)
+		f.Ld(r11, fp, -16)
+		f.Addi(r11, 1)
+		f.Jmp("iter")
+		f.Label("done")
+		f.Mov(r0, r10)
+		f.Epilogue()
+	})
+}

@@ -1,0 +1,570 @@
+package apps
+
+import (
+	"fmt"
+
+	"flowguard/internal/asm"
+	"flowguard/internal/isa"
+)
+
+// Tar builds the tar-like archiver: for each input entry it reads a name
+// line, a size line and the raw bytes, computes the 512-byte-block
+// header checksum (libz via PLT), and appends header plus data to the
+// archive file. Its profile matches the paper's tar: checksum loops with
+// periodic write endpoints.
+//
+// Input: repeated "name\n" "size\n" <size raw bytes>; EOF ends the run.
+func Tar() *App {
+	b := asm.NewModule("tar").Needs("libc", "libz", "libfmt", "libio")
+	b.DataSpace("name", 128, false)
+	b.DataSpace("szline", 32, false)
+	b.DataSpace("data", 32768, false)
+	b.DataSpace("hdr", 512, false)
+	b.DataBytes("k_sum", []byte("sum\x00"), false)
+	b.DataBytes("outname", []byte("out.tar\x00"), false)
+	emitReadLine(b)
+	emitExitCall(b)
+
+	main := b.Func("main", 0, true)
+	b.SetEntry("main")
+	main.Prologue(64)
+	// Open the archive once and direct the buffered writer at it
+	// (stdio-style batching: headers coalesce, bulk data passes
+	// through).
+	main.AddrOf(r0, "outname")
+	main.Call("open_file")
+	main.St(fp, -8, r0) // fd
+	main.Call("io_setfd")
+	main.Ld(r0, fp, -8)
+	main.Movi(r8, 0)
+	main.St(fp, -48, r8) // entry count
+	main.Label("entry")
+	main.AddrOf(r0, "name")
+	main.Movi(r1, 127)
+	main.Call("read_line")
+	main.Cmpi(r0, 0)
+	main.Jcc(isa.LT, "fini")
+	main.AddrOf(r0, "szline")
+	main.Movi(r1, 31)
+	main.Call("read_line")
+	main.Cmpi(r0, 0)
+	main.Jcc(isa.LT, "fini")
+	main.AddrOf(r0, "szline")
+	main.Call("atoi")
+	main.Cmpi(r0, 32768)
+	main.Jcc(isa.LE, "szok")
+	main.Movi(r0, 32768)
+	main.Label("szok")
+	main.St(fp, -16, r0) // size
+	// read(0, data, size) — raw bytes.
+	main.Movu64(r7, 0)
+	main.Movi(r0, 0)
+	main.AddrOf(r1, "data")
+	main.Ld(r2, fp, -16)
+	main.Syscall()
+	// Block checksums over the data, 512 bytes at a time.
+	main.Movi(r11, 0) // offset
+	main.Movi(r10, 0) // total sum
+	main.Label("blocks")
+	main.Ld(r8, fp, -16)
+	main.Cmp(r11, r8)
+	main.Jcc(isa.GE, "sumdone")
+	main.St(fp, -24, r11)
+	main.St(fp, -32, r10)
+	main.AddrOf(r0, "data")
+	main.Add(r0, r11)
+	main.Ld(r1, fp, -16)
+	main.Sub(r1, r11)
+	main.Cmpi(r1, 512)
+	main.Jcc(isa.LE, "lastblk")
+	main.Movi(r1, 512)
+	main.Label("lastblk")
+	main.Call("checksum")
+	main.Ld(r11, fp, -24)
+	main.Ld(r10, fp, -32)
+	main.Add(r10, r0)
+	main.Addi(r11, 512)
+	main.Jmp("blocks")
+	main.Label("sumdone")
+	// Header: "sum=<total>\n" rendered into hdr.
+	main.AddrOf(r0, "hdr")
+	main.AddrOf(r1, "k_sum")
+	main.Mov(r2, r10)
+	main.Call("fmt_kv")
+	main.St(fp, -40, r0)
+	// Append header + data to the archive through the buffered writer.
+	main.AddrOf(r0, "hdr")
+	main.Ld(r1, fp, -40)
+	main.Call("io_write")
+	main.AddrOf(r0, "data")
+	main.Ld(r1, fp, -16)
+	main.Call("io_write")
+	main.Ld(r8, fp, -48)
+	main.Addi(r8, 1)
+	main.St(fp, -48, r8)
+	main.Jmp("entry")
+	main.Label("fini")
+	main.Call("io_flush")
+	main.Ld(r0, fp, -8)
+	main.Call("close_fd")
+	// Verbose-mode summary to stdout.
+	main.AddrOf(r0, "hdr")
+	main.AddrOf(r1, "k_sum")
+	main.Ld(r2, fp, -48)
+	main.Call("fmt_kv")
+	main.Mov(r1, r0)
+	main.AddrOf(r0, "hdr")
+	main.Call("write_out")
+	main.Movi(r0, 0)
+	main.Call("do_exit")
+	main.Halt()
+
+	return &App{
+		Name:     "tar",
+		Exec:     mustAssemble(b),
+		Libs:     StdLibs(),
+		VDSO:     VDSO(),
+		Category: "utility",
+		MakeInput: func(scale int, seed int64) []byte {
+			r := rng(seed)
+			var in []byte
+			for i := 0; i < scale; i++ {
+				n := 8192 + r.Intn(24576)
+				in = append(in, fmt.Sprintf("file%03d.dat\n%d\n", i, n)...)
+				blob := make([]byte, n)
+				r.Read(blob)
+				in = append(in, blob...)
+			}
+			return in
+		},
+	}
+}
+
+// DD builds the dd-like block copier: large reads and writes with almost
+// no branching — the paper's lowest-overhead utility ("small number of
+// branch instructions and seldomly invokes system calls").
+func DD() *App {
+	b := asm.NewModule("dd").Needs("libc")
+	b.DataSpace("blk", 65536, false)
+	emitExitCall(b)
+
+	main := b.Func("main", 0, true)
+	b.SetEntry("main")
+	main.Label("loop")
+	// read(0, blk, 65536)
+	main.Movu64(r7, 0)
+	main.Movi(r0, 0)
+	main.AddrOf(r1, "blk")
+	main.Movi(r2, 65536)
+	main.Syscall()
+	main.Cmpi(r0, 0)
+	main.Jcc(isa.LE, "fini")
+	// write(1, blk, n)
+	main.Mov(r2, r0)
+	main.Movu64(r7, 1)
+	main.Movi(r0, 1)
+	main.AddrOf(r1, "blk")
+	main.Syscall()
+	main.Jmp("loop")
+	main.Label("fini")
+	main.Movi(r0, 0)
+	main.Call("do_exit")
+	main.Halt()
+
+	return &App{
+		Name:     "dd",
+		Exec:     mustAssemble(b),
+		Libs:     StdLibs(),
+		VDSO:     VDSO(),
+		Category: "utility",
+		MakeInput: func(scale int, seed int64) []byte {
+			blob := make([]byte, scale*128*1024)
+			rng(seed).Read(blob)
+			return blob
+		},
+	}
+}
+
+// Make builds the make-like dependency runner: it parses "target: deps"
+// rules, then repeatedly sweeps the rule list building every target
+// whose dependencies are all built (a fixpoint like a topological
+// order), hashing each built target and logging one line per build.
+//
+// Input: lines "target dep1 dep2 ..." (space separated; first word is
+// the target), terminated by EOF.
+func Make() *App {
+	b := asm.NewModule("make").Needs("libc", "libcrypt", "libfmt")
+	const maxRules = 64
+	b.DataSpace("line", 256, false)
+	// Rule storage: names as fixed 32-byte slots, up to 8 deps each.
+	b.DataSpace("names", maxRules*32, false)
+	b.DataSpace("deps", maxRules*8*32, false)
+	b.DataSpace("depcnt", maxRules*8, false)
+	b.DataSpace("built", maxRules*8, false)
+	b.DataWords("nrules", []uint64{0}, false)
+	b.DataWords("progress", []uint64{0}, false)
+	b.DataSpace("log", 256, false)
+	b.DataSpace("unit", 4096, false)
+	b.DataBytes("k_built", []byte("built\x00"), false)
+	emitReadLine(b)
+	emitRenderBody(b)
+	emitExitCall(b)
+
+	// parse_word(src r0, dst r1) -> src': copy up to space/NUL into a
+	// 32-byte slot; returns the advanced source pointer (past one
+	// trailing space if present).
+	f := b.Func("parse_word", 2, false)
+	f.Mov(r9, r0)
+	f.Mov(r10, r1)
+	f.Movi(r6, 0)
+	f.Label("loop")
+	f.Cmpi(r6, 31)
+	f.Jcc(isa.GE, "term")
+	f.Ldb(r8, r9, 0)
+	f.Cmpi(r8, ' ')
+	f.Jcc(isa.EQ, "sp")
+	f.Cmpi(r8, 0)
+	f.Jcc(isa.EQ, "term")
+	f.Stb(r10, 0, r8)
+	f.Addi(r9, 1)
+	f.Addi(r10, 1)
+	f.Addi(r6, 1)
+	f.Jmp("loop")
+	f.Label("sp")
+	f.Addi(r9, 1)
+	f.Label("term")
+	f.Movi(r8, 0)
+	f.Stb(r10, 0, r8)
+	f.Mov(r0, r9)
+	f.Ret()
+
+	// find_rule(name r0) -> index or -1: linear strcmp scan.
+	f = b.Func("find_rule", 1, false)
+	f.Prologue(16)
+	f.St(fp, -8, r0)
+	f.Movi(r11, 0)
+	f.Label("scan")
+	f.AddrOf(r9, "nrules")
+	f.Ld(r8, r9, 0)
+	f.Cmp(r11, r8)
+	f.Jcc(isa.GE, "miss")
+	f.AddrOf(r1, "names")
+	f.Mov(r8, r11)
+	f.Movi(r5, 32)
+	f.Mul(r8, r5)
+	f.Add(r1, r8)
+	f.Ld(r0, fp, -8)
+	f.Push(r11)
+	f.Call("strcmp")
+	f.Pop(r11)
+	f.Cmpi(r0, 0)
+	f.Jcc(isa.EQ, "hit")
+	f.Addi(r11, 1)
+	f.Jmp("scan")
+	f.Label("hit")
+	f.Mov(r0, r11)
+	f.Epilogue()
+	f.Label("miss")
+	f.Movi(r0, -1)
+	f.Epilogue()
+
+	main := b.Func("main", 0, true)
+	b.SetEntry("main")
+	main.Prologue(48)
+	// Parse phase.
+	main.Label("parse")
+	main.AddrOf(r0, "line")
+	main.Movi(r1, 255)
+	main.Call("read_line")
+	main.Cmpi(r0, 0)
+	main.Jcc(isa.LT, "build")
+	main.AddrOf(r9, "nrules")
+	main.Ld(r11, r9, 0)
+	main.Cmpi(r11, int32(maxRules))
+	main.Jcc(isa.GE, "parse")
+	main.St(fp, -8, r11) // rule index
+	// Target name.
+	main.AddrOf(r0, "line")
+	main.AddrOf(r1, "names")
+	main.Mov(r8, r11)
+	main.Movi(r5, 32)
+	main.Mul(r8, r5)
+	main.Add(r1, r8)
+	main.Call("parse_word")
+	main.St(fp, -16, r0) // source cursor
+	// Dependencies.
+	main.Movi(r10, 0) // dep count
+	main.Label("dep")
+	main.Cmpi(r10, 8)
+	main.Jcc(isa.GE, "depdone")
+	main.Ld(r9, fp, -16)
+	main.Ldb(r8, r9, 0)
+	main.Cmpi(r8, 0)
+	main.Jcc(isa.EQ, "depdone")
+	main.St(fp, -24, r10)
+	main.Ld(r0, fp, -16)
+	main.AddrOf(r1, "deps")
+	main.Ld(r8, fp, -8)
+	main.Movi(r5, 8*32)
+	main.Mul(r8, r5)
+	main.Add(r1, r8)
+	main.Ld(r8, fp, -24)
+	main.Movi(r5, 32)
+	main.Mul(r8, r5)
+	main.Add(r1, r8)
+	main.Call("parse_word")
+	main.St(fp, -16, r0)
+	main.Ld(r10, fp, -24)
+	main.Addi(r10, 1)
+	main.Jmp("dep")
+	main.Label("depdone")
+	// Record the rule.
+	main.AddrOf(r9, "depcnt")
+	main.Ld(r8, fp, -8)
+	main.Movi(r5, 8)
+	main.Mul(r8, r5)
+	main.Add(r9, r8)
+	main.St(r9, 0, r10)
+	main.AddrOf(r9, "nrules")
+	main.Ld(r8, fp, -8)
+	main.Addi(r8, 1)
+	main.St(r9, 0, r8)
+	main.Jmp("parse")
+
+	// Build phase: sweep until no progress.
+	main.Label("build")
+	main.AddrOf(r9, "progress")
+	main.Movi(r8, 0)
+	main.St(r9, 0, r8)
+	main.Movi(r11, 0) // rule index
+	main.Label("sweep")
+	main.St(fp, -8, r11)
+	main.AddrOf(r9, "nrules")
+	main.Ld(r8, r9, 0)
+	main.Cmp(r11, r8)
+	main.Jcc(isa.GE, "sweepdone")
+	// Skip already-built targets.
+	main.AddrOf(r9, "built")
+	main.Mov(r8, r11)
+	main.Movi(r5, 8)
+	main.Mul(r8, r5)
+	main.Add(r9, r8)
+	main.Ld(r8, r9, 0)
+	main.Cmpi(r8, 0)
+	main.Jcc(isa.NE, "next")
+	// All deps built? A dep is built if find_rule misses (leaf) or its
+	// built flag is set.
+	main.Movi(r10, 0)
+	main.Label("chk")
+	main.AddrOf(r9, "depcnt")
+	main.Ld(r8, fp, -8)
+	main.Movi(r5, 8)
+	main.Mul(r8, r5)
+	main.Add(r9, r8)
+	main.Ld(r8, r9, 0)
+	main.Cmp(r10, r8)
+	main.Jcc(isa.GE, "ready")
+	main.St(fp, -24, r10)
+	main.AddrOf(r0, "deps")
+	main.Ld(r8, fp, -8)
+	main.Movi(r5, 8*32)
+	main.Mul(r8, r5)
+	main.Add(r0, r8)
+	main.Ld(r8, fp, -24)
+	main.Movi(r5, 32)
+	main.Mul(r8, r5)
+	main.Add(r0, r8)
+	main.Call("find_rule")
+	main.Ld(r10, fp, -24)
+	main.Ld(r11, fp, -8)
+	main.Cmpi(r0, 0)
+	main.Jcc(isa.LT, "depok") // leaf dependency
+	main.AddrOf(r9, "built")
+	main.Movi(r5, 8)
+	main.Mul(r0, r5)
+	main.Add(r9, r0)
+	main.Ld(r8, r9, 0)
+	main.Cmpi(r8, 0)
+	main.Jcc(isa.EQ, "next") // dep not built yet
+	main.Label("depok")
+	main.Addi(r10, 1)
+	main.Jmp("chk")
+	main.Label("ready")
+	// Build it: synthesize and digest a compilation unit, then log.
+	main.AddrOf(r0, "unit")
+	main.Movi(r1, 4096)
+	main.Ld(r2, fp, -8)
+	main.Call("render_body")
+	main.AddrOf(r0, "unit")
+	main.Movi(r1, 4096)
+	main.Ld(r2, fp, -8)
+	main.Call("digest")
+	main.Mov(r2, r0)
+	main.AddrOf(r0, "log")
+	main.AddrOf(r1, "k_built")
+	main.Call("fmt_kv")
+	main.Mov(r1, r0)
+	main.AddrOf(r0, "log")
+	main.Call("write_out")
+	main.Ld(r11, fp, -8)
+	main.AddrOf(r9, "built")
+	main.Mov(r8, r11)
+	main.Movi(r5, 8)
+	main.Mul(r8, r5)
+	main.Add(r9, r8)
+	main.Movi(r8, 1)
+	main.St(r9, 0, r8)
+	main.AddrOf(r9, "progress")
+	main.St(r9, 0, r8)
+	main.Label("next")
+	main.Ld(r11, fp, -8)
+	main.Addi(r11, 1)
+	main.Jmp("sweep")
+	main.Label("sweepdone")
+	main.AddrOf(r9, "progress")
+	main.Ld(r8, r9, 0)
+	main.Cmpi(r8, 0)
+	main.Jcc(isa.NE, "build")
+	main.Movi(r0, 0)
+	main.Call("do_exit")
+	main.Halt()
+
+	return &App{
+		Name:     "make",
+		Exec:     mustAssemble(b),
+		Libs:     StdLibs(),
+		VDSO:     VDSO(),
+		Category: "utility",
+		MakeInput: func(scale int, seed int64) []byte {
+			r := rng(seed)
+			var in []byte
+			n := 8 + scale
+			if n > 60 {
+				n = 60
+			}
+			for i := 0; i < n; i++ {
+				line := fmt.Sprintf("t%02d", i)
+				for d := 0; d < r.Intn(3); d++ {
+					line += fmt.Sprintf(" t%02d", r.Intn(i+1))
+				}
+				in = append(in, (line + "\n")...)
+			}
+			return in
+		},
+	}
+}
+
+// SCP builds the scp-like copier: a header line, then the payload copied
+// in 4 KiB chunks, each digested (libcrypt) before being written to the
+// destination file.
+//
+// Input: "name size\n" then size raw bytes.
+func SCP() *App {
+	b := asm.NewModule("scp").Needs("libc", "libcrypt", "libfmt")
+	b.DataSpace("hdrline", 128, false)
+	b.DataSpace("chunk", 8192, false)
+	b.DataSpace("log", 128, false)
+	b.DataBytes("k_xfer", []byte("xfer\x00"), false)
+	b.DataBytes("dst", []byte("copy.out\x00"), false)
+	emitReadLine(b)
+	emitExitCall(b)
+
+	main := b.Func("main", 0, true)
+	b.SetEntry("main")
+	main.Prologue(48)
+	main.AddrOf(r0, "hdrline")
+	main.Movi(r1, 127)
+	main.Call("read_line")
+	main.Cmpi(r0, 0)
+	main.Jcc(isa.LT, "fini")
+	// Size after the space.
+	main.AddrOf(r9, "hdrline")
+	main.Label("sp")
+	main.Ldb(r8, r9, 0)
+	main.Cmpi(r8, 0)
+	main.Jcc(isa.EQ, "nosz")
+	main.Cmpi(r8, ' ')
+	main.Jcc(isa.EQ, "gotsp")
+	main.Addi(r9, 1)
+	main.Jmp("sp")
+	main.Label("gotsp")
+	main.Addi(r9, 1)
+	main.Mov(r0, r9)
+	main.Call("atoi")
+	main.Jmp("havesz")
+	main.Label("nosz")
+	main.Movi(r0, 0)
+	main.Label("havesz")
+	main.St(fp, -8, r0) // remaining
+	main.AddrOf(r0, "dst")
+	main.Call("open_file")
+	main.St(fp, -16, r0) // fd
+	main.Movi(r10, 0)    // running digest
+	main.Label("chunk")
+	main.Ld(r8, fp, -8)
+	main.Cmpi(r8, 0)
+	main.Jcc(isa.LE, "done")
+	// n = min(remaining, 8192)
+	main.Cmpi(r8, 8192)
+	main.Jcc(isa.LE, "cok")
+	main.Movi(r8, 8192)
+	main.Label("cok")
+	main.St(fp, -24, r8)
+	main.St(fp, -32, r10)
+	// read(0, chunk, n)
+	main.Movu64(r7, 0)
+	main.Movi(r0, 0)
+	main.AddrOf(r1, "chunk")
+	main.Ld(r2, fp, -24)
+	main.Syscall()
+	main.Cmpi(r0, 0)
+	main.Jcc(isa.LE, "done")
+	main.St(fp, -24, r0) // actual n
+	main.AddrOf(r0, "chunk")
+	main.Ld(r1, fp, -24)
+	main.Movi(r2, 0)
+	main.Call("digest")
+	main.Ld(r10, fp, -32)
+	main.Xor(r10, r0)
+	// write_fd(fd, chunk, n)
+	main.Ld(r0, fp, -16)
+	main.AddrOf(r1, "chunk")
+	main.Ld(r2, fp, -24)
+	main.St(fp, -40, r10)
+	main.Call("write_fd")
+	main.Ld(r10, fp, -40)
+	main.Ld(r8, fp, -8)
+	main.Ld(r5, fp, -24)
+	main.Sub(r8, r5)
+	main.St(fp, -8, r8)
+	main.Jmp("chunk")
+	main.Label("done")
+	main.AddrOf(r0, "log")
+	main.AddrOf(r1, "k_xfer")
+	main.Mov(r2, r10)
+	main.Call("fmt_kv")
+	main.Mov(r1, r0)
+	main.AddrOf(r0, "log")
+	main.Call("write_out")
+	main.Ld(r0, fp, -16)
+	main.Call("close_fd")
+	main.Label("fini")
+	main.Movi(r0, 0)
+	main.Call("do_exit")
+	main.Halt()
+
+	return &App{
+		Name:     "scp",
+		Exec:     mustAssemble(b),
+		Libs:     StdLibs(),
+		VDSO:     VDSO(),
+		Category: "utility",
+		MakeInput: func(scale int, seed int64) []byte {
+			n := scale * 8 * 1024
+			in := []byte(fmt.Sprintf("payload.bin %d\n", n))
+			blob := make([]byte, n)
+			rng(seed).Read(blob)
+			return append(in, blob...)
+		},
+	}
+}

@@ -1,0 +1,540 @@
+// Package asm is a two-pass programmatic assembler producing module.Module
+// binaries for the synthetic ISA.
+//
+// It is the toolchain substrate of the reproduction: the synthetic
+// applications (internal/apps), the random program generator
+// (internal/progen) and the attack payloads are all built with it. The
+// assembler mirrors what a real compiler + static linker produce:
+//
+//   - function symbols with declared arities (ground truth for the
+//     TypeArmor-style analysis),
+//   - a PLT stub per imported function, dispatching through a GOT slot
+//     (so inter-module transfers are exactly "PLT indirect jump + return",
+//     as §4.1 of the paper relies on),
+//   - relocations for address-taken functions and data-section function
+//     pointer tables (the inputs of the conservative indirect-call
+//     analysis).
+//
+// The code section of a module is assumed to be loaded page-aligned; the
+// assembler exploits that to emit PC-relative LEA instructions reaching
+// the module's own data section.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"flowguard/internal/isa"
+	"flowguard/internal/module"
+)
+
+const pageAlign = 0x1000
+
+// refKind distinguishes the fixup targets of emitted instructions.
+type refKind uint8
+
+const (
+	refNone  refKind = iota
+	refLabel         // function-local label (JMP/JCC/CALL within function)
+	refFunc          // function in this module (CALL/JMP) or PLT stub
+	refData          // data symbol (LEA)
+	refGOT           // GOT slot index (LEA inside PLT stubs)
+	refSym           // AddrOf: classified as func/data/import at assembly
+	refSymLD         // AddrOf second slot: LD for imports, NOP otherwise
+)
+
+type pending struct {
+	instr isa.Instr
+	kind  refKind
+	name  string
+	slot  int // for refGOT
+}
+
+// Func accumulates the body of one function.
+type Func struct {
+	b        *Builder
+	name     string
+	args     int
+	exported bool
+	code     []pending
+	labels   map[string]int // label -> instruction index
+	off      uint64         // assigned in layout
+}
+
+// Builder accumulates a module.
+type Builder struct {
+	name    string
+	funcs   []*Func
+	funcIdx map[string]*Func
+	needed  []string
+	imports map[string]int // imported symbol -> GOT slot (also used for PLT order)
+	impOrd  []string
+	data    []byte
+	dataSym map[string]uint64 // data symbol -> offset (pre-GOT-shift)
+	dataTab []module.Symbol
+	relocs  []module.Reloc // offsets pre-GOT-shift
+	taken   map[string]bool
+	entry   string
+	err     error
+}
+
+// NewModule starts building a module with the given name.
+func NewModule(name string) *Builder {
+	return &Builder{
+		name:    name,
+		funcIdx: make(map[string]*Func),
+		imports: make(map[string]int),
+		dataSym: make(map[string]uint64),
+		taken:   make(map[string]bool),
+	}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("asm %s: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Needs declares DT_NEEDED dependencies in search order.
+func (b *Builder) Needs(libs ...string) *Builder {
+	b.needed = append(b.needed, libs...)
+	return b
+}
+
+// SetEntry names the entry-point function (executables).
+func (b *Builder) SetEntry(fn string) *Builder {
+	b.entry = fn
+	return b
+}
+
+// Func starts a new exported/private function with the declared number of
+// argument registers. Definitions are laid out in declaration order.
+func (b *Builder) Func(name string, args int, exported bool) *Func {
+	if _, dup := b.funcIdx[name]; dup {
+		b.fail("duplicate function %q", name)
+	}
+	f := &Func{b: b, name: name, args: args, exported: exported, labels: make(map[string]int)}
+	b.funcs = append(b.funcs, f)
+	b.funcIdx[name] = f
+	return f
+}
+
+// Import declares an imported function symbol, allocating its GOT slot and
+// PLT stub. Calling or taking the address of an undeclared symbol imports
+// it implicitly.
+func (b *Builder) Import(name string) *Builder {
+	b.importSlot(name)
+	return b
+}
+
+func (b *Builder) importSlot(name string) int {
+	if s, ok := b.imports[name]; ok {
+		return s
+	}
+	s := len(b.impOrd)
+	b.imports[name] = s
+	b.impOrd = append(b.impOrd, name)
+	return s
+}
+
+// DataBytes defines a data object with the given initial contents and
+// returns its symbol name for AddrOf references.
+func (b *Builder) DataBytes(name string, p []byte, exported bool) {
+	b.alignData(8)
+	if _, dup := b.dataSym[name]; dup {
+		b.fail("duplicate data symbol %q", name)
+		return
+	}
+	off := uint64(len(b.data))
+	b.dataSym[name] = off
+	b.data = append(b.data, p...)
+	b.dataTab = append(b.dataTab, module.Symbol{
+		Name: name, Kind: module.SymObject, Off: off, Size: uint64(len(p)), Exported: exported,
+	})
+}
+
+// DataWords defines a data object of 64-bit words.
+func (b *Builder) DataWords(name string, words []uint64, exported bool) {
+	p := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(p[i*8:], w)
+	}
+	b.DataBytes(name, p, exported)
+}
+
+// DataSpace reserves a zero-initialized data object.
+func (b *Builder) DataSpace(name string, size int, exported bool) {
+	b.DataBytes(name, make([]byte, size), exported)
+}
+
+// FuncTable defines a data object holding the addresses of the named
+// functions — a classic indirect-call dispatch table. Each entry produces
+// a relocation and marks its target address-taken. Entries may be local
+// functions or imported symbols.
+func (b *Builder) FuncTable(name string, targets []string, exported bool) {
+	b.alignData(8)
+	off := uint64(len(b.data))
+	if _, dup := b.dataSym[name]; dup {
+		b.fail("duplicate data symbol %q", name)
+		return
+	}
+	b.dataSym[name] = off
+	for i, t := range targets {
+		b.relocs = append(b.relocs, module.Reloc{Off: off + uint64(i)*8, Symbol: t})
+		b.data = append(b.data, make([]byte, 8)...)
+	}
+	b.dataTab = append(b.dataTab, module.Symbol{
+		Name: name, Kind: module.SymObject, Off: off, Size: uint64(8 * len(targets)), Exported: exported,
+	})
+}
+
+func (b *Builder) alignData(a int) {
+	for len(b.data)%a != 0 {
+		b.data = append(b.data, 0)
+	}
+}
+
+// --- instruction emission -------------------------------------------------
+
+func (f *Func) emit(i isa.Instr) *Func { return f.emitRef(i, refNone, "", 0) }
+
+func (f *Func) emitRef(i isa.Instr, k refKind, name string, slot int) *Func {
+	f.code = append(f.code, pending{instr: i, kind: k, name: name, slot: slot})
+	return f
+}
+
+// Label defines a function-local branch target at the current position.
+func (f *Func) Label(name string) *Func {
+	if _, dup := f.labels[name]; dup {
+		f.b.fail("duplicate label %q in %s", name, f.name)
+	}
+	f.labels[name] = len(f.code)
+	return f
+}
+
+// Nop emits a no-op.
+func (f *Func) Nop() *Func { return f.emit(isa.Instr{Op: isa.NOP}) }
+
+// Halt stops the CPU (used by crash stubs and tests).
+func (f *Func) Halt() *Func { return f.emit(isa.Instr{Op: isa.HALT}) }
+
+// Mov emits rd = rs.
+func (f *Func) Mov(rd, rs isa.Reg) *Func { return f.emit(isa.Instr{Op: isa.MOV, Rd: rd, Rs: rs}) }
+
+// Movi emits rd = signext(imm).
+func (f *Func) Movi(rd isa.Reg, imm int32) *Func {
+	return f.emit(isa.Instr{Op: isa.MOVI, Rd: rd, Imm: imm})
+}
+
+// Movu64 loads a full 64-bit constant via MOVI+MOVIH.
+func (f *Func) Movu64(rd isa.Reg, v uint64) *Func {
+	f.emit(isa.Instr{Op: isa.MOVI, Rd: rd, Imm: int32(uint32(v))})
+	if uint64(int64(int32(uint32(v)))) != v {
+		f.emit(isa.Instr{Op: isa.MOVIH, Rd: rd, Imm: int32(uint32(v >> 32))})
+	}
+	return f
+}
+
+// Binary ALU helpers.
+func (f *Func) Add(rd, rs isa.Reg) *Func { return f.emit(isa.Instr{Op: isa.ADD, Rd: rd, Rs: rs}) }
+func (f *Func) Sub(rd, rs isa.Reg) *Func { return f.emit(isa.Instr{Op: isa.SUB, Rd: rd, Rs: rs}) }
+func (f *Func) Mul(rd, rs isa.Reg) *Func { return f.emit(isa.Instr{Op: isa.MUL, Rd: rd, Rs: rs}) }
+func (f *Func) Div(rd, rs isa.Reg) *Func { return f.emit(isa.Instr{Op: isa.DIV, Rd: rd, Rs: rs}) }
+func (f *Func) Mod(rd, rs isa.Reg) *Func { return f.emit(isa.Instr{Op: isa.MOD, Rd: rd, Rs: rs}) }
+func (f *Func) And(rd, rs isa.Reg) *Func { return f.emit(isa.Instr{Op: isa.AND, Rd: rd, Rs: rs}) }
+func (f *Func) Or(rd, rs isa.Reg) *Func  { return f.emit(isa.Instr{Op: isa.OR, Rd: rd, Rs: rs}) }
+func (f *Func) Xor(rd, rs isa.Reg) *Func { return f.emit(isa.Instr{Op: isa.XOR, Rd: rd, Rs: rs}) }
+func (f *Func) Shl(rd, rs isa.Reg) *Func { return f.emit(isa.Instr{Op: isa.SHL, Rd: rd, Rs: rs}) }
+func (f *Func) Shr(rd, rs isa.Reg) *Func { return f.emit(isa.Instr{Op: isa.SHR, Rd: rd, Rs: rs}) }
+
+// Addi emits rd += imm.
+func (f *Func) Addi(rd isa.Reg, imm int32) *Func {
+	return f.emit(isa.Instr{Op: isa.ADDI, Rd: rd, Imm: imm})
+}
+
+// Cmp/Cmpi set flags.
+func (f *Func) Cmp(ra, rb isa.Reg) *Func { return f.emit(isa.Instr{Op: isa.CMP, Rd: ra, Rs: rb}) }
+func (f *Func) Cmpi(ra isa.Reg, imm int32) *Func {
+	return f.emit(isa.Instr{Op: isa.CMPI, Rd: ra, Imm: imm})
+}
+
+// Memory access helpers.
+func (f *Func) Ld(rd, base isa.Reg, off int32) *Func {
+	return f.emit(isa.Instr{Op: isa.LD, Rd: rd, Rs: base, Imm: off})
+}
+func (f *Func) St(base isa.Reg, off int32, rs isa.Reg) *Func {
+	return f.emit(isa.Instr{Op: isa.ST, Rd: base, Rs: rs, Imm: off})
+}
+func (f *Func) Ldb(rd, base isa.Reg, off int32) *Func {
+	return f.emit(isa.Instr{Op: isa.LDB, Rd: rd, Rs: base, Imm: off})
+}
+func (f *Func) Stb(base isa.Reg, off int32, rs isa.Reg) *Func {
+	return f.emit(isa.Instr{Op: isa.STB, Rd: base, Rs: rs, Imm: off})
+}
+func (f *Func) Push(rs isa.Reg) *Func { return f.emit(isa.Instr{Op: isa.PUSH, Rs: rs}) }
+func (f *Func) Pop(rd isa.Reg) *Func  { return f.emit(isa.Instr{Op: isa.POP, Rd: rd}) }
+
+// Jmp emits a direct unconditional jump to a function-local label.
+func (f *Func) Jmp(label string) *Func {
+	return f.emitRef(isa.Instr{Op: isa.JMP}, refLabel, label, 0)
+}
+
+// Jcc emits a conditional branch to a function-local label.
+func (f *Func) Jcc(c isa.Cond, label string) *Func {
+	return f.emitRef(isa.Instr{Op: isa.JCC, Aux: uint8(c)}, refLabel, label, 0)
+}
+
+// Call emits a direct call. Names defined in this module (before or after
+// this point) are called directly; unknown names are imported and routed
+// through a PLT stub (still a direct CALL to the stub; the stub's indirect
+// jump is what crosses the module boundary).
+func (f *Func) Call(fn string) *Func {
+	return f.emitRef(isa.Instr{Op: isa.CALL}, refFunc, fn, 0)
+}
+
+// TailJmp emits a direct jump to another function: the tail-call pattern
+// of §4.1 (reuses the frame; the callee returns to this function's
+// caller). Imported names tail-jump through their PLT stub.
+func (f *Func) TailJmp(fn string) *Func {
+	return f.emitRef(isa.Instr{Op: isa.JMP}, refFunc, fn, 0)
+}
+
+// CallR emits an indirect call through a register.
+func (f *Func) CallR(rs isa.Reg) *Func { return f.emit(isa.Instr{Op: isa.CALLR, Rs: rs}) }
+
+// JmpR emits an indirect jump through a register.
+func (f *Func) JmpR(rs isa.Reg) *Func { return f.emit(isa.Instr{Op: isa.JMPR, Rs: rs}) }
+
+// Ret emits a near return.
+func (f *Func) Ret() *Func { return f.emit(isa.Instr{Op: isa.RET}) }
+
+// Syscall emits the far-transfer syscall instruction.
+func (f *Func) Syscall() *Func { return f.emit(isa.Instr{Op: isa.SYSCALL}) }
+
+// AddrOfLabel loads the absolute address of a function-local label into
+// rd (PC-relative LEA) — the computed-goto idiom compilers use for
+// address-taken labels and sparse switch lowering. The static analyzer
+// recognizes such LEAs as indirect-jump targets within the function.
+func (f *Func) AddrOfLabel(rd isa.Reg, label string) *Func {
+	return f.emitRef(isa.Instr{Op: isa.LEA, Rd: rd}, refLabel, label, 0)
+}
+
+// AddrOf loads the absolute address of a symbol into rd. Local functions
+// and data use PC-relative LEA (and mark functions address-taken);
+// imported symbols load their GOT slot. The symbol is classified at
+// assembly time, so forward references to later definitions work; two
+// instruction slots are always reserved (LEA+LD for imports, LEA+NOP for
+// locals).
+func (f *Func) AddrOf(rd isa.Reg, sym string) *Func {
+	f.emitRef(isa.Instr{Op: isa.LEA, Rd: rd}, refSym, sym, 0)
+	return f.emitRef(isa.Instr{Op: isa.NOP, Rd: rd}, refSymLD, sym, 0)
+}
+
+// Prologue emits the standard frame setup: push fp; fp = sp; sp -= frame.
+func (f *Func) Prologue(frame int32) *Func {
+	f.Push(isa.FP)
+	f.Mov(isa.FP, isa.SP)
+	if frame > 0 {
+		f.Addi(isa.SP, -frame)
+	}
+	return f
+}
+
+// Epilogue emits the matching teardown and return.
+func (f *Func) Epilogue() *Func {
+	f.Mov(isa.SP, isa.FP)
+	f.Pop(isa.FP)
+	return f.Ret()
+}
+
+// Size returns the current number of emitted instructions.
+func (f *Func) Size() int { return len(f.code) }
+
+// --- assembly --------------------------------------------------------------
+
+// Assemble lays out functions and PLT stubs, resolves every reference and
+// returns the finished module.
+func (b *Builder) Assemble() (*module.Module, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.funcs) == 0 {
+		return nil, fmt.Errorf("asm %s: no functions", b.name)
+	}
+
+	// Classify deferred references now that every definition is known:
+	// locally-defined AddrOf targets become address-taken, and names that
+	// resolve to nothing local become imports (allocating GOT slots and
+	// PLT stubs before layout).
+	for _, f := range b.funcs {
+		for _, p := range f.code {
+			switch p.kind {
+			case refSym:
+				if _, isFn := b.funcIdx[p.name]; isFn {
+					b.taken[p.name] = true
+					continue
+				}
+				if _, isData := b.dataSym[p.name]; isData {
+					continue
+				}
+				b.importSlot(p.name)
+			case refFunc:
+				if _, isFn := b.funcIdx[p.name]; !isFn {
+					b.importSlot(p.name)
+				}
+			}
+		}
+	}
+	// Function-pointer tables mark locally-defined targets address-taken;
+	// foreign targets resolve at load time through the global lookup.
+	for _, r := range b.relocs {
+		if _, isFn := b.funcIdx[r.Symbol]; isFn {
+			b.taken[r.Symbol] = true
+		}
+	}
+
+	// Layout pass: functions in declaration order, then PLT stubs.
+	off := uint64(0)
+	for _, f := range b.funcs {
+		f.off = off
+		off += uint64(len(f.code)) * isa.InstrSize
+	}
+	const pltStubInstrs = 3
+	pltOff := make(map[string]uint64, len(b.impOrd))
+	for _, imp := range b.impOrd {
+		pltOff[imp] = off
+		off += pltStubInstrs * isa.InstrSize
+	}
+	codeSize := off
+
+	// The GOT occupies the front of the data section; shift data symbols.
+	gotBytes := uint64(len(b.impOrd)) * 8
+	dataBase := func(codeOff uint64) int64 {
+		// PC-relative distance from codeOff to the start of the data
+		// section, assuming a page-aligned code base.
+		return int64(alignUp(codeSize, pageAlign)) - int64(codeOff)
+	}
+
+	code := make([]byte, 0, codeSize)
+	resolve := func(f *Func, idx int, p pending) (isa.Instr, error) {
+		instrOff := f.off + uint64(idx)*isa.InstrSize
+		next := instrOff + isa.InstrSize
+		i := p.instr
+		switch p.kind {
+		case refNone:
+			return i, nil
+		case refLabel:
+			t, ok := f.labels[p.name]
+			if !ok {
+				return i, fmt.Errorf("asm %s: undefined label %q in %s", b.name, p.name, f.name)
+			}
+			i.Imm = int32(int64(f.off+uint64(t)*isa.InstrSize) - int64(next))
+			return i, nil
+		case refFunc:
+			var target uint64
+			if tf, ok := b.funcIdx[p.name]; ok {
+				target = tf.off
+			} else if po, ok := pltOff[p.name]; ok {
+				target = po
+			} else {
+				return i, fmt.Errorf("asm %s: unresolved function %q", b.name, p.name)
+			}
+			i.Imm = int32(int64(target) - int64(next))
+			return i, nil
+		case refData:
+			d, ok := b.dataSym[p.name]
+			if !ok {
+				return i, fmt.Errorf("asm %s: unresolved data symbol %q", b.name, p.name)
+			}
+			i.Imm = int32(dataBase(next) + int64(gotBytes+d))
+			return i, nil
+		case refGOT:
+			i.Imm = int32(dataBase(next) + int64(p.slot)*8)
+			return i, nil
+		case refSym:
+			if tf, ok := b.funcIdx[p.name]; ok {
+				i.Imm = int32(int64(tf.off) - int64(next))
+				return i, nil
+			}
+			if d, ok := b.dataSym[p.name]; ok {
+				i.Imm = int32(dataBase(next) + int64(gotBytes+d))
+				return i, nil
+			}
+			slot, ok := b.imports[p.name]
+			if !ok {
+				return i, fmt.Errorf("asm %s: unresolved AddrOf symbol %q", b.name, p.name)
+			}
+			i.Imm = int32(dataBase(next) + int64(slot)*8)
+			return i, nil
+		case refSymLD:
+			if _, ok := b.funcIdx[p.name]; ok {
+				return isa.Instr{Op: isa.NOP}, nil
+			}
+			if _, ok := b.dataSym[p.name]; ok {
+				return isa.Instr{Op: isa.NOP}, nil
+			}
+			return isa.Instr{Op: isa.LD, Rd: i.Rd, Rs: i.Rd}, nil
+		}
+		return i, fmt.Errorf("asm %s: unknown ref kind", b.name)
+	}
+
+	for _, f := range b.funcs {
+		for idx, p := range f.code {
+			i, err := resolve(f, idx, p)
+			if err != nil {
+				return nil, err
+			}
+			code = i.EncodeTo(code)
+		}
+	}
+
+	var plt []module.PLTEntry
+	for _, imp := range b.impOrd {
+		stub := pltOff[imp]
+		slot := b.imports[imp]
+		lea := isa.Instr{Op: isa.LEA, Rd: isa.R12, Imm: int32(dataBase(stub+isa.InstrSize) + int64(slot)*8)}
+		code = lea.EncodeTo(code)
+		code = (isa.Instr{Op: isa.LD, Rd: isa.R12, Rs: isa.R12}).EncodeTo(code)
+		code = (isa.Instr{Op: isa.JMPR, Rs: isa.R12}).EncodeTo(code)
+		plt = append(plt, module.PLTEntry{Symbol: imp, Off: stub, GOTSlot: slot})
+	}
+
+	data := make([]byte, gotBytes+uint64(len(b.data)))
+	copy(data[gotBytes:], b.data)
+
+	m := &module.Module{
+		Name:     b.name,
+		Code:     code,
+		Data:     data,
+		GOTSlots: len(b.impOrd),
+		PLT:      plt,
+		Needed:   append([]string(nil), b.needed...),
+	}
+	for _, f := range b.funcs {
+		m.Symbols = append(m.Symbols, module.Symbol{
+			Name: f.name, Kind: module.SymFunc, Off: f.off,
+			Size: uint64(len(f.code)) * isa.InstrSize, ArgCount: f.args,
+			AddressTaken: b.taken[f.name], Exported: f.exported,
+		})
+	}
+	for _, s := range b.dataTab {
+		s.Off += gotBytes
+		m.Symbols = append(m.Symbols, s)
+	}
+	for _, r := range b.relocs {
+		m.Relocs = append(m.Relocs, module.Reloc{Off: r.Off + gotBytes, Symbol: r.Symbol})
+	}
+	if b.entry != "" {
+		ef, ok := b.funcIdx[b.entry]
+		if !ok {
+			return nil, fmt.Errorf("asm %s: entry %q undefined", b.name, b.entry)
+		}
+		m.Entry = ef.off
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func alignUp(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }

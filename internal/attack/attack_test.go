@@ -1,0 +1,130 @@
+package attack_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"flowguard/internal/apps"
+	"flowguard/internal/attack"
+	"flowguard/internal/isa"
+	"flowguard/internal/module"
+)
+
+func vulndAS(t *testing.T) *module.AddressSpace {
+	t.Helper()
+	as, err := apps.Vulnd().Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as
+}
+
+func TestFindGadgetsShape(t *testing.T) {
+	as := vulndAS(t)
+	gs := attack.FindGadgets(as, 5)
+	if len(gs) < 20 {
+		t.Fatalf("found %d gadgets, want plenty in libc-linked binaries", len(gs))
+	}
+	for _, g := range gs {
+		last := g.Instrs[len(g.Instrs)-1]
+		if last.Op != isa.RET {
+			t.Fatalf("gadget %v does not end in ret", g)
+		}
+		if len(g.Instrs) > 5 {
+			t.Fatalf("gadget %v exceeds max length", g)
+		}
+		for i, in := range g.Instrs[:len(g.Instrs)-1] {
+			if in.Op.IsCoFI() && in.Op != isa.SYSCALL {
+				t.Fatalf("gadget %v has a branch at %d", g, i)
+			}
+		}
+		if g.String() == "" {
+			t.Fatal("empty gadget rendering")
+		}
+	}
+}
+
+func TestFindPopChainLocatesCtxRestore(t *testing.T) {
+	as := vulndAS(t)
+	gs := attack.FindGadgets(as, 6)
+	g, ok := attack.FindPopChain(gs, isa.R7, isa.R2, isa.R1, isa.R0)
+	if !ok {
+		t.Fatal("ctx_restore pop chain not found")
+	}
+	want, _ := as.ResolveSymbol("ctx_restore")
+	if g.Addr != want {
+		t.Errorf("pop chain at %#x, want ctx_restore %#x", g.Addr, want)
+	}
+	// A bare ret exists too.
+	if _, ok := attack.FindPopChain(gs); !ok {
+		t.Error("no bare ret gadget")
+	}
+	// An impossible chain does not.
+	if _, ok := attack.FindPopChain(gs, isa.FP, isa.SP, isa.FP, isa.SP, isa.FP); ok {
+		t.Error("found a chain that should not exist")
+	}
+}
+
+func TestFindSyscallRet(t *testing.T) {
+	as := vulndAS(t)
+	g, ok := attack.FindSyscallRet(attack.FindGadgets(as, 3))
+	if !ok {
+		t.Fatal("no syscall;ret gadget")
+	}
+	if m := as.FindModule(g.Addr); m == nil || m.Mod.Name != "libc" {
+		t.Errorf("syscall gadget outside libc: %v", g)
+	}
+}
+
+func TestChainSerialization(t *testing.T) {
+	var c attack.Chain
+	c.Word(0x1122334455667788).Word(1)
+	b := c.Bytes()
+	if c.Len() != 16 || len(b) != 16 {
+		t.Fatalf("len = %d/%d", c.Len(), len(b))
+	}
+	if !bytes.Equal(b[:8], []byte{0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11}) {
+		t.Errorf("little-endian encoding broken: % x", b[:8])
+	}
+}
+
+// TestPayloadsAreWellFormed: every builder produces a parseable vulnd
+// request stream: benign prelude, then "P <n>\n" with exactly n payload
+// bytes.
+func TestPayloadsAreWellFormed(t *testing.T) {
+	as := vulndAS(t)
+	builders := map[string]func(*module.AddressSpace) ([]byte, error){
+		"rop":     attack.BuildROPWrite,
+		"srop":    attack.BuildSROP,
+		"ret2lib": attack.BuildRet2Lib,
+		"flush": func(as *module.AddressSpace) ([]byte, error) {
+			return attack.BuildHistoryFlush(as, 40)
+		},
+	}
+	for name, build := range builders {
+		payload, err := build(as)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s := string(payload)
+		idx := strings.Index(s, "P ")
+		if idx < 0 {
+			t.Fatalf("%s: no overflow request", name)
+		}
+		nl := strings.IndexByte(s[idx:], '\n')
+		declared := 0
+		if _, err := fmt.Sscanf(s[idx:idx+nl], "P %d", &declared); err != nil {
+			t.Fatalf("%s: bad overflow header %q", name, s[idx:idx+nl])
+		}
+		raw := payload[idx+nl+1:]
+		if len(raw) != declared {
+			t.Errorf("%s: declared %d payload bytes, got %d", name, declared, len(raw))
+		}
+		// The filler must cover buffer + saved fp before the chain.
+		if declared <= 104 {
+			t.Errorf("%s: payload %d too short to smash the return address", name, declared)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package cfg_test
+
+import (
+	"errors"
+	"testing"
+
+	"flowguard/internal/asm"
+	"flowguard/internal/cfg"
+	"flowguard/internal/cpu"
+	"flowguard/internal/isa"
+	"flowguard/internal/module"
+	"flowguard/internal/trace"
+)
+
+// fixture builds a two-module program exercising every analysis feature:
+// PLT calls, indirect calls through a table, tail calls, and returns.
+func fixture(t *testing.T) *module.AddressSpace {
+	t.Helper()
+
+	lib := asm.NewModule("libx")
+	// handler0(a) and handler1(a, b): different arities, both
+	// address-taken via the dispatch table.
+	h0 := lib.Func("handler0", 1, true)
+	h0.Addi(isa.R0, 100).Ret()
+	h1 := lib.Func("handler1", 2, true)
+	h1.Add(isa.R0, isa.R1).Ret()
+	// helper: exported, called via PLT from the executable.
+	helper := lib.Func("helper", 1, true)
+	helper.Addi(isa.R0, 1).Ret()
+	// tail_a tail-jumps to tail_b: tail_b's ret returns to tail_a's
+	// caller.
+	ta := lib.Func("tail_a", 1, true)
+	ta.Addi(isa.R0, 10)
+	ta.TailJmp("tail_b")
+	tb := lib.Func("tail_b", 1, true)
+	tb.Addi(isa.R0, 20).Ret()
+	libm, err := lib.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	app := asm.NewModule("app").Needs("libx")
+	app.FuncTable("handlers", []string{"h_local0", "h_local2"}, false)
+	main := app.Func("main", 0, true)
+	app.SetEntry("main")
+	// Direct PLT call.
+	main.Movi(isa.R0, 1)
+	main.Call("helper")
+	// Indirect call, two args prepared.
+	main.AddrOf(isa.R6, "handlers")
+	main.Ld(isa.R6, isa.R6, 8)
+	main.Movi(isa.R0, 2)
+	main.Movi(isa.R1, 3)
+	main.CallR(isa.R6)
+	// Tail-call chain via PLT.
+	main.Movi(isa.R0, 4)
+	main.Call("tail_a")
+	main.Halt()
+	l0 := app.Func("h_local0", 0, false)
+	l0.Movi(isa.R0, 7).Ret()
+	l2 := app.Func("h_local2", 2, false)
+	l2.Add(isa.R0, isa.R1).Ret()
+	appm, err := app.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	as, err := module.Load(appm, map[string]*module.Module{"libx": libm}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as
+}
+
+func findFunc(t *testing.T, g *cfg.Graph, name string) *cfg.Function {
+	t.Helper()
+	for _, f := range g.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("function %q not in graph", name)
+	return nil
+}
+
+func TestArityAnalysisMatchesDeclared(t *testing.T) {
+	g, err := cfg.Build(fixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range g.Funcs {
+		if f.IsPLT || f.Name == "app!main" {
+			continue
+		}
+		if f.Arity > f.DeclaredArity {
+			t.Errorf("%s: computed arity %d exceeds declared %d (unsafe over-estimate)",
+				f.Name, f.Arity, f.DeclaredArity)
+		}
+	}
+	// The leaf handlers read exactly their declared registers, so the
+	// liveness analysis should be exact on them.
+	for name, want := range map[string]int{
+		"libx!handler0": 1, "libx!handler1": 2,
+		"app!h_local0": 0, "app!h_local2": 2,
+		"libx!tail_a": 1, "libx!tail_b": 1,
+	} {
+		if f := findFunc(t, g, name); f.Arity != want {
+			t.Errorf("%s arity = %d, want %d", name, f.Arity, want)
+		}
+	}
+}
+
+func TestIndirectCallTargetsArityFiltered(t *testing.T) {
+	g, err := cfg.Build(fixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := findFunc(t, g, "app!main")
+	var ind *cfg.CallSite
+	for _, cs := range main.CallSites {
+		if cs.Indirect() {
+			ind = cs
+		}
+	}
+	if ind == nil {
+		t.Fatal("no indirect call site in main")
+	}
+	if ind.Prepared != 2 {
+		t.Errorf("prepared = %d, want 2", ind.Prepared)
+	}
+	names := map[string]bool{}
+	for _, f := range ind.Targets {
+		names[f.Name] = true
+	}
+	// Address-taken functions with arity <= 2: the two table handlers,
+	// plus the GOT-bound imports (helper, tail_a) — dynamically bound
+	// function addresses escape into the GOT, so conservative binary CFI
+	// must admit them (as binCFI does for exported functions).
+	for _, want := range []string{"app!h_local0", "app!h_local2", "libx!helper"} {
+		if !names[want] {
+			t.Errorf("target set missing %s (have %v)", want, names)
+		}
+	}
+	// Functions whose address never escapes (main is only the entry
+	// point) must not be indirect targets.
+	if names["app!main"] {
+		t.Errorf("target set leaked non-address-taken main: %v", names)
+	}
+}
+
+func TestReturnMatchingAndTailCalls(t *testing.T) {
+	as := fixture(t)
+	g, err := cfg.Build(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := findFunc(t, g, "app!main")
+
+	// helper returns to the address after main's first CALL.
+	helper := findFunc(t, g, "libx!helper")
+	var helperRet, tailARet uint64
+	for _, cs := range main.CallSites {
+		if cs.Callee == nil {
+			continue
+		}
+		switch cs.Callee.Name {
+		case "app!helper@plt":
+			helperRet = cs.RetAddr
+		case "app!tail_a@plt":
+			tailARet = cs.RetAddr
+		}
+	}
+	if helperRet == 0 || tailARet == 0 {
+		t.Fatalf("PLT call sites not found in main: %+v", main.CallSites)
+	}
+	if !contains(helper.RetTargets, helperRet) {
+		t.Errorf("helper ret targets %v missing call-site return %#x", helper.RetTargets, helperRet)
+	}
+
+	// tail_b is only ever tail-jumped from tail_a, so its return target
+	// must be main's tail_a call site return address (paper §4.1 tail
+	// call handling).
+	tailB := findFunc(t, g, "libx!tail_b")
+	if !contains(tailB.RetTargets, tailARet) {
+		t.Errorf("tail_b ret targets %v missing tail-propagated %#x", tailB.RetTargets, tailARet)
+	}
+
+	// The PLT stub fans out to the interposed definition.
+	stub := findFunc(t, g, "app!helper@plt")
+	if !stub.IsPLT {
+		t.Fatal("helper@plt not marked as PLT")
+	}
+	want, _ := as.ResolveSymbol("helper")
+	if stub.PLTTarget != want {
+		t.Errorf("PLT target = %#x, want %#x", stub.PLTTarget, want)
+	}
+}
+
+// TestNoFalsePositives is the conservatism guarantee of §4.1: every edge
+// the program actually executes must be present in the O-CFG.
+func TestNoFalsePositives(t *testing.T) {
+	as := fixture(t)
+	g, err := cfg.Build(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(as)
+	var violations []trace.Branch
+	c.Branch = trace.SinkFunc(func(b trace.Branch) {
+		if !g.ContainsEdge(b.Source, b.Target, b.Class) {
+			violations = append(violations, b)
+		}
+	})
+	if _, err := c.Run(100000); !errors.Is(err, cpu.ErrHalted) {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, v := range violations {
+		t.Errorf("executed edge not in O-CFG: %v %s -> %s",
+			v.Class, as.SymbolFor(v.Source), as.SymbolFor(v.Target))
+	}
+}
+
+func TestContainsEdgeRejectsForeignEdges(t *testing.T) {
+	as := fixture(t)
+	g, err := cfg.Build(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	helper := findFunc(t, g, "libx!helper")
+	main := findFunc(t, g, "app!main")
+	// A return from helper into main's entry is not a matched return.
+	retAddr := helper.End - isa.InstrSize
+	if g.ContainsEdge(retAddr, main.Entry, isa.CoFIRet) {
+		t.Error("ContainsEdge accepted an unmatched return edge")
+	}
+	// An indirect "call" from main's entry (not a CALLR instruction).
+	if g.ContainsEdge(main.Entry, helper.Entry, isa.CoFIIndirect) {
+		t.Error("ContainsEdge accepted an indirect edge from a non-indirect instruction")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g, err := cfg.Build(fixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.ComputeStats()
+	if s.Libraries != 1 {
+		t.Errorf("libraries = %d, want 1", s.Libraries)
+	}
+	if s.ExecBlocks == 0 || s.LibBlocks == 0 {
+		t.Errorf("blocks: exec=%d lib=%d, want both > 0", s.ExecBlocks, s.LibBlocks)
+	}
+	if s.AIA <= 0 {
+		t.Errorf("AIA = %v, want > 0", s.AIA)
+	}
+	if s.Sites == 0 {
+		t.Error("no indirect sites found")
+	}
+}
+
+func TestBlockContaining(t *testing.T) {
+	g, err := cfg.Build(fixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := findFunc(t, g, "app!main")
+	b, ok := g.BlockContaining(main.Entry + isa.InstrSize)
+	if !ok || b.Fn != main {
+		t.Fatalf("BlockContaining(main+8) = %v, %v", b, ok)
+	}
+	if _, ok := g.BlockContaining(0x10); ok {
+		t.Error("BlockContaining(unmapped) succeeded")
+	}
+}
+
+func contains(xs []uint64, v uint64) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,160 @@
+package cfg_test
+
+import (
+	"errors"
+	"testing"
+
+	"flowguard/internal/asm"
+	"flowguard/internal/cfg"
+	"flowguard/internal/cpu"
+	"flowguard/internal/isa"
+	"flowguard/internal/itc"
+	"flowguard/internal/module"
+	"flowguard/internal/trace"
+	"flowguard/internal/trace/ipt"
+)
+
+// switchProgram lowers a computed-goto switch: the dispatcher takes the
+// address of each case label with LEA and jumps indirectly — the idiom
+// compilers emit for address-taken labels.
+func switchProgram(t *testing.T) *module.AddressSpace {
+	t.Helper()
+	b := asm.NewModule("switchy")
+	b.DataSpace("input", 8, false)
+	f := b.Func("main", 0, true)
+	b.SetEntry("main")
+	f.AddrOf(isa.R8, "input")
+	f.Ld(isa.R0, isa.R8, 0) // selector
+	f.Call("dispatch")
+	f.Halt()
+
+	d := b.Func("dispatch", 1, false)
+	d.Cmpi(isa.R0, 0)
+	d.Jcc(isa.NE, "try1")
+	d.AddrOfLabel(isa.R6, "case0")
+	d.Jmp("go")
+	d.Label("try1")
+	d.Cmpi(isa.R0, 1)
+	d.Jcc(isa.NE, "try2")
+	d.AddrOfLabel(isa.R6, "case1")
+	d.Jmp("go")
+	d.Label("try2")
+	d.AddrOfLabel(isa.R6, "caseN")
+	d.Label("go")
+	d.JmpR(isa.R6) // the computed goto
+	d.Label("case0")
+	d.Movi(isa.R0, 100)
+	d.Ret()
+	d.Label("case1")
+	d.Movi(isa.R0, 200)
+	d.Ret()
+	d.Label("caseN")
+	d.Movi(isa.R0, 999)
+	d.Ret()
+
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := module.Load(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as
+}
+
+// TestComputedGotoTargets: the indirect jump's target set is exactly the
+// LEA'd labels, not the whole address-taken population.
+func TestComputedGotoTargets(t *testing.T) {
+	as := switchProgram(t)
+	g, err := cfg.Build(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var site *cfg.IndirectSite
+	for _, s := range g.Sites {
+		if s.Kind == cfg.SiteIndJmp {
+			site = s
+		}
+	}
+	if site == nil {
+		t.Fatal("no indirect-jump site found")
+	}
+	if len(site.Targets) != 3 {
+		t.Fatalf("jump targets = %d, want the 3 case labels", len(site.Targets))
+	}
+	dispatch, _ := as.Exec.SymbolAddr("dispatch")
+	for _, tgt := range site.Targets {
+		if tgt <= dispatch {
+			t.Errorf("target %#x not an interior label of dispatch", tgt)
+		}
+	}
+}
+
+// TestComputedGotoNoFalsePositives: all three selector values execute
+// inside the O-CFG, consecutive TIPs stay in the ITC-CFG, and the case
+// blocks are IT-BBs.
+func TestComputedGotoNoFalsePositives(t *testing.T) {
+	as := switchProgram(t)
+	g, err := cfg.Build(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig := itc.FromCFG(g)
+	input, _ := as.Exec.SymbolAddr("input")
+	for sel := uint64(0); sel < 3; sel++ {
+		if err := as.WriteU64(input, sel); err != nil {
+			t.Fatal(err)
+		}
+		c := cpu.New(as)
+		tr := ipt.NewTracer(ipt.NewToPA(1 << 20))
+		if err := tr.WriteMSR(ipt.MSRRTITCtl, ipt.CtlTraceEn|ipt.CtlBranchEn|ipt.CtlUser|ipt.CtlToPA); err != nil {
+			t.Fatal(err)
+		}
+		bad := 0
+		c.Branch = trace.MultiSink{tr, trace.SinkFunc(func(br trace.Branch) {
+			if bad < 3 && !g.ContainsEdge(br.Source, br.Target, br.Class) {
+				bad++
+				t.Errorf("sel %d: edge not in O-CFG: %v %s -> %s",
+					sel, br.Class, as.SymbolFor(br.Source), as.SymbolFor(br.Target))
+			}
+		})}
+		if _, err := c.Run(10000); !errors.Is(err, cpu.ErrHalted) {
+			t.Fatalf("sel %d: %v", sel, err)
+		}
+		tr.Flush()
+		evs, err := ipt.DecodeFast(tr.Out.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tips := ipt.ExtractTIPs(evs)
+		for i := 0; i+1 < len(tips); i++ {
+			if !ig.HasEdge(tips[i].IP, tips[i+1].IP) {
+				t.Errorf("sel %d: TIP pair not an ITC edge: %s -> %s",
+					sel, as.SymbolFor(tips[i].IP), as.SymbolFor(tips[i+1].IP))
+			}
+		}
+	}
+}
+
+// TestComputedGotoHijackCaught: a jump to a non-label interior address
+// violates the O-CFG (the precision computed-goto bounding buys).
+func TestComputedGotoHijackCaught(t *testing.T) {
+	as := switchProgram(t)
+	g, err := cfg.Build(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dispatch, _ := as.Exec.SymbolAddr("dispatch")
+	// Find the JMPR instruction.
+	var jmpr uint64
+	for _, s := range g.Sites {
+		if s.Kind == cfg.SiteIndJmp {
+			jmpr = s.Addr
+		}
+	}
+	// A jump to dispatch+8 (not a taken label) must be rejected.
+	if g.ContainsEdge(jmpr, dispatch+isa.InstrSize, isa.CoFIIndirect) {
+		t.Error("O-CFG accepted a jump to a non-label interior address")
+	}
+}

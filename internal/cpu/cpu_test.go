@@ -1,0 +1,372 @@
+package cpu_test
+
+import (
+	"errors"
+	"testing"
+
+	"flowguard/internal/asm"
+	"flowguard/internal/cpu"
+	"flowguard/internal/isa"
+	"flowguard/internal/module"
+	"flowguard/internal/trace"
+)
+
+// run assembles a single-module executable, runs it to HALT and returns
+// the CPU plus any recorded branches.
+func run(t *testing.T, build func(b *asm.Builder)) (*cpu.CPU, []trace.Branch) {
+	t.Helper()
+	b := asm.NewModule("app")
+	build(b)
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := module.Load(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(as)
+	var branches []trace.Branch
+	c.Branch = trace.SinkFunc(func(br trace.Branch) { branches = append(branches, br) })
+	if _, err := c.Run(100000); !errors.Is(err, cpu.ErrHalted) {
+		t.Fatalf("Run: %v (pc=%#x)", err, c.PC)
+	}
+	return c, branches
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	c, _ := run(t, func(b *asm.Builder) {
+		f := b.Func("main", 0, true)
+		b.SetEntry("main")
+		// r0 = sum(1..10)
+		f.Movi(isa.R0, 0).Movi(isa.R1, 1)
+		f.Label("loop")
+		f.Add(isa.R0, isa.R1)
+		f.Addi(isa.R1, 1)
+		f.Cmpi(isa.R1, 10)
+		f.Jcc(isa.LE, "loop")
+		f.Halt()
+	})
+	if c.Regs[isa.R0] != 55 {
+		t.Errorf("sum = %d, want 55", c.Regs[isa.R0])
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	c, branches := run(t, func(b *asm.Builder) {
+		main := b.Func("main", 0, true)
+		b.SetEntry("main")
+		main.Movi(isa.R0, 20).Movi(isa.R1, 22)
+		main.Call("add2")
+		main.Halt()
+		add := b.Func("add2", 2, false)
+		add.Prologue(0)
+		add.Add(isa.R0, isa.R1)
+		add.Epilogue()
+	})
+	if c.Regs[isa.R0] != 42 {
+		t.Errorf("add2 result = %d, want 42", c.Regs[isa.R0])
+	}
+	if c.SP() != c.AS.InitialSP {
+		t.Errorf("SP = %#x after balanced call, want %#x", c.SP(), c.AS.InitialSP)
+	}
+	// Branch stream: direct CALL then RET.
+	var classes []isa.CoFIClass
+	for _, br := range branches {
+		classes = append(classes, br.Class)
+	}
+	want := []isa.CoFIClass{isa.CoFIDirect, isa.CoFIRet}
+	if len(classes) != len(want) {
+		t.Fatalf("branch classes = %v, want %v", classes, want)
+	}
+	for i := range want {
+		if classes[i] != want[i] {
+			t.Fatalf("branch classes = %v, want %v", classes, want)
+		}
+	}
+	// The RET target must be the instruction after the CALL.
+	ret := branches[1]
+	call := branches[0]
+	if ret.Target != call.Source+isa.InstrSize {
+		t.Errorf("ret target = %#x, want %#x", ret.Target, call.Source+isa.InstrSize)
+	}
+}
+
+func TestIndirectCallThroughTable(t *testing.T) {
+	c, branches := run(t, func(b *asm.Builder) {
+		b.FuncTable("ops", []string{"inc", "dec"}, false)
+		main := b.Func("main", 0, true)
+		b.SetEntry("main")
+		main.AddrOf(isa.R6, "ops")
+		main.Ld(isa.R6, isa.R6, 8) // ops[1] = dec
+		main.Movi(isa.R0, 10)
+		main.CallR(isa.R6)
+		main.Halt()
+		b.Func("inc", 1, false).Addi(isa.R0, 1).Ret()
+		b.Func("dec", 1, false).Addi(isa.R0, -1).Ret()
+	})
+	if c.Regs[isa.R0] != 9 {
+		t.Errorf("result = %d, want 9 (dec)", c.Regs[isa.R0])
+	}
+	var indirect *trace.Branch
+	for i := range branches {
+		if branches[i].Class == isa.CoFIIndirect {
+			indirect = &branches[i]
+		}
+	}
+	if indirect == nil {
+		t.Fatal("no indirect branch recorded")
+	}
+	want, _ := c.AS.Exec.SymbolAddr("dec")
+	if indirect.Target != want {
+		t.Errorf("indirect target = %#x, want dec at %#x", indirect.Target, want)
+	}
+}
+
+func TestConditionalFlags(t *testing.T) {
+	// Exercise every condition code both ways via a bitmask result.
+	c, _ := run(t, func(b *asm.Builder) {
+		f := b.Func("main", 0, true)
+		b.SetEntry("main")
+		f.Movi(isa.R0, 0)
+		f.Movi(isa.R1, 5)
+		conds := []struct {
+			c   isa.Cond
+			imm int32
+			bit int32
+		}{
+			{isa.EQ, 5, 1}, {isa.NE, 4, 2}, {isa.LT, 6, 4},
+			{isa.LE, 5, 8}, {isa.GT, 4, 16}, {isa.GE, 5, 32},
+			// And the not-taken variants must not set bits.
+			{isa.EQ, 4, 64}, {isa.LT, 5, 128}, {isa.GT, 9, 256},
+		}
+		for i, cc := range conds {
+			label := string(rune('a' + i))
+			f.Cmpi(isa.R1, cc.imm)
+			f.Jcc(invert(cc.c), label)
+			f.Movi(isa.R2, cc.bit)
+			f.Or(isa.R0, isa.R2)
+			f.Label(label)
+		}
+		f.Halt()
+	})
+	if got := c.Regs[isa.R0]; got != 1|2|4|8|16|32 {
+		t.Errorf("condition mask = %#b, want %#b", got, 1|2|4|8|16|32)
+	}
+}
+
+// invert returns the complementary condition.
+func invert(c isa.Cond) isa.Cond {
+	switch c {
+	case isa.EQ:
+		return isa.NE
+	case isa.NE:
+		return isa.EQ
+	case isa.LT:
+		return isa.GE
+	case isa.GE:
+		return isa.LT
+	case isa.GT:
+		return isa.LE
+	default:
+		return isa.GT
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	c, _ := run(t, func(b *asm.Builder) {
+		b.DataSpace("buf", 64, false)
+		f := b.Func("main", 0, true)
+		b.SetEntry("main")
+		f.AddrOf(isa.R1, "buf")
+		f.Movi(isa.R2, 0x1234)
+		f.St(isa.R1, 0, isa.R2)
+		f.Ld(isa.R0, isa.R1, 0)
+		f.Movi(isa.R3, 0xab)
+		f.Stb(isa.R1, 9, isa.R3)
+		f.Ldb(isa.R4, isa.R1, 9)
+		f.Halt()
+	})
+	if c.Regs[isa.R0] != 0x1234 {
+		t.Errorf("ld/st round trip = %#x, want 0x1234", c.Regs[isa.R0])
+	}
+	if c.Regs[isa.R4] != 0xab {
+		t.Errorf("ldb/stb round trip = %#x, want 0xab", c.Regs[isa.R4])
+	}
+}
+
+func runExpectFault(t *testing.T, build func(b *asm.Builder)) *cpu.Fault {
+	t.Helper()
+	b := asm.NewModule("app")
+	build(b)
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := module.Load(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(as)
+	_, err = c.Run(300000)
+	var f *cpu.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("Run = %v, want *cpu.Fault", err)
+	}
+	return f
+}
+
+func TestDEPFaultOnStackExecution(t *testing.T) {
+	// Jumping to the stack must fault: NX is part of the threat model.
+	f := runExpectFault(t, func(b *asm.Builder) {
+		fn := b.Func("main", 0, true)
+		b.SetEntry("main")
+		fn.Mov(isa.R1, isa.SP)
+		fn.Addi(isa.R1, -64)
+		fn.JmpR(isa.R1)
+	})
+	var mf *module.Fault
+	if !errors.As(f, &mf) || mf.Kind != module.FaultPerm {
+		t.Errorf("fault = %v, want permission fault", f)
+	}
+}
+
+func TestDivideByZeroFaults(t *testing.T) {
+	runExpectFault(t, func(b *asm.Builder) {
+		fn := b.Func("main", 0, true)
+		b.SetEntry("main")
+		fn.Movi(isa.R0, 10).Movi(isa.R1, 0)
+		fn.Div(isa.R0, isa.R1)
+		fn.Halt()
+	})
+}
+
+func TestStackOverflowFaults(t *testing.T) {
+	runExpectFault(t, func(b *asm.Builder) {
+		fn := b.Func("main", 0, true)
+		b.SetEntry("main")
+		fn.Label("down")
+		fn.Push(isa.R0)
+		fn.Jmp("down")
+	})
+}
+
+func TestSyscallWithoutHandlerFaults(t *testing.T) {
+	runExpectFault(t, func(b *asm.Builder) {
+		fn := b.Func("main", 0, true)
+		b.SetEntry("main")
+		fn.Syscall()
+	})
+}
+
+func TestCycleAccounting(t *testing.T) {
+	c, _ := run(t, func(b *asm.Builder) {
+		f := b.Func("main", 0, true)
+		b.SetEntry("main")
+		f.Movi(isa.R0, 1) // 1 cycle
+		f.Ld(isa.R1, isa.SP, -8)
+		f.Halt()
+	})
+	// movi(1) + ld(2) + halt(1) — plus the fetch of halt itself.
+	if c.Instrs != 3 {
+		t.Errorf("instrs = %d, want 3", c.Instrs)
+	}
+	if c.CycleCount != 4 {
+		t.Errorf("cycles = %d, want 4", c.CycleCount)
+	}
+}
+
+func TestResetRestoresEntryState(t *testing.T) {
+	b := asm.NewModule("app")
+	f := b.Func("main", 0, true)
+	b.SetEntry("main")
+	f.Movi(isa.R0, 9).Halt()
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := module.Load(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(as)
+	if _, err := c.Run(100); !errors.Is(err, cpu.ErrHalted) {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if c.Halted() || c.Regs[isa.R0] != 0 || c.PC != as.Exec.CodeBase {
+		t.Errorf("Reset left state: halted=%v r0=%d pc=%#x", c.Halted(), c.Regs[isa.R0], c.PC)
+	}
+	if _, err := c.Run(100); !errors.Is(err, cpu.ErrHalted) {
+		t.Fatalf("second run: %v", err)
+	}
+	if c.Regs[isa.R0] != 9 {
+		t.Errorf("second run r0 = %d, want 9", c.Regs[isa.R0])
+	}
+}
+
+func TestMovihAndLea(t *testing.T) {
+	c, _ := run(t, func(b *asm.Builder) {
+		f := b.Func("main", 0, true)
+		b.SetEntry("main")
+		f.Movu64(isa.R0, 0xdeadbeefcafebabe)
+		f.Halt()
+	})
+	if c.Regs[isa.R0] != 0xdeadbeefcafebabe {
+		t.Errorf("movu64 = %#x", c.Regs[isa.R0])
+	}
+}
+
+func TestShiftMasking(t *testing.T) {
+	// Shift counts are masked to 6 bits, like real hardware.
+	c, _ := run(t, func(b *asm.Builder) {
+		f := b.Func("main", 0, true)
+		b.SetEntry("main")
+		f.Movi(isa.R0, 1)
+		f.Movi(isa.R1, 65) // 65 & 63 == 1
+		f.Shl(isa.R0, isa.R1)
+		f.Halt()
+	})
+	if c.Regs[isa.R0] != 2 {
+		t.Errorf("1 << 65 = %d, want 2 (masked shift)", c.Regs[isa.R0])
+	}
+}
+
+func TestPendingTrapStopsBeforeNextInstruction(t *testing.T) {
+	b := asm.NewModule("app")
+	f := b.Func("main", 0, true)
+	b.SetEntry("main")
+	f.Movi(isa.R0, 1)
+	f.Movi(isa.R0, 2)
+	f.Halt()
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := module.Load(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(as)
+	if err := c.Step(); err != nil { // first movi
+		t.Fatal(err)
+	}
+	sentinel := errors.New("pmi")
+	c.PendingTrap = sentinel
+	if err := c.Step(); !errors.Is(err, sentinel) {
+		t.Fatalf("Step = %v, want pending trap", err)
+	}
+	if c.PendingTrap != nil {
+		t.Error("trap not consumed")
+	}
+	if c.Regs[isa.R0] != 1 {
+		t.Errorf("r0 = %d; the second movi must not have retired", c.Regs[isa.R0])
+	}
+	// Execution resumes normally afterwards.
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[isa.R0] != 2 {
+		t.Errorf("r0 = %d after resume, want 2", c.Regs[isa.R0])
+	}
+}

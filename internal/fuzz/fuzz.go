@@ -1,0 +1,410 @@
+// Package fuzz implements the coverage-oriented, fuzzing-like input
+// generation of the paper's dynamic training phase (§4.3), modeled on
+// AFL: a queue of interesting test cases, deterministic mutation stages
+// followed by stacked havoc mutations and splicing, and an edge-coverage
+// bitmap with AFL's hit-count bucketing to decide which mutants uncover
+// new state transitions.
+//
+// The paper runs targets under QEMU user-mode emulation for coverage;
+// here the role of QEMU is played by the CPU emulator — callers provide
+// an Executor that runs an input and reports edge coverage (see
+// CoverageSink for the canonical instrumentation).
+//
+// The fuzzer's product is its corpus. Training (step 3 of §4.3) replays
+// the corpus on the "real hardware" — the emulator with the IPT model
+// attached — and labels the ITC-CFG edges the traces exercise; that part
+// lives with the callers (internal/harness, the public API) so this
+// package stays independent of the graph machinery.
+package fuzz
+
+import (
+	"math/rand"
+
+	"flowguard/internal/trace"
+)
+
+// MapSize is the coverage bitmap size (AFL's default 64 KiB).
+const MapSize = 1 << 16
+
+// Executor runs the target on one input and fills cov with edge hit
+// counts. It must be deterministic for a given input.
+type Executor func(input []byte, cov []byte) error
+
+// CoverageSink returns a trace.Sink recording AFL-style edge coverage
+// into cov: each (source, target) branch pair hashes to a bitmap slot
+// whose hit count saturates at 255.
+func CoverageSink(cov []byte) trace.Sink {
+	return trace.SinkFunc(func(b trace.Branch) {
+		h := (b.Source*0x9e3779b1 ^ b.Target*0x85ebca77) >> 4
+		slot := &cov[h&(MapSize-1)]
+		if *slot < 255 {
+			*slot++
+		}
+	})
+}
+
+// bucket quantizes a hit count into AFL's count classes so loops do not
+// register a "new transition" on every extra iteration.
+func bucket(n byte) byte {
+	switch {
+	case n == 0:
+		return 0
+	case n == 1:
+		return 1
+	case n == 2:
+		return 2
+	case n == 3:
+		return 4
+	case n <= 7:
+		return 8
+	case n <= 15:
+		return 16
+	case n <= 31:
+		return 32
+	case n <= 127:
+		return 64
+	default:
+		return 128
+	}
+}
+
+// Entry is one corpus member.
+type Entry struct {
+	Input []byte
+	// NewBits is the number of bitmap slots this entry was the first to
+	// light up.
+	NewBits int
+	// Exec is the execution index at which it was found (Figure 5(d)'s
+	// time axis).
+	Exec int
+	// determinized marks that the deterministic stages already ran.
+	determinized bool
+}
+
+// Config tunes the fuzzing campaign.
+type Config struct {
+	// Seed drives all mutation randomness (campaigns are reproducible).
+	Seed int64
+	// MaxInputLen caps mutant length.
+	MaxInputLen int
+	// DetBudget caps the per-entry deterministic stage positions (the
+	// full AFL walk is quadratic on long inputs).
+	DetBudget int
+	// TrimBudget caps the executions spent minimizing each new queue
+	// entry (AFL's trim stage); 0 disables trimming.
+	TrimBudget int
+}
+
+// DefaultConfig returns sensible campaign settings.
+func DefaultConfig() Config {
+	return Config{Seed: 1, MaxInputLen: 4096, DetBudget: 2048, TrimBudget: 64}
+}
+
+// Fuzzer is one campaign.
+type Fuzzer struct {
+	cfg    Config
+	run    Executor
+	rng    *rand.Rand
+	queue  []*Entry
+	virgin [MapSize]byte // buckets seen so far
+	cov    [MapSize]byte
+
+	// Execs counts target executions.
+	Execs int
+	// Finds counts queue additions beyond the seeds.
+	Finds int
+	// Errors counts executions that returned an error (crashes are
+	// interesting to a vulnerability hunter; for training we only care
+	// that coverage was recorded before the crash).
+	Errors int
+	// TrimmedBytes counts bytes removed from queue entries by the trim
+	// stage.
+	TrimmedBytes int
+}
+
+// New starts a campaign from the given seed inputs.
+func New(run Executor, seeds [][]byte, cfg Config) *Fuzzer {
+	if cfg.MaxInputLen <= 0 {
+		cfg.MaxInputLen = 4096
+	}
+	if cfg.DetBudget <= 0 {
+		cfg.DetBudget = 2048
+	}
+	f := &Fuzzer{cfg: cfg, run: run, rng: rand.New(rand.NewSource(cfg.Seed))}
+	for _, s := range seeds {
+		f.tryInput(append([]byte(nil), s...), true)
+	}
+	return f
+}
+
+// Corpus returns the current queue inputs (the training corpus).
+func (f *Fuzzer) Corpus() [][]byte {
+	out := make([][]byte, len(f.queue))
+	for i, e := range f.queue {
+		out[i] = e.Input
+	}
+	return out
+}
+
+// Queue returns the corpus entries with their discovery metadata.
+func (f *Fuzzer) Queue() []*Entry { return f.queue }
+
+// CoveredSlots returns the number of bitmap slots ever hit — the "paths
+// discovered" proxy plotted in Figure 5(d).
+func (f *Fuzzer) CoveredSlots() int {
+	n := 0
+	for _, v := range f.virgin {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TryInput executes one externally supplied input (no mutation) and
+// queues it if it uncovers new coverage, reporting whether it was
+// queued. Useful for importing corpora or unit-testing bucket behavior.
+func (f *Fuzzer) TryInput(in []byte) bool {
+	return f.tryInput(append([]byte(nil), in...), false)
+}
+
+// tryInput executes the input and queues it if it lights new bucket
+// bits. It reports whether the input was queued.
+func (f *Fuzzer) tryInput(in []byte, seed bool) bool {
+	for i := range f.cov {
+		f.cov[i] = 0
+	}
+	f.Execs++
+	if err := f.run(in, f.cov[:]); err != nil {
+		f.Errors++
+	}
+	newBits := 0
+	for i, v := range f.cov {
+		if v == 0 {
+			continue
+		}
+		b := bucket(v)
+		if f.virgin[i]&b == 0 {
+			f.virgin[i] |= b
+			newBits++
+		}
+	}
+	if newBits == 0 {
+		return false
+	}
+	f.queue = append(f.queue, &Entry{Input: in, NewBits: newBits, Exec: f.Execs})
+	if !seed {
+		f.Finds++
+	}
+	return true
+}
+
+// Run executes up to maxExecs target runs, cycling the queue: each entry
+// gets its deterministic stages once, then havoc/splice rounds.
+func (f *Fuzzer) Run(maxExecs int) {
+	if len(f.queue) == 0 {
+		f.tryInput([]byte("\n"), true)
+	}
+	for qi := 0; f.Execs < maxExecs; qi = (qi + 1) % len(f.queue) {
+		e := f.queue[qi]
+		if !e.determinized {
+			e.determinized = true
+			f.trim(e, maxExecs)
+			f.deterministic(e, maxExecs)
+		}
+		f.havocRound(e, maxExecs)
+		if f.Execs >= maxExecs {
+			return
+		}
+	}
+}
+
+// covSig runs the input and returns a signature of its bucketed
+// coverage map (the invariant the trim stage preserves).
+func (f *Fuzzer) covSig(in []byte) uint64 {
+	for i := range f.cov {
+		f.cov[i] = 0
+	}
+	f.Execs++
+	if err := f.run(in, f.cov[:]); err != nil {
+		f.Errors++
+	}
+	h := uint64(0xcbf29ce484222325)
+	for i, v := range f.cov {
+		if v == 0 {
+			continue
+		}
+		h = (h ^ uint64(i)) * 0x100000001b3
+		h = (h ^ uint64(bucket(v))) * 0x100000001b3
+	}
+	return h
+}
+
+// trim shrinks a queue entry by removing chunks whose absence does not
+// change its coverage signature (AFL's trim stage): shorter corpus
+// entries make every later mutation cheaper and the training replays
+// faster.
+func (f *Fuzzer) trim(e *Entry, maxExecs int) {
+	if f.cfg.TrimBudget <= 0 || len(e.Input) < 8 {
+		return
+	}
+	want := f.covSig(e.Input)
+	spent := 1
+	for frac := 2; frac <= 16 && len(e.Input) >= frac*2; frac *= 2 {
+		step := len(e.Input) / frac
+		if step == 0 {
+			break
+		}
+		for pos := 0; pos+step <= len(e.Input); {
+			if spent >= f.cfg.TrimBudget || f.Execs >= maxExecs {
+				return
+			}
+			candidate := append(append([]byte{}, e.Input[:pos]...), e.Input[pos+step:]...)
+			spent++
+			if f.covSig(candidate) == want {
+				f.TrimmedBytes += step
+				e.Input = candidate
+				// Re-test the same position against the shorter input.
+				continue
+			}
+			pos += step
+		}
+	}
+}
+
+// deterministic runs AFL's walking bitflip / arithmetic / interesting
+// value stages over the entry, bounded by DetBudget positions.
+func (f *Fuzzer) deterministic(e *Entry, maxExecs int) {
+	in := e.Input
+	limit := len(in)
+	if limit > f.cfg.DetBudget {
+		limit = f.cfg.DetBudget
+	}
+	mutated := func(buf []byte) bool {
+		if f.Execs >= maxExecs {
+			return true
+		}
+		f.tryInput(buf, false)
+		return false
+	}
+	// Walking single-bit flips.
+	for pos := 0; pos < limit*8; pos++ {
+		buf := append([]byte(nil), in...)
+		buf[pos/8] ^= 1 << (pos % 8)
+		if mutated(buf) {
+			return
+		}
+	}
+	// Byte flips.
+	for pos := 0; pos < limit; pos++ {
+		buf := append([]byte(nil), in...)
+		buf[pos] ^= 0xff
+		if mutated(buf) {
+			return
+		}
+	}
+	// Arithmetic ±1..16.
+	for pos := 0; pos < limit; pos++ {
+		for d := 1; d <= 16; d++ {
+			buf := append([]byte(nil), in...)
+			buf[pos] += byte(d)
+			if mutated(buf) {
+				return
+			}
+			buf2 := append([]byte(nil), in...)
+			buf2[pos] -= byte(d)
+			if mutated(buf2) {
+				return
+			}
+		}
+	}
+	// Interesting bytes.
+	for pos := 0; pos < limit; pos++ {
+		for _, v := range []byte{0, 1, 16, 32, 64, 100, 127, 128, 255, '\n', ' ', '0', '9'} {
+			buf := append([]byte(nil), in...)
+			buf[pos] = v
+			if mutated(buf) {
+				return
+			}
+		}
+	}
+}
+
+// havocRound applies a burst of stacked random mutations (and one
+// splice) derived from the entry.
+func (f *Fuzzer) havocRound(e *Entry, maxExecs int) {
+	const roundMutants = 48
+	for m := 0; m < roundMutants && f.Execs < maxExecs; m++ {
+		buf := append([]byte(nil), e.Input...)
+		if m == roundMutants-1 && len(f.queue) > 1 {
+			buf = f.splice(buf)
+		}
+		stack := 1 << (1 + f.rng.Intn(4))
+		for s := 0; s < stack; s++ {
+			buf = f.havocOp(buf)
+		}
+		if len(buf) == 0 {
+			buf = []byte{'\n'}
+		}
+		if len(buf) > f.cfg.MaxInputLen {
+			buf = buf[:f.cfg.MaxInputLen]
+		}
+		f.tryInput(buf, false)
+	}
+}
+
+func (f *Fuzzer) havocOp(buf []byte) []byte {
+	if len(buf) == 0 {
+		return []byte{byte(f.rng.Intn(256))}
+	}
+	switch f.rng.Intn(8) {
+	case 0: // flip a bit
+		p := f.rng.Intn(len(buf))
+		buf[p] ^= 1 << f.rng.Intn(8)
+	case 1: // random byte
+		buf[f.rng.Intn(len(buf))] = byte(f.rng.Intn(256))
+	case 2: // arithmetic
+		buf[f.rng.Intn(len(buf))] += byte(1 + f.rng.Intn(32))
+	case 3: // delete a range
+		if len(buf) > 2 {
+			s := f.rng.Intn(len(buf) - 1)
+			l := 1 + f.rng.Intn(len(buf)-s-1)
+			buf = append(buf[:s], buf[s+l:]...)
+		}
+	case 4: // duplicate a range
+		s := f.rng.Intn(len(buf))
+		l := 1 + f.rng.Intn(16)
+		if s+l > len(buf) {
+			l = len(buf) - s
+		}
+		chunk := append([]byte(nil), buf[s:s+l]...)
+		p := f.rng.Intn(len(buf) + 1)
+		buf = append(buf[:p], append(chunk, buf[p:]...)...)
+	case 5: // insert random bytes
+		p := f.rng.Intn(len(buf) + 1)
+		chunk := make([]byte, 1+f.rng.Intn(8))
+		for i := range chunk {
+			chunk[i] = byte(f.rng.Intn(256))
+		}
+		buf = append(buf[:p], append(chunk, buf[p:]...)...)
+	case 6: // overwrite with an ASCII digit run (protocol numbers)
+		p := f.rng.Intn(len(buf))
+		for i := p; i < len(buf) && i < p+4; i++ {
+			buf[i] = byte('0' + f.rng.Intn(10))
+		}
+	case 7: // newline injection (line-oriented protocols)
+		buf[f.rng.Intn(len(buf))] = '\n'
+	}
+	return buf
+}
+
+// splice crosses the buffer with a random other queue entry.
+func (f *Fuzzer) splice(buf []byte) []byte {
+	other := f.queue[f.rng.Intn(len(f.queue))].Input
+	if len(other) == 0 || len(buf) == 0 {
+		return buf
+	}
+	cut1 := f.rng.Intn(len(buf))
+	cut2 := f.rng.Intn(len(other))
+	return append(append([]byte(nil), buf[:cut1]...), other[cut2:]...)
+}

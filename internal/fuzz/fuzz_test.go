@@ -1,0 +1,224 @@
+package fuzz_test
+
+import (
+	"testing"
+
+	"flowguard/internal/apps"
+	"flowguard/internal/cfg"
+	"flowguard/internal/fuzz"
+	"flowguard/internal/itc"
+	"flowguard/internal/kernelsim"
+	"flowguard/internal/trace/ipt"
+)
+
+const ctlDefault = ipt.CtlTraceEn | ipt.CtlBranchEn | ipt.CtlUser | ipt.CtlToPA
+
+// executor adapts an app to the fuzzer: one fresh process per input with
+// the coverage sink attached (the QEMU-mode analogue of §4.3 step 1).
+func executor(a *apps.App) fuzz.Executor {
+	return func(input []byte, cov []byte) error {
+		k := kernelsim.New()
+		p, err := a.Spawn(k, input)
+		if err != nil {
+			return err
+		}
+		p.CPU.Branch = fuzz.CoverageSink(cov)
+		st, err := k.Run(p, 3_000_000)
+		if err != nil {
+			return err
+		}
+		if st.Killed {
+			return st.FaultErr
+		}
+		return nil
+	}
+}
+
+func TestFuzzerDiscoversCoverage(t *testing.T) {
+	a := apps.Nginx()
+	f := fuzz.New(executor(a), [][]byte{
+		[]byte("G /index\n"),
+	}, fuzz.DefaultConfig())
+	base := f.CoveredSlots()
+	if base == 0 {
+		t.Fatal("seed produced no coverage")
+	}
+	f.Run(400)
+	if f.CoveredSlots() <= base {
+		t.Errorf("coverage did not grow: %d -> %d", base, f.CoveredSlots())
+	}
+	if f.Finds == 0 {
+		t.Error("no new queue entries found")
+	}
+	if f.Execs < 400 {
+		t.Errorf("executed %d inputs, want 400", f.Execs)
+	}
+	// Queue entries record discovery order for Figure 5(d).
+	for i, e := range f.Queue() {
+		if len(e.Input) == 0 {
+			t.Errorf("queue[%d] empty", i)
+		}
+		if e.Exec == 0 {
+			t.Errorf("queue[%d] missing discovery index", i)
+		}
+	}
+	t.Logf("execs=%d queue=%d covered=%d errors=%d", f.Execs, len(f.Queue()), f.CoveredSlots(), f.Errors)
+}
+
+// TestFuzzerReachesNewHandlers: starting from a GET-only seed, mutation
+// must eventually reach another request handler (coverage-guided state
+// discovery).
+func TestFuzzerReachesNewHandlers(t *testing.T) {
+	a := apps.Nginx()
+	f := fuzz.New(executor(a), [][]byte{[]byte("G /a\n")}, fuzz.DefaultConfig())
+	f.Run(1200)
+	// The P and H handlers contain code GET never touches; finding them
+	// shows up as a clearly larger covered set than one request shape
+	// alone. Compare against a GET-only corpus baseline.
+	fBase := fuzz.New(executor(a), [][]byte{[]byte("G /a\n")}, fuzz.DefaultConfig())
+	if f.CoveredSlots() <= fBase.CoveredSlots() {
+		t.Errorf("campaign coverage %d not above single-input baseline %d",
+			f.CoveredSlots(), fBase.CoveredSlots())
+	}
+}
+
+// TestTrainingPipeline wires fuzzing into ITC labeling (§4.3 step 3):
+// replay the corpus under IPT and label edges; the cred-ratio must grow
+// with corpus size (the Figure 5(d) dynamic).
+func TestTrainingPipeline(t *testing.T) {
+	a := apps.Nginx()
+	as, err := a.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig := itc.FromCFG(g)
+
+	f := fuzz.New(executor(a), [][]byte{[]byte("G /index\n"), []byte("P 64\nH /x\n")}, fuzz.DefaultConfig())
+	f.Run(300)
+
+	replay := func(input []byte) []ipt.TIPRecord {
+		k := kernelsim.New()
+		p, err := a.Spawn(k, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := ipt.NewTracer(ipt.NewToPA(16 << 20))
+		if err := tr.WriteMSR(ipt.MSRRTITCtl, ctlDefault); err != nil {
+			t.Fatal(err)
+		}
+		p.CPU.Branch = tr
+		if _, err := k.Run(p, 3_000_000); err != nil {
+			t.Fatal(err)
+		}
+		tr.Flush()
+		evs, err := ipt.DecodeFast(tr.Out.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ipt.ExtractTIPs(evs)
+	}
+
+	var ratios []float64
+	corpus := f.Corpus()
+	for ci, input := range corpus {
+		tips := replay(input)
+		for i := 0; i+1 < len(tips); i++ {
+			ig.Observe(tips[i].IP, tips[i+1].IP, tips[i+1].TNTSig)
+		}
+		if ci == 0 || ci == len(corpus)-1 {
+			ratios = append(ratios, ig.Credits().Ratio)
+		}
+	}
+	if len(ratios) < 2 || ratios[len(ratios)-1] <= ratios[0] {
+		t.Errorf("cred-ratio did not grow with the corpus: %v", ratios)
+	}
+	ig.RebuildCache()
+	if ig.Credits().HighCredit == 0 {
+		t.Fatal("training labeled nothing")
+	}
+}
+
+// TestBucketing pins AFL count-class behavior: re-running a loop a few
+// more times must not count as new coverage once its bucket saturates.
+func TestBucketing(t *testing.T) {
+	runs := 0
+	exec := func(input []byte, cov []byte) error {
+		runs++
+		// One edge hit len(input) times.
+		n := len(input)
+		if n > 200 {
+			n = 200
+		}
+		for i := 0; i < n; i++ {
+			cov[7]++
+		}
+		return nil
+	}
+	f := fuzz.New(exec, [][]byte{make([]byte, 1)}, fuzz.DefaultConfig())
+	before := len(f.Queue())
+	// 1 -> 2 hits: new bucket.
+	if added := fuzzTry(f, make([]byte, 2)); !added {
+		t.Error("hit-count 2 should be a new bucket")
+	}
+	// 16 -> 17 hits: same bucket (16..31).
+	fuzzTry(f, make([]byte, 16))
+	if added := fuzzTry(f, make([]byte, 17)); added {
+		t.Error("hit-count 17 should share the 16..31 bucket")
+	}
+	_ = before
+}
+
+// fuzzTry exposes queue growth for one crafted input.
+func fuzzTry(f *fuzz.Fuzzer, in []byte) bool {
+	before := len(f.Queue())
+	// Run a single havoc-free execution by abusing Run's seed path:
+	// inject via the public surface — a one-exec campaign would mutate,
+	// so drive the executor directly through New with the input as a
+	// seed of a throwaway fuzzer sharing the same virgin map is not
+	// possible; instead use the documented TryInput hook.
+	f.TryInput(in)
+	return len(f.Queue()) > before
+}
+
+// TestTrimRemovesRedundantBytes: a synthetic target whose coverage is
+// the set of distinct letters lets the trim stage strip everything else.
+func TestTrimRemovesRedundantBytes(t *testing.T) {
+	exec := func(input []byte, cov []byte) error {
+		for _, b := range input {
+			if b >= 'A' && b <= 'Z' {
+				cov[int(b-'A')]++
+			}
+		}
+		return nil
+	}
+	cfg := fuzz.DefaultConfig()
+	cfg.TrimBudget = 200
+	seed := append([]byte("AB"), make([]byte, 200)...) // 200 redundant NULs
+	f := fuzz.New(exec, [][]byte{seed}, cfg)
+	f.Run(300)
+	if f.TrimmedBytes == 0 {
+		t.Fatal("trim removed nothing")
+	}
+	q := f.Queue()[0]
+	if len(q.Input) > 32 {
+		t.Errorf("seed still %d bytes after trimming, want close to 2", len(q.Input))
+	}
+	for _, b := range []byte("AB") {
+		if !containsByte(q.Input, b) {
+			t.Errorf("trim lost coverage-relevant byte %q", b)
+		}
+	}
+}
+
+func containsByte(p []byte, b byte) bool {
+	for _, x := range p {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,397 @@
+// Package guard implements FlowGuard's runtime protection engine — the
+// paper's primary contribution (§3.2, §5): hybrid control-flow checking
+// over Intel-PT-style traces with a fast path that never touches program
+// binaries and a slow path with full precision.
+//
+// The fast path (§5.3) packet-scans the ToPA buffer from the most recent
+// sync points, extracts at least Policy.PktCount TIP records striding
+// across more than one module (at least one inside the executable), and
+// binary-searches each consecutive TIP pair on the credit-labeled
+// ITC-CFG. An edge absent from the graph is a definite violation (the
+// graph is conservative, so checking introduces no false positives). An
+// edge present but low-credit, or whose TNT-run signature was never seen
+// in training, makes the window suspicious: the slow path re-checks it by
+// fully decoding the trace at the instruction-flow layer and enforcing
+// the fine-grained policies — TypeArmor-restricted forward edges and a
+// shadow stack for returns. Clean slow-path verdicts are cached so
+// subsequent fast paths accept the same edges (§7.1.1).
+package guard
+
+import (
+	"fmt"
+
+	"flowguard/internal/cfg"
+	"flowguard/internal/itc"
+	"flowguard/internal/kernelsim"
+	"flowguard/internal/module"
+	"flowguard/internal/trace/ipt"
+)
+
+// Calibrated fast-path cost constants (see EXPERIMENTS.md). Together with
+// ipt.CyclesPerDecodedInstr they reproduce the paper's ~60x fast/slow gap
+// (§7.2.2).
+const (
+	// CyclesPerFastDecodeByte is the packet-grammar scan cost per trace
+	// byte (a table-driven byte state machine sustains a couple of
+	// bytes per cycle).
+	CyclesPerFastDecodeByte = 0.5
+	// CyclesPerTIPCheck covers the two binary searches, the credit and
+	// TNT-signature assessment, and cache probes for one TIP record.
+	CyclesPerTIPCheck = 130
+	// HWDecoderSpeedup is the factor a dedicated hardware pattern-
+	// matching decoder removes from the fast-decode share (§6 suggestion
+	// 1, evaluated in §7.2.4).
+	HWDecoderSpeedup = 20
+	// CyclesPerInterception is the syscall-table detour, CR3
+	// discrimination and bookkeeping cost per intercepted endpoint (the
+	// "other" bar of Figure 5).
+	CyclesPerInterception = 300
+)
+
+// Policy holds the §7.1.1 knobs.
+type Policy struct {
+	// PktCount is the minimum number of TIP packets checked per trigger
+	// (lower bound 30 in the paper, defeating history-flushing attacks).
+	PktCount int
+	// CredRatio is the fraction of checked edges that must be
+	// high-credit with matching TNT for the fast path to pass on its
+	// own; 1.0 (the paper's setting) sends any low-credit edge to the
+	// slow path.
+	CredRatio float64
+	// RequireModuleStride demands the window span more than one module
+	// with at least one TIP inside the executable, extending the window
+	// backwards if needed (anti return-to-lib history flushing).
+	RequireModuleStride bool
+	// Endpoints lists the intercepted security-sensitive syscalls.
+	Endpoints []uint64
+	// HWDecoder models the dedicated hardware decoder of §6.
+	HWDecoder bool
+	// CredMinCount raises the high-credit bar to edges observed at least
+	// this many times in training — the multi-level credit labeling §4.3
+	// sketches. Zero or one is the paper's binary labeling.
+	CredMinCount uint32
+	// PathSensitive enables the future-work extension of §7.1.2: windows
+	// must also match trained consecutive-edge pairs, defeating attacks
+	// that stitch individually-trained edges into novel orders (at the
+	// cost of more slow-path escalations).
+	PathSensitive bool
+	// CheckOnPMI runs a flow check every time the ToPA buffer fills —
+	// the worst-case endpoint fallback §7.1.2 proposes against
+	// endpoint-pruning attacks that avoid all sensitive syscalls.
+	CheckOnPMI bool
+	// NaiveFullDecode disables the fast path entirely: every endpoint
+	// check decodes the window at the instruction-flow layer — the
+	// strawman design §2/§3.1 argues against ("decoding the traces is
+	// prohibitively slow on the fly"). Exists for the ablation that
+	// quantifies the ITC-CFG fast path's contribution.
+	NaiveFullDecode bool
+}
+
+// DefaultEndpoints is the PathArmor-like sensitive-syscall set the paper
+// adopts (§5.2), plus sigreturn (SROP) and write (the detection points of
+// §7.1.2).
+func DefaultEndpoints() []uint64 {
+	return []uint64{
+		kernelsim.SysExecve,
+		kernelsim.SysMmap,
+		kernelsim.SysMprotect,
+		kernelsim.SysSigreturn,
+		kernelsim.SysWrite,
+	}
+}
+
+// DefaultPolicy returns the paper's evaluated configuration.
+func DefaultPolicy() Policy {
+	return Policy{
+		PktCount:            30,
+		CredRatio:           1.0,
+		RequireModuleStride: true,
+		Endpoints:           DefaultEndpoints(),
+	}
+}
+
+// Verdict is the outcome of one flow check.
+type Verdict uint8
+
+// Verdicts.
+const (
+	VerdictClean Verdict = iota
+	VerdictViolation
+)
+
+func (v Verdict) String() string {
+	if v == VerdictClean {
+		return "clean"
+	}
+	return "violation"
+}
+
+// Result describes one flow check.
+type Result struct {
+	Verdict Verdict
+	// Reason is a human-readable diagnosis for violations.
+	Reason string
+	// TIPs is the number of TIP records checked.
+	TIPs int
+	// LowCredit is the number of checked edges that were in the graph
+	// but not credibly trained.
+	LowCredit int
+	// UsedSlowPath reports the slow path ran.
+	UsedSlowPath bool
+	// DecodeCycles is the fast packet-scan cost; CheckCycles the graph
+	// search and credit assessment; OtherCycles the interception
+	// bookkeeping; SlowCycles the instruction-flow decode and precise
+	// checking. These are the four Figure 5 overhead components (trace
+	// cycles are metered by the tracer itself).
+	DecodeCycles, CheckCycles, OtherCycles, SlowCycles uint64
+}
+
+// FastCycles returns the total fast-path cost of the check.
+func (r *Result) FastCycles() uint64 { return r.DecodeCycles + r.CheckCycles }
+
+// Stats accumulates across checks.
+type Stats struct {
+	Checks       uint64
+	SlowChecks   uint64
+	Violations   uint64
+	TIPsChecked  uint64
+	HighEdges    uint64 // runtime high-credit edge observations
+	LowEdges     uint64 // runtime low-credit / sig-mismatch observations
+	DecodeCycles uint64 // fast packet-grammar scanning
+	CheckCycles  uint64 // ITC-CFG searches + credit assessment
+	OtherCycles  uint64 // interception and bookkeeping
+	SlowCycles   uint64 // instruction-flow decoding + precise checks
+	BytesScanned uint64
+	CacheHits    uint64
+}
+
+// FastCycles returns the accumulated fast-path cost (decode + check).
+func (s *Stats) FastCycles() uint64 { return s.DecodeCycles + s.CheckCycles }
+
+// CredRatioRuntime returns the runtime fraction of credible edges
+// (Figure 5(d)'s cred-ratio series).
+func (s *Stats) CredRatioRuntime() float64 {
+	t := s.HighEdges + s.LowEdges
+	if t == 0 {
+		return 1
+	}
+	return float64(s.HighEdges) / float64(t)
+}
+
+// edgeKey identifies a (source, target, TNT signature) triple in the
+// slow-path verdict cache.
+type edgeKey struct {
+	src, dst, sig uint64
+}
+
+// Guard is the flow-checking engine bound to one protected process image.
+type Guard struct {
+	AS     *module.AddressSpace
+	OCFG   *cfg.Graph
+	ITC    *itc.Graph
+	Tracer *ipt.Tracer
+	Policy Policy
+
+	// approved caches slow-path "no attack" verdicts (§7.1.1: "the
+	// negative results of slow path checking are cached for the
+	// subsequent fast path checking"); pathApproved is its counterpart
+	// for the path-sensitive mode.
+	approved     map[edgeKey]bool
+	pathApproved map[uint64]bool
+
+	// inCheck guards against PMI re-entrance: a check triggered by the
+	// buffer-full hook must not recurse when its own reads flush packets.
+	inCheck bool
+
+	Stats Stats
+}
+
+// New builds a guard over a loaded image, its O-CFG and trained ITC-CFG,
+// and the tracer observing the process.
+func New(as *module.AddressSpace, ocfg *cfg.Graph, ig *itc.Graph, tr *ipt.Tracer, pol Policy) *Guard {
+	return &Guard{
+		AS: as, OCFG: ocfg, ITC: ig, Tracer: tr, Policy: pol,
+		approved:     make(map[edgeKey]bool),
+		pathApproved: make(map[uint64]bool),
+	}
+}
+
+// window collects the TIP records to check: it walks the PSB sync points
+// backwards, decoding ever-larger suffixes of the buffered trace until
+// the policy's packet count and module-stride requirements hold (§5.3:
+// "it is not required to decode the whole ToPA buffer"). It also returns
+// the window region so a slow-path re-check decodes the same bounded
+// span.
+func (g *Guard) window() (tips []ipt.TIPRecord, region []byte, err error) {
+	g.Tracer.Flush()
+	buf := g.Tracer.Out.Snapshot()
+	pts := ipt.SyncPoints(buf)
+	if len(pts) == 0 {
+		return nil, nil, nil // nothing traced yet
+	}
+	for k := len(pts) - 1; k >= 0; k-- {
+		seg := buf[pts[k]:]
+		evs, err := ipt.DecodeFast(seg)
+		if err != nil {
+			return nil, seg, fmt.Errorf("guard: fast decode: %w", err)
+		}
+		tips := ipt.ExtractTIPs(evs)
+		if len(tips) >= g.Policy.PktCount && g.strideOK(tips) {
+			return g.trim(tips), seg, nil
+		}
+		if k == 0 {
+			return g.trim(tips), seg, nil // whole buffer: best effort
+		}
+	}
+	return nil, nil, nil
+}
+
+// trim keeps the window tail: at least PktCount records, extended
+// backwards only as far as the module-stride rule demands.
+func (g *Guard) trim(tips []ipt.TIPRecord) []ipt.TIPRecord {
+	if len(tips) <= g.Policy.PktCount {
+		return tips
+	}
+	start := len(tips) - g.Policy.PktCount
+	for start > 0 && !g.strideOK(tips[start:]) {
+		start--
+	}
+	return tips[start:]
+}
+
+// strideOK checks the multi-module requirement.
+func (g *Guard) strideOK(tips []ipt.TIPRecord) bool {
+	if !g.Policy.RequireModuleStride {
+		return true
+	}
+	mods := map[*module.Loaded]bool{}
+	inExec := false
+	for _, t := range tips {
+		l := g.AS.FindModule(t.IP)
+		if l == nil {
+			continue
+		}
+		mods[l] = true
+		if l == g.AS.Exec {
+			inExec = true
+		}
+	}
+	return inExec && len(mods) > 1
+}
+
+// Check runs the hybrid flow check: fast path always, slow path when the
+// fast path finds the window suspicious. It is the routine the kernel
+// module invokes at every intercepted endpoint (§5.2 step 5).
+func (g *Guard) Check() Result {
+	g.inCheck = true
+	defer func() { g.inCheck = false }()
+	g.Stats.Checks++
+	tips, region, err := g.window()
+	scanned := uint64(len(region))
+	res := Result{TIPs: len(tips), OtherCycles: CyclesPerInterception}
+	res.DecodeCycles = uint64(float64(scanned) * g.fastDecodeCost())
+	g.Stats.BytesScanned += scanned
+	if err != nil {
+		// An undecodable trace stream is treated as a violation: packet
+		// corruption cannot occur under legitimate execution.
+		res.Verdict = VerdictViolation
+		res.Reason = err.Error()
+		g.finish(&res)
+		return res
+	}
+	if len(tips) < 2 {
+		g.finish(&res)
+		return res
+	}
+
+	if g.Policy.NaiveFullDecode {
+		// Ablation: no fast filtering, straight to full decoding.
+		g.slowPath(&res, tips, region)
+		g.finish(&res)
+		return res
+	}
+
+	res.CheckCycles = uint64(len(tips)) * CyclesPerTIPCheck
+	minCount := g.Policy.CredMinCount
+	if minCount == 0 {
+		minCount = 1
+	}
+	suspicious := 0
+	for i := 0; i+1 < len(tips); i++ {
+		src, dst, sig := tips[i].IP, tips[i+1].IP, tips[i+1].TNTSig
+		if minCount <= 1 {
+			// The separate high-credit cache holds count >= 1 edges, so
+			// it is only a shortcut under binary labeling.
+			if hit, sigOK := g.ITC.CacheLookup(src, dst, sig); hit && sigOK {
+				g.Stats.CacheHits++
+				g.Stats.HighEdges++
+				continue
+			}
+		}
+		l := g.ITC.Lookup(src, dst, sig)
+		if !l.Exists {
+			// Out of the conservative graph: no legitimate execution can
+			// produce this pair (§4.2), so this is a definite violation.
+			res.Verdict = VerdictViolation
+			res.Reason = fmt.Sprintf("ITC-CFG edge mismatch: %s -> %s",
+				g.AS.SymbolFor(src), g.AS.SymbolFor(dst))
+			g.finish(&res)
+			return res
+		}
+		if l.HighCredit && l.SigMatch && l.Count >= minCount {
+			g.Stats.HighEdges++
+			continue
+		}
+		if g.approved[edgeKey{src, dst, sig}] {
+			g.Stats.HighEdges++
+			g.Stats.CacheHits++
+			continue
+		}
+		g.Stats.LowEdges++
+		suspicious++
+	}
+	// Path-sensitive mode: consecutive edge pairs must have been seen
+	// together in training (or approved by a prior slow path).
+	if g.Policy.PathSensitive {
+		res.CheckCycles += uint64(len(tips)) * CyclesPerTIPCheck / 2
+		for i := 0; i+2 < len(tips); i++ {
+			a, b, c := tips[i].IP, tips[i+1].IP, tips[i+2].IP
+			if g.ITC.PathTrained(a, b, c) || g.pathApproved[itc.PathKey(a, b, c)] {
+				continue
+			}
+			g.Stats.LowEdges++
+			suspicious++
+		}
+	}
+	res.LowCredit = suspicious
+
+	// Credibility assessment (§7.1.1): with CredRatio = 1 any suspicious
+	// edge forwards the window to the slow path.
+	checked := len(tips) - 1
+	if float64(checked-suspicious) < g.Policy.CredRatio*float64(checked) {
+		g.slowPath(&res, tips, region)
+	}
+	g.finish(&res)
+	return res
+}
+
+func (g *Guard) fastDecodeCost() float64 {
+	if g.Policy.HWDecoder {
+		return CyclesPerFastDecodeByte / HWDecoderSpeedup
+	}
+	return CyclesPerFastDecodeByte
+}
+
+func (g *Guard) finish(res *Result) {
+	g.Stats.TIPsChecked += uint64(res.TIPs)
+	g.Stats.DecodeCycles += res.DecodeCycles
+	g.Stats.CheckCycles += res.CheckCycles
+	g.Stats.OtherCycles += res.OtherCycles
+	g.Stats.SlowCycles += res.SlowCycles
+	if res.UsedSlowPath {
+		g.Stats.SlowChecks++
+	}
+	if res.Verdict == VerdictViolation {
+		g.Stats.Violations++
+	}
+}

@@ -1,0 +1,155 @@
+package guard
+
+import (
+	"fmt"
+
+	"flowguard/internal/cfg"
+	"flowguard/internal/itc"
+	"flowguard/internal/kernelsim"
+	"flowguard/internal/trace"
+	"flowguard/internal/trace/ipt"
+)
+
+// ToPA configuration of §5.1/§7.2.2: one table with two regions, ~16 KiB
+// per protected core.
+const (
+	DefaultToPARegion  = 8 << 10
+	DefaultToPARegions = 2
+)
+
+// pmiPseudoSyscall labels PMI-triggered detections in violation reports
+// (they have no syscall context).
+const pmiPseudoSyscall = ^uint64(0)
+
+// ViolationReport is what the kernel module reports to administrators on
+// a detected control-flow violation (§5.2).
+type ViolationReport struct {
+	PID     int
+	Process string
+	Syscall uint64
+	Reason  string
+}
+
+func (r ViolationReport) String() string {
+	at := kernelsim.SyscallName(r.Syscall)
+	if r.Syscall == pmiPseudoSyscall {
+		at = "PMI (buffer full)"
+	}
+	return fmt.Sprintf("CFI violation: pid=%d (%s) at %s: %s",
+		r.PID, r.Process, at, r.Reason)
+}
+
+// DetectedAtPMI reports whether the violation was raised by the
+// buffer-full fallback rather than a syscall endpoint.
+func (r ViolationReport) DetectedAtPMI() bool { return r.Syscall == pmiPseudoSyscall }
+
+// KernelModule is the §5 kernel component: it configures per-core IPT
+// tracing for protected processes (CR3-filtered), intercepts the
+// security-sensitive syscalls by replacing their syscall-table entries,
+// triggers the hybrid flow check, and SIGKILLs violators.
+type KernelModule struct {
+	K *kernelsim.Kernel
+	// guards maps protected CR3 values to their checking engines.
+	guards map[uint64]*Guard
+	// Reports accumulates detected violations.
+	Reports []ViolationReport
+
+	installed map[uint64]bool
+}
+
+// InstallModule loads the kernel module into the simulated kernel.
+func InstallModule(k *kernelsim.Kernel) *KernelModule {
+	return &KernelModule{
+		K:         k,
+		guards:    make(map[uint64]*Guard),
+		installed: make(map[uint64]bool),
+	}
+}
+
+// Protect configures IPT for the process (step 3 of Figure 1): programs
+// the trace-unit MSRs exactly as §5.1 describes, attaches the trace sink
+// to the process's CPU, installs the endpoint interceptors, and registers
+// the checking engine. The returned Guard exposes statistics.
+func (m *KernelModule) Protect(p *kernelsim.Process, ocfg *cfg.Graph, ig *itc.Graph, pol Policy) (*Guard, error) {
+	topa := ipt.NewToPA(regionSizes()...)
+	tr := ipt.NewTracer(topa)
+	// IA32_RTIT_CTL: TraceEn+BranchEn on, OS clear / User set (trace
+	// user-level flow only), CR3Filter on, FabricEn clear, ToPA on.
+	ctl := ipt.CtlTraceEn | ipt.CtlBranchEn | ipt.CtlUser | ipt.CtlCR3Filter | ipt.CtlToPA
+	if err := tr.WriteMSR(ipt.MSRRTITCtl, ctl); err != nil {
+		return nil, err
+	}
+	if err := tr.WriteMSR(ipt.MSRRTITCR3Match, p.CR3); err != nil {
+		return nil, err
+	}
+	tr.SetCR3(p.CR3)
+
+	if p.CPU.Branch != nil {
+		p.CPU.Branch = trace.MultiSink{p.CPU.Branch, tr}
+	} else {
+		p.CPU.Branch = tr
+	}
+
+	g := New(p.AS, ocfg, ig, tr, pol)
+	m.guards[p.CR3] = g
+	if pol.CheckOnPMI {
+		// The worst-case endpoint of §7.1.2: a buffer-full PMI triggers
+		// a flow check even when the process avoids every sensitive
+		// syscall (endpoint pruning). The hook must not recurse into a
+		// check already in flight.
+		topa.OnFull = func() {
+			if g.inCheck {
+				return
+			}
+			res := g.Check()
+			if res.Verdict == VerdictViolation {
+				m.Reports = append(m.Reports, ViolationReport{
+					PID: p.PID, Process: p.Name, Syscall: pmiPseudoSyscall, Reason: res.Reason,
+				})
+				m.K.Kill(p, kernelsim.SIGKILL)
+				p.CPU.PendingTrap = kernelsim.ErrKilled
+			}
+		}
+	}
+	for _, sysno := range pol.Endpoints {
+		if m.installed[sysno] {
+			continue
+		}
+		m.installed[sysno] = true
+		m.K.Intercept(sysno, m.onEndpoint)
+	}
+	return g, nil
+}
+
+// Unprotect removes a process's guard (its interceptors remain for other
+// protected processes and simply pass unprotected callers through).
+func (m *KernelModule) Unprotect(p *kernelsim.Process) {
+	delete(m.guards, p.CR3)
+}
+
+// onEndpoint is the alternative syscall handler (§5.2): it identifies the
+// caller by CR3, forwards unprotected processes to the original handler,
+// and runs the flow check for protected ones.
+func (m *KernelModule) onEndpoint(p *kernelsim.Process, sysno uint64) error {
+	g, ok := m.guards[p.CR3]
+	if !ok {
+		return nil // not the protected process: forward
+	}
+	res := g.Check()
+	if res.Verdict == VerdictViolation {
+		m.Reports = append(m.Reports, ViolationReport{
+			PID: p.PID, Process: p.Name, Syscall: sysno, Reason: res.Reason,
+		})
+		m.K.Kill(p, kernelsim.SIGKILL)
+		return kernelsim.ErrKilled
+	}
+	return nil
+}
+
+func regionSizes() []int {
+	sizes := make([]int, DefaultToPARegions)
+	for i := range sizes {
+		sizes[i] = DefaultToPARegion
+	}
+	return sizes
+}

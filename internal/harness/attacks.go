@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"fmt"
+
+	"flowguard/internal/apps"
+	"flowguard/internal/attack"
+	"flowguard/internal/kernelsim"
+	"flowguard/internal/module"
+)
+
+// AttackRow records one §7.1.2 attack experiment.
+type AttackRow struct {
+	Attack string
+	// Detected reports the protected run was killed.
+	Detected bool
+	// DetectedAt names the syscall endpoint of the detection.
+	DetectedAt string
+	// Reason is the violation diagnosis.
+	Reason string
+	// SucceedsUnprotected confirms the exploit is real: without
+	// FlowGuard, the attacker goal is reached.
+	SucceedsUnprotected bool
+}
+
+func (r AttackRow) String() string {
+	return fmt.Sprintf("%-14s detected=%-5v at=%-10s exploit-valid=%v  %s",
+		r.Attack, r.Detected, r.DetectedAt, r.SucceedsUnprotected, r.Reason)
+}
+
+// Attacks runs the attack matrix against the vulnerable server: each
+// payload is launched once unprotected (validating the exploit) and once
+// under the trained guard (validating detection and the endpoint).
+func (r *Runner) Attacks() ([]AttackRow, error) {
+	a := apps.Vulnd()
+	an, err := r.Analyze(a)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Train(an); err != nil {
+		return nil, err
+	}
+	as, err := a.Load()
+	if err != nil {
+		return nil, err
+	}
+
+	builders := []struct {
+		name  string
+		build func(*module.AddressSpace) ([]byte, error)
+		goal  func(k *kernelsim.Kernel, p *kernelsim.Process) bool
+	}{
+		{"ROP", attack.BuildROPWrite, func(k *kernelsim.Kernel, p *kernelsim.Process) bool {
+			c, ok := k.FileContents(attack.ROPFileName)
+			return ok && string(c) == attack.ROPMarker
+		}},
+		{"SROP", attack.BuildSROP, func(k *kernelsim.Kernel, p *kernelsim.Process) bool {
+			return len(p.Execves) > 0
+		}},
+		{"ret2lib", attack.BuildRet2Lib, func(k *kernelsim.Kernel, p *kernelsim.Process) bool {
+			return len(p.Execves) > 0
+		}},
+		{"history-flush", func(as *module.AddressSpace) ([]byte, error) {
+			return attack.BuildHistoryFlush(as, 48)
+		}, func(k *kernelsim.Kernel, p *kernelsim.Process) bool {
+			return len(p.Stdout) > 0 // the flushed write reaches stdout
+		}},
+	}
+
+	var rows []AttackRow
+	for _, b := range builders {
+		payload, err := b.build(as)
+		if err != nil {
+			return nil, err
+		}
+		row := AttackRow{Attack: b.name}
+
+		// Unprotected: does the exploit reach its goal?
+		ku := kernelsim.New()
+		pu, err := a.Spawn(ku, payload)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ku.Run(pu, 500_000_000); err != nil {
+			return nil, err
+		}
+		row.SucceedsUnprotected = b.goal(ku, pu)
+
+		// Protected: detection and endpoint.
+		pr, err := r.RunProtected(an, payload, r.policy())
+		if err != nil {
+			return nil, err
+		}
+		row.Detected = pr.Killed
+		if len(pr.Reports) > 0 {
+			row.DetectedAt = kernelsim.SyscallName(pr.Reports[0].Syscall)
+			row.Reason = pr.Reports[0].Reason
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

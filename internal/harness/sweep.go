@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+
+	"flowguard/internal/apps"
+	"flowguard/internal/itc"
+)
+
+// CredRatioPoint evaluates the §7.1.1 formula
+//
+//	AIA_ratio = ratio*AIA_fine + (1-ratio)*AIA_itc
+//
+// for one ratio value against one application's graphs.
+type CredRatioPoint struct {
+	Ratio float64
+	AIA   float64
+	// BeatsOCFG reports the effective AIA is at least as strong as the
+	// plain O-CFG protection (the paper finds this for ratio > 70%).
+	BeatsOCFG bool
+}
+
+// CredRatioSweep evaluates the formula over the servers, returning per
+// app the crossover ratio above which FlowGuard's effective AIA beats
+// the O-CFG.
+type CredRatioSweep struct {
+	App       string
+	OCFGAIA   float64
+	FineAIA   float64
+	ITCAIA    float64
+	Points    []CredRatioPoint
+	Crossover float64
+}
+
+func (s CredRatioSweep) String() string {
+	return fmt.Sprintf("%-8s O-CFG=%.2f fine=%.2f itc=%.2f  crossover at cred-ratio=%.0f%%",
+		s.App, s.OCFGAIA, s.FineAIA, s.ITCAIA, 100*s.Crossover)
+}
+
+// SweepCredRatio computes the §7.1.1 analysis for the server apps.
+func (r *Runner) SweepCredRatio() ([]CredRatioSweep, error) {
+	var out []CredRatioSweep
+	for _, a := range apps.Servers() {
+		an, err := r.Analyze(a)
+		if err != nil {
+			return nil, err
+		}
+		ocfg := an.OCFG.ComputeStats().AIA
+		fine := itc.FineGrainedAIA(an.OCFG)
+		itcAIA := an.ITC.AIA()
+		sweep := CredRatioSweep{App: a.Name, OCFGAIA: ocfg, FineAIA: fine, ITCAIA: itcAIA, Crossover: 1}
+		for i := 0; i <= 10; i++ {
+			ratio := float64(i) / 10
+			aia := ratio*fine + (1-ratio)*itcAIA
+			p := CredRatioPoint{Ratio: ratio, AIA: aia, BeatsOCFG: aia <= ocfg}
+			sweep.Points = append(sweep.Points, p)
+			if p.BeatsOCFG && sweep.Crossover == 1 && ratio < 1 {
+				sweep.Crossover = ratio
+			}
+		}
+		out = append(out, sweep)
+	}
+	return out, nil
+}
+
+// PktCountPoint measures the overhead/robustness trade of the pkt_count
+// knob on the nginx analogue (§7.1.1 chooses 30 as the lower bound).
+type PktCountPoint struct {
+	PktCount  int
+	TotalPct  float64
+	CheckPct  float64
+	DecodePct float64
+}
+
+func (p PktCountPoint) String() string {
+	return fmt.Sprintf("pkt_count=%3d  total=%.2f%%  decode=%.2f%% check=%.2f%%", p.PktCount, p.TotalPct, p.DecodePct, p.CheckPct)
+}
+
+// SweepPktCount varies the checked-window lower bound.
+func (r *Runner) SweepPktCount(counts []int) ([]PktCountPoint, error) {
+	a := apps.Nginx()
+	var out []PktCountPoint
+	for _, n := range counts {
+		pol := r.policy()
+		pol.PktCount = n
+		row, err := r.overheadFor(a, pol)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PktCountPoint{PktCount: n, TotalPct: row.TotalPct, CheckPct: row.CheckPct, DecodePct: row.DecodePct})
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"flowguard/internal/apps"
+	"flowguard/internal/itc"
+)
+
+// Table4Row holds one application's CFG statistics (paper Table 4).
+type Table4Row struct {
+	App       string
+	Libraries int
+	// Basic block and edge counts split by executable / libraries.
+	ExecBlocks, LibBlocks int
+	ExecEdges, LibEdges   int
+	// OCFGAIA is the conservative O-CFG AIA.
+	OCFGAIA float64
+	// ITC statistics: node count, edge count, plain AIA, and the
+	// TNT-labeled AIA after training (the parenthesized column).
+	ITCNodes  int
+	ITCEdges  int
+	ITCAIA    float64
+	ITCAIATnt float64
+	// FlowGuardAIA is the fine-grained slow-path AIA (TypeArmor forward
+	// edges, single-target shadow-stack returns).
+	FlowGuardAIA float64
+}
+
+func (r Table4Row) String() string {
+	return fmt.Sprintf("%-8s libs=%d  BB(exec/lib)=%d/%d  E(exec/lib)=%d/%d  O-CFG AIA=%.2f  ITC |V|=%d |E|=%d AIA=%.2f (w/tnt %.2f)  FlowGuard AIA=%.2f",
+		r.App, r.Libraries, r.ExecBlocks, r.LibBlocks, r.ExecEdges, r.LibEdges,
+		r.OCFGAIA, r.ITCNodes, r.ITCEdges, r.ITCAIA, r.ITCAIATnt, r.FlowGuardAIA)
+}
+
+// Table5Row holds memory usage and CFG generation time (paper Table 5).
+type Table5Row struct {
+	App string
+	// MemoryMB is the resident size of the labeled ITC-CFG plus the
+	// per-core ToPA buffers.
+	MemoryMB float64
+	// GenTime is the wall-clock CFG generation time.
+	GenTime time.Duration
+	// LibShare is the fraction of analysis work spent on libraries
+	// (paper: >90%, motivating per-library CFG caching).
+	LibShare float64
+}
+
+func (r Table5Row) String() string {
+	return fmt.Sprintf("%-8s memory=%.2f MB  cfg-gen=%v  lib-share=%.0f%%",
+		r.App, r.MemoryMB, r.GenTime.Round(time.Millisecond), 100*r.LibShare)
+}
+
+// Table4And5 analyzes and trains the four server applications and
+// derives both tables.
+func (r *Runner) Table4And5() ([]Table4Row, []Table5Row, error) {
+	var t4 []Table4Row
+	var t5 []Table5Row
+	for _, a := range apps.Servers() {
+		an, err := r.Analyze(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := r.Train(an); err != nil {
+			return nil, nil, err
+		}
+		st := an.OCFG.ComputeStats()
+		t4 = append(t4, Table4Row{
+			App:          a.Name,
+			Libraries:    st.Libraries,
+			ExecBlocks:   st.ExecBlocks,
+			LibBlocks:    st.LibBlocks,
+			ExecEdges:    st.ExecEdges,
+			LibEdges:     st.LibEdges,
+			OCFGAIA:      st.AIA,
+			ITCNodes:     an.ITC.NumNodes(),
+			ITCEdges:     an.ITC.Edges,
+			ITCAIA:       an.ITC.AIA(),
+			ITCAIATnt:    an.ITC.AIAWithTNT(),
+			FlowGuardAIA: itc.FineGrainedAIA(an.OCFG),
+		})
+		memBytes := an.ITC.MemoryBytes() + 16<<10 // ToPA per core
+		t5 = append(t5, Table5Row{
+			App:      a.Name,
+			MemoryMB: float64(memBytes) / (1 << 20),
+			GenTime:  an.GenTime,
+			LibShare: an.LibShare,
+		})
+	}
+	return t4, t5, nil
+}
+
+// AverageAIAReduction summarizes the Table 4 headline: the average AIA
+// before (O-CFG) and after (FlowGuard fine-grained) across the servers —
+// the paper reports 72 -> 20.
+func AverageAIAReduction(rows []Table4Row) (before, after float64) {
+	if len(rows) == 0 {
+		return
+	}
+	for _, r := range rows {
+		before += r.OCFGAIA
+		after += r.FlowGuardAIA
+	}
+	n := float64(len(rows))
+	return before / n, after / n
+}

@@ -1,0 +1,307 @@
+// Package isa defines the synthetic instruction set architecture that the
+// whole FlowGuard reproduction is built on.
+//
+// The paper targets x86-64 binaries traced by Intel Processor Trace. Real
+// x86 decoding is orthogonal to the paper's contribution, so this package
+// provides a fixed-width (8 byte) RISC-like ISA that preserves everything
+// CFI cares about:
+//
+//   - direct unconditional branches (JMP, CALL)  -> no trace output
+//   - conditional branches (JCC)                 -> TNT packets
+//   - indirect branches (JMPR, CALLR)            -> TIP packets
+//   - near returns (RET)                         -> TIP packets
+//   - far transfers (SYSCALL, traps)             -> FUP + TIP packets
+//
+// which is exactly Table 3 of the paper. The fixed width makes linear-sweep
+// disassembly exact, so the static analyzer's conservatism guarantees are
+// honest rather than artifacts of a fragile x86 decoder.
+package isa
+
+import "fmt"
+
+// InstrSize is the fixed encoded size of every instruction in bytes.
+const InstrSize = 8
+
+// Reg identifies one of the 16 general-purpose registers.
+//
+// Calling convention (enforced by the assembler and assumed by the
+// TypeArmor-style arity analysis): R0..R5 carry arguments, R0 carries the
+// return value, R6..R11 are scratch, R12 is the PLT scratch register,
+// FP (R14) is the frame pointer and SP (R15) the stack pointer.
+type Reg uint8
+
+// Register names.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7 // syscall number register
+	R8
+	R9
+	R10
+	R11
+	R12 // PLT scratch
+	R13
+	FP // frame pointer (R14)
+	SP // stack pointer (R15)
+)
+
+// NumRegs is the size of the general-purpose register file.
+const NumRegs = 16
+
+// NumArgRegs is the number of argument-passing registers (R0..R5), the
+// basis for the TypeArmor-style use-def arity analysis.
+const NumArgRegs = 6
+
+func (r Reg) String() string {
+	switch r {
+	case FP:
+		return "fp"
+	case SP:
+		return "sp"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. The numeric values are part of the binary encoding and must not
+// be reordered.
+const (
+	NOP Op = iota
+	HALT
+	MOV   // rd = rs
+	MOVI  // rd = signext(imm32)
+	MOVIH // rd = (rd & 0xffffffff) | imm32<<32
+	LEA   // rd = pc_next + signext(imm32)   (position-independent address)
+	ADD   // rd += rs
+	SUB   // rd -= rs
+	MUL   // rd *= rs
+	DIV   // rd /= rs (unsigned; divide by zero faults)
+	MOD   // rd %= rs (unsigned; divide by zero faults)
+	AND   // rd &= rs
+	OR    // rd |= rs
+	XOR   // rd ^= rs
+	SHL   // rd <<= rs & 63
+	SHR   // rd >>= rs & 63 (logical)
+	ADDI  // rd += signext(imm32)
+	CMP   // flags = compare(rd, rs)
+	CMPI  // flags = compare(rd, signext(imm32))
+	LD    // rd = mem64[rs + signext(imm32)]
+	ST    // mem64[rd + signext(imm32)] = rs
+	LDB   // rd = zeroext(mem8[rs + signext(imm32)])
+	STB   // mem8[rd + signext(imm32)] = low8(rs)
+	PUSH  // sp -= 8; mem64[sp] = rs
+	POP   // rd = mem64[sp]; sp += 8
+	JMP   // pc = pc_next + signext(imm32)                 direct branch
+	JCC   // if cond(aux): pc = pc_next + signext(imm32)   conditional branch
+	CALL  // push pc_next; pc = pc_next + signext(imm32)   direct call
+	JMPR  // pc = rs                                       indirect branch
+	CALLR // push pc_next; pc = rs                         indirect call
+	RET   // pc = pop()                                    near return
+	SYSCALL
+	opMax
+)
+
+var opNames = [...]string{
+	NOP: "nop", HALT: "halt", MOV: "mov", MOVI: "movi", MOVIH: "movih",
+	LEA: "lea", ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", MOD: "mod",
+	AND: "and", OR: "or", XOR: "xor", SHL: "shl", SHR: "shr", ADDI: "addi",
+	CMP: "cmp", CMPI: "cmpi", LD: "ld", ST: "st", LDB: "ldb", STB: "stb",
+	PUSH: "push", POP: "pop", JMP: "jmp", JCC: "jcc", CALL: "call",
+	JMPR: "jmpr", CALLR: "callr", RET: "ret", SYSCALL: "syscall",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < opMax }
+
+// Cond is a condition code for JCC, stored in the aux byte.
+type Cond uint8
+
+// Condition codes evaluated against the flags set by CMP/CMPI.
+const (
+	EQ Cond = iota // equal           (Z)
+	NE             // not equal       (!Z)
+	LT             // signed less     (N)
+	LE             // signed <=       (N || Z)
+	GT             // signed greater  (!N && !Z)
+	GE             // signed >=       (!N)
+	condMax
+)
+
+var condNames = [...]string{EQ: "eq", NE: "ne", LT: "lt", LE: "le", GT: "gt", GE: "ge"}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Valid reports whether c is a defined condition code.
+func (c Cond) Valid() bool { return c < condMax }
+
+// CoFIClass classifies change-of-flow instructions the way Intel Processor
+// Trace does (paper Table 3). Non-CoFI instructions are CoFINone.
+type CoFIClass uint8
+
+// CoFI classes and the trace output each produces.
+const (
+	CoFINone        CoFIClass = iota // not a change-of-flow instruction
+	CoFIDirect                       // JMP, CALL: no output
+	CoFICond                         // JCC: TNT
+	CoFIIndirect                     // JMPR, CALLR: TIP
+	CoFIRet                          // RET: TIP
+	CoFIFarTransfer                  // SYSCALL, traps, interrupts: FUP | TIP
+)
+
+func (c CoFIClass) String() string {
+	switch c {
+	case CoFINone:
+		return "none"
+	case CoFIDirect:
+		return "direct"
+	case CoFICond:
+		return "cond"
+	case CoFIIndirect:
+		return "indirect"
+	case CoFIRet:
+		return "ret"
+	case CoFIFarTransfer:
+		return "far"
+	default:
+		return fmt.Sprintf("cofi(%d)", uint8(c))
+	}
+}
+
+// Class returns the CoFI classification of the opcode.
+func (o Op) Class() CoFIClass {
+	switch o {
+	case JMP, CALL:
+		return CoFIDirect
+	case JCC:
+		return CoFICond
+	case JMPR, CALLR:
+		return CoFIIndirect
+	case RET:
+		return CoFIRet
+	case SYSCALL:
+		return CoFIFarTransfer
+	default:
+		return CoFINone
+	}
+}
+
+// IsCoFI reports whether the opcode changes control flow.
+func (o Op) IsCoFI() bool { return o.Class() != CoFINone }
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op  Op
+	Rd  Reg   // destination register (bits 7..4 of byte 1)
+	Rs  Reg   // source register      (bits 3..0 of byte 1)
+	Aux uint8 // condition code for JCC; otherwise 0
+	Imm int32 // signed 32-bit immediate / PC-relative displacement
+}
+
+// Cond returns the condition code of a JCC instruction.
+func (i Instr) Cond() Cond { return Cond(i.Aux) }
+
+// Encode writes the 8-byte encoding of the instruction into buf.
+// buf must be at least InstrSize bytes long.
+func (i Instr) Encode(buf []byte) {
+	_ = buf[7]
+	buf[0] = uint8(i.Op)
+	buf[1] = uint8(i.Rd)<<4 | uint8(i.Rs)&0x0f
+	buf[2] = i.Aux
+	buf[3] = 0
+	u := uint32(i.Imm)
+	buf[4] = byte(u)
+	buf[5] = byte(u >> 8)
+	buf[6] = byte(u >> 16)
+	buf[7] = byte(u >> 24)
+}
+
+// EncodeTo appends the 8-byte encoding of the instruction to dst.
+func (i Instr) EncodeTo(dst []byte) []byte {
+	var b [InstrSize]byte
+	i.Encode(b[:])
+	return append(dst, b[:]...)
+}
+
+// Decode parses one instruction from buf. It returns an error if buf is
+// shorter than InstrSize or the opcode is undefined. A decode error models
+// the CPU's illegal-instruction fault.
+func Decode(buf []byte) (Instr, error) {
+	if len(buf) < InstrSize {
+		return Instr{}, fmt.Errorf("isa: truncated instruction: %d bytes", len(buf))
+	}
+	op := Op(buf[0])
+	if !op.Valid() {
+		return Instr{}, fmt.Errorf("isa: illegal opcode %#02x", buf[0])
+	}
+	if buf[3] != 0 {
+		return Instr{}, fmt.Errorf("isa: nonzero reserved byte %#02x", buf[3])
+	}
+	i := Instr{
+		Op:  op,
+		Rd:  Reg(buf[1] >> 4),
+		Rs:  Reg(buf[1] & 0x0f),
+		Aux: buf[2],
+		Imm: int32(uint32(buf[4]) | uint32(buf[5])<<8 | uint32(buf[6])<<16 | uint32(buf[7])<<24),
+	}
+	if op == JCC && !Cond(i.Aux).Valid() {
+		return Instr{}, fmt.Errorf("isa: illegal condition code %d", i.Aux)
+	}
+	return i, nil
+}
+
+// BranchTarget returns the absolute target address of a direct branch
+// (JMP, CALL or JCC taken) located at pc. For other opcodes the result is
+// meaningless; callers must check Op first.
+func (i Instr) BranchTarget(pc uint64) uint64 {
+	return pc + InstrSize + uint64(int64(i.Imm))
+}
+
+// String renders the instruction in assembly-like syntax.
+func (i Instr) String() string {
+	switch i.Op {
+	case NOP, HALT, RET, SYSCALL:
+		return i.Op.String()
+	case MOV, ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR, CMP:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rs)
+	case MOVI, MOVIH, ADDI, CMPI:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+	case LEA:
+		return fmt.Sprintf("lea %s, [pc%+d]", i.Rd, i.Imm)
+	case LD, LDB:
+		return fmt.Sprintf("%s %s, [%s%+d]", i.Op, i.Rd, i.Rs, i.Imm)
+	case ST, STB:
+		return fmt.Sprintf("%s [%s%+d], %s", i.Op, i.Rd, i.Imm, i.Rs)
+	case PUSH:
+		return fmt.Sprintf("push %s", i.Rs)
+	case POP:
+		return fmt.Sprintf("pop %s", i.Rd)
+	case JMP, CALL:
+		return fmt.Sprintf("%s %+d", i.Op, i.Imm)
+	case JCC:
+		return fmt.Sprintf("j%s %+d", i.Cond(), i.Imm)
+	case JMPR, CALLR:
+		return fmt.Sprintf("%s %s", i.Op, i.Rs)
+	default:
+		return fmt.Sprintf("%s rd=%s rs=%s aux=%d imm=%d", i.Op, i.Rd, i.Rs, i.Aux, i.Imm)
+	}
+}

@@ -1,0 +1,182 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Op: NOP},
+		{Op: HALT},
+		{Op: MOV, Rd: R3, Rs: R7},
+		{Op: MOVI, Rd: R0, Imm: -1},
+		{Op: MOVIH, Rd: SP, Imm: math.MaxInt32},
+		{Op: LEA, Rd: R12, Imm: 4096},
+		{Op: ADD, Rd: FP, Rs: SP},
+		{Op: ADDI, Rd: SP, Imm: -64},
+		{Op: CMP, Rd: R1, Rs: R2},
+		{Op: CMPI, Rd: R1, Imm: 100},
+		{Op: LD, Rd: R4, Rs: FP, Imm: -8},
+		{Op: ST, Rd: SP, Rs: R0, Imm: 16},
+		{Op: LDB, Rd: R9, Rs: R8, Imm: 1},
+		{Op: STB, Rd: R8, Rs: R9, Imm: 0},
+		{Op: PUSH, Rs: R5},
+		{Op: POP, Rd: R5},
+		{Op: JMP, Imm: -8},
+		{Op: JCC, Aux: uint8(NE), Imm: 8},
+		{Op: CALL, Imm: 1024},
+		{Op: JMPR, Rs: R12},
+		{Op: CALLR, Rs: R6},
+		{Op: RET},
+		{Op: SYSCALL},
+	}
+	for _, want := range cases {
+		var buf [InstrSize]byte
+		want.Encode(buf[:])
+		got, err := Decode(buf[:])
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", want, err)
+		}
+		if got != want {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestDecodeRejectsIllegalOpcode(t *testing.T) {
+	buf := [InstrSize]byte{0xff}
+	if _, err := Decode(buf[:]); err == nil {
+		t.Fatal("Decode accepted illegal opcode 0xff")
+	}
+	buf = [InstrSize]byte{uint8(opMax)}
+	if _, err := Decode(buf[:]); err == nil {
+		t.Fatalf("Decode accepted opcode %d (opMax)", opMax)
+	}
+}
+
+func TestDecodeRejectsShortBuffer(t *testing.T) {
+	if _, err := Decode(make([]byte, InstrSize-1)); err == nil {
+		t.Fatal("Decode accepted truncated buffer")
+	}
+}
+
+func TestDecodeRejectsReservedByte(t *testing.T) {
+	i := Instr{Op: NOP}
+	var buf [InstrSize]byte
+	i.Encode(buf[:])
+	buf[3] = 1
+	if _, err := Decode(buf[:]); err == nil {
+		t.Fatal("Decode accepted nonzero reserved byte")
+	}
+}
+
+func TestDecodeRejectsIllegalCond(t *testing.T) {
+	i := Instr{Op: JCC, Aux: uint8(condMax), Imm: 8}
+	var buf [InstrSize]byte
+	i.Encode(buf[:])
+	if _, err := Decode(buf[:]); err == nil {
+		t.Fatal("Decode accepted illegal condition code")
+	}
+}
+
+// TestTable3CoFIOutputs pins the CoFI classification from Table 3 of the
+// paper: direct branches are silent, conditional branches produce TNT,
+// indirect branches and returns produce TIP, and far transfers FUP|TIP.
+func TestTable3CoFIOutputs(t *testing.T) {
+	want := map[Op]CoFIClass{
+		JMP:     CoFIDirect,
+		CALL:    CoFIDirect,
+		JCC:     CoFICond,
+		JMPR:    CoFIIndirect,
+		CALLR:   CoFIIndirect,
+		RET:     CoFIRet,
+		SYSCALL: CoFIFarTransfer,
+	}
+	for op, class := range want {
+		if got := op.Class(); got != class {
+			t.Errorf("%v.Class() = %v, want %v", op, got, class)
+		}
+		if !op.IsCoFI() {
+			t.Errorf("%v.IsCoFI() = false, want true", op)
+		}
+	}
+	for _, op := range []Op{NOP, MOV, MOVI, ADD, LD, ST, PUSH, POP, CMP, HALT} {
+		if op.IsCoFI() {
+			t.Errorf("%v.IsCoFI() = true, want false", op)
+		}
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	i := Instr{Op: JMP, Imm: -16}
+	if got := i.BranchTarget(0x400010); got != 0x400008 {
+		t.Errorf("BranchTarget = %#x, want 0x400008", got)
+	}
+	i = Instr{Op: CALL, Imm: 0}
+	if got := i.BranchTarget(0x400000); got != 0x400008 {
+		t.Errorf("BranchTarget(+0) = %#x, want fallthrough 0x400008", got)
+	}
+}
+
+// Property: every structurally valid instruction survives an
+// encode/decode round trip bit-exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(op8, rd, rs, aux uint8, imm int32) bool {
+		op := Op(op8 % uint8(opMax))
+		in := Instr{
+			Op:  op,
+			Rd:  Reg(rd % NumRegs),
+			Rs:  Reg(rs % NumRegs),
+			Imm: imm,
+		}
+		if op == JCC {
+			in.Aux = aux % uint8(condMax)
+		}
+		var buf [InstrSize]byte
+		in.Encode(buf[:])
+		out, err := Decode(buf[:])
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Decode never panics on arbitrary bytes and, when it succeeds,
+// re-encoding reproduces the canonical form of the accepted fields.
+func TestQuickDecodeTotal(t *testing.T) {
+	f := func(raw [InstrSize]byte) bool {
+		in, err := Decode(raw[:])
+		if err != nil {
+			return true
+		}
+		var buf [InstrSize]byte
+		in.Encode(buf[:])
+		out, err := Decode(buf[:])
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := map[string]Instr{
+		"nop":             {Op: NOP},
+		"mov r3, r7":      {Op: MOV, Rd: R3, Rs: R7},
+		"movi r0, -1":     {Op: MOVI, Rd: R0, Imm: -1},
+		"ld r4, [fp-8]":   {Op: LD, Rd: R4, Rs: FP, Imm: -8},
+		"st [sp+16], r0":  {Op: ST, Rd: SP, Rs: R0, Imm: 16},
+		"jne +8":          {Op: JCC, Aux: uint8(NE), Imm: 8},
+		"callr r6":        {Op: CALLR, Rs: R6},
+		"lea r12, [pc+4]": {Op: LEA, Rd: R12, Imm: 4},
+		"push r5":         {Op: PUSH, Rs: R5},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package itc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Serialization of the trained graph: the offline phase's distributable
+// artifact (the paper conducts CFG generation and training "before the
+// distribution of the protected software", §3.3, so the labeled ITC-CFG
+// ships alongside the binary and loads at protection time).
+
+// graphWire is the gob-stable on-disk form.
+type graphWire struct {
+	Version int
+	Nodes   []uint64
+	Succs   [][]uint64
+	Counts  [][]uint32
+	Sigs    [][][]uint64
+	Paths   []uint64
+}
+
+const wireVersion = 1
+
+// Encode writes the labeled graph (including path training) to w.
+func (g *Graph) Encode(w io.Writer) error {
+	wire := graphWire{
+		Version: wireVersion,
+		Nodes:   g.nodes,
+		Succs:   g.succs,
+		Counts:  make([][]uint32, len(g.meta)),
+		Sigs:    make([][][]uint64, len(g.meta)),
+	}
+	for i := range g.meta {
+		wire.Counts[i] = make([]uint32, len(g.meta[i]))
+		wire.Sigs[i] = make([][]uint64, len(g.meta[i]))
+		for j := range g.meta[i] {
+			wire.Counts[i][j] = g.meta[i][j].count
+			wire.Sigs[i][j] = g.meta[i][j].sigs
+		}
+	}
+	for p := range g.paths {
+		wire.Paths = append(wire.Paths, p)
+	}
+	return gob.NewEncoder(w).Encode(&wire)
+}
+
+// Decode reads a labeled graph written by Encode and rebuilds the
+// high-credit cache.
+func Decode(r io.Reader) (*Graph, error) {
+	var wire graphWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("itc: decode: %w", err)
+	}
+	if wire.Version != wireVersion {
+		return nil, fmt.Errorf("itc: unsupported graph version %d", wire.Version)
+	}
+	if len(wire.Succs) != len(wire.Nodes) || len(wire.Counts) != len(wire.Nodes) || len(wire.Sigs) != len(wire.Nodes) {
+		return nil, fmt.Errorf("itc: corrupt graph: ragged arrays")
+	}
+	g := &Graph{
+		nodes: wire.Nodes,
+		succs: wire.Succs,
+		meta:  make([][]edgeMeta, len(wire.Nodes)),
+	}
+	for i := range wire.Succs {
+		if len(wire.Counts[i]) != len(wire.Succs[i]) || len(wire.Sigs[i]) != len(wire.Succs[i]) {
+			return nil, fmt.Errorf("itc: corrupt graph: ragged edge metadata at node %d", i)
+		}
+		g.meta[i] = make([]edgeMeta, len(wire.Succs[i]))
+		for j := range wire.Succs[i] {
+			g.meta[i][j] = edgeMeta{count: wire.Counts[i][j], sigs: wire.Sigs[i][j]}
+		}
+		g.Edges += len(wire.Succs[i])
+	}
+	if len(wire.Paths) > 0 {
+		g.paths = make(map[uint64]struct{}, len(wire.Paths))
+		for _, p := range wire.Paths {
+			g.paths[p] = struct{}{}
+		}
+	}
+	g.RebuildCache()
+	return g, nil
+}

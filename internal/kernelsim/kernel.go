@@ -1,0 +1,508 @@
+// Package kernelsim models the OS pieces FlowGuard's kernel module needs:
+// processes identified by CR3 values, a syscall table whose entries can be
+// temporarily replaced by interceptors (paper §5.2), signal delivery
+// (SIGKILL on CFI violation), and the sigreturn machinery SROP abuses.
+//
+// The kernel is trusted per the threat model (§3.3): its services cannot
+// be subverted by the user-level attacker, DEP/NX is in force (the address
+// space refuses to execute writable memory), and code pages are read-only.
+//
+// Network servers consume input from their stdin stream: the paper itself
+// channels socket traffic to the console with preeny's desock module for
+// fuzzing, and this reproduction adopts the same convention everywhere.
+package kernelsim
+
+import (
+	"errors"
+	"fmt"
+
+	"flowguard/internal/cpu"
+	"flowguard/internal/isa"
+	"flowguard/internal/module"
+)
+
+// Syscall numbers (Linux x86-64 flavored).
+const (
+	SysRead         uint64 = 0
+	SysWrite        uint64 = 1
+	SysOpen         uint64 = 2
+	SysClose        uint64 = 3
+	SysMmap         uint64 = 9
+	SysMprotect     uint64 = 10
+	SysSigaction    uint64 = 13
+	SysSigreturn    uint64 = 15
+	SysGetpid       uint64 = 39
+	SysExecve       uint64 = 59
+	SysExit         uint64 = 60
+	SysGettimeofday uint64 = 96
+)
+
+// SyscallName returns a human-readable name for diagnostics.
+func SyscallName(n uint64) string {
+	names := map[uint64]string{
+		SysRead: "read", SysWrite: "write", SysOpen: "open", SysClose: "close",
+		SysMmap: "mmap", SysMprotect: "mprotect", SysSigaction: "sigaction",
+		SysSigreturn: "sigreturn", SysGetpid: "getpid", SysExecve: "execve",
+		SysExit: "exit", SysGettimeofday: "gettimeofday",
+	}
+	if s, ok := names[n]; ok {
+		return s
+	}
+	return fmt.Sprintf("sys_%d", n)
+}
+
+// Signal numbers.
+const (
+	SIGKILL = 9
+	SIGSEGV = 11
+)
+
+// Sentinel errors stopping a process's CPU loop.
+var (
+	// ErrExited reports a clean exit via the exit syscall.
+	ErrExited = errors.New("kernelsim: process exited")
+	// ErrKilled reports signal death (SIGKILL from the guard, SIGSEGV
+	// from a fault).
+	ErrKilled = errors.New("kernelsim: process killed")
+)
+
+// Interceptor is an alternative syscall handler installed over a
+// syscall-table entry. It runs before the original handler with full
+// access to the calling process; returning an error vetoes the syscall
+// and stops the process (FlowGuard returns ErrKilled after SIGKILL).
+type Interceptor func(p *Process, sysno uint64) error
+
+// ExecveRecord logs an execve attempt (the classic attacker goal).
+type ExecveRecord struct {
+	Path string
+	PC   uint64
+}
+
+// Process is one user-level process.
+type Process struct {
+	PID  int
+	Name string
+	// CR3 is the page-directory base: the identity IPT's CR3 filter
+	// matches on.
+	CR3 uint64
+	AS  *module.AddressSpace
+	CPU *cpu.CPU
+
+	stdin    []byte
+	stdinPos int
+	// Stdout accumulates fd-1/fd-2 writes.
+	Stdout []byte
+
+	files  map[int]*openFile
+	nextFD int
+
+	// SignalHandlers maps signal number to registered handler address.
+	SignalHandlers map[uint64]uint64
+
+	// Execves records execve attempts.
+	Execves []ExecveRecord
+
+	// Exit state.
+	Exited   bool
+	ExitCode int
+	Killed   bool
+	Signal   int
+
+	kern *Kernel
+}
+
+type openFile struct {
+	name string
+	pos  int
+}
+
+// StdinRemaining returns the unread stdin bytes.
+func (p *Process) StdinRemaining() int { return len(p.stdin) - p.stdinPos }
+
+// Kernel is the machine-wide OS model.
+type Kernel struct {
+	procs    map[int]*Process
+	nextPID  int
+	nextCR3  uint64
+	intercep map[uint64]Interceptor
+	// fs is a trivial in-memory filesystem shared by all processes.
+	fs map[string][]byte
+	// clock is a deterministic logical clock for gettimeofday.
+	clock uint64
+	// SyscallCount counts dispatched syscalls (diagnostics).
+	SyscallCount uint64
+	// OnSwitch, if set, runs at every context switch of RunInterleaved
+	// with the process about to execute — where the kernel reprograms
+	// the per-core trace unit's CR3 state (paper §5.1/§6).
+	OnSwitch func(p *Process)
+}
+
+// New returns an empty kernel.
+func New() *Kernel {
+	return &Kernel{
+		procs:    make(map[int]*Process),
+		nextPID:  1000,
+		nextCR3:  0x1000_0000,
+		intercep: make(map[uint64]Interceptor),
+		fs:       make(map[string][]byte),
+	}
+}
+
+// Intercept installs an alternative handler for the syscall-table entry,
+// the mechanism FlowGuard's kernel module uses for its security-sensitive
+// endpoints (§5.2). It replaces any previous interceptor for that entry.
+func (k *Kernel) Intercept(sysno uint64, h Interceptor) { k.intercep[sysno] = h }
+
+// Uninstall removes the interceptor for a syscall-table entry, restoring
+// the original handler.
+func (k *Kernel) Uninstall(sysno uint64) { delete(k.intercep, sysno) }
+
+// FileContents returns the contents of an in-memory file.
+func (k *Kernel) FileContents(name string) ([]byte, bool) {
+	b, ok := k.fs[name]
+	return b, ok
+}
+
+// Spawn creates a process: loads the executable with its libraries and
+// the VDSO, assigns a fresh PID and CR3, and wires the CPU's syscall
+// dispatch to this kernel.
+func (k *Kernel) Spawn(name string, exec *module.Module, libs map[string]*module.Module, vdso *module.Module, stdin []byte) (*Process, error) {
+	as, err := module.Load(exec, libs, vdso)
+	if err != nil {
+		return nil, err
+	}
+	p := &Process{
+		PID:            k.nextPID,
+		Name:           name,
+		CR3:            k.nextCR3,
+		AS:             as,
+		stdin:          stdin,
+		files:          make(map[int]*openFile),
+		nextFD:         3,
+		SignalHandlers: make(map[uint64]uint64),
+		kern:           k,
+	}
+	k.nextPID++
+	k.nextCR3 += 0x1000
+	p.CPU = cpu.New(as)
+	p.CPU.Sys = &procSyscalls{k: k, p: p}
+	k.procs[p.PID] = p
+	return p, nil
+}
+
+// Kill delivers a fatal signal (the guard's SIGKILL on violation).
+func (k *Kernel) Kill(p *Process, sig int) {
+	p.Killed = true
+	p.Signal = sig
+}
+
+// ExitStatus summarizes how a process stopped.
+type ExitStatus struct {
+	Exited   bool
+	Code     int
+	Killed   bool
+	Signal   int
+	FaultErr error
+}
+
+func (s ExitStatus) String() string {
+	switch {
+	case s.Killed:
+		return fmt.Sprintf("killed by signal %d", s.Signal)
+	case s.Exited:
+		return fmt.Sprintf("exited %d", s.Code)
+	default:
+		return "stopped"
+	}
+}
+
+// Run executes the process until it exits, is killed, faults, or exceeds
+// the instruction budget (0 = unlimited).
+func (k *Kernel) Run(p *Process, maxInstrs uint64) (ExitStatus, error) {
+	_, err := p.CPU.Run(maxInstrs)
+	switch {
+	case errors.Is(err, ErrExited):
+		return ExitStatus{Exited: true, Code: p.ExitCode}, nil
+	case errors.Is(err, ErrKilled):
+		return ExitStatus{Killed: true, Signal: p.Signal}, nil
+	case errors.Is(err, cpu.ErrHalted):
+		return ExitStatus{Exited: true, Code: 0}, nil
+	default:
+		var f *cpu.Fault
+		if errors.As(err, &f) {
+			k.Kill(p, SIGSEGV)
+			return ExitStatus{Killed: true, Signal: SIGSEGV, FaultErr: f}, nil
+		}
+		return ExitStatus{}, err
+	}
+}
+
+// RunInterleaved schedules the processes round-robin on one core with
+// the given instruction quantum, until every process has stopped or the
+// total budget is exhausted. It models the paper's single-core
+// multi-process scenario: one trace unit, one CR3 filter, many address
+// spaces (§6 suggestion 2 exists because this is limiting).
+func (k *Kernel) RunInterleaved(procs []*Process, quantum, maxTotal uint64) ([]ExitStatus, error) {
+	statuses := make([]ExitStatus, len(procs))
+	done := make([]bool, len(procs))
+	remaining := len(procs)
+	var total uint64
+	for remaining > 0 {
+		for i, p := range procs {
+			if done[i] {
+				continue
+			}
+			if k.OnSwitch != nil {
+				k.OnSwitch(p)
+			}
+			var err error
+			for n := uint64(0); n < quantum; n++ {
+				if err = p.CPU.Step(); err != nil {
+					break
+				}
+				total++
+				if maxTotal > 0 && total >= maxTotal {
+					return statuses, fmt.Errorf("kernelsim: interleaved budget %d exhausted", maxTotal)
+				}
+			}
+			if err == nil {
+				continue
+			}
+			done[i] = true
+			remaining--
+			switch {
+			case errors.Is(err, ErrExited):
+				statuses[i] = ExitStatus{Exited: true, Code: p.ExitCode}
+			case errors.Is(err, ErrKilled):
+				statuses[i] = ExitStatus{Killed: true, Signal: p.Signal}
+			case errors.Is(err, cpu.ErrHalted):
+				statuses[i] = ExitStatus{Exited: true, Code: 0}
+			default:
+				var f *cpu.Fault
+				if errors.As(err, &f) {
+					k.Kill(p, SIGSEGV)
+					statuses[i] = ExitStatus{Killed: true, Signal: SIGSEGV, FaultErr: f}
+				} else {
+					return statuses, err
+				}
+			}
+		}
+	}
+	return statuses, nil
+}
+
+// procSyscalls binds the kernel's syscall dispatch to one process.
+type procSyscalls struct {
+	k *Kernel
+	p *Process
+}
+
+// Syscall implements cpu.SyscallHandler: run the interceptor for the
+// entry (if installed), then the original handler.
+func (s *procSyscalls) Syscall(c *cpu.CPU) error {
+	k, p := s.k, s.p
+	k.SyscallCount++
+	k.clock += 1 + c.Instrs%7
+	sysno := c.Regs[isa.R7]
+	if h, ok := k.intercep[sysno]; ok {
+		if err := h(p, sysno); err != nil {
+			return err
+		}
+	}
+	return k.dispatch(p, c, sysno)
+}
+
+func (k *Kernel) dispatch(p *Process, c *cpu.CPU, sysno uint64) error {
+	a0, a1, a2 := c.Regs[isa.R0], c.Regs[isa.R1], c.Regs[isa.R2]
+	setRet := func(v uint64) { c.Regs[isa.R0] = v }
+	const eFAIL = ^uint64(0) // -1
+	// chargeCopy accounts the kernel's data movement against the
+	// process (roughly 16 bytes per cycle), so I/O-heavy programs have
+	// realistic baselines in the calibrated cycle model.
+	chargeCopy := func(n int) {
+		if n > 0 {
+			c.CycleCount += uint64(n) / 16
+		}
+	}
+
+	switch sysno {
+	case SysRead:
+		n := int(a2)
+		if a0 == 0 { // stdin
+			avail := len(p.stdin) - p.stdinPos
+			if n > avail {
+				n = avail
+			}
+			for i := 0; i < n; i++ {
+				if err := p.AS.WriteU8(a1+uint64(i), p.stdin[p.stdinPos+i]); err != nil {
+					setRet(eFAIL)
+					return nil
+				}
+			}
+			p.stdinPos += n
+			chargeCopy(n)
+			setRet(uint64(n))
+			return nil
+		}
+		f, ok := p.files[int(a0)]
+		if !ok {
+			setRet(eFAIL)
+			return nil
+		}
+		data := k.fs[f.name]
+		avail := len(data) - f.pos
+		if n > avail {
+			n = avail
+		}
+		for i := 0; i < n; i++ {
+			if err := p.AS.WriteU8(a1+uint64(i), data[f.pos+i]); err != nil {
+				setRet(eFAIL)
+				return nil
+			}
+		}
+		f.pos += n
+		chargeCopy(n)
+		setRet(uint64(n))
+	case SysWrite:
+		buf, err := p.AS.ReadBytes(a1, int(a2))
+		if err != nil {
+			setRet(eFAIL)
+			return nil
+		}
+		if a0 == 1 || a0 == 2 {
+			p.Stdout = append(p.Stdout, buf...)
+		} else if f, ok := p.files[int(a0)]; ok {
+			k.fs[f.name] = append(k.fs[f.name], buf...)
+		} else {
+			setRet(eFAIL)
+			return nil
+		}
+		chargeCopy(len(buf))
+		setRet(a2)
+	case SysOpen:
+		name, err := p.readCString(a0)
+		if err != nil {
+			setRet(eFAIL)
+			return nil
+		}
+		if _, ok := k.fs[name]; !ok {
+			k.fs[name] = nil
+		}
+		fd := p.nextFD
+		p.nextFD++
+		p.files[fd] = &openFile{name: name}
+		setRet(uint64(fd))
+	case SysClose:
+		delete(p.files, int(a0))
+		setRet(0)
+	case SysMmap:
+		perm := permFromProt(a2)
+		base, err := p.AS.Mmap(a1, perm)
+		if err != nil {
+			setRet(eFAIL)
+			return nil
+		}
+		setRet(base)
+	case SysMprotect:
+		if err := p.AS.Mprotect(a0, permFromProt(a2)); err != nil {
+			setRet(eFAIL)
+			return nil
+		}
+		setRet(0)
+	case SysSigaction:
+		p.SignalHandlers[a0] = a1
+		setRet(0)
+	case SysSigreturn:
+		// Restore the full register context from the signal frame at SP:
+		// 16 GPRs, then PC, then flags — total control if forged (SROP).
+		return k.sigreturn(p, c)
+	case SysGetpid:
+		setRet(uint64(p.PID))
+	case SysExecve:
+		path, err := p.readCString(a0)
+		if err != nil {
+			path = fmt.Sprintf("<bad ptr %#x>", a0)
+		}
+		p.Execves = append(p.Execves, ExecveRecord{Path: path, PC: c.PC})
+		setRet(0)
+	case SysExit:
+		p.Exited = true
+		p.ExitCode = int(int64(a0))
+		return ErrExited
+	case SysGettimeofday:
+		if err := p.AS.WriteU64(a0, k.clock); err != nil {
+			setRet(eFAIL)
+			return nil
+		}
+		setRet(0)
+	default:
+		setRet(eFAIL)
+	}
+	if p.Killed {
+		return ErrKilled
+	}
+	return nil
+}
+
+// SigFrameWords is the size of a sigreturn frame in 64-bit words:
+// 16 registers, PC, flags.
+const SigFrameWords = 18
+
+func (k *Kernel) sigreturn(p *Process, c *cpu.CPU) error {
+	sp := c.Regs[isa.SP]
+	var frame [SigFrameWords]uint64
+	for i := range frame {
+		v, err := p.AS.ReadU64(sp + uint64(i)*8)
+		if err != nil {
+			k.Kill(p, SIGSEGV)
+			return ErrKilled
+		}
+		frame[i] = v
+	}
+	for i := 0; i < isa.NumRegs; i++ {
+		c.Regs[i] = frame[i]
+	}
+	c.PC = frame[16]
+	c.FlagZ = frame[17]&1 != 0
+	c.FlagN = frame[17]&2 != 0
+	if p.Killed {
+		return ErrKilled
+	}
+	return nil
+}
+
+func (p *Process) readCString(addr uint64) (string, error) {
+	var out []byte
+	for i := 0; i < 4096; i++ {
+		b, err := p.AS.ReadU8(addr + uint64(i))
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			return string(out), nil
+		}
+		out = append(out, b)
+	}
+	return "", errors.New("kernelsim: unterminated string")
+}
+
+// prot bits for mmap/mprotect (PROT_READ/WRITE/EXEC).
+const (
+	ProtRead  = 1
+	ProtWrite = 2
+	ProtExec  = 4
+)
+
+func permFromProt(prot uint64) module.Perm {
+	var perm module.Perm
+	if prot&ProtRead != 0 {
+		perm |= module.PermR
+	}
+	if prot&ProtWrite != 0 {
+		perm |= module.PermW
+	}
+	if prot&ProtExec != 0 {
+		perm |= module.PermX
+	}
+	return perm
+}

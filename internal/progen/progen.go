@@ -1,0 +1,299 @@
+// Package progen generates random — but well-formed and terminating —
+// multi-module programs for property-based testing of the analysis
+// pipeline: any program it emits must run to completion, every edge it
+// executes must be contained in the conservative O-CFG, every pair of
+// consecutive TIP packets must be an ITC-CFG edge, and the full decoder
+// must reconstruct its exact branch stream.
+//
+// Termination is guaranteed by construction: loops are counted down from
+// bounded constants, direct and indirect calls only target functions
+// with strictly larger indices (a DAG), and tail calls follow the same
+// order.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flowguard/internal/asm"
+	"flowguard/internal/isa"
+	"flowguard/internal/module"
+)
+
+// Config sizes the generated program.
+type Config struct {
+	Seed int64
+	// ExecFuncs / LibFuncs are the function counts of the executable
+	// and the generated library.
+	ExecFuncs, LibFuncs int
+	// MaxLoop bounds loop trip counts.
+	MaxLoop int
+	// CallFanout bounds how many calls one function may make.
+	CallFanout int
+}
+
+// DefaultConfig returns a moderate program size.
+func DefaultConfig(seed int64) Config {
+	return Config{Seed: seed, ExecFuncs: 12, LibFuncs: 8, MaxLoop: 6, CallFanout: 3}
+}
+
+// Program is a generated executable with its library.
+type Program struct {
+	Exec *module.Module
+	Libs map[string]*module.Module
+}
+
+// Load maps the program into an address space.
+func (p *Program) Load() (*module.AddressSpace, error) {
+	return module.Load(p.Exec, p.Libs, nil)
+}
+
+// scratch registers available to generated code (arg registers R0..R2
+// are reserved for call argument passing, SP/FP for the frames).
+var scratch = []isa.Reg{isa.R6, isa.R8, isa.R9, isa.R10, isa.R11, isa.R13}
+
+// Generate emits a random program.
+func Generate(cfg Config) (*Program, error) {
+	if cfg.ExecFuncs < 2 || cfg.LibFuncs < 2 {
+		return nil, fmt.Errorf("progen: need at least 2 functions per module")
+	}
+	if cfg.MaxLoop <= 0 {
+		cfg.MaxLoop = 4
+	}
+	if cfg.CallFanout <= 0 {
+		cfg.CallFanout = 2
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	libNames := make([]string, cfg.LibFuncs)
+	libArity := make([]int, cfg.LibFuncs)
+	for i := range libNames {
+		libNames[i] = fmt.Sprintf("g%02d", i)
+		libArity[i] = r.Intn(3)
+	}
+	lib := asm.NewModule("librand")
+	lib.FuncTable("ltbl", libNames, true)
+	for i := range libNames {
+		g := gen{r: r, cfg: cfg}
+		g.emitFunc(lib, libNames[i], libArity[i], true,
+			libNames[i+1:], libArity[i+1:], nil, nil, "ltbl", len(libNames))
+	}
+	libm, err := lib.Assemble()
+	if err != nil {
+		return nil, err
+	}
+
+	execNames := make([]string, cfg.ExecFuncs)
+	execArity := make([]int, cfg.ExecFuncs)
+	for i := range execNames {
+		execNames[i] = fmt.Sprintf("f%02d", i)
+		execArity[i] = r.Intn(3)
+	}
+	exec := asm.NewModule("randprog").Needs("librand")
+	exec.FuncTable("etbl", execNames, false)
+	exec.DataSpace("outbuf", 32, false)
+	main := exec.Func("main", 0, true)
+	exec.SetEntry("main")
+	main.Prologue(64)
+	// main drives a handful of calls into the function population,
+	// reporting progress through write syscalls (guarded endpoints when
+	// the program runs under protection).
+	for k := 0; k < 3+r.Intn(4); k++ {
+		i := r.Intn(cfg.ExecFuncs)
+		setArgs(main, r, execArity[i])
+		main.Call(execNames[i])
+		if r.Intn(2) == 0 {
+			emitWrite(main)
+		}
+	}
+	// And one library call through the PLT.
+	li := r.Intn(cfg.LibFuncs)
+	setArgs(main, r, libArity[li])
+	main.Call(libNames[li])
+	emitWrite(main)
+	main.Halt()
+
+	for i := range execNames {
+		g := gen{r: r, cfg: cfg}
+		g.emitFunc(exec, execNames[i], execArity[i], false,
+			execNames[i+1:], execArity[i+1:], libNames, libArity, "etbl", len(execNames))
+	}
+	execm, err := exec.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Exec: execm, Libs: map[string]*module.Module{"librand": libm}}, nil
+}
+
+// emitWrite stores the accumulator and issues write(1, outbuf, 8).
+func emitWrite(f *asm.Func) {
+	f.AddrOf(isa.R1, "outbuf")
+	f.St(isa.R1, 0, isa.R0)
+	f.Movi(isa.R2, 8)
+	f.Movu64(isa.R7, 1) // SysWrite
+	f.Movi(isa.R0, 1)
+	f.Syscall()
+}
+
+func setArgs(f *asm.Func, r *rand.Rand, arity int) {
+	for a := 0; a < arity; a++ {
+		f.Movi(isa.Reg(a), int32(r.Intn(100)+1))
+	}
+}
+
+// gen emits one function body.
+type gen struct {
+	r      *rand.Rand
+	cfg    Config
+	labels int
+}
+
+func (g *gen) label() string {
+	g.labels++
+	return fmt.Sprintf("L%d", g.labels)
+}
+
+// emitFunc writes a random function. laterNames/laterArity are the
+// callable successors within the same module; libNames/libArity the
+// importable ones (executable only). tbl is the module's dispatch table
+// (only entries with index > own position are indirect-call targets, to
+// preserve the DAG).
+func (g *gen) emitFunc(b *asm.Builder, name string, arity int, inLib bool,
+	laterNames []string, laterArity []int, libNames []string, libArity []int,
+	tbl string, tblLen int) {
+
+	f := b.Func(name, arity, inLib)
+	f.Prologue(32)
+	r := g.r
+
+	// Touch the declared arguments so the liveness analysis sees them.
+	acc := isa.R6
+	f.Movi(acc, int32(r.Intn(50)))
+	for a := 0; a < arity; a++ {
+		f.Add(acc, isa.Reg(a))
+	}
+
+	stmts := 2 + r.Intn(5)
+	calls := 0
+	for s := 0; s < stmts; s++ {
+		switch r.Intn(7) {
+		case 0: // arithmetic run
+			for i := 0; i < 1+r.Intn(4); i++ {
+				reg := scratch[r.Intn(len(scratch))]
+				f.Movi(reg, int32(r.Intn(1000)+1))
+				switch r.Intn(4) {
+				case 0:
+					f.Add(acc, reg)
+				case 1:
+					f.Xor(acc, reg)
+				case 2:
+					f.Mul(acc, reg)
+				case 3:
+					f.Sub(acc, reg)
+				}
+			}
+		case 1: // bounded countdown loop
+			cnt := isa.R11
+			top := g.label()
+			f.Movi(cnt, int32(1+r.Intn(g.cfg.MaxLoop)))
+			f.Label(top)
+			f.Addi(acc, int32(r.Intn(17)+1))
+			f.Addi(cnt, -1)
+			f.Cmpi(cnt, 0)
+			f.Jcc(isa.GT, top)
+		case 2: // forward conditional skip
+			skip := g.label()
+			f.Cmpi(acc, int32(r.Intn(2000)))
+			f.Jcc([]isa.Cond{isa.LT, isa.GE, isa.EQ, isa.NE}[r.Intn(4)], skip)
+			f.Movi(isa.R9, int32(r.Intn(90)))
+			f.Add(acc, isa.R9)
+			f.Label(skip)
+		case 3: // direct call down the DAG
+			if calls >= g.cfg.CallFanout || len(laterNames) == 0 {
+				continue
+			}
+			calls++
+			j := r.Intn(len(laterNames))
+			f.St(isa.FP, -8, acc)
+			setArgs(f, r, laterArity[j])
+			f.Call(laterNames[j])
+			f.Ld(acc, isa.FP, -8)
+			f.Xor(acc, isa.R0)
+		case 4: // indirect call through the dispatch table (DAG-safe)
+			if calls >= g.cfg.CallFanout {
+				continue
+			}
+			ownIdx := tblLen - len(laterNames) - 1
+			if ownIdx+1 >= tblLen {
+				continue
+			}
+			calls++
+			j := ownIdx + 1 + r.Intn(tblLen-ownIdx-1)
+			var jar int
+			if j-ownIdx-1 < len(laterArity) {
+				jar = laterArity[j-ownIdx-1]
+			}
+			f.St(isa.FP, -8, acc)
+			f.AddrOf(isa.R10, tbl)
+			f.Ld(isa.R10, isa.R10, int32(8*j))
+			setArgs(f, r, jar)
+			f.CallR(isa.R10)
+			f.Ld(acc, isa.FP, -8)
+			f.Add(acc, isa.R0)
+		case 5: // PLT call into the library (executable only)
+			if inLib || calls >= g.cfg.CallFanout || len(libNames) == 0 {
+				continue
+			}
+			calls++
+			j := r.Intn(len(libNames))
+			f.St(isa.FP, -8, acc)
+			setArgs(f, r, libArity[j])
+			f.Call(libNames[j])
+			f.Ld(acc, isa.FP, -8)
+			f.Xor(acc, isa.R0)
+		case 6: // computed-goto switch over address-taken labels
+			k := 2 + r.Intn(3)
+			cases := make([]string, k)
+			for i := range cases {
+				cases[i] = g.label()
+			}
+			goLbl, endLbl := g.label(), g.label()
+			f.Mov(isa.R8, acc)
+			f.Movi(isa.R9, int32(k))
+			f.Mod(isa.R8, isa.R9)
+			for i := 0; i < k-1; i++ {
+				chk := g.label()
+				f.Cmpi(isa.R8, int32(i))
+				f.Jcc(isa.NE, chk)
+				f.AddrOfLabel(isa.R10, cases[i])
+				f.Jmp(goLbl)
+				f.Label(chk)
+			}
+			f.AddrOfLabel(isa.R10, cases[k-1])
+			f.Label(goLbl)
+			f.JmpR(isa.R10)
+			for i := 0; i < k; i++ {
+				f.Label(cases[i])
+				f.Addi(acc, int32(r.Intn(500)+i*7+1))
+				if i < k-1 {
+					f.Jmp(endLbl)
+				}
+			}
+			f.Label(endLbl)
+		}
+	}
+
+	// Terminator: mostly a normal return, occasionally a tail call down
+	// the DAG.
+	f.Mov(isa.R0, acc)
+	if len(laterNames) > 0 && r.Intn(5) == 0 {
+		j := r.Intn(len(laterNames))
+		// A tail call reuses the frame: tear it down first, then jump.
+		f.Mov(isa.SP, isa.FP)
+		f.Pop(isa.FP)
+		setArgs(f, r, laterArity[j])
+		f.TailJmp(laterNames[j])
+		return
+	}
+	f.Epilogue()
+}

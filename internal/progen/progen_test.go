@@ -1,0 +1,232 @@
+package progen_test
+
+import (
+	"testing"
+
+	"flowguard/internal/cfg"
+	"flowguard/internal/guard"
+	"flowguard/internal/isa"
+	"flowguard/internal/itc"
+	"flowguard/internal/kernelsim"
+	"flowguard/internal/progen"
+	"flowguard/internal/trace"
+	"flowguard/internal/trace/ipt"
+)
+
+const ctlDefault = ipt.CtlTraceEn | ipt.CtlBranchEn | ipt.CtlUser | ipt.CtlToPA
+
+// TestRandomProgramProperties is the pipeline-wide property suite: for
+// many random programs,
+//
+//  1. the program terminates (generator invariant),
+//  2. every executed edge is in the conservative O-CFG (§4.1: no false
+//     positives),
+//  3. every consecutive TIP pair is an ITC-CFG edge (§4.2 correctness),
+//  4. the instruction-flow decoder reconstructs the exact branch stream,
+//  5. training every observed edge succeeds (Observe never misses).
+func TestRandomProgramProperties(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		cfgp := progen.DefaultConfig(seed)
+		if seed%3 == 1 {
+			cfgp.ExecFuncs, cfgp.LibFuncs = 20, 14
+		}
+		if seed%3 == 2 {
+			cfgp.MaxLoop, cfgp.CallFanout = 10, 4
+		}
+		prog, err := progen.Generate(cfgp)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Programs issue write syscalls, so they run under the kernel.
+		k := kernelsim.New()
+		p, err := k.Spawn("randprog", prog.Exec, prog.Libs, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as := p.AS
+		g, err := cfg.Build(as)
+		if err != nil {
+			t.Fatalf("seed %d: cfg: %v", seed, err)
+		}
+		ig := itc.FromCFG(g)
+
+		tr := ipt.NewTracer(ipt.NewToPA(16 << 20))
+		if err := tr.WriteMSR(ipt.MSRRTITCtl, ctlDefault); err != nil {
+			t.Fatal(err)
+		}
+		var truth []trace.Branch
+		bad := 0
+		p.CPU.Branch = trace.MultiSink{
+			tr,
+			trace.SinkFunc(func(br trace.Branch) {
+				truth = append(truth, br)
+				if bad < 3 && !g.ContainsEdge(br.Source, br.Target, br.Class) {
+					bad++
+					t.Errorf("seed %d: executed edge not in O-CFG: %v %s -> %s",
+						seed, br.Class, as.SymbolFor(br.Source), as.SymbolFor(br.Target))
+				}
+			}),
+		}
+		if st, err := k.Run(p, 5_000_000); err != nil || !st.Exited {
+			t.Fatalf("seed %d: run: %v %v", seed, st, err)
+		}
+		tr.Flush()
+
+		evs, err := ipt.DecodeFast(tr.Out.Snapshot())
+		if err != nil {
+			t.Fatalf("seed %d: fast decode: %v", seed, err)
+		}
+		tips := ipt.ExtractTIPs(evs)
+		for i := 0; i+1 < len(tips); i++ {
+			if !ig.HasEdge(tips[i].IP, tips[i+1].IP) {
+				t.Errorf("seed %d: TIP pair not an ITC edge: %s -> %s",
+					seed, as.SymbolFor(tips[i].IP), as.SymbolFor(tips[i+1].IP))
+			}
+			if !ig.Observe(tips[i].IP, tips[i+1].IP, tips[i+1].TNTSig) {
+				t.Errorf("seed %d: Observe rejected an executed edge", seed)
+			}
+		}
+
+		ft, err := ipt.DecodeFull(as, tr.Out.Snapshot(), 0)
+		if err != nil {
+			t.Fatalf("seed %d: full decode: %v", seed, err)
+		}
+		if len(ft.Flow) != len(truth) {
+			t.Fatalf("seed %d: reconstructed %d branches, truth %d", seed, len(ft.Flow), len(truth))
+		}
+		for i := range truth {
+			if ft.Flow[i] != truth[i] {
+				t.Fatalf("seed %d: branch %d mismatch: %+v vs %+v", seed, i, ft.Flow[i], truth[i])
+			}
+		}
+	}
+}
+
+// TestArityNeverOverestimated: the computed (liveness) arity must never
+// exceed the declared ground truth, or indirect target sets could drop
+// real targets.
+func TestArityNeverOverestimated(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		prog, err := progen.Generate(progen.DefaultConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, err := prog.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := cfg.Build(as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range g.Funcs {
+			if f.IsPLT {
+				continue
+			}
+			if f.Arity > f.DeclaredArity && f.DeclaredArity >= 0 {
+				t.Errorf("seed %d: %s computed arity %d > declared %d",
+					seed, f.Name, f.Arity, f.DeclaredArity)
+			}
+		}
+	}
+}
+
+// TestGenerateRejectsTinyConfigs covers the config validation.
+func TestGenerateRejectsTinyConfigs(t *testing.T) {
+	if _, err := progen.Generate(progen.Config{Seed: 1, ExecFuncs: 1, LibFuncs: 1}); err == nil {
+		t.Fatal("Generate accepted a 1-function config")
+	}
+}
+
+// TestDeterminism: the same seed yields bit-identical binaries.
+func TestDeterminism(t *testing.T) {
+	p1, err := progen.Generate(progen.DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := progen.Generate(progen.DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p1.Exec.Code) != string(p2.Exec.Code) {
+		t.Error("executable code differs between identical seeds")
+	}
+	if string(p1.Libs["librand"].Code) != string(p2.Libs["librand"].Code) {
+		t.Error("library code differs between identical seeds")
+	}
+}
+
+// TestProgramsContainCoFIMix: generated programs must exercise the whole
+// Table 3 CoFI surface (except far transfers, which progen leaves to the
+// app suite).
+func TestProgramsContainCoFIMix(t *testing.T) {
+	prog, err := progen.Generate(progen.DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernelsim.New()
+	p, err := k.Spawn("randprog", prog.Exec, prog.Libs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[isa.CoFIClass]int{}
+	p.CPU.Branch = trace.SinkFunc(func(br trace.Branch) { seen[br.Class]++ })
+	if st, err := k.Run(p, 5_000_000); err != nil || !st.Exited {
+		t.Fatalf("run: %v %v", st, err)
+	}
+	for _, class := range []isa.CoFIClass{isa.CoFIDirect, isa.CoFICond,
+		isa.CoFIIndirect, isa.CoFIRet, isa.CoFIFarTransfer} {
+		if seen[class] == 0 {
+			t.Errorf("no %v branches executed", class)
+		}
+	}
+}
+
+// TestProtectedRandomProgramsNeverFalseKilled is the end-to-end
+// conservatism property: arbitrary generated programs run under full
+// FlowGuard protection — analyzed but completely untrained, so every
+// window is suspicious and slow-pathed — and must never be killed.
+func TestProtectedRandomProgramsNeverFalseKilled(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(500); seed < 500+int64(seeds); seed++ {
+		prog, err := progen.Generate(progen.DefaultConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := kernelsim.New()
+		p, err := k.Spawn("randprog", prog.Exec, prog.Libs, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := cfg.Build(p.AS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ig := itc.FromCFG(g)
+		km := guard.InstallModule(k)
+		gd, err := km.Protect(p, g, ig, guard.DefaultPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := k.Run(p, 20_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Exited {
+			t.Fatalf("seed %d: protected random program: %v (reports %v)", seed, st, km.Reports)
+		}
+		if len(km.Reports) != 0 {
+			t.Fatalf("seed %d: false positives: %v", seed, km.Reports)
+		}
+		if gd.Stats.Checks == 0 {
+			t.Fatalf("seed %d: no endpoint checks ran", seed)
+		}
+	}
+}

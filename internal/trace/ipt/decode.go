@@ -1,0 +1,292 @@
+package ipt
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Event is one decoded packet from the fast (packet-grammar-only) layer.
+type Event struct {
+	Kind Kind
+	// IP is the reconstructed instruction pointer for TIP/TIP.PGE/
+	// TIP.PGD/FUP packets.
+	IP uint64
+	// Suppressed marks a TIP-family packet whose IP payload was
+	// suppressed (ipbytes = 0 for TIP.PGD at far transfers).
+	Suppressed bool
+	// TNTBits holds up to 6 outcomes, oldest in bit 0.
+	TNTBits  uint8
+	TNTCount int
+	// CR3 carries the PIP payload.
+	CR3 uint64
+	// Ctx marks FUP packets inside a PSB+ region: decoder
+	// synchronization context rather than an asynchronous event.
+	Ctx bool
+	// Off is the byte offset of the packet header in the stream.
+	Off int
+}
+
+// ErrNoSync reports a stream with no PSB to synchronize on.
+var ErrNoSync = errors.New("ipt: no PSB sync point in stream")
+
+// Sync returns the offset of the first PSB at or after from, or -1.
+func Sync(buf []byte, from int) int {
+	for i := from; i+PSBSize <= len(buf); i++ {
+		if isPSBAt(buf, i) {
+			return i
+		}
+	}
+	return -1
+}
+
+func isPSBAt(buf []byte, i int) bool {
+	if i+PSBSize > len(buf) {
+		return false
+	}
+	for j := 0; j < psbRepeat; j++ {
+		if buf[i+2*j] != 0x02 || buf[i+2*j+1] != extPSB {
+			return false
+		}
+	}
+	return true
+}
+
+// SyncPoints returns the offsets of every PSB in the stream; these are the
+// boundaries the parallel fast decoder splits at (§5.3).
+func SyncPoints(buf []byte) []int {
+	var pts []int
+	for i := 0; i+PSBSize <= len(buf); {
+		if isPSBAt(buf, i) {
+			pts = append(pts, i)
+			i += PSBSize
+		} else {
+			i++
+		}
+	}
+	return pts
+}
+
+// DecodeFast scans packet bytes starting at a packet boundary (offset 0
+// must be a packet header; use Sync to find one after a ToPA wrap). It
+// never consults program binaries — this is the cheap layer the fast path
+// is built on. A packet truncated by the end of the buffer terminates the
+// scan without error, matching a circular buffer cut mid-packet.
+func DecodeFast(buf []byte) ([]Event, error) {
+	return decodeFastFrom(buf, 0)
+}
+
+func decodeFastFrom(buf []byte, base int) ([]Event, error) {
+	var evs []Event
+	lastIP := uint64(0)
+	inPSB := false
+	i := 0
+	for i < len(buf) {
+		b := buf[i]
+		switch {
+		case b == 0x00: // PAD
+			i++
+		case b == 0x02: // extended
+			if i+1 >= len(buf) {
+				return evs, nil // truncated tail
+			}
+			switch buf[i+1] {
+			case extPSB:
+				if !isPSBAt(buf, i) {
+					if i+PSBSize > len(buf) {
+						return evs, nil
+					}
+					return evs, fmt.Errorf("ipt: malformed PSB at %d", base+i)
+				}
+				evs = append(evs, Event{Kind: KindPSB, Off: base + i})
+				lastIP = 0
+				inPSB = true
+				i += PSBSize
+			case extPSBEND:
+				evs = append(evs, Event{Kind: KindPSBEND, Off: base + i})
+				inPSB = false
+				i += 2
+			case extPIP:
+				if i+10 > len(buf) {
+					return evs, nil
+				}
+				var cr3 uint64
+				for j := 0; j < 8; j++ {
+					cr3 |= uint64(buf[i+2+j]) << (8 * j)
+				}
+				evs = append(evs, Event{Kind: KindPIP, CR3: cr3, Off: base + i})
+				i += 10
+			case extOVF:
+				evs = append(evs, Event{Kind: KindOVF, Off: base + i})
+				i += 2
+			default:
+				return evs, fmt.Errorf("ipt: unknown extended opcode %#02x at %d", buf[i+1], base+i)
+			}
+		case b&1 == 0: // short TNT
+			n := bits.Len8(b) - 2
+			if n < 1 || n > maxTNTBits {
+				return evs, fmt.Errorf("ipt: malformed TNT byte %#02x at %d", b, base+i)
+			}
+			evs = append(evs, Event{
+				Kind:     KindTNT,
+				TNTBits:  (b >> 1) & (1<<n - 1),
+				TNTCount: n,
+				Off:      base + i,
+			})
+			i++
+		default: // TIP family
+			op := b & 0x1f
+			ipb := b >> 5
+			var kind Kind
+			switch op {
+			case opTIP:
+				kind = KindTIP
+			case opTIPPGE:
+				kind = KindTIPPGE
+			case opTIPPGD:
+				kind = KindTIPPGD
+			case opFUP:
+				kind = KindFUP
+			default:
+				return evs, fmt.Errorf("ipt: unknown packet header %#02x at %d", b, base+i)
+			}
+			n := ipPayloadLen(ipb)
+			if i+1+n > len(buf) {
+				return evs, nil // truncated tail
+			}
+			ev := Event{Kind: kind, Off: base + i}
+			if ipb == 0 {
+				ev.Suppressed = true
+				ev.IP = lastIP
+			} else {
+				lastIP = ipReconstruct(ipb, buf[i+1:i+1+n], lastIP)
+				ev.IP = lastIP
+			}
+			if kind == KindFUP && inPSB {
+				ev.Ctx = true
+			}
+			evs = append(evs, ev)
+			i += 1 + n
+		}
+	}
+	return evs, nil
+}
+
+// DecodeFastParallel decodes the stream with one worker per PSB-delimited
+// segment, exploiting that PSB resets decoder state (§5.3: "with the help
+// of packet stream boundary packets... this process can be done in
+// parallel"). The leading bytes before the first PSB are decoded inline
+// when the stream starts at a packet boundary; after a wrap, pass a
+// buffer already Sync'd to a PSB.
+func DecodeFastParallel(buf []byte, workers int) ([]Event, error) {
+	pts := SyncPoints(buf)
+	if len(pts) == 0 || workers <= 1 {
+		return DecodeFast(buf)
+	}
+	segs := make([][2]int, 0, len(pts)+1)
+	if pts[0] != 0 {
+		segs = append(segs, [2]int{0, pts[0]})
+	}
+	for i, p := range pts {
+		end := len(buf)
+		if i+1 < len(pts) {
+			end = pts[i+1]
+		}
+		segs = append(segs, [2]int{p, end})
+	}
+	results := make([][]Event, len(segs))
+	errs := make([]error, len(segs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for si, s := range segs {
+		wg.Add(1)
+		go func(si int, lo, hi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[si], errs[si] = decodeFastFrom(buf[lo:hi], lo)
+		}(si, s[0], s[1])
+	}
+	wg.Wait()
+	var out []Event
+	for si := range segs {
+		// A segment cut at the next PSB may end mid-packet only if the
+		// stream is corrupt; the encoder never splits packets across a
+		// PSB. Truncation errors are therefore real errors here except
+		// for the final segment.
+		if errs[si] != nil {
+			return nil, errs[si]
+		}
+		out = append(out, results[si]...)
+	}
+	return out, nil
+}
+
+// TIPRecord is one checked unit of the fast path: a TIP target plus the
+// signature of the TNT run observed since the previous TIP (the
+// information §4.3 attaches to ITC-CFG edges).
+type TIPRecord struct {
+	// IP is the indirect branch target carried by the TIP packet.
+	IP uint64
+	// TNTSig is the signature of the conditional-branch outcomes seen
+	// between the previous TIP and this one; TNTSigEmpty if none.
+	TNTSig uint64
+	// TNTLen is the number of conditional outcomes folded into TNTSig.
+	TNTLen int
+	// Off is the stream offset (diagnostics).
+	Off int
+}
+
+// TNTSigEmpty is the signature of an empty TNT run.
+const TNTSigEmpty uint64 = 0xcbf29ce484222325 // FNV-1a offset basis
+
+// TNTRunCap bounds the conditional-branch run folded into a signature.
+// Short runs carry the direct-fork information that repairs the AIA
+// derogation (Figure 4); longer runs are data-dependent loop iteration
+// counts, which would make every trained signature input-specific — the
+// path explosion §4.2 deliberately avoids. Runs beyond the cap collapse
+// to TNTSigLongRun.
+const TNTRunCap = 16
+
+// TNTSigLongRun is the wildcard signature of any capped run.
+const TNTSigLongRun uint64 = 0x9e3779b97f4a7c15
+
+// TNTSigAppend folds one conditional outcome into a running signature.
+func TNTSigAppend(sig uint64, taken bool) uint64 {
+	b := uint64(1)
+	if taken {
+		b = 2
+	}
+	return (sig ^ b) * 0x100000001b3
+}
+
+// ExtractTIPs folds a fast-decoded event stream into the TIP-window form
+// the fast path checks: one record per TIP packet, each carrying the TNT
+// signature accumulated since the previous TIP. Far-transfer and PSB
+// context packets do not produce records (a syscall is a fall-through on
+// the CFG) but TNT runs accumulate across them.
+func ExtractTIPs(evs []Event) []TIPRecord {
+	var out []TIPRecord
+	sig := TNTSigEmpty
+	n := 0
+	for _, e := range evs {
+		switch e.Kind {
+		case KindTNT:
+			for k := 0; k < e.TNTCount; k++ {
+				sig = TNTSigAppend(sig, e.TNTBits&(1<<k) != 0)
+				n++
+			}
+		case KindTIP:
+			if n > TNTRunCap {
+				sig = TNTSigLongRun
+			}
+			out = append(out, TIPRecord{IP: e.IP, TNTSig: sig, TNTLen: n, Off: e.Off})
+			sig, n = TNTSigEmpty, 0
+		case KindOVF:
+			// Data lost: the accumulated run is unreliable.
+			sig, n = TNTSigEmpty, 0
+		}
+	}
+	return out
+}

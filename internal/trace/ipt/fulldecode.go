@@ -1,0 +1,268 @@
+package ipt
+
+import (
+	"errors"
+	"fmt"
+
+	"flowguard/internal/isa"
+	"flowguard/internal/module"
+	"flowguard/internal/trace"
+)
+
+// CyclesPerDecodedInstr is the calibrated cost of reconstructing one
+// retired instruction at the instruction-flow layer of abstraction
+// (binary fetch + decode + packet correlation). It reproduces the ~230x
+// geomean full-decode overhead the paper measures with Intel's reference
+// decoder library (§2), and anchors the slow path's ~0.23 ms per 100-TIP
+// window (§7.2.2). See EXPERIMENTS.md for the calibration.
+const CyclesPerDecodedInstr = 360
+
+// FullTrace is the output of the instruction-flow-layer decoder: the
+// complete reconstructed control flow, not just the packetized subset.
+type FullTrace struct {
+	// Flow lists every reconstructed change-of-flow event in order,
+	// including the direct branches that produce no packets.
+	Flow []trace.Branch
+	// Instrs is the number of instructions walked (the decode cost
+	// driver).
+	Instrs uint64
+	// StartIP is the synchronization address (PSB+ FUP context).
+	StartIP uint64
+	// EndIP is the instruction pointer when trace data ran out.
+	EndIP uint64
+	// Resyncs counts recoveries via the next PSB after overflow or
+	// desynchronization.
+	Resyncs int
+}
+
+// Cycles returns the calibrated cost of this decode.
+func (t *FullTrace) Cycles() uint64 { return t.Instrs * CyclesPerDecodedInstr }
+
+// tokenCursor walks the event list, serving TNT bits and IP packets in
+// stream order and skipping synchronization-only packets.
+type tokenCursor struct {
+	evs []Event
+	i   int
+	bit int // next bit within evs[i] when it is a TNT packet
+}
+
+var errExhausted = errors.New("ipt: trace data exhausted")
+var errDesync = errors.New("ipt: decoder desynchronized")
+
+func (c *tokenCursor) skipMeta() {
+	for c.i < len(c.evs) {
+		switch e := c.evs[c.i]; e.Kind {
+		case KindPAD, KindPIP, KindPSBEND:
+			c.i++
+		case KindPSB:
+			c.i++
+		case KindFUP:
+			if e.Ctx {
+				c.i++ // PSB+ context, redundant with walk state
+				continue
+			}
+			return
+		case KindTNT:
+			if c.bit >= e.TNTCount {
+				c.i++
+				c.bit = 0
+				continue
+			}
+			return
+		default:
+			return
+		}
+	}
+}
+
+// nextTNT pops the oldest pending conditional outcome.
+func (c *tokenCursor) nextTNT() (bool, error) {
+	c.skipMeta()
+	if c.i >= len(c.evs) {
+		return false, errExhausted
+	}
+	e := c.evs[c.i]
+	if e.Kind != KindTNT {
+		if e.Kind == KindOVF {
+			return false, errDesync
+		}
+		return false, fmt.Errorf("%w: want TNT, have %v at offset %d", errDesync, e.Kind, e.Off)
+	}
+	taken := e.TNTBits&(1<<c.bit) != 0
+	c.bit++
+	return taken, nil
+}
+
+// nextIP pops the next IP-bearing packet of the wanted kind.
+func (c *tokenCursor) nextIP(want Kind) (Event, error) {
+	c.skipMeta()
+	if c.i >= len(c.evs) {
+		return Event{}, errExhausted
+	}
+	e := c.evs[c.i]
+	if e.Kind != want {
+		if e.Kind == KindOVF {
+			return Event{}, errDesync
+		}
+		return Event{}, fmt.Errorf("%w: want %v, have %v at offset %d", errDesync, want, e.Kind, e.Off)
+	}
+	c.i++
+	c.bit = 0
+	return e, nil
+}
+
+// seekPSB advances to the next PSB and returns its context IP, used for
+// the initial sync and for resynchronization after overflow.
+func (c *tokenCursor) seekPSB() (uint64, bool) {
+	for ; c.i < len(c.evs); c.i++ {
+		if c.evs[c.i].Kind != KindPSB {
+			continue
+		}
+		// Find the context FUP before PSBEND.
+		for j := c.i + 1; j < len(c.evs); j++ {
+			switch c.evs[j].Kind {
+			case KindFUP:
+				if c.evs[j].Ctx {
+					c.i = j + 1
+					c.bit = 0
+					return c.evs[j].IP, true
+				}
+			case KindPSBEND:
+				j = len(c.evs)
+			}
+		}
+	}
+	return 0, false
+}
+
+// DecodeFull is the instruction-flow-layer decoder (the Intel reference
+// library analogue, §2/§5.3): it synchronizes at a PSB, then walks the
+// program binaries instruction by instruction, consuming TNT bits at
+// conditional branches and TIP targets at indirect branches/returns to
+// reconstruct the complete control flow. maxInstrs bounds the walk
+// (0 = unlimited).
+func DecodeFull(as *module.AddressSpace, buf []byte, maxInstrs uint64) (*FullTrace, error) {
+	evs, err := DecodeFast(buf)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFullEvents(as, evs, maxInstrs)
+}
+
+// DecodeFullEvents runs the instruction-flow walk over already
+// fast-decoded events.
+func DecodeFullEvents(as *module.AddressSpace, evs []Event, maxInstrs uint64) (*FullTrace, error) {
+	cur := &tokenCursor{evs: evs}
+	ip, ok := cur.seekPSB()
+	if !ok {
+		return nil, ErrNoSync
+	}
+	ft := &FullTrace{StartIP: ip}
+
+	resync := func() bool {
+		nip, ok := cur.seekPSB()
+		if !ok {
+			return false
+		}
+		ft.Resyncs++
+		ip = nip
+		return true
+	}
+
+	for {
+		if maxInstrs > 0 && ft.Instrs >= maxInstrs {
+			break
+		}
+		raw, err := as.FetchInstr(ip)
+		if err != nil {
+			// The trace claims execution at an unfetchable address; give
+			// the caller what was reconstructed so far. (A hijacked flow
+			// can leave the window pointing at the stack, which is
+			// itself a violation the slow path reports.)
+			ft.EndIP = ip
+			return ft, fmt.Errorf("ipt: flow reconstruction fetch at %#x: %w", ip, err)
+		}
+		in, err := isa.Decode(raw)
+		if err != nil {
+			ft.EndIP = ip
+			return ft, fmt.Errorf("ipt: flow reconstruction decode at %#x: %w", ip, err)
+		}
+		ft.Instrs++
+		next := ip + isa.InstrSize
+
+		switch in.Op {
+		case isa.JMP, isa.CALL:
+			t := in.BranchTarget(ip)
+			ft.Flow = append(ft.Flow, trace.Branch{Class: isa.CoFIDirect, Source: ip, Target: t, Taken: true})
+			ip = t
+		case isa.JCC:
+			taken, err := cur.nextTNT()
+			if errors.Is(err, errExhausted) {
+				ft.EndIP = ip
+				return ft, nil
+			}
+			if err != nil {
+				if resync() {
+					continue
+				}
+				ft.EndIP = ip
+				return ft, nil
+			}
+			t := next
+			if taken {
+				t = in.BranchTarget(ip)
+			}
+			ft.Flow = append(ft.Flow, trace.Branch{Class: isa.CoFICond, Source: ip, Target: t, Taken: taken})
+			ip = t
+		case isa.JMPR, isa.CALLR, isa.RET:
+			class := isa.CoFIIndirect
+			if in.Op == isa.RET {
+				class = isa.CoFIRet
+			}
+			e, err := cur.nextIP(KindTIP)
+			if errors.Is(err, errExhausted) {
+				ft.EndIP = ip
+				return ft, nil
+			}
+			if err != nil {
+				if resync() {
+					continue
+				}
+				ft.EndIP = ip
+				return ft, nil
+			}
+			ft.Flow = append(ft.Flow, trace.Branch{Class: class, Source: ip, Target: e.IP, Taken: true})
+			ip = e.IP
+		case isa.SYSCALL:
+			if _, err := cur.nextIP(KindFUP); err != nil {
+				if errors.Is(err, errExhausted) {
+					ft.EndIP = ip
+					return ft, nil
+				}
+				if resync() {
+					continue
+				}
+				ft.EndIP = ip
+				return ft, nil
+			}
+			if _, err := cur.nextIP(KindTIPPGD); err != nil {
+				ft.EndIP = ip
+				return ft, nil
+			}
+			pge, err := cur.nextIP(KindTIPPGE)
+			if err != nil {
+				ft.EndIP = ip
+				return ft, nil
+			}
+			ft.Flow = append(ft.Flow, trace.Branch{Class: isa.CoFIFarTransfer, Source: ip, Target: pge.IP, Taken: true})
+			ip = pge.IP
+		case isa.HALT:
+			ft.EndIP = ip
+			return ft, nil
+		default:
+			ip = next
+		}
+	}
+	ft.EndIP = ip
+	return ft, nil
+}

@@ -1,0 +1,40 @@
+package ipt
+
+import "testing"
+
+// FuzzDecodeFast drives the packet-grammar scanner with arbitrary bytes:
+// it must never panic, and whatever events it accepts must carry sane
+// field values. (Run with `go test -fuzz FuzzDecodeFast` for a real
+// campaign; the seed corpus doubles as a regression suite.)
+func FuzzDecodeFast(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00})
+	f.Add(appendPSB(nil))
+	f.Add(appendTNT(nil, 0b101, 3))
+	f.Add(appendPIP(nil, 0x1234))
+	var last uint64
+	f.Add(appendIPPacket(nil, opTIP, 0x400000, &last))
+	f.Add([]byte{0x02, 0xF3}) // OVF
+	f.Add([]byte{0x02, 0x99}) // unknown extended opcode
+	f.Add([]byte{0xFF})       // unknown TIP-family header
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := DecodeFast(data)
+		if err != nil {
+			return
+		}
+		for _, e := range evs {
+			if e.Kind == KindTNT && (e.TNTCount < 1 || e.TNTCount > maxTNTBits) {
+				t.Fatalf("TNT count %d out of range", e.TNTCount)
+			}
+			if e.Off < 0 || e.Off >= len(data) {
+				t.Fatalf("event offset %d outside %d-byte stream", e.Off, len(data))
+			}
+		}
+		// A stream that decoded cleanly must also full-scan in parallel
+		// mode to the same events.
+		pevs, perr := DecodeFastParallel(data, 2)
+		if perr != nil || len(pevs) != len(evs) {
+			t.Fatalf("parallel decode disagreed: %v (%d vs %d events)", perr, len(pevs), len(evs))
+		}
+	})
+}

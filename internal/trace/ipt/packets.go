@@ -1,0 +1,184 @@
+// Package ipt is the software model of Intel Processor Trace used by the
+// whole reproduction: the packetizer ("hardware"), the MSR configuration
+// surface the kernel module programs (§5.1), the ToPA output mechanism,
+// and the two decoders whose asymmetry the paper is built around — the
+// packet-level fast decoder (§5.3 fast path) and the instruction-flow-layer
+// full decoder (the Intel reference-library analogue used by the slow
+// path and by offline analysis).
+//
+// # Packet grammar
+//
+// The encoding follows the real IPT format in spirit:
+//
+//	PAD      00
+//	TNT      one byte, bit0 = 0: up to 6 taken/not-taken bits below a
+//	         stop bit (bit k+1 holds the k-th oldest outcome)
+//	TIP      header 0x0D|ipb<<5, then 0/2/4/8 bytes of target IP
+//	TIP.PGE  header 0x11|ipb<<5 (packet generation enable: resume address)
+//	TIP.PGD  header 0x01|ipb<<5 (packet generation disable)
+//	FUP      header 0x1D|ipb<<5 (source address of an async/far event)
+//	PSB      02 82, eight times (16-byte stream synchronization point)
+//	PSBEND   02 23
+//	PIP      02 43, then 8 bytes of CR3
+//	OVF      02 f3
+//
+// IP payloads are compressed against the decoder-visible "last IP": the
+// ipb field selects how many low bytes are updated (0 = unchanged,
+// 1 = low 2 bytes, 2 = low 4 bytes, 3 = full 8 bytes). PSB resets the
+// last-IP state on both sides, which is what makes PSB-parallel decoding
+// possible (§5.3).
+package ipt
+
+import "fmt"
+
+// Packet kind discriminators as seen by the decoders.
+type Kind uint8
+
+// Packet kinds.
+const (
+	KindPAD Kind = iota
+	KindTNT
+	KindTIP
+	KindTIPPGE
+	KindTIPPGD
+	KindFUP
+	KindPSB
+	KindPSBEND
+	KindPIP
+	KindOVF
+)
+
+var kindNames = [...]string{
+	KindPAD: "PAD", KindTNT: "TNT", KindTIP: "TIP", KindTIPPGE: "TIP.PGE",
+	KindTIPPGD: "TIP.PGD", KindFUP: "FUP", KindPSB: "PSB",
+	KindPSBEND: "PSBEND", KindPIP: "PIP", KindOVF: "OVF",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Header low-5-bit opcodes of the TIP packet family (bit0 = 1
+// distinguishes them from TNT bytes).
+const (
+	opTIP    = 0x0D
+	opTIPPGE = 0x11
+	opTIPPGD = 0x01
+	opFUP    = 0x1D
+)
+
+// Extended (0x02-prefixed) opcodes.
+const (
+	extPSB    = 0x82
+	extPSBEND = 0x23
+	extPIP    = 0x43
+	extOVF    = 0xF3
+)
+
+// psbRepeat is the number of "02 82" pairs forming a PSB.
+const psbRepeat = 8
+
+// PSBSize is the encoded size of a PSB packet in bytes.
+const PSBSize = 2 * psbRepeat
+
+// maxTNTBits is the capacity of a short TNT packet.
+const maxTNTBits = 6
+
+// ipCompress picks the smallest ipbytes encoding for target given the
+// last-IP state, mirroring the hardware's IP compression.
+func ipCompress(target, lastIP uint64) uint8 {
+	switch {
+	case target == lastIP:
+		return 0
+	case target>>16 == lastIP>>16:
+		return 1
+	case target>>32 == lastIP>>32:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// ipPayloadLen returns the payload byte count for an ipbytes field.
+func ipPayloadLen(ipb uint8) int {
+	switch ipb {
+	case 0:
+		return 0
+	case 1:
+		return 2
+	case 2:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// ipReconstruct merges a compressed payload into the last-IP state.
+func ipReconstruct(ipb uint8, payload []byte, lastIP uint64) uint64 {
+	switch ipb {
+	case 0:
+		return lastIP
+	case 1:
+		return lastIP&^0xffff | uint64(payload[0]) | uint64(payload[1])<<8
+	case 2:
+		var v uint64
+		for i := 0; i < 4; i++ {
+			v |= uint64(payload[i]) << (8 * i)
+		}
+		return lastIP&^0xffffffff | v
+	default:
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(payload[i]) << (8 * i)
+		}
+		return v
+	}
+}
+
+// appendIPPacket appends a TIP-family packet for target, updating *lastIP.
+func appendIPPacket(dst []byte, op uint8, target uint64, lastIP *uint64) []byte {
+	ipb := ipCompress(target, *lastIP)
+	dst = append(dst, op|ipb<<5)
+	n := ipPayloadLen(ipb)
+	for i := 0; i < n; i++ {
+		dst = append(dst, byte(target>>(8*i)))
+	}
+	*lastIP = target
+	return dst
+}
+
+// appendSuppressedIP appends a TIP-family packet with a suppressed IP
+// (ipbytes = 0 without changing last-IP), used for TIP.PGD at far
+// transfers under user-only filtering.
+func appendSuppressedIP(dst []byte, op uint8) []byte {
+	return append(dst, op)
+}
+
+// appendTNT appends a short TNT packet carrying bits[0..n) (oldest first).
+func appendTNT(dst []byte, bits uint8, n int) []byte {
+	if n <= 0 || n > maxTNTBits {
+		panic(fmt.Sprintf("ipt: invalid TNT bit count %d", n))
+	}
+	b := byte(1)<<(n+1) | (bits&(1<<n-1))<<1
+	return append(dst, b)
+}
+
+// appendPSB appends a PSB synchronization packet.
+func appendPSB(dst []byte) []byte {
+	for i := 0; i < psbRepeat; i++ {
+		dst = append(dst, 0x02, extPSB)
+	}
+	return dst
+}
+
+// appendPIP appends a PIP packet carrying the CR3 value.
+func appendPIP(dst []byte, cr3 uint64) []byte {
+	dst = append(dst, 0x02, extPIP)
+	for i := 0; i < 8; i++ {
+		dst = append(dst, byte(cr3>>(8*i)))
+	}
+	return dst
+}

@@ -1,0 +1,193 @@
+package ipt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flowguard/internal/isa"
+	"flowguard/internal/trace"
+)
+
+// TestIPCompressionRoundTrip: for any (lastIP, target) pair, the encoder
+// and decoder agree.
+func TestIPCompressionRoundTrip(t *testing.T) {
+	f := func(lastIP, target uint64) bool {
+		var buf []byte
+		last := lastIP
+		buf = appendIPPacket(buf, opTIP, target, &last)
+		if last != target {
+			return false
+		}
+		ipb := buf[0] >> 5
+		got := ipReconstruct(ipb, buf[1:], lastIP)
+		return got == target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTNTByteRoundTrip: every (bits, count) combination survives.
+func TestTNTByteRoundTrip(t *testing.T) {
+	for n := 1; n <= maxTNTBits; n++ {
+		for bits := 0; bits < 1<<n; bits++ {
+			b := appendTNT(nil, uint8(bits), n)
+			if len(b) != 1 {
+				t.Fatalf("TNT(%d bits) encoded to %d bytes", n, len(b))
+			}
+			if b[0]&1 != 0 {
+				t.Fatalf("TNT byte %#02x has bit0 set", b[0])
+			}
+			evs, err := DecodeFast(b)
+			if err != nil || len(evs) != 1 || evs[0].Kind != KindTNT {
+				t.Fatalf("decode TNT: %v %v", evs, err)
+			}
+			if evs[0].TNTCount != n || evs[0].TNTBits != uint8(bits) {
+				t.Fatalf("TNT(%#b,%d) decoded as (%#b,%d)", bits, n, evs[0].TNTBits, evs[0].TNTCount)
+			}
+		}
+	}
+}
+
+func TestAppendTNTPanicsOnBadCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("appendTNT accepted 0 bits")
+		}
+	}()
+	appendTNT(nil, 0, 0)
+}
+
+// TestEncodeDecodeBranchStreamProperty: random CoFI streams encoded by
+// the tracer fast-decode back to the same TIP/TNT content.
+func TestEncodeDecodeBranchStreamProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		tr := NewTracer(NewToPA(1 << 20))
+		if err := tr.WriteMSR(MSRRTITCtl, CtlTraceEn|CtlBranchEn|CtlUser|CtlToPA); err != nil {
+			return false
+		}
+		// Deterministic pseudo-random branch stream.
+		state := uint64(seed)
+		next := func() uint64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return state
+		}
+		var wantTIPs []uint64
+		var wantBits []bool
+		count := int(n%64) + 1
+		for i := 0; i < count; i++ {
+			src := 0x400000 + next()%0x10000&^7
+			dst := 0x400000 + next()%0x10000&^7
+			switch next() % 4 {
+			case 0:
+				tr.Branch(trace.Branch{Class: isa.CoFIDirect, Source: src, Target: dst, Taken: true})
+			case 1:
+				taken := next()%2 == 0
+				tr.Branch(trace.Branch{Class: isa.CoFICond, Source: src, Target: dst, Taken: taken})
+				wantBits = append(wantBits, taken)
+			case 2:
+				tr.Branch(trace.Branch{Class: isa.CoFIIndirect, Source: src, Target: dst, Taken: true})
+				wantTIPs = append(wantTIPs, dst)
+			case 3:
+				tr.Branch(trace.Branch{Class: isa.CoFIRet, Source: src, Target: dst, Taken: true})
+				wantTIPs = append(wantTIPs, dst)
+			}
+		}
+		tr.Flush()
+		evs, err := DecodeFast(tr.Out.Snapshot())
+		if err != nil {
+			return false
+		}
+		var gotTIPs []uint64
+		var gotBits []bool
+		for _, e := range evs {
+			switch e.Kind {
+			case KindTIP:
+				gotTIPs = append(gotTIPs, e.IP)
+			case KindTNT:
+				for k := 0; k < e.TNTCount; k++ {
+					gotBits = append(gotBits, e.TNTBits&(1<<k) != 0)
+				}
+			}
+		}
+		if len(gotTIPs) != len(wantTIPs) || len(gotBits) != len(wantBits) {
+			return false
+		}
+		for i := range wantTIPs {
+			if gotTIPs[i] != wantTIPs[i] {
+				return false
+			}
+		}
+		for i := range wantBits {
+			if gotBits[i] != wantBits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyncRejectsNonPSB and finds embedded PSBs.
+func TestSync(t *testing.T) {
+	junk := []byte{0x55, 0x66, 0x77}
+	buf := append(append([]byte{}, junk...), appendPSB(nil)...)
+	if got := Sync(buf, 0); got != len(junk) {
+		t.Errorf("Sync = %d, want %d", got, len(junk))
+	}
+	if got := Sync(junk, 0); got != -1 {
+		t.Errorf("Sync(junk) = %d, want -1", got)
+	}
+}
+
+// TestDecodeFastRejectsGarbage: unknown extended opcodes are errors, not
+// silent skips.
+func TestDecodeFastRejectsGarbage(t *testing.T) {
+	if _, err := DecodeFast([]byte{0x02, 0x99}); err == nil {
+		t.Fatal("accepted unknown extended opcode")
+	}
+}
+
+// TestDecodeFastToleratesTruncatedTail: a packet cut by the end of a
+// circular buffer ends the scan cleanly.
+func TestDecodeFastToleratesTruncatedTail(t *testing.T) {
+	var last uint64
+	full := appendIPPacket(nil, opTIP, 0xdeadbeefcafe, &last)
+	evs, err := DecodeFast(full[:len(full)-2])
+	if err != nil {
+		t.Fatalf("truncated tail errored: %v", err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("partial packet produced events: %v", evs)
+	}
+}
+
+// TestPIPCarriesCR3 checks the context packet.
+func TestPIPCarriesCR3(t *testing.T) {
+	buf := appendPIP(nil, 0x123456789a)
+	evs, err := DecodeFast(buf)
+	if err != nil || len(evs) != 1 || evs[0].Kind != KindPIP {
+		t.Fatalf("decode PIP: %v %v", evs, err)
+	}
+	if evs[0].CR3 != 0x123456789a {
+		t.Errorf("CR3 = %#x", evs[0].CR3)
+	}
+}
+
+// TestTNTSigProperties: order-sensitive, length-sensitive, deterministic.
+func TestTNTSigProperties(t *testing.T) {
+	tt := TNTSigAppend(TNTSigAppend(TNTSigEmpty, true), false)
+	ft := TNTSigAppend(TNTSigAppend(TNTSigEmpty, false), true)
+	if tt == ft {
+		t.Error("signature is order-insensitive")
+	}
+	one := TNTSigAppend(TNTSigEmpty, true)
+	if one == tt {
+		t.Error("signature is length-insensitive")
+	}
+	if TNTSigAppend(TNTSigEmpty, true) != one {
+		t.Error("signature not deterministic")
+	}
+}

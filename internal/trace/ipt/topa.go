@@ -1,0 +1,97 @@
+package ipt
+
+// ToPA models the Table-of-Physical-Addresses output scheme: trace bytes
+// stream into a chain of regions; when the last region fills, the table
+// either wraps (losing the oldest data, the paper's default with two
+// regions) or raises the buffer-full PMI that §7.1.2 proposes as the
+// worst-case endpoint.
+type ToPA struct {
+	regions [][]byte
+	// cur/pos locate the write cursor.
+	cur, pos int
+	// wrapped reports that at least one full pass has occurred, i.e. the
+	// logical stream no longer starts at a packet boundary.
+	wrapped bool
+	// total counts bytes ever written (monotonic).
+	total uint64
+	// OnFull, if non-nil, is invoked each time the final region fills
+	// (the PMI hook). The buffer wraps regardless.
+	OnFull func()
+}
+
+// NewToPA allocates a table with the given region sizes. The paper's
+// default configuration is two regions (§5.1).
+func NewToPA(regionSizes ...int) *ToPA {
+	t := &ToPA{}
+	for _, n := range regionSizes {
+		t.regions = append(t.regions, make([]byte, n))
+	}
+	if len(t.regions) == 0 {
+		t.regions = [][]byte{make([]byte, 8<<10), make([]byte, 8<<10)}
+	}
+	return t
+}
+
+// Capacity returns the total byte capacity of all regions.
+func (t *ToPA) Capacity() int {
+	n := 0
+	for _, r := range t.regions {
+		n += len(r)
+	}
+	return n
+}
+
+// TotalWritten returns the monotonic count of bytes ever written.
+func (t *ToPA) TotalWritten() uint64 { return t.total }
+
+// Write appends trace bytes, wrapping when the chain fills.
+func (t *ToPA) Write(p []byte) {
+	t.total += uint64(len(p))
+	for len(p) > 0 {
+		r := t.regions[t.cur]
+		n := copy(r[t.pos:], p)
+		t.pos += n
+		p = p[n:]
+		if t.pos == len(r) {
+			t.cur++
+			t.pos = 0
+			if t.cur == len(t.regions) {
+				t.cur = 0
+				t.wrapped = true
+				if t.OnFull != nil {
+					t.OnFull()
+				}
+			}
+		}
+	}
+}
+
+// Snapshot returns the logical byte stream currently buffered, oldest
+// first. After a wrap the stream may begin mid-packet; decoders must
+// synchronize to the first PSB.
+func (t *ToPA) Snapshot() []byte {
+	if !t.wrapped {
+		var out []byte
+		for i := 0; i < t.cur; i++ {
+			out = append(out, t.regions[i]...)
+		}
+		out = append(out, t.regions[t.cur][:t.pos]...)
+		return out
+	}
+	var out []byte
+	out = append(out, t.regions[t.cur][t.pos:]...)
+	for i := 1; i <= len(t.regions); i++ {
+		r := (t.cur + i) % len(t.regions)
+		if r == t.cur {
+			out = append(out, t.regions[r][:t.pos]...)
+		} else {
+			out = append(out, t.regions[r]...)
+		}
+	}
+	return out
+}
+
+// Reset discards all buffered bytes (used when tracing is reconfigured).
+func (t *ToPA) Reset() {
+	t.cur, t.pos, t.wrapped = 0, 0, false
+}

@@ -1,0 +1,86 @@
+package ipt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestToPASnapshotBeforeWrap(t *testing.T) {
+	tp := NewToPA(8, 8)
+	tp.Write([]byte{1, 2, 3})
+	if got := tp.Snapshot(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("snapshot = %v", got)
+	}
+	tp.Write([]byte{4, 5, 6, 7, 8, 9}) // crosses into region 2
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if got := tp.Snapshot(); !bytes.Equal(got, want) {
+		t.Fatalf("snapshot = %v, want %v", got, want)
+	}
+	if tp.Capacity() != 16 {
+		t.Errorf("capacity = %d", tp.Capacity())
+	}
+}
+
+func TestToPAWrapKeepsNewestAndFiresPMI(t *testing.T) {
+	tp := NewToPA(4, 4)
+	pmis := 0
+	tp.OnFull = func() { pmis++ }
+	for i := byte(0); i < 20; i++ {
+		tp.Write([]byte{i})
+	}
+	if pmis != 2 {
+		t.Errorf("PMIs = %d, want 2 (20 bytes through 8-byte chain)", pmis)
+	}
+	snap := tp.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot length = %d, want capacity", len(snap))
+	}
+	// Oldest-first: bytes 12..19.
+	for i, b := range snap {
+		if b != byte(12+i) {
+			t.Fatalf("snapshot = %v, want 12..19", snap)
+		}
+	}
+	if tp.TotalWritten() != 20 {
+		t.Errorf("total = %d", tp.TotalWritten())
+	}
+	tp.Reset()
+	if len(tp.Snapshot()) != 0 {
+		t.Error("Reset left data")
+	}
+}
+
+// Property: for any write schedule, the snapshot equals the suffix of
+// the logical stream, with length min(total, capacity).
+func TestQuickToPASuffix(t *testing.T) {
+	f := func(chunks [][]byte, sizes [2]uint8) bool {
+		r1, r2 := int(sizes[0]%32)+1, int(sizes[1]%32)+1
+		tp := NewToPA(r1, r2)
+		var all []byte
+		for _, c := range chunks {
+			if len(c) > 64 {
+				c = c[:64]
+			}
+			tp.Write(c)
+			all = append(all, c...)
+		}
+		want := all
+		if len(want) > tp.Capacity() {
+			want = want[len(want)-tp.Capacity():]
+		}
+		return bytes.Equal(tp.Snapshot(), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDefaultRegions: the zero-argument constructor yields the paper's
+// two-region configuration.
+func TestDefaultRegions(t *testing.T) {
+	tp := NewToPA()
+	if tp.Capacity() != 16<<10 {
+		t.Errorf("default capacity = %d, want 16 KiB (two 8 KiB regions)", tp.Capacity())
+	}
+}

@@ -1,0 +1,33 @@
+package trace_test
+
+import (
+	"testing"
+
+	"flowguard/internal/isa"
+	"flowguard/internal/trace"
+)
+
+func TestSinkFuncAndMultiSink(t *testing.T) {
+	var a, b []uint64
+	sa := trace.SinkFunc(func(br trace.Branch) { a = append(a, br.Source) })
+	sb := trace.SinkFunc(func(br trace.Branch) { b = append(b, br.Target) })
+	m := trace.MultiSink{sa, sb}
+	m.Branch(trace.Branch{Class: isa.CoFIRet, Source: 1, Target: 2, Taken: true})
+	m.Branch(trace.Branch{Class: isa.CoFIRet, Source: 3, Target: 4, Taken: true})
+	if len(a) != 2 || a[0] != 1 || a[1] != 3 {
+		t.Errorf("first sink saw %v", a)
+	}
+	if len(b) != 2 || b[0] != 2 || b[1] != 4 {
+		t.Errorf("second sink saw %v", b)
+	}
+}
+
+func TestNestedMultiSink(t *testing.T) {
+	n := 0
+	leaf := trace.SinkFunc(func(trace.Branch) { n++ })
+	nested := trace.MultiSink{trace.MultiSink{leaf, leaf}, leaf}
+	nested.Branch(trace.Branch{})
+	if n != 3 {
+		t.Errorf("nested fan-out reached %d sinks, want 3", n)
+	}
+}
