@@ -14,7 +14,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/trace/ipt/ ./internal/itc/ ./internal/guard/
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

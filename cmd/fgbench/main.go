@@ -8,6 +8,7 @@
 //	fgbench -fig 5a -fig 5c      # overhead panels
 //	fgbench -micro -attacks      # §7.2.2 micro, §7.1.2 attack matrix
 //	fgbench -sweep -ablation     # §7.1.1 parameters, §7.2.4 HW decoder
+//	fgbench -parallel 4          # §6 pooled parallel checking speedup
 //	fgbench -claim decode230x    # the §2 slow-decoding measurement
 //
 // -scale / -seed / -train size the workloads; the defaults finish a full
@@ -40,6 +41,7 @@ func main() {
 	ablation := flag.Bool("ablation", false, "run the hardware-decoder ablation (§7.2.4)")
 	modes := flag.Bool("modes", false, "compare checking modes: credits, path-sensitive, PMI fallback")
 	multiproc := flag.Bool("multiproc", false, "CR3-filter limitation with interleaved processes (§7.2.4)")
+	parallel := flag.Int("parallel", 0, "run N protected processes with pooled parallel checking (§6) and report aggregate check latency")
 	scale := flag.Int("scale", 30, "workload scale (requests / iterations)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	train := flag.Int("train", 6, "training replays per application")
@@ -222,6 +224,20 @@ func main() {
 		}
 		fmt.Println(" ", res)
 		fmt.Println("  (paper: single-process apps outperform multi-process ones under one CR3 filter)")
+	}
+
+	if *all || *parallel > 0 {
+		n := *parallel
+		if n <= 0 {
+			n = 4
+		}
+		section("§6: parallel flow checking across spare cores")
+		res, err := r.Parallel(n)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(" ", res)
+		fmt.Println("  (checks for concurrent processes are offloaded to a bounded worker pool)")
 	}
 
 	if !ran {

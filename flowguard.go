@@ -30,6 +30,7 @@ package flowguard
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"flowguard/internal/apps"
 	"flowguard/internal/attack"
@@ -330,6 +331,106 @@ func (s *System) RunWithPolicy(input []byte, pol Policy) (*Outcome, error) {
 		out.OverheadPct = out.Parts.Trace + out.Parts.Decode + out.Parts.Check + out.Parts.Other
 	}
 	return out, nil
+}
+
+// MultiOutcome describes a parallel multi-process protected run.
+type MultiOutcome struct {
+	// Outcomes holds one entry per input process, in input order.
+	Outcomes []*Outcome
+	// Checks / SlowChecks aggregate the per-process flow checks.
+	Checks, SlowChecks uint64
+	// Violations aggregates every kernel-module report.
+	Violations []string
+	// Workers is the checker-pool concurrency bound used.
+	Workers int
+	// Elapsed is the wall time of the whole parallel run.
+	Elapsed time.Duration
+	// CheckBusy is the summed wall time spent inside flow checks across
+	// all processes; with effective parallelism it exceeds the checks'
+	// contribution to Elapsed (that surplus is the §6 offloading win).
+	CheckBusy time.Duration
+	// CheckWait is the summed time checks queued for a pool slot.
+	CheckWait time.Duration
+}
+
+// RunMulti executes one protected process per input, all within a single
+// kernel, running concurrently — the paper's §6 multi-core deployment:
+// every process gets its own trace unit and ToPA table, and flow checks
+// for different processes proceed in parallel on up to `workers` checker
+// cores (a guard.CheckPool bounds them). The processes share one
+// slow-path approval cache, so a clean slow-path verdict in any process
+// serves every sibling's fast path. workers <= 0 means one checker per
+// process.
+func (s *System) RunMulti(inputs [][]byte, pol Policy, workers int) (*MultiOutcome, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("flowguard: RunMulti needs at least one input")
+	}
+	if workers <= 0 {
+		workers = len(inputs)
+	}
+	k := kernelsim.New()
+	km := guard.InstallModule(k)
+	pool := guard.NewCheckPool(workers)
+	km.UsePool(pool)
+	shared := guard.NewApprovalCache()
+	procs := make([]*kernelsim.Process, len(inputs))
+	guards := make([]*guard.Guard, len(inputs))
+	for i, in := range inputs {
+		p, err := s.w.app.Spawn(k, in)
+		if err != nil {
+			return nil, err
+		}
+		g, err := km.Protect(p, s.ocfg, s.ig, pol.internal())
+		if err != nil {
+			return nil, err
+		}
+		g.ShareApprovals(shared)
+		procs[i], guards[i] = p, g
+	}
+	t0 := time.Now()
+	sts, err := k.RunParallel(procs, 500_000_000, 0)
+	if err != nil {
+		return nil, err
+	}
+	mo := &MultiOutcome{Workers: workers, Elapsed: time.Since(t0)}
+	reports := km.ReportsSnapshot()
+	var agg guard.Stats
+	for i, p := range procs {
+		g := guards[i]
+		o := &Outcome{
+			Exited:     sts[i].Exited,
+			ExitCode:   sts[i].Code,
+			Killed:     sts[i].Killed,
+			Stdout:     p.Stdout,
+			Checks:     g.Stats.Checks,
+			SlowChecks: g.Stats.SlowChecks,
+			CredRatio:  g.Stats.CredRatioRuntime(),
+		}
+		for _, rep := range reports {
+			if rep.PID == p.PID {
+				o.Violations = append(o.Violations, rep.String())
+			}
+		}
+		if base := p.CPU.CycleCount; base > 0 {
+			b := float64(base)
+			o.Parts = Breakdown{
+				Trace:  100 * float64(g.Tracer.Cycles()) / b,
+				Decode: 100 * float64(g.Stats.DecodeCycles) / b,
+				Check:  100 * float64(g.Stats.CheckCycles+g.Stats.SlowCycles) / b,
+				Other:  100 * float64(g.Stats.OtherCycles) / b,
+			}
+			o.OverheadPct = o.Parts.Trace + o.Parts.Decode + o.Parts.Check + o.Parts.Other
+		}
+		mo.Outcomes = append(mo.Outcomes, o)
+		agg.Merge(&g.Stats)
+	}
+	mo.Checks, mo.SlowChecks = agg.Checks, agg.SlowChecks
+	for _, rep := range reports {
+		mo.Violations = append(mo.Violations, rep.String())
+	}
+	ps := pool.Snapshot()
+	mo.CheckBusy, mo.CheckWait = ps.Busy, ps.Wait
+	return mo, nil
 }
 
 // RunUnprotected executes the workload with no tracing or checking and

@@ -240,6 +240,90 @@ func TestTrainWithFuzzer(t *testing.T) {
 	}
 }
 
+func TestRunMulti(t *testing.T) {
+	w, err := flowguard.LoadWorkload("nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := flowguard.Analyze(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainGenerated(5, 15, 1); err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]byte{w.Input(12, 3), w.Input(12, 4), w.Input(12, 5), w.Input(12, 6)}
+	mo, err := sys.RunMulti(inputs, flowguard.DefaultPolicy(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mo.Outcomes) != len(inputs) {
+		t.Fatalf("outcomes = %d, want %d", len(mo.Outcomes), len(inputs))
+	}
+	if mo.Workers != 2 {
+		t.Fatalf("workers = %d, want 2", mo.Workers)
+	}
+	var sum uint64
+	for i, o := range mo.Outcomes {
+		if !o.Exited || o.Killed {
+			t.Fatalf("process %d: %+v", i, o)
+		}
+		if len(o.Violations) != 0 {
+			t.Fatalf("process %d false positives: %v", i, o.Violations)
+		}
+		if o.Checks == 0 {
+			t.Fatalf("process %d ran no checks", i)
+		}
+		sum += o.Checks
+		// Parallel runs must not change program behavior.
+		plain, err := flowguard.RunUnprotected(w, inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(plain) != string(o.Stdout) {
+			t.Errorf("process %d output differs from unprotected run", i)
+		}
+	}
+	if mo.Checks != sum {
+		t.Fatalf("aggregate checks %d != per-process sum %d", mo.Checks, sum)
+	}
+	if len(mo.Violations) != 0 {
+		t.Fatalf("aggregate false positives: %v", mo.Violations)
+	}
+}
+
+func TestRunMultiDetectsAttackAmongBenign(t *testing.T) {
+	w, err := flowguard.LoadWorkload("vulnd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := flowguard.Analyze(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.TrainGenerated(5, 15, 1); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := flowguard.AttackPayload(flowguard.AttackROP, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]byte{w.Input(12, 3), payload, w.Input(12, 4)}
+	mo, err := sys.RunMulti(inputs, flowguard.DefaultPolicy(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mo.Outcomes[1].Killed || len(mo.Outcomes[1].Violations) == 0 {
+		t.Fatalf("attacked process survived: %+v", mo.Outcomes[1])
+	}
+	for _, i := range []int{0, 2} {
+		o := mo.Outcomes[i]
+		if o.Killed || len(o.Violations) != 0 {
+			t.Fatalf("benign process %d harmed by sibling's attack: %+v", i, o)
+		}
+	}
+}
+
 func TestPolicyKnobs(t *testing.T) {
 	w, _ := flowguard.LoadWorkload("nginx")
 	sys, err := flowguard.Analyze(w)

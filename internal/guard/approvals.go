@@ -1,0 +1,104 @@
+package guard
+
+import "sync"
+
+// approvalStripes is the number of lock stripes in an ApprovalCache; a
+// small power of two keeps the mask cheap while spreading contention of
+// concurrent checkers.
+const approvalStripes = 16
+
+// ApprovalCache holds slow-path "no attack" verdicts (§7.1.1: "the
+// negative results of slow path checking are cached for the subsequent
+// fast path checking") plus their path-sensitive counterparts. It is
+// safe for concurrent use: entries are sharded across striped RWMutexes
+// so parallel checkers for different processes contend only when they
+// hash to the same stripe.
+//
+// A cache may be shared between the guards of several processes running
+// the same binaries (flowguard.RunMulti does this): an edge slow-path-
+// approved in one process is equally legitimate in every other, so
+// sharing converts one process's slow path into every sibling's fast
+// path — the cross-core analogue of the paper's per-process caching.
+type ApprovalCache struct {
+	stripes [approvalStripes]approvalStripe
+}
+
+type approvalStripe struct {
+	mu    sync.RWMutex
+	edges map[edgeKey]struct{}
+	paths map[uint64]struct{}
+}
+
+// NewApprovalCache returns an empty cache.
+func NewApprovalCache() *ApprovalCache {
+	c := &ApprovalCache{}
+	for i := range c.stripes {
+		c.stripes[i].edges = make(map[edgeKey]struct{})
+		c.stripes[i].paths = make(map[uint64]struct{})
+	}
+	return c
+}
+
+// mix folds a key to a stripe index (FNV-style multiply-xor).
+func mix(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	return v
+}
+
+func (c *ApprovalCache) edgeStripe(k edgeKey) *approvalStripe {
+	return &c.stripes[mix(k.src^k.dst*0x100000001b3^k.sig)&(approvalStripes-1)]
+}
+
+func (c *ApprovalCache) pathStripe(k uint64) *approvalStripe {
+	return &c.stripes[mix(k)&(approvalStripes-1)]
+}
+
+// ApprovedEdge reports a cached clean verdict for the edge.
+func (c *ApprovalCache) ApprovedEdge(k edgeKey) bool {
+	s := c.edgeStripe(k)
+	s.mu.RLock()
+	_, ok := s.edges[k]
+	s.mu.RUnlock()
+	return ok
+}
+
+// ApproveEdge records a clean slow-path verdict for the edge.
+func (c *ApprovalCache) ApproveEdge(k edgeKey) {
+	s := c.edgeStripe(k)
+	s.mu.Lock()
+	s.edges[k] = struct{}{}
+	s.mu.Unlock()
+}
+
+// ApprovedPath reports a cached clean verdict for a consecutive-edge
+// pair (path-sensitive mode).
+func (c *ApprovalCache) ApprovedPath(k uint64) bool {
+	s := c.pathStripe(k)
+	s.mu.RLock()
+	_, ok := s.paths[k]
+	s.mu.RUnlock()
+	return ok
+}
+
+// ApprovePath records a clean slow-path verdict for a consecutive-edge
+// pair.
+func (c *ApprovalCache) ApprovePath(k uint64) {
+	s := c.pathStripe(k)
+	s.mu.Lock()
+	s.paths[k] = struct{}{}
+	s.mu.Unlock()
+}
+
+// Len returns the number of approved edges (diagnostics).
+func (c *ApprovalCache) Len() int {
+	n := 0
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.RLock()
+		n += len(s.edges)
+		s.mu.RUnlock()
+	}
+	return n
+}

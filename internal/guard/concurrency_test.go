@@ -1,0 +1,186 @@
+package guard_test
+
+// Concurrency tests (run them under -race): several protected processes
+// execute simultaneously on their own goroutines — the §6 multi-core
+// deployment — with endpoint checks bounded by a CheckPool and slow-path
+// verdicts pooled in a shared ApprovalCache.
+
+import (
+	"testing"
+
+	"flowguard/internal/apps"
+	"flowguard/internal/attack"
+	"flowguard/internal/guard"
+	"flowguard/internal/kernelsim"
+)
+
+func ropPayload(t *testing.T, a *analyzed) []byte {
+	t.Helper()
+	as, err := a.app.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := attack.BuildROPWrite(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+func TestParallelProtectedProcesses(t *testing.T) {
+	a := analyze(t, apps.Vulnd())
+	a.train(t, benignTraffic(), []byte("G /x\nP 32\nH /h\n"))
+
+	k := kernelsim.New()
+	km := guard.InstallModule(k)
+	pool := guard.NewCheckPool(2)
+	km.UsePool(pool)
+	shared := guard.NewApprovalCache()
+
+	const procsN = 6
+	procs := make([]*kernelsim.Process, procsN)
+	guards := make([]*guard.Guard, procsN)
+	for i := range procs {
+		p, err := a.app.Spawn(k, benignTraffic())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := km.Protect(p, a.ocfg, a.ig, guard.DefaultPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.ShareApprovals(shared)
+		procs[i], guards[i] = p, g
+	}
+
+	sts, err := k.RunParallel(procs, 80_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range sts {
+		if !st.Exited {
+			t.Fatalf("proc %d: %v; reports: %v", i, st, km.ReportsSnapshot())
+		}
+	}
+	if reps := km.ReportsSnapshot(); len(reps) != 0 {
+		t.Fatalf("false positives under parallel checking: %v", reps)
+	}
+
+	var agg guard.Stats
+	for i, g := range guards {
+		if g.Stats.Checks == 0 {
+			t.Fatalf("guard %d ran no checks", i)
+		}
+		agg.Merge(&g.Stats)
+	}
+	ps := pool.Snapshot()
+	if ps.Checks != agg.Checks {
+		t.Fatalf("pool admitted %d checks, guards ran %d", ps.Checks, agg.Checks)
+	}
+	if agg.Violations != 0 {
+		t.Fatalf("aggregate stats report %d violations", agg.Violations)
+	}
+}
+
+// TestParallelAttackIsolation: one hijacked process among concurrent
+// benign siblings is killed, and only it.
+func TestParallelAttackIsolation(t *testing.T) {
+	a := analyze(t, apps.Vulnd())
+	a.train(t, benignTraffic(), []byte("G /x\nP 32\nH /h\n"))
+	payload := ropPayload(t, a)
+
+	k := kernelsim.New()
+	km := guard.InstallModule(k)
+	km.UsePool(guard.NewCheckPool(3))
+	shared := guard.NewApprovalCache()
+
+	inputs := [][]byte{benignTraffic(), payload, benignTraffic(), benignTraffic()}
+	procs := make([]*kernelsim.Process, len(inputs))
+	for i, in := range inputs {
+		p, err := a.app.Spawn(k, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := km.Protect(p, a.ocfg, a.ig, guard.DefaultPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.ShareApprovals(shared)
+		procs[i] = p
+	}
+	sts, err := k.RunParallel(procs, 80_000_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sts[1].Killed {
+		t.Fatalf("hijacked process not killed: %v", sts[1])
+	}
+	for _, i := range []int{0, 2, 3} {
+		if !sts[i].Exited {
+			t.Fatalf("benign proc %d: %v", i, sts[i])
+		}
+	}
+	reps := km.ReportsSnapshot()
+	if len(reps) == 0 {
+		t.Fatal("no violation report")
+	}
+	for _, r := range reps {
+		if r.PID != procs[1].PID {
+			t.Fatalf("report against the wrong process: %+v", r)
+		}
+	}
+}
+
+// TestSharedApprovalsConvertSlowPathsToFast: with verdict pooling, a
+// window slow-path-approved by the first process is fast-path-accepted
+// by every later sibling, so total slow checks drop versus isolated
+// caches.
+func TestSharedApprovalsConvertSlowPathsToFast(t *testing.T) {
+	// Train sparsely so benign traffic leaves untrained (low-credit)
+	// edges that escalate to the slow path.
+	a := analyze(t, apps.Vulnd())
+	a.train(t, []byte("G /x\n"))
+
+	run := func(share bool) (slow uint64) {
+		k := kernelsim.New()
+		km := guard.InstallModule(k)
+		shared := guard.NewApprovalCache()
+		procs := make([]*kernelsim.Process, 4)
+		guards := make([]*guard.Guard, 4)
+		for i := range procs {
+			p, err := a.app.Spawn(k, benignTraffic())
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := km.Protect(p, a.ocfg, a.ig, guard.DefaultPolicy())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if share {
+				g.ShareApprovals(shared)
+			}
+			procs[i], guards[i] = p, g
+		}
+		// Serialize execution so the sharing benefit is deterministic:
+		// the first process populates the cache before the others check.
+		for i, p := range procs {
+			if st, err := k.Run(p, 80_000_000); err != nil || !st.Exited {
+				t.Fatalf("proc %d: %v %v; reports %v", i, st, err, km.ReportsSnapshot())
+			}
+		}
+		var agg guard.Stats
+		for _, g := range guards {
+			agg.Merge(&g.Stats)
+		}
+		if agg.SlowChecks == 0 && !share {
+			t.Fatal("sparse training produced no slow paths; test is vacuous")
+		}
+		return agg.SlowChecks
+	}
+
+	isolated := run(false)
+	pooled := run(true)
+	if pooled >= isolated {
+		t.Fatalf("shared approvals did not reduce slow checks: %d (shared) vs %d (isolated)", pooled, isolated)
+	}
+}

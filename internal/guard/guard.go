@@ -15,10 +15,20 @@
 // the fine-grained policies — TypeArmor-restricted forward edges and a
 // shadow stack for returns. Clean slow-path verdicts are cached so
 // subsequent fast paths accept the same edges (§7.1.1).
+//
+// Checking is amortized-incremental: the guard keeps the decoded TIP
+// tail of the ToPA stream between checks, keyed by the buffer's write
+// generation, so each check fast-decodes only the bytes appended since
+// the previous one instead of re-scanning the buffered suffix. The
+// steady-state check path performs no allocations. Guards for different
+// processes may run checks concurrently (see CheckPool); slow-path
+// verdict caches are striped for that purpose and may be shared between
+// the guards of processes running the same binaries.
 package guard
 
 import (
 	"fmt"
+	"sync"
 
 	"flowguard/internal/cfg"
 	"flowguard/internal/itc"
@@ -168,6 +178,24 @@ type Stats struct {
 // FastCycles returns the accumulated fast-path cost (decode + check).
 func (s *Stats) FastCycles() uint64 { return s.DecodeCycles + s.CheckCycles }
 
+// Merge adds o into s — the deterministic aggregation step after a
+// parallel multi-process run (each guard's stats are themselves
+// deterministic functions of that process's trace).
+func (s *Stats) Merge(o *Stats) {
+	s.Checks += o.Checks
+	s.SlowChecks += o.SlowChecks
+	s.Violations += o.Violations
+	s.TIPsChecked += o.TIPsChecked
+	s.HighEdges += o.HighEdges
+	s.LowEdges += o.LowEdges
+	s.DecodeCycles += o.DecodeCycles
+	s.CheckCycles += o.CheckCycles
+	s.OtherCycles += o.OtherCycles
+	s.SlowCycles += o.SlowCycles
+	s.BytesScanned += o.BytesScanned
+	s.CacheHits += o.CacheHits
+}
+
 // CredRatioRuntime returns the runtime fraction of credible edges
 // (Figure 5(d)'s cred-ratio series).
 func (s *Stats) CredRatioRuntime() float64 {
@@ -184,7 +212,56 @@ type edgeKey struct {
 	src, dst, sig uint64
 }
 
+// winState is the incremental window cache: the retained suffix of the
+// logical trace stream, its streaming decoder, and the stream offset the
+// retained bytes start at. Between checks only appended bytes are copied
+// and decoded; a wrap that outran the previous check falls back to a
+// full resynchronizing rescan.
+type winState struct {
+	src   *ipt.ToPA
+	total uint64 // stream offset consumed into buf
+	base  uint64 // absolute stream offset of buf[0]
+	buf   []byte
+	dec   ipt.WindowDecoder
+}
+
+// modScratch tracks module membership of a TIP window without per-check
+// allocations: address spaces hold a handful of modules, so a linear
+// scan over a reusable slice beats a map.
+type modScratch struct {
+	mods   []*module.Loaded
+	inExec bool
+}
+
+func (m *modScratch) reset() {
+	m.mods = m.mods[:0]
+	m.inExec = false
+}
+
+func (m *modScratch) add(as *module.AddressSpace, ip uint64) {
+	l := as.FindModule(ip)
+	if l == nil {
+		return
+	}
+	if l == as.Exec {
+		m.inExec = true
+	}
+	for _, seen := range m.mods {
+		if seen == l {
+			return
+		}
+	}
+	m.mods = append(m.mods, l)
+}
+
+func (m *modScratch) ok() bool { return m.inExec && len(m.mods) > 1 }
+
 // Guard is the flow-checking engine bound to one protected process image.
+//
+// Check is safe for concurrent use (calls on the same guard serialize on
+// an internal mutex; the window cache and tracer are single streams).
+// Guards of *different* processes check fully in parallel: the ITC-CFG
+// is read lock-free after training and the approval cache is striped.
 type Guard struct {
 	AS     *module.AddressSpace
 	OCFG   *cfg.Graph
@@ -192,16 +269,19 @@ type Guard struct {
 	Tracer *ipt.Tracer
 	Policy Policy
 
-	// approved caches slow-path "no attack" verdicts (§7.1.1: "the
-	// negative results of slow path checking are cached for the
-	// subsequent fast path checking"); pathApproved is its counterpart
-	// for the path-sensitive mode.
-	approved     map[edgeKey]bool
-	pathApproved map[uint64]bool
+	// appr caches slow-path "no attack" verdicts; it may be shared
+	// between guards via ShareApprovals.
+	appr *ApprovalCache
+
+	// mu serializes checks on this guard.
+	mu sync.Mutex
 
 	// inCheck guards against PMI re-entrance: a check triggered by the
 	// buffer-full hook must not recurse when its own reads flush packets.
 	inCheck bool
+
+	win     winState
+	scratch modScratch
 
 	Stats Stats
 }
@@ -211,50 +291,110 @@ type Guard struct {
 func New(as *module.AddressSpace, ocfg *cfg.Graph, ig *itc.Graph, tr *ipt.Tracer, pol Policy) *Guard {
 	return &Guard{
 		AS: as, OCFG: ocfg, ITC: ig, Tracer: tr, Policy: pol,
-		approved:     make(map[edgeKey]bool),
-		pathApproved: make(map[uint64]bool),
+		appr: NewApprovalCache(),
 	}
 }
 
-// window collects the TIP records to check: it walks the PSB sync points
-// backwards, decoding ever-larger suffixes of the buffered trace until
-// the policy's packet count and module-stride requirements hold (§5.3:
-// "it is not required to decode the whole ToPA buffer"). It also returns
-// the window region so a slow-path re-check decodes the same bounded
-// span.
-func (g *Guard) window() (tips []ipt.TIPRecord, region []byte, err error) {
+// ShareApprovals replaces the guard's slow-path verdict cache, letting
+// several guards over the same binaries pool their approvals (a clean
+// slow-path verdict in one process then serves every sibling's fast
+// path). Call before checking starts.
+func (g *Guard) ShareApprovals(c *ApprovalCache) { g.appr = c }
+
+// Approvals returns the guard's slow-path verdict cache.
+func (g *Guard) Approvals() *ApprovalCache { return g.appr }
+
+// InvalidateWindow drops the incremental window cache, forcing the next
+// check to rescan the buffered trace from scratch (tests and benchmarks
+// use this to measure the non-amortized path).
+func (g *Guard) InvalidateWindow() {
+	g.mu.Lock()
+	g.win.src = nil
+	g.mu.Unlock()
+}
+
+// window collects the TIP records to check. The underlying rule is the
+// paper's (§5.3: walk the PSB sync points backwards until the policy's
+// packet count and module-stride requirements hold — "it is not required
+// to decode the whole ToPA buffer"), but decoding is incremental: only
+// bytes appended since the previous check are copied out of the ToPA and
+// fast-decoded; the decoded TIP tail and sync points are retained. It
+// also returns the window region so a slow-path re-check decodes the
+// same bounded span, and the number of newly scanned bytes for the cost
+// model.
+func (g *Guard) window() (tips []ipt.TIPRecord, region []byte, scanned uint64, err error) {
 	g.Tracer.Flush()
-	buf := g.Tracer.Out.Snapshot()
-	pts := ipt.SyncPoints(buf)
+	topa := g.Tracer.Out
+	w := &g.win
+	total := topa.TotalWritten()
+	fresh := w.src != topa || total < w.total
+	if !fresh && total > w.total {
+		old := len(w.buf)
+		nb, ok := topa.AppendSince(w.buf, w.total)
+		if !ok {
+			fresh = true // the buffer wrapped past our tail: resync
+		} else {
+			w.buf = nb
+			scanned = total - w.total
+			w.total = total
+			if err := w.dec.Feed(w.buf[old:]); err != nil {
+				return nil, nil, scanned, fmt.Errorf("guard: fast decode: %w", err)
+			}
+		}
+	}
+	if fresh {
+		w.src, w.total = topa, total
+		w.buf = topa.SnapshotInto(w.buf[:0])
+		w.base = total - uint64(len(w.buf))
+		w.dec.Reset(int(w.base))
+		scanned = uint64(len(w.buf))
+		if err := w.dec.Feed(w.buf); err != nil {
+			return nil, nil, scanned, fmt.Errorf("guard: fast decode: %w", err)
+		}
+	}
+	// Forget history the ToPA itself no longer holds: the checker must
+	// not see deeper windows than the wrapped buffer provides.
+	if lo := total - uint64(topa.Held()); lo > w.base {
+		n := copy(w.buf, w.buf[lo-w.base:])
+		w.buf = w.buf[:n]
+		w.base = lo
+		w.dec.DropBefore(int(lo))
+	}
+	pts := w.dec.SyncPoints()
 	if len(pts) == 0 {
-		return nil, nil, nil // nothing traced yet
+		return nil, nil, scanned, nil // nothing traced yet
 	}
+	all := w.dec.Tips()
 	for k := len(pts) - 1; k >= 0; k-- {
-		seg := buf[pts[k]:]
-		evs, err := ipt.DecodeFast(seg)
-		if err != nil {
-			return nil, seg, fmt.Errorf("guard: fast decode: %w", err)
-		}
-		tips := ipt.ExtractTIPs(evs)
-		if len(tips) >= g.Policy.PktCount && g.strideOK(tips) {
-			return g.trim(tips), seg, nil
-		}
-		if k == 0 {
-			return g.trim(tips), seg, nil // whole buffer: best effort
+		sub := ipt.TipsFrom(all, pts[k])
+		if (len(sub) >= g.Policy.PktCount && g.strideOK(sub)) || k == 0 {
+			// k == 0: whole retained buffer, best effort.
+			return g.trim(sub), w.buf[uint64(pts[k])-w.base:], scanned, nil
 		}
 	}
-	return nil, nil, nil
+	return nil, nil, scanned, nil
 }
 
 // trim keeps the window tail: at least PktCount records, extended
-// backwards only as far as the module-stride rule demands.
+// backwards only as far as the module-stride rule demands. Module
+// membership is maintained incrementally while extending, so trim is
+// O(window) rather than quadratic.
 func (g *Guard) trim(tips []ipt.TIPRecord) []ipt.TIPRecord {
 	if len(tips) <= g.Policy.PktCount {
 		return tips
 	}
 	start := len(tips) - g.Policy.PktCount
-	for start > 0 && !g.strideOK(tips[start:]) {
+	if !g.Policy.RequireModuleStride {
+		return tips[start:]
+	}
+	s := &g.scratch
+	s.reset()
+	for _, t := range tips[start:] {
+		s.add(g.AS, t.IP)
+	}
+	for start > 0 && !s.ok() {
 		start--
+		s.add(g.AS, tips[start].IP)
 	}
 	return tips[start:]
 }
@@ -264,30 +404,24 @@ func (g *Guard) strideOK(tips []ipt.TIPRecord) bool {
 	if !g.Policy.RequireModuleStride {
 		return true
 	}
-	mods := map[*module.Loaded]bool{}
-	inExec := false
+	s := &g.scratch
+	s.reset()
 	for _, t := range tips {
-		l := g.AS.FindModule(t.IP)
-		if l == nil {
-			continue
-		}
-		mods[l] = true
-		if l == g.AS.Exec {
-			inExec = true
-		}
+		s.add(g.AS, t.IP)
 	}
-	return inExec && len(mods) > 1
+	return s.ok()
 }
 
 // Check runs the hybrid flow check: fast path always, slow path when the
 // fast path finds the window suspicious. It is the routine the kernel
 // module invokes at every intercepted endpoint (§5.2 step 5).
 func (g *Guard) Check() Result {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.inCheck = true
 	defer func() { g.inCheck = false }()
 	g.Stats.Checks++
-	tips, region, err := g.window()
-	scanned := uint64(len(region))
+	tips, region, scanned, err := g.window()
 	res := Result{TIPs: len(tips), OtherCycles: CyclesPerInterception}
 	res.DecodeCycles = uint64(float64(scanned) * g.fastDecodeCost())
 	g.Stats.BytesScanned += scanned
@@ -342,7 +476,7 @@ func (g *Guard) Check() Result {
 			g.Stats.HighEdges++
 			continue
 		}
-		if g.approved[edgeKey{src, dst, sig}] {
+		if g.appr.ApprovedEdge(edgeKey{src, dst, sig}) {
 			g.Stats.HighEdges++
 			g.Stats.CacheHits++
 			continue
@@ -356,7 +490,7 @@ func (g *Guard) Check() Result {
 		res.CheckCycles += uint64(len(tips)) * CyclesPerTIPCheck / 2
 		for i := 0; i+2 < len(tips); i++ {
 			a, b, c := tips[i].IP, tips[i+1].IP, tips[i+2].IP
-			if g.ITC.PathTrained(a, b, c) || g.pathApproved[itc.PathKey(a, b, c)] {
+			if g.ITC.PathTrained(a, b, c) || g.appr.ApprovedPath(itc.PathKey(a, b, c)) {
 				continue
 			}
 			g.Stats.LowEdges++

@@ -2,6 +2,7 @@ package guard
 
 import (
 	"fmt"
+	"sync"
 
 	"flowguard/internal/cfg"
 	"flowguard/internal/itc"
@@ -47,12 +48,24 @@ func (r ViolationReport) DetectedAtPMI() bool { return r.Syscall == pmiPseudoSys
 // tracing for protected processes (CR3-filtered), intercepts the
 // security-sensitive syscalls by replacing their syscall-table entries,
 // triggers the hybrid flow check, and SIGKILLs violators.
+//
+// With a CheckPool attached (UsePool), endpoint checks of different
+// processes run concurrently under the pool's admission bound; the
+// module's own bookkeeping is mutex-protected for that case.
 type KernelModule struct {
 	K *kernelsim.Kernel
+
+	// mu protects guards, Reports and installed once processes run
+	// concurrently.
+	mu sync.Mutex
 	// guards maps protected CR3 values to their checking engines.
 	guards map[uint64]*Guard
-	// Reports accumulates detected violations.
+	// Reports accumulates detected violations. Read it only after the
+	// run completes (or via ReportsSnapshot).
 	Reports []ViolationReport
+
+	// pool, when set, bounds concurrent endpoint checks (§6 offloading).
+	pool *CheckPool
 
 	installed map[uint64]bool
 }
@@ -64,6 +77,32 @@ func InstallModule(k *kernelsim.Kernel) *KernelModule {
 		guards:    make(map[uint64]*Guard),
 		installed: make(map[uint64]bool),
 	}
+}
+
+// UsePool routes all flow checks through p. Call before the workload
+// runs.
+func (m *KernelModule) UsePool(p *CheckPool) { m.pool = p }
+
+// check runs one flow check, through the pool when one is attached.
+func (m *KernelModule) check(g *Guard) Result {
+	if m.pool != nil {
+		return m.pool.Do(g)
+	}
+	return g.Check()
+}
+
+// report appends a violation report under the module lock.
+func (m *KernelModule) report(r ViolationReport) {
+	m.mu.Lock()
+	m.Reports = append(m.Reports, r)
+	m.mu.Unlock()
+}
+
+// ReportsSnapshot returns a copy of the accumulated violation reports.
+func (m *KernelModule) ReportsSnapshot() []ViolationReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]ViolationReport(nil), m.Reports...)
 }
 
 // Protect configures IPT for the process (step 3 of Figure 1): programs
@@ -91,19 +130,22 @@ func (m *KernelModule) Protect(p *kernelsim.Process, ocfg *cfg.Graph, ig *itc.Gr
 	}
 
 	g := New(p.AS, ocfg, ig, tr, pol)
+	m.mu.Lock()
 	m.guards[p.CR3] = g
+	m.mu.Unlock()
 	if pol.CheckOnPMI {
 		// The worst-case endpoint of §7.1.2: a buffer-full PMI triggers
 		// a flow check even when the process avoids every sensitive
 		// syscall (endpoint pruning). The hook must not recurse into a
-		// check already in flight.
+		// check already in flight (inCheck is confined to the process's
+		// goroutine: the hook fires from its own tracer writes).
 		topa.OnFull = func() {
 			if g.inCheck {
 				return
 			}
-			res := g.Check()
+			res := m.check(g)
 			if res.Verdict == VerdictViolation {
-				m.Reports = append(m.Reports, ViolationReport{
+				m.report(ViolationReport{
 					PID: p.PID, Process: p.Name, Syscall: pmiPseudoSyscall, Reason: res.Reason,
 				})
 				m.K.Kill(p, kernelsim.SIGKILL)
@@ -124,20 +166,24 @@ func (m *KernelModule) Protect(p *kernelsim.Process, ocfg *cfg.Graph, ig *itc.Gr
 // Unprotect removes a process's guard (its interceptors remain for other
 // protected processes and simply pass unprotected callers through).
 func (m *KernelModule) Unprotect(p *kernelsim.Process) {
+	m.mu.Lock()
 	delete(m.guards, p.CR3)
+	m.mu.Unlock()
 }
 
 // onEndpoint is the alternative syscall handler (§5.2): it identifies the
 // caller by CR3, forwards unprotected processes to the original handler,
 // and runs the flow check for protected ones.
 func (m *KernelModule) onEndpoint(p *kernelsim.Process, sysno uint64) error {
+	m.mu.Lock()
 	g, ok := m.guards[p.CR3]
+	m.mu.Unlock()
 	if !ok {
 		return nil // not the protected process: forward
 	}
-	res := g.Check()
+	res := m.check(g)
 	if res.Verdict == VerdictViolation {
-		m.Reports = append(m.Reports, ViolationReport{
+		m.report(ViolationReport{
 			PID: p.PID, Process: p.Name, Syscall: sysno, Reason: res.Reason,
 		})
 		m.K.Kill(p, kernelsim.SIGKILL)

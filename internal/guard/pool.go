@@ -1,0 +1,77 @@
+package guard
+
+import (
+	"sync"
+	"time"
+)
+
+// CheckPool bounds how many flow checks run simultaneously across a set
+// of protected processes — the reproduction of §6's offloading
+// suggestion ("the checking overhead could be removed from the
+// protected execution" by dedicating cores to checking). Each process
+// still blocks on its own endpoint check (the verdict gates the
+// syscall), but checks of *different* processes proceed concurrently up
+// to the configured number of checker cores.
+//
+// Do runs on the calling goroutine after acquiring a checker slot, so
+// all guard-internal state stays confined to the process's goroutine;
+// the pool only supplies admission control plus aggregate accounting.
+type CheckPool struct {
+	slots chan struct{}
+
+	mu        sync.Mutex
+	checks    uint64
+	waitNanos int64
+	busyNanos int64
+}
+
+// NewCheckPool returns a pool admitting up to workers concurrent checks.
+// workers < 1 is treated as 1 (fully serialized checking).
+func NewCheckPool(workers int) *CheckPool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &CheckPool{slots: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *CheckPool) Workers() int { return cap(p.slots) }
+
+// Do runs g.Check() under a checker slot and returns its result.
+func (p *CheckPool) Do(g *Guard) Result {
+	t0 := time.Now()
+	p.slots <- struct{}{}
+	t1 := time.Now()
+	res := g.Check()
+	busy := time.Since(t1)
+	<-p.slots
+	p.mu.Lock()
+	p.checks++
+	p.waitNanos += t1.Sub(t0).Nanoseconds()
+	p.busyNanos += busy.Nanoseconds()
+	p.mu.Unlock()
+	return res
+}
+
+// PoolStats is the pool's aggregate accounting.
+type PoolStats struct {
+	// Checks is the number of checks admitted.
+	Checks uint64
+	// Wait is the total time checks spent queued for a slot.
+	Wait time.Duration
+	// Busy is the total wall time spent inside admitted checks; with N
+	// workers and saturated demand it accumulates ~N× faster than the
+	// elapsed time.
+	Busy time.Duration
+}
+
+// Snapshot returns the accumulated pool statistics.
+func (p *CheckPool) Snapshot() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Checks: p.checks,
+		Wait:   time.Duration(p.waitNanos),
+		Busy:   time.Duration(p.busyNanos),
+	}
+}

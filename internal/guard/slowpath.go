@@ -79,10 +79,10 @@ func (g *Guard) slowPath(res *Result, tips []ipt.TIPRecord, region []byte) {
 		src, dst, sig := tips[i].IP, tips[i+1].IP, tips[i+1].TNTSig
 		l := g.ITC.Lookup(src, dst, sig)
 		if l.Exists && !(l.HighCredit && l.SigMatch) {
-			g.approved[edgeKey{src, dst, sig}] = true
+			g.appr.ApproveEdge(edgeKey{src, dst, sig})
 		}
 		if g.Policy.PathSensitive && i+2 < len(tips) {
-			g.pathApproved[itc.PathKey(src, dst, tips[i+2].IP)] = true
+			g.appr.ApprovePath(itc.PathKey(src, dst, tips[i+2].IP))
 		}
 	}
 }

@@ -5,6 +5,8 @@ package guard
 // windows are checked against the pkt_count and module-stride rules.
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
 
 	"flowguard/internal/asm"
@@ -24,7 +26,7 @@ type windowFixture struct {
 	lib  uint64 // a code address inside the library
 }
 
-func newWindowFixture(t *testing.T, pol Policy) *windowFixture {
+func newWindowFixture(t testing.TB, pol Policy) *windowFixture {
 	t.Helper()
 	lb := asm.NewModule("lib")
 	lf := lb.Func("lfn", 0, true)
@@ -73,7 +75,7 @@ func (w *windowFixture) emitTIP(addr uint64) {
 
 func tipsOf(t *testing.T, g *Guard) []ipt.TIPRecord {
 	t.Helper()
-	tips, _, err := g.window()
+	tips, _, _, err := g.window()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,6 +142,58 @@ func TestWindowBestEffortWhenStrideImpossible(t *testing.T) {
 	tips := tipsOf(t, f.g)
 	if len(tips) == 0 {
 		t.Fatal("stride-impossible window came back empty")
+	}
+}
+
+// TestIncrementalWindowMatchesFullRescan: the amortized window cache
+// must select exactly the window a from-scratch rescan selects, check
+// after check, including across ToPA wraps. A second guard over the same
+// tracer has its cache invalidated before every call, forcing the
+// non-amortized path as the reference.
+func TestIncrementalWindowMatchesFullRescan(t *testing.T) {
+	for _, wrap := range []bool{false, true} {
+		pol := DefaultPolicy()
+		pol.PktCount = 8
+		f := newWindowFixture(t, pol)
+		if wrap {
+			f.tr.Out = ipt.NewToPA(2048, 2048)
+		}
+		full := New(f.as, nil, nil, f.tr, pol)
+		var scannedSum uint64
+		for round := 0; round < 60; round++ {
+			for i := 0; i < 1+round%17; i++ {
+				addr := f.exec
+				if (round+i)%3 == 1 {
+					addr = f.lib
+				}
+				f.emitTIP(addr)
+			}
+			inc, incRegion, scanned, err := f.g.window()
+			if err != nil {
+				t.Fatalf("wrap=%v round %d: %v", wrap, round, err)
+			}
+			scannedSum += scanned
+			full.InvalidateWindow()
+			ref, refRegion, _, err := full.window()
+			if err != nil {
+				t.Fatalf("wrap=%v round %d (rescan): %v", wrap, round, err)
+			}
+			if !reflect.DeepEqual(inc, ref) {
+				t.Fatalf("wrap=%v round %d: incremental window (%d TIPs) diverges from rescan (%d TIPs)",
+					wrap, round, len(inc), len(ref))
+			}
+			if !bytes.Equal(incRegion, refRegion) {
+				t.Fatalf("wrap=%v round %d: slow-path region diverges (%d vs %d bytes)",
+					wrap, round, len(incRegion), len(refRegion))
+			}
+		}
+		if !wrap && scannedSum != f.tr.Out.TotalWritten() {
+			t.Fatalf("incremental path scanned %d bytes, stream has %d: bytes double-scanned or skipped",
+				scannedSum, f.tr.Out.TotalWritten())
+		}
+		if wrap && scannedSum > f.tr.Out.TotalWritten() {
+			t.Fatalf("incremental path scanned %d bytes of a %d-byte stream", scannedSum, f.tr.Out.TotalWritten())
+		}
 	}
 }
 

@@ -324,3 +324,26 @@ func TestMultiProcTracingCost(t *testing.T) {
 		t.Errorf("overheads: filtered %.2f%%, unfiltered %.2f%%", res.FilteredPct, res.UnfilteredPct)
 	}
 }
+
+// TestParallelChecking pins the §6 parallel-checking experiment's shape:
+// every worker finishes clean, checks happen, and the pool accounts for
+// the checking time it admitted.
+func TestParallelChecking(t *testing.T) {
+	res, err := runner().Parallel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if res.Checks == 0 {
+		t.Error("parallel run performed no checks")
+	}
+	if res.CheckBusy <= 0 {
+		t.Errorf("pool accounted no checking time: %v", res.CheckBusy)
+	}
+	if res.SerialWall <= 0 || res.ParallelWall <= 0 {
+		t.Errorf("wall times not measured: serial %v parallel %v", res.SerialWall, res.ParallelWall)
+	}
+	if res.LatencyPerCheck() <= 0 {
+		t.Error("aggregate check latency not derived")
+	}
+}

@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"flowguard/internal/apps"
+	"flowguard/internal/guard"
+	"flowguard/internal/kernelsim"
+)
+
+// ParallelResult quantifies the §6 offloading design: endpoint flow
+// checks for many protected processes run concurrently on spare cores
+// (kernelsim.RunParallel + guard.CheckPool) instead of serializing the
+// whole fleet behind one checker.
+type ParallelResult struct {
+	// Procs is the number of protected worker processes.
+	Procs int
+	// Workers is the CheckPool concurrency bound.
+	Workers int
+	// SerialWall is the wall time to run and check every process one
+	// after another on a single checker.
+	SerialWall time.Duration
+	// ParallelWall is the wall time with per-core execution and pooled
+	// checking.
+	ParallelWall time.Duration
+	// Checks / SlowChecks aggregate the per-guard stats of the parallel
+	// run (deterministic: Stats.Merge over every guard).
+	Checks, SlowChecks uint64
+	// CheckBusy is the summed time spent inside Check() across pool
+	// slots; CheckWait is the summed slot-acquisition wait.
+	CheckBusy, CheckWait time.Duration
+}
+
+// Speedup is the serial/parallel wall-time ratio.
+func (p ParallelResult) Speedup() float64 {
+	if p.ParallelWall <= 0 {
+		return 0
+	}
+	return float64(p.SerialWall) / float64(p.ParallelWall)
+}
+
+// LatencyPerCheck is the aggregate check latency: pool busy time
+// divided by admitted checks.
+func (p ParallelResult) LatencyPerCheck() time.Duration {
+	if p.Checks == 0 {
+		return 0
+	}
+	return p.CheckBusy / time.Duration(p.Checks)
+}
+
+func (p ParallelResult) String() string {
+	return fmt.Sprintf("procs=%d workers=%d  serial=%s parallel=%s (%.2fx)  checks=%d (slow %d)  check latency=%s (busy %s, wait %s)",
+		p.Procs, p.Workers, p.SerialWall.Round(time.Millisecond), p.ParallelWall.Round(time.Millisecond),
+		p.Speedup(), p.Checks, p.SlowChecks, p.LatencyPerCheck().Round(time.Microsecond),
+		p.CheckBusy.Round(time.Microsecond), p.CheckWait.Round(time.Microsecond))
+}
+
+// Parallel runs `procs` protected nginx workers twice — serially on one
+// checker, then concurrently through a CheckPool of the same width —
+// and reports the wall-time speedup and aggregate check latency.
+func (r *Runner) Parallel(procs int) (ParallelResult, error) {
+	if procs < 2 {
+		procs = 2
+	}
+	res := ParallelResult{Procs: procs, Workers: procs}
+
+	an, err := r.Analyze(apps.Nginx())
+	if err != nil {
+		return res, err
+	}
+	if err := r.Train(an); err != nil {
+		return res, err
+	}
+	pol := r.Policy
+
+	spawn := func() (*kernelsim.Kernel, *guard.KernelModule, []*kernelsim.Process, []*guard.Guard, error) {
+		k := kernelsim.New()
+		km := guard.InstallModule(k)
+		shared := guard.NewApprovalCache()
+		ps := make([]*kernelsim.Process, procs)
+		gs := make([]*guard.Guard, procs)
+		for i := range ps {
+			p, err := an.App.Spawn(k, an.App.MakeInput(r.Scale, r.Seed+int64(i)))
+			if err != nil {
+				return nil, nil, nil, nil, err
+			}
+			g, err := km.Protect(p, an.OCFG, an.ITC, pol)
+			if err != nil {
+				return nil, nil, nil, nil, err
+			}
+			g.ShareApprovals(shared)
+			ps[i], gs[i] = p, g
+		}
+		return k, km, ps, gs, nil
+	}
+
+	// Serial reference: every process runs to completion, one at a time.
+	k, km, ps, _, err := spawn()
+	if err != nil {
+		return res, err
+	}
+	start := time.Now()
+	for i, p := range ps {
+		st, err := k.Run(p, 500_000_000)
+		if err != nil {
+			return res, err
+		}
+		if !st.Exited {
+			return res, fmt.Errorf("harness: serial worker %d: %v (reports %v)", i, st, km.ReportsSnapshot())
+		}
+	}
+	res.SerialWall = time.Since(start)
+
+	// Parallel run: per-core execution, checks bounded by the pool.
+	k, km, ps, gs, err := spawn()
+	if err != nil {
+		return res, err
+	}
+	pool := guard.NewCheckPool(procs)
+	km.UsePool(pool)
+	start = time.Now()
+	sts, err := k.RunParallel(ps, 500_000_000, 0)
+	if err != nil {
+		return res, err
+	}
+	res.ParallelWall = time.Since(start)
+	for i, st := range sts {
+		if !st.Exited {
+			return res, fmt.Errorf("harness: parallel worker %d: %v (reports %v)", i, st, km.ReportsSnapshot())
+		}
+	}
+	var agg guard.Stats
+	for _, g := range gs {
+		agg.Merge(&g.Stats)
+	}
+	res.Checks = agg.Checks
+	res.SlowChecks = agg.SlowChecks
+	pstats := pool.Snapshot()
+	res.CheckBusy = pstats.Busy
+	res.CheckWait = pstats.Wait
+	return res, nil
+}

@@ -1,0 +1,108 @@
+package itc_test
+
+// Concurrency tests (run them under -race): checker goroutines keep
+// issuing lookups while training observes edges and rebuilds the
+// high-credit cache, mirroring RunMulti's parallel checkers over a
+// shared graph.
+
+import (
+	"sync"
+	"testing"
+
+	"flowguard/internal/itc"
+	"flowguard/internal/trace/ipt"
+)
+
+func graphEdges(ig *itc.Graph) [][2]uint64 {
+	var edges [][2]uint64
+	for _, src := range ig.Nodes() {
+		for _, dst := range ig.Nodes() {
+			if ig.HasEdge(src, dst) {
+				edges = append(edges, [2]uint64{src, dst})
+			}
+		}
+	}
+	return edges
+}
+
+func TestConcurrentLookupsDuringTraining(t *testing.T) {
+	as := figure4Program(t)
+	_, ig := buildBoth(t, as)
+	edges := graphEdges(ig)
+	if len(edges) == 0 {
+		t.Fatal("graph has no edges")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			i := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := edges[i%len(edges)]
+				ig.Lookup(e[0], e[1], ipt.TNTSigEmpty)
+				ig.CacheLookup(e[0], e[1], ipt.TNTSigEmpty)
+				ig.PathTrained(e[0], e[1], e[0])
+				i++
+			}
+		}(w)
+	}
+	// Training mutates labels and republishes the lock-free snapshot
+	// while the readers above hammer the lookup paths.
+	for round := 0; round < 100; round++ {
+		for _, e := range edges {
+			ig.Observe(e[0], e[1], uint64(round))
+			ig.ObservePath(e[0], e[1], e[0])
+		}
+		ig.RebuildCache()
+	}
+	close(stop)
+	wg.Wait()
+
+	for _, e := range edges {
+		l := ig.Lookup(e[0], e[1], 5)
+		if !l.Exists || !l.HighCredit || l.Count < 100 {
+			t.Fatalf("edge %#x->%#x after training: %+v", e[0], e[1], l)
+		}
+		if !ig.PathTrained(e[0], e[1], e[0]) {
+			t.Fatalf("path %#x->%#x->%#x lost", e[0], e[1], e[0])
+		}
+	}
+}
+
+// TestObserveVisibleWithoutRebuild pins the fallback semantics: an
+// Observe after RebuildCache must be visible to Lookup immediately, even
+// though it invalidates the lock-free snapshot.
+func TestObserveVisibleWithoutRebuild(t *testing.T) {
+	as := figure4Program(t)
+	_, ig := buildBoth(t, as)
+	edges := graphEdges(ig)
+	e := edges[0]
+	ig.RebuildCache() // publish an (untrained) snapshot
+
+	if l := ig.Lookup(e[0], e[1], 7); l.HighCredit {
+		t.Fatalf("untrained edge already high-credit: %+v", l)
+	}
+	if !ig.Observe(e[0], e[1], 7) {
+		t.Fatal("Observe rejected a graph edge")
+	}
+	l := ig.Lookup(e[0], e[1], 7)
+	if !l.HighCredit || !l.SigMatch || l.Count != 1 {
+		t.Fatalf("Observe not visible without RebuildCache: %+v", l)
+	}
+	// The high-credit cache, by §5.3 design, lags until the rebuild.
+	if hit, _ := ig.CacheLookup(e[0], e[1], 7); hit {
+		t.Fatal("high-credit cache updated without RebuildCache")
+	}
+	ig.RebuildCache()
+	if hit, sigOK := ig.CacheLookup(e[0], e[1], 7); !hit || !sigOK {
+		t.Fatal("high-credit cache missing the edge after RebuildCache")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"flowguard/internal/cfg"
 	"flowguard/internal/trace/ipt"
@@ -45,16 +46,37 @@ type edgeMeta struct {
 }
 
 // Graph is the credit-labeled ITC-CFG.
+//
+// Concurrency: the graph topology (nodes, succs) is immutable after
+// construction. The training labels are mutable; RebuildCache publishes
+// an immutable snapshot of them, after which Lookup, CacheLookup and
+// PathTrained are lock-free — the checker-facing hot path never contends
+// even with many guards checking in parallel (the §6 offloaded-checking
+// shape). Any further Observe invalidates the snapshot and readers fall
+// back to RLock-guarded access until the next RebuildCache, preserving
+// the train-then-lookup-without-rebuild semantics.
 type Graph struct {
 	// nodes holds the IT-BB entry addresses, sorted ascending.
+	// Immutable after construction.
 	nodes []uint64
-	// succs[i] holds the sorted target addresses of nodes[i].
+	// succs[i] holds the sorted target addresses of nodes[i]. Immutable
+	// after construction.
 	succs [][]uint64
-	// meta[i][j] labels the edge nodes[i] -> succs[i][j].
+	// meta[i][j] labels the edge nodes[i] -> succs[i][j]. Guarded by mu.
 	meta [][]edgeMeta
 
 	// Edges is the total edge count (|E| of Table 4).
 	Edges int
+
+	// mu guards meta, paths and the high* arrays. The hot read paths
+	// take it only when snap is nil (labels changed since the last
+	// RebuildCache).
+	mu sync.RWMutex
+
+	// snap is the immutable label snapshot read lock-free by the
+	// checkers; nil whenever training has touched the labels since the
+	// last RebuildCache.
+	snap atomic.Pointer[labelSnap]
 
 	// highNodes/highSuccs form the separate high-credit cache §5.3
 	// describes ("preserves separate memory to store the source nodes
@@ -67,6 +89,18 @@ type Graph struct {
 	// paths holds the trained consecutive-edge pairs for the optional
 	// path-sensitive fast path (see paths.go).
 	paths map[uint64]struct{}
+}
+
+// labelSnap is a deep, immutable copy of the training labels. Deep
+// because Observe mutates sig arrays in place (sorted insertion shifts
+// the backing array), so a snapshot must not alias them.
+type labelSnap struct {
+	counts    [][]uint32
+	sigs      [][][]uint64
+	highNodes []uint64
+	highSuccs [][]uint64
+	highSigs  [][][]uint64
+	paths     map[uint64]struct{}
 }
 
 // FromCFG builds the unlabeled ITC-CFG from a conservative O-CFG by
@@ -207,7 +241,8 @@ type EdgeLabel struct {
 }
 
 // Lookup performs the full fast-path edge check: membership, credit, and
-// TNT-signature match.
+// TNT-signature match. After RebuildCache it is lock-free (and stays so
+// until labels change again); otherwise it takes a read lock.
 func (g *Graph) Lookup(src, dst uint64, sig uint64) EdgeLabel {
 	i, ok := g.nodeIndex(src)
 	if !ok {
@@ -217,11 +252,21 @@ func (g *Graph) Lookup(src, dst uint64, sig uint64) EdgeLabel {
 	if !ok {
 		return EdgeLabel{}
 	}
+	if s := g.snap.Load(); s != nil {
+		count := s.counts[i][j]
+		l := EdgeLabel{Exists: true, HighCredit: count > 0, Count: count}
+		if l.HighCredit {
+			l.SigMatch = sigMatches(s.sigs[i][j], sig)
+		}
+		return l
+	}
+	g.mu.RLock()
 	m := &g.meta[i][j]
 	l := EdgeLabel{Exists: true, HighCredit: m.count > 0, Count: m.count}
 	if l.HighCredit {
 		l.SigMatch = sigMatches(m.sigs, sig)
 	}
+	g.mu.RUnlock()
 	return l
 }
 
@@ -239,6 +284,9 @@ func (g *Graph) Observe(src, dst uint64, sig uint64) bool {
 	if !ok {
 		return false
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.snap.Store(nil) // labels changed: invalidate the lock-free snapshot
 	m := &g.meta[i][j]
 	m.count++
 	k := sort.Search(len(m.sigs), func(k int) bool { return m.sigs[k] >= sig })
@@ -270,18 +318,32 @@ func (g *Graph) ObserveWindow(tips []ipt.TIPRecord) bool {
 }
 
 // RebuildCache regenerates the separate high-credit fast-matching arrays
-// after training (§5.3).
+// after training (§5.3) and publishes the immutable label snapshot that
+// makes subsequent lookups lock-free.
 func (g *Graph) RebuildCache() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.highNodes = g.highNodes[:0]
 	g.highSuccs = g.highSuccs[:0]
 	g.highSigs = g.highSigs[:0]
+	s := &labelSnap{
+		counts: make([][]uint32, len(g.nodes)),
+		sigs:   make([][][]uint64, len(g.nodes)),
+	}
 	for i, n := range g.nodes {
+		s.counts[i] = make([]uint32, len(g.succs[i]))
+		s.sigs[i] = make([][]uint64, len(g.succs[i]))
 		var ts []uint64
 		var sigs [][]uint64
 		for j, t := range g.succs[i] {
-			if g.meta[i][j].count > 0 {
+			m := &g.meta[i][j]
+			s.counts[i][j] = m.count
+			// Deep-copy: Observe shifts sig arrays in place, so the
+			// snapshot must own its storage.
+			s.sigs[i][j] = append([]uint64(nil), m.sigs...)
+			if m.count > 0 {
 				ts = append(ts, t)
-				sigs = append(sigs, g.meta[i][j].sigs)
+				sigs = append(sigs, s.sigs[i][j])
 			}
 		}
 		if len(ts) > 0 {
@@ -290,21 +352,40 @@ func (g *Graph) RebuildCache() {
 			g.highSigs = append(g.highSigs, sigs)
 		}
 	}
+	s.highNodes = append([]uint64(nil), g.highNodes...)
+	s.highSuccs = append([][]uint64(nil), g.highSuccs...)
+	s.highSigs = append([][][]uint64(nil), g.highSigs...)
+	if g.paths != nil {
+		s.paths = make(map[uint64]struct{}, len(g.paths))
+		for p := range g.paths {
+			s.paths[p] = struct{}{}
+		}
+	}
+	g.snap.Store(s)
 }
 
 // CacheLookup checks the high-credit cache only; a miss does not imply a
-// violation (fall back to Lookup).
+// violation (fall back to Lookup). Lock-free after RebuildCache.
 func (g *Graph) CacheLookup(src, dst uint64, sig uint64) (hit, sigMatch bool) {
-	i := sort.Search(len(g.highNodes), func(i int) bool { return g.highNodes[i] >= src })
-	if i >= len(g.highNodes) || g.highNodes[i] != src {
+	if s := g.snap.Load(); s != nil {
+		return cacheLookup(s.highNodes, s.highSuccs, s.highSigs, src, dst, sig)
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return cacheLookup(g.highNodes, g.highSuccs, g.highSigs, src, dst, sig)
+}
+
+func cacheLookup(nodes []uint64, succs [][]uint64, allSigs [][][]uint64, src, dst, sig uint64) (hit, sigMatch bool) {
+	i := sort.Search(len(nodes), func(i int) bool { return nodes[i] >= src })
+	if i >= len(nodes) || nodes[i] != src {
 		return false, false
 	}
-	ts := g.highSuccs[i]
+	ts := succs[i]
 	j := sort.Search(len(ts), func(j int) bool { return ts[j] >= dst })
 	if j >= len(ts) || ts[j] != dst {
 		return false, false
 	}
-	return true, sigMatches(g.highSigs[i][j], sig)
+	return true, sigMatches(allSigs[i][j], sig)
 }
 
 // sigMatches checks a TNT-run signature against an edge's trained set.
@@ -337,6 +418,8 @@ type CredStats struct {
 // uses the runtime-weighted variant in the guard; this is the static
 // one).
 func (g *Graph) Credits() CredStats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	var s CredStats
 	s.Edges = g.Edges
 	for i := range g.meta {
@@ -377,6 +460,8 @@ func (g *Graph) AIA() float64 {
 // only the targets sharing a signature. Untrained edges are excluded
 // (they route to the slow path).
 func (g *Graph) AIAWithTNT() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	var total float64
 	n := 0
 	for i := range g.succs {
@@ -430,6 +515,8 @@ func FineGrainedAIA(g *cfg.Graph) float64 {
 // memory-usage column): node and target arrays, metadata, and the
 // high-credit cache.
 func (g *Graph) MemoryBytes() uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	var b uint64
 	b += uint64(len(g.nodes)) * 8
 	for i := range g.succs {

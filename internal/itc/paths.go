@@ -22,6 +22,9 @@ func PathKey(a, b, c uint64) uint64 {
 
 // ObservePath records one consecutive-edge pair during training.
 func (g *Graph) ObservePath(a, b, c uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.snap.Store(nil) // labels changed: invalidate the lock-free snapshot
 	if g.paths == nil {
 		g.paths = make(map[uint64]struct{})
 	}
@@ -29,14 +32,25 @@ func (g *Graph) ObservePath(a, b, c uint64) {
 }
 
 // PathTrained reports whether the consecutive-edge pair was observed in
-// training.
+// training. Lock-free after RebuildCache, like Lookup.
 func (g *Graph) PathTrained(a, b, c uint64) bool {
-	_, ok := g.paths[PathKey(a, b, c)]
+	k := PathKey(a, b, c)
+	if s := g.snap.Load(); s != nil {
+		_, ok := s.paths[k]
+		return ok
+	}
+	g.mu.RLock()
+	_, ok := g.paths[k]
+	g.mu.RUnlock()
 	return ok
 }
 
 // NumPaths returns the number of distinct trained edge pairs.
-func (g *Graph) NumPaths() int { return len(g.paths) }
+func (g *Graph) NumPaths() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.paths)
+}
 
 // CreditAtLeast reports whether the edge was observed at least minCount
 // times in training — the multi-occurrence credit levels §4.3 sketches
@@ -51,12 +65,16 @@ func (g *Graph) CreditAtLeast(src, dst uint64, minCount uint32) bool {
 	if !ok {
 		return false
 	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	return g.meta[i][j].count >= minCount
 }
 
 // CreditHistogram buckets edges by observation count (diagnostics for
 // the multi-level labeling policy).
 func (g *Graph) CreditHistogram() map[uint32]int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	hist := make(map[uint32]int)
 	for i := range g.meta {
 		for j := range g.meta[i] {
@@ -89,6 +107,8 @@ type EdgeCount struct {
 
 // TopEdges lists the n most frequently trained edges.
 func (g *Graph) TopEdges(n int) []EdgeCount {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	var all []EdgeCount
 	for i := range g.meta {
 		for j := range g.meta[i] {

@@ -25,6 +25,8 @@ const wireVersion = 1
 
 // Encode writes the labeled graph (including path training) to w.
 func (g *Graph) Encode(w io.Writer) error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	wire := graphWire{
 		Version: wireVersion,
 		Nodes:   g.nodes,

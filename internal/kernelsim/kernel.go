@@ -15,6 +15,8 @@ package kernelsim
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"flowguard/internal/cpu"
 	"flowguard/internal/isa"
@@ -120,16 +122,25 @@ type openFile struct {
 func (p *Process) StdinRemaining() int { return len(p.stdin) - p.stdinPos }
 
 // Kernel is the machine-wide OS model.
+//
+// Kernel services reachable from syscall dispatch (filesystem, clock,
+// syscall accounting) are safe for concurrent use, so processes may run
+// simultaneously via RunParallel. Setup calls (Spawn, Intercept) and the
+// per-process state are not thread-safe: configure everything before the
+// run starts, as a real kernel module's init does.
 type Kernel struct {
 	procs    map[int]*Process
 	nextPID  int
 	nextCR3  uint64
 	intercep map[uint64]Interceptor
+	// fsMu guards fs against concurrent syscall dispatch.
+	fsMu sync.Mutex
 	// fs is a trivial in-memory filesystem shared by all processes.
 	fs map[string][]byte
-	// clock is a deterministic logical clock for gettimeofday.
+	// clock is a deterministic logical clock for gettimeofday (atomic).
 	clock uint64
-	// SyscallCount counts dispatched syscalls (diagnostics).
+	// SyscallCount counts dispatched syscalls (diagnostics; updated
+	// atomically, read it after the run).
 	SyscallCount uint64
 	// OnSwitch, if set, runs at every context switch of RunInterleaved
 	// with the process about to execute — where the kernel reprograms
@@ -159,6 +170,8 @@ func (k *Kernel) Uninstall(sysno uint64) { delete(k.intercep, sysno) }
 
 // FileContents returns the contents of an in-memory file.
 func (k *Kernel) FileContents(name string) ([]byte, bool) {
+	k.fsMu.Lock()
+	defer k.fsMu.Unlock()
 	b, ok := k.fs[name]
 	return b, ok
 }
@@ -220,6 +233,12 @@ func (s ExitStatus) String() string {
 // the instruction budget (0 = unlimited).
 func (k *Kernel) Run(p *Process, maxInstrs uint64) (ExitStatus, error) {
 	_, err := p.CPU.Run(maxInstrs)
+	return k.classify(p, err)
+}
+
+// classify converts a CPU-loop error into an exit status; errors the
+// scheduler should propagate come back unchanged.
+func (k *Kernel) classify(p *Process, err error) (ExitStatus, error) {
 	switch {
 	case errors.Is(err, ErrExited):
 		return ExitStatus{Exited: true, Code: p.ExitCode}, nil
@@ -235,6 +254,43 @@ func (k *Kernel) Run(p *Process, maxInstrs uint64) (ExitStatus, error) {
 		}
 		return ExitStatus{}, err
 	}
+}
+
+// RunParallel runs each process to completion on its own goroutine — the
+// multi-core deployment of §6 suggestion 2: every core has its own trace
+// unit and ToPA table, so no CR3 reprogramming happens at context
+// switches and flow checks for different processes proceed concurrently
+// (pair with a guard.CheckPool to bound the checking cores). Each process
+// must have its own tracer sink. maxConcurrent bounds how many processes
+// execute simultaneously (0 = all at once); the instruction budget is
+// per process (0 = unlimited).
+func (k *Kernel) RunParallel(procs []*Process, maxInstrs uint64, maxConcurrent int) ([]ExitStatus, error) {
+	statuses := make([]ExitStatus, len(procs))
+	errs := make([]error, len(procs))
+	var sem chan struct{}
+	if maxConcurrent > 0 {
+		sem = make(chan struct{}, maxConcurrent)
+	}
+	var wg sync.WaitGroup
+	for i, p := range procs {
+		wg.Add(1)
+		go func(i int, p *Process) {
+			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			_, err := p.CPU.Run(maxInstrs)
+			statuses[i], errs[i] = k.classify(p, err)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return statuses, e
+		}
+	}
+	return statuses, nil
 }
 
 // RunInterleaved schedules the processes round-robin on one core with
@@ -270,22 +326,11 @@ func (k *Kernel) RunInterleaved(procs []*Process, quantum, maxTotal uint64) ([]E
 			}
 			done[i] = true
 			remaining--
-			switch {
-			case errors.Is(err, ErrExited):
-				statuses[i] = ExitStatus{Exited: true, Code: p.ExitCode}
-			case errors.Is(err, ErrKilled):
-				statuses[i] = ExitStatus{Killed: true, Signal: p.Signal}
-			case errors.Is(err, cpu.ErrHalted):
-				statuses[i] = ExitStatus{Exited: true, Code: 0}
-			default:
-				var f *cpu.Fault
-				if errors.As(err, &f) {
-					k.Kill(p, SIGSEGV)
-					statuses[i] = ExitStatus{Killed: true, Signal: SIGSEGV, FaultErr: f}
-				} else {
-					return statuses, err
-				}
+			st, cerr := k.classify(p, err)
+			if cerr != nil {
+				return statuses, cerr
 			}
+			statuses[i] = st
 		}
 	}
 	return statuses, nil
@@ -301,8 +346,8 @@ type procSyscalls struct {
 // entry (if installed), then the original handler.
 func (s *procSyscalls) Syscall(c *cpu.CPU) error {
 	k, p := s.k, s.p
-	k.SyscallCount++
-	k.clock += 1 + c.Instrs%7
+	atomic.AddUint64(&k.SyscallCount, 1)
+	atomic.AddUint64(&k.clock, 1+c.Instrs%7)
 	sysno := c.Regs[isa.R7]
 	if h, ok := k.intercep[sysno]; ok {
 		if err := h(p, sysno); err != nil {
@@ -349,7 +394,9 @@ func (k *Kernel) dispatch(p *Process, c *cpu.CPU, sysno uint64) error {
 			setRet(eFAIL)
 			return nil
 		}
+		k.fsMu.Lock()
 		data := k.fs[f.name]
+		k.fsMu.Unlock()
 		avail := len(data) - f.pos
 		if n > avail {
 			n = avail
@@ -372,7 +419,9 @@ func (k *Kernel) dispatch(p *Process, c *cpu.CPU, sysno uint64) error {
 		if a0 == 1 || a0 == 2 {
 			p.Stdout = append(p.Stdout, buf...)
 		} else if f, ok := p.files[int(a0)]; ok {
+			k.fsMu.Lock()
 			k.fs[f.name] = append(k.fs[f.name], buf...)
+			k.fsMu.Unlock()
 		} else {
 			setRet(eFAIL)
 			return nil
@@ -385,9 +434,11 @@ func (k *Kernel) dispatch(p *Process, c *cpu.CPU, sysno uint64) error {
 			setRet(eFAIL)
 			return nil
 		}
+		k.fsMu.Lock()
 		if _, ok := k.fs[name]; !ok {
 			k.fs[name] = nil
 		}
+		k.fsMu.Unlock()
 		fd := p.nextFD
 		p.nextFD++
 		p.files[fd] = &openFile{name: name}
@@ -430,7 +481,7 @@ func (k *Kernel) dispatch(p *Process, c *cpu.CPU, sysno uint64) error {
 		p.ExitCode = int(int64(a0))
 		return ErrExited
 	case SysGettimeofday:
-		if err := p.AS.WriteU64(a0, k.clock); err != nil {
+		if err := p.AS.WriteU64(a0, atomic.LoadUint64(&k.clock)); err != nil {
 			setRet(eFAIL)
 			return nil
 		}

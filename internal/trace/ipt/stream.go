@@ -1,0 +1,245 @@
+package ipt
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// WindowDecoder is the incremental form of the fast path's packet-grammar
+// scan (§5.3): it consumes an append-only trace stream chunk by chunk and
+// maintains the decoded TIP-record tail plus the PSB sync-point offsets,
+// so a checker that runs repeatedly over a growing buffer decodes each
+// byte exactly once instead of re-scanning the whole suffix per check
+// (the §6 "move checking off the critical path" shape).
+//
+// Record and sync-point offsets are absolute stream offsets: they keep
+// their meaning across DropBefore compactions, so callers can slice their
+// own retained copy of the stream with them. All storage is reused across
+// feeds; a steady-state Feed of packet-aligned chunks performs no
+// allocations once the internal slices have grown to the working size.
+//
+// Like DecodeFast, the decoder never consults program binaries. Unlike
+// DecodeFast it accumulates TNT-run signatures linearly across the whole
+// stream rather than per decoded suffix; the two agree on every record
+// except the signature of the first TIP at or after a sync point, which
+// no checker consults (edge checks read the signature of the *second*
+// record of each pair).
+type WindowDecoder struct {
+	lastIP uint64
+	sig    uint64
+	sigN   int
+	synced bool // a PSB has been seen; bytes before the first PSB are skipped
+	off    int  // absolute stream offset of the next undecoded byte
+
+	// carry holds a packet truncated at the end of the previous chunk.
+	carry []byte
+
+	tips []TIPRecord
+	pts  []int
+}
+
+// NewWindowDecoder returns a decoder positioned at stream offset base.
+func NewWindowDecoder(base int) *WindowDecoder {
+	d := &WindowDecoder{}
+	d.Reset(base)
+	return d
+}
+
+// Reset discards all decoder state and repositions the stream origin at
+// absolute offset base (retaining allocated storage).
+func (d *WindowDecoder) Reset(base int) {
+	d.lastIP = 0
+	d.sig = TNTSigEmpty
+	d.sigN = 0
+	d.synced = false
+	d.off = base
+	d.carry = d.carry[:0]
+	d.tips = d.tips[:0]
+	d.pts = d.pts[:0]
+}
+
+// Tips returns the decoded TIP records, oldest first. The slice is owned
+// by the decoder and valid until the next Feed/DropBefore/Reset.
+func (d *WindowDecoder) Tips() []TIPRecord { return d.tips }
+
+// SyncPoints returns the absolute offsets of the PSBs seen so far, under
+// the same ownership rules as Tips.
+func (d *WindowDecoder) SyncPoints() []int { return d.pts }
+
+// Consumed returns the absolute stream offset of the next undecoded byte
+// (bytes held back in the truncation carry are not consumed).
+func (d *WindowDecoder) Consumed() int { return d.off - len(d.carry) }
+
+// DropBefore discards TIP records and sync points with offsets below lo,
+// compacting storage in place. Decoding state is unaffected: the stream
+// remains continuous, only history is forgotten.
+func (d *WindowDecoder) DropBefore(lo int) {
+	i := 0
+	for i < len(d.tips) && d.tips[i].Off < lo {
+		i++
+	}
+	if i > 0 {
+		n := copy(d.tips, d.tips[i:])
+		d.tips = d.tips[:n]
+	}
+	j := 0
+	for j < len(d.pts) && d.pts[j] < lo {
+		j++
+	}
+	if j > 0 {
+		n := copy(d.pts, d.pts[j:])
+		d.pts = d.pts[:n]
+	}
+}
+
+// Feed decodes one appended chunk. Chunks normally end at packet
+// boundaries (the tracer writes whole packet groups); a packet truncated
+// at the chunk end is carried over and completed by the next Feed. A
+// malformed packet is returned as an error, as DecodeFast would.
+func (d *WindowDecoder) Feed(chunk []byte) error {
+	buf := chunk
+	if len(d.carry) > 0 {
+		d.carry = append(d.carry, chunk...)
+		buf = d.carry
+	}
+	base := d.off - len(buf) + len(chunk) // absolute offset of buf[0]
+	n, err := d.scan(buf, base)
+	if err != nil {
+		return err
+	}
+	rest := buf[n:]
+	if len(d.carry) > 0 {
+		m := copy(d.carry, rest)
+		d.carry = d.carry[:m]
+	} else if len(rest) > 0 {
+		d.carry = append(d.carry[:0], rest...)
+	}
+	d.off = base + len(buf)
+	return nil
+}
+
+// scan consumes complete packets from buf (whose first byte sits at
+// absolute offset base) and returns how many bytes it consumed.
+func (d *WindowDecoder) scan(buf []byte, base int) (int, error) {
+	i := 0
+	// Before the first PSB the stream may start mid-packet (a wrapped
+	// ToPA): skip to the first sync point, keeping a partial-PSB-sized
+	// tail unconsumed in case the PSB completes in the next chunk.
+	if !d.synced {
+		p := Sync(buf, 0)
+		if p < 0 {
+			keep := len(buf) - (PSBSize - 1)
+			if keep < 0 {
+				keep = 0
+			}
+			return keep, nil
+		}
+		i = p
+	}
+	for i < len(buf) {
+		b := buf[i]
+		switch {
+		case b == 0x00: // PAD
+			i++
+		case b == 0x02: // extended
+			if i+1 >= len(buf) {
+				return i, nil // truncated tail
+			}
+			switch buf[i+1] {
+			case extPSB:
+				if i+PSBSize > len(buf) {
+					if isPSBPrefix(buf[i:]) {
+						return i, nil // PSB split across chunks
+					}
+					return i, fmt.Errorf("ipt: malformed PSB at %d", base+i)
+				}
+				if !isPSBAt(buf, i) {
+					return i, fmt.Errorf("ipt: malformed PSB at %d", base+i)
+				}
+				d.pts = append(d.pts, base+i)
+				d.lastIP = 0
+				d.synced = true
+				i += PSBSize
+			case extPSBEND:
+				i += 2
+			case extPIP:
+				if i+10 > len(buf) {
+					return i, nil
+				}
+				i += 10
+			case extOVF:
+				// Data lost: the accumulated TNT run is unreliable.
+				d.sig, d.sigN = TNTSigEmpty, 0
+				i += 2
+			default:
+				return i, fmt.Errorf("ipt: unknown extended opcode %#02x at %d", buf[i+1], base+i)
+			}
+		case b&1 == 0: // short TNT
+			n := bits.Len8(b) - 2
+			if n < 1 || n > maxTNTBits {
+				return i, fmt.Errorf("ipt: malformed TNT byte %#02x at %d", b, base+i)
+			}
+			payload := (b >> 1) & (1<<n - 1)
+			for k := 0; k < n; k++ {
+				d.sig = TNTSigAppend(d.sig, payload&(1<<k) != 0)
+				d.sigN++
+			}
+			i++
+		default: // TIP family
+			op := b & 0x1f
+			switch op {
+			case opTIP, opTIPPGE, opTIPPGD, opFUP:
+			default:
+				return i, fmt.Errorf("ipt: unknown packet header %#02x at %d", b, base+i)
+			}
+			ipb := b >> 5
+			n := ipPayloadLen(ipb)
+			if i+1+n > len(buf) {
+				return i, nil // truncated tail
+			}
+			if ipb != 0 {
+				d.lastIP = ipReconstruct(ipb, buf[i+1:i+1+n], d.lastIP)
+			}
+			if op == opTIP {
+				sig := d.sig
+				if d.sigN > TNTRunCap {
+					sig = TNTSigLongRun
+				}
+				d.tips = append(d.tips, TIPRecord{IP: d.lastIP, TNTSig: sig, TNTLen: d.sigN, Off: base + i})
+				d.sig, d.sigN = TNTSigEmpty, 0
+			}
+			i += 1 + n
+		}
+	}
+	return i, nil
+}
+
+// isPSBPrefix reports whether tail is a (possibly incomplete) prefix of a
+// PSB packet.
+func isPSBPrefix(tail []byte) bool {
+	for j, b := range tail {
+		if j%2 == 0 {
+			if b != 0x02 {
+				return false
+			}
+		} else if b != extPSB {
+			return false
+		}
+	}
+	return true
+}
+
+// TipsFrom returns the suffix of tips whose records sit at or after
+// absolute stream offset lo (binary search on the ascending Off field).
+func TipsFrom(tips []TIPRecord, lo int) []TIPRecord {
+	a, b := 0, len(tips)
+	for a < b {
+		m := (a + b) / 2
+		if tips[m].Off < lo {
+			a = m + 1
+		} else {
+			b = m
+		}
+	}
+	return tips[a:]
+}

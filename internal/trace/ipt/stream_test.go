@@ -1,0 +1,234 @@
+package ipt_test
+
+// Tests of the incremental WindowDecoder: chunked feeding must agree
+// byte-for-byte with the batch fast decoder over the same stream, because
+// the guard's amortized window cache substitutes one for the other.
+
+import (
+	"reflect"
+	"testing"
+
+	"flowguard/internal/isa"
+	"flowguard/internal/trace"
+	"flowguard/internal/trace/ipt"
+)
+
+// synthStream produces a trace stream mixing TNT runs (short and
+// long/capped), indirect TIPs, far transfers and periodic PSBs, plus the
+// batch reference decode of it.
+func synthStream(t *testing.T, branches int) ([]byte, []ipt.TIPRecord) {
+	t.Helper()
+	tr := ipt.NewTracer(ipt.NewToPA(1 << 20))
+	if err := tr.WriteMSR(ipt.MSRRTITCtl, ctlDefault); err != nil {
+		t.Fatal(err)
+	}
+	ip := uint64(0x400000)
+	for i := 0; i < branches; i++ {
+		// A TNT run whose length cycles through short and capped.
+		run := i % (ipt.TNTRunCap + 5)
+		for j := 0; j < run; j++ {
+			tr.Branch(trace.Branch{Class: isa.CoFICond, Source: ip, Target: ip + 4, Taken: (i+j)%3 != 0})
+		}
+		cls := isa.CoFIIndirect
+		if i%7 == 3 {
+			cls = isa.CoFIRet
+		}
+		tgt := 0x400000 + uint64((i*2654435761)%(1<<20))
+		tr.Branch(trace.Branch{Class: cls, Source: ip, Target: tgt, Taken: true})
+		if i%11 == 5 {
+			tr.Branch(trace.Branch{Class: isa.CoFIFarTransfer, Source: ip, Target: ip + 8, Taken: true})
+		}
+		ip = tgt
+	}
+	tr.Flush()
+	buf := tr.Out.Snapshot()
+	evs, err := ipt.DecodeFast(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf, ipt.ExtractTIPs(evs)
+}
+
+func TestWindowDecoderMatchesBatchDecode(t *testing.T) {
+	buf, want := synthStream(t, 400)
+	if len(want) < 100 {
+		t.Fatalf("degenerate stream: %d TIPs", len(want))
+	}
+	d := ipt.NewWindowDecoder(0)
+	if err := d.Feed(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.Tips(), want) {
+		t.Fatalf("single-feed decode diverges from batch decode: %d vs %d records", len(d.Tips()), len(want))
+	}
+	if !reflect.DeepEqual(d.SyncPoints(), ipt.SyncPoints(buf)) {
+		t.Fatal("sync points diverge from batch scan")
+	}
+}
+
+func TestWindowDecoderChunkedFeeds(t *testing.T) {
+	buf, want := synthStream(t, 300)
+	for _, chunk := range []int{1, 2, 3, 5, 7, 16, 64, 1023} {
+		d := ipt.NewWindowDecoder(0)
+		for off := 0; off < len(buf); off += chunk {
+			end := off + chunk
+			if end > len(buf) {
+				end = len(buf)
+			}
+			if err := d.Feed(buf[off:end]); err != nil {
+				t.Fatalf("chunk=%d: %v", chunk, err)
+			}
+		}
+		if !reflect.DeepEqual(d.Tips(), want) {
+			t.Fatalf("chunk=%d: chunked decode diverges from batch decode", chunk)
+		}
+		if d.Consumed() != len(buf) {
+			t.Fatalf("chunk=%d: consumed %d of %d bytes", chunk, d.Consumed(), len(buf))
+		}
+	}
+}
+
+// TestWindowDecoderSyncsMidStream models the post-wrap case: the stream
+// handed to the decoder starts mid-packet, and decoding must begin at the
+// first PSB, exactly as the batch path (Sync + DecodeFast) does.
+func TestWindowDecoderSyncsMidStream(t *testing.T) {
+	buf, _ := synthStream(t, 300)
+	cut := len(buf) / 3
+	sub := buf[cut:]
+	p := ipt.Sync(sub, 0)
+	if p <= 0 {
+		t.Fatalf("no interior PSB after cut (p=%d); test needs periodic PSBs", p)
+	}
+	evs, err := ipt.DecodeFast(sub[p:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ipt.ExtractTIPs(evs)
+
+	d := ipt.NewWindowDecoder(0)
+	for off := 0; off < len(sub); off += 13 {
+		end := off + 13
+		if end > len(sub) {
+			end = len(sub)
+		}
+		if err := d.Feed(sub[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := d.Tips()
+	if len(got) != len(want) {
+		t.Fatalf("mid-stream decode: %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		// Offsets are relative to the feed origin vs the PSB slice.
+		if got[i].IP != want[i].IP || got[i].TNTSig != want[i].TNTSig || got[i].Off != want[i].Off+p {
+			t.Fatalf("record %d diverges: %+v vs %+v (p=%d)", i, got[i], want[i], p)
+		}
+	}
+	if d.SyncPoints()[0] != p {
+		t.Fatalf("first sync point %d, want %d", d.SyncPoints()[0], p)
+	}
+}
+
+func TestWindowDecoderDropBefore(t *testing.T) {
+	buf, all := synthStream(t, 200)
+	d := ipt.NewWindowDecoder(0)
+	if err := d.Feed(buf); err != nil {
+		t.Fatal(err)
+	}
+	lo := all[len(all)/2].Off
+	d.DropBefore(lo)
+	for _, r := range d.Tips() {
+		if r.Off < lo {
+			t.Fatalf("record at %d survived DropBefore(%d)", r.Off, lo)
+		}
+	}
+	for _, p := range d.SyncPoints() {
+		if p < lo {
+			t.Fatalf("sync point %d survived DropBefore(%d)", p, lo)
+		}
+	}
+	if !reflect.DeepEqual(d.Tips(), ipt.TipsFrom(all, lo)) {
+		t.Fatal("DropBefore result diverges from TipsFrom")
+	}
+	// Decoding continues seamlessly after compaction.
+	before := len(d.Tips())
+	tr := ipt.NewTracer(ipt.NewToPA(1 << 20))
+	if err := tr.WriteMSR(ipt.MSRRTITCtl, ctlDefault); err != nil {
+		t.Fatal(err)
+	}
+	tr.Branch(trace.Branch{Class: isa.CoFIIndirect, Source: 0x400000, Target: 0x400100, Taken: true})
+	tr.Flush()
+	if err := d.Feed(tr.Out.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Tips()) <= before {
+		t.Fatal("no records decoded after DropBefore")
+	}
+}
+
+func TestTipsFrom(t *testing.T) {
+	_, all := synthStream(t, 100)
+	if got := ipt.TipsFrom(all, 0); len(got) != len(all) {
+		t.Fatalf("TipsFrom(0) = %d records, want all %d", len(got), len(all))
+	}
+	if got := ipt.TipsFrom(all, all[len(all)-1].Off+1); len(got) != 0 {
+		t.Fatalf("TipsFrom(past end) = %d records, want 0", len(got))
+	}
+	mid := all[len(all)/2].Off
+	got := ipt.TipsFrom(all, mid)
+	if got[0].Off != mid {
+		t.Fatalf("TipsFrom(%d) starts at %d", mid, got[0].Off)
+	}
+	if len(got) != len(all)-len(all)/2 {
+		t.Fatalf("TipsFrom(%d) = %d records", mid, len(got))
+	}
+}
+
+// TestToPAAppendSince pins the incremental-read surface the guard's
+// window cache is built on.
+func TestToPAAppendSince(t *testing.T) {
+	topa := ipt.NewToPA(64, 64)
+	write := func(n int, v byte) {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = v
+		}
+		topa.Write(b)
+	}
+	write(40, 1)
+	if got, ok := topa.AppendSince(nil, 0); !ok || len(got) != 40 {
+		t.Fatalf("AppendSince(0) = %d bytes, ok=%v", len(got), ok)
+	}
+	write(40, 2) // crosses into region 2
+	got, ok := topa.AppendSince(nil, 40)
+	if !ok || len(got) != 40 || got[0] != 2 {
+		t.Fatalf("AppendSince(40) = %d bytes ok=%v", len(got), ok)
+	}
+	write(128, 3) // full wrap: everything before is gone
+	if _, ok := topa.AppendSince(nil, 40); ok {
+		t.Fatal("AppendSince accepted a range the wrap discarded")
+	}
+	from := topa.TotalWritten() - uint64(topa.Held())
+	got, ok = topa.AppendSince(nil, from)
+	if !ok || len(got) != topa.Held() {
+		t.Fatalf("AppendSince(oldest resident) = %d bytes ok=%v, want %d", len(got), ok, topa.Held())
+	}
+	if !reflect.DeepEqual(got, topa.Snapshot()) {
+		t.Fatal("AppendSince(oldest resident) diverges from Snapshot")
+	}
+	// Gen advances on writes and on Reset.
+	g0 := topa.Gen()
+	write(1, 4)
+	if topa.Gen() <= g0 {
+		t.Fatal("Gen did not advance on write")
+	}
+	g1 := topa.Gen()
+	topa.Reset()
+	if topa.Gen() <= g1 {
+		t.Fatal("Gen did not advance on Reset")
+	}
+	if topa.Held() != 0 {
+		t.Fatalf("Held after Reset = %d", topa.Held())
+	}
+}

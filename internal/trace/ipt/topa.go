@@ -5,6 +5,12 @@ package ipt
 // either wraps (losing the oldest data, the paper's default with two
 // regions) or raises the buffer-full PMI that §7.1.2 proposes as the
 // worst-case endpoint.
+//
+// Incremental readers (the guard's amortized window decoder) address the
+// stream by its monotonic byte offset: TotalWritten is the offset one
+// past the newest byte, Held is how many trailing bytes are still
+// resident, and AppendSince copies a trailing range out without
+// disturbing the write cursor.
 type ToPA struct {
 	regions [][]byte
 	// cur/pos locate the write cursor.
@@ -14,6 +20,12 @@ type ToPA struct {
 	wrapped bool
 	// total counts bytes ever written (monotonic).
 	total uint64
+	// gen is a write generation: it advances on every Write chunk and on
+	// Reset, so incremental readers can detect any state change.
+	gen uint64
+	// resetTotal is the value of total at the last Reset; the physical
+	// position of logical byte a is (a-resetTotal) mod Capacity().
+	resetTotal uint64
 	// OnFull, if non-nil, is invoked each time the final region fills
 	// (the PMI hook). The buffer wraps regardless.
 	OnFull func()
@@ -44,13 +56,29 @@ func (t *ToPA) Capacity() int {
 // TotalWritten returns the monotonic count of bytes ever written.
 func (t *ToPA) TotalWritten() uint64 { return t.total }
 
-// Write appends trace bytes, wrapping when the chain fills.
+// Gen returns the write generation: it increases whenever the buffer
+// contents change (writes or Reset), never decreases, and is equal
+// between two observations only if the buffer is unchanged.
+func (t *ToPA) Gen() uint64 { return t.gen }
+
+// Held returns how many of the most recently written logical bytes are
+// still resident in the buffer (the span Snapshot would return).
+func (t *ToPA) Held() int {
+	if t.wrapped {
+		return t.Capacity()
+	}
+	return int(t.total - t.resetTotal)
+}
+
+// Write appends trace bytes, wrapping when the chain fills. total is
+// advanced chunk by chunk so an OnFull hook observes a consistent view.
 func (t *ToPA) Write(p []byte) {
-	t.total += uint64(len(p))
 	for len(p) > 0 {
 		r := t.regions[t.cur]
 		n := copy(r[t.pos:], p)
 		t.pos += n
+		t.total += uint64(n)
+		t.gen++
 		p = p[n:]
 		if t.pos == len(r) {
 			t.cur++
@@ -66,32 +94,72 @@ func (t *ToPA) Write(p []byte) {
 	}
 }
 
+// AppendSince appends the logical stream bytes in [from, TotalWritten())
+// to dst and returns the extended slice. It reports false — returning
+// dst unchanged — when that range is no longer fully resident (the
+// buffer wrapped past it), in which case the caller must resynchronize
+// from a fresh Snapshot.
+func (t *ToPA) AppendSince(dst []byte, from uint64) ([]byte, bool) {
+	if from > t.total || t.total-from > uint64(t.Held()) {
+		return dst, false
+	}
+	for off := from; off < t.total; {
+		ri, rp := t.locate(off)
+		r := t.regions[ri]
+		end := uint64(len(r) - rp)
+		if rem := t.total - off; rem < end {
+			end = rem
+		}
+		dst = append(dst, r[rp:rp+int(end)]...)
+		off += end
+	}
+	return dst, true
+}
+
+// locate maps a resident logical offset to (region index, offset within
+// region).
+func (t *ToPA) locate(off uint64) (int, int) {
+	phys := int((off - t.resetTotal) % uint64(t.Capacity()))
+	for i, r := range t.regions {
+		if phys < len(r) {
+			return i, phys
+		}
+		phys -= len(r)
+	}
+	return 0, 0 // unreachable: phys < capacity
+}
+
 // Snapshot returns the logical byte stream currently buffered, oldest
 // first. After a wrap the stream may begin mid-packet; decoders must
 // synchronize to the first PSB.
-func (t *ToPA) Snapshot() []byte {
+func (t *ToPA) Snapshot() []byte { return t.SnapshotInto(nil) }
+
+// SnapshotInto appends the buffered stream to dst (usually dst[:0] of a
+// reusable buffer) and returns the extended slice.
+func (t *ToPA) SnapshotInto(dst []byte) []byte {
 	if !t.wrapped {
-		var out []byte
 		for i := 0; i < t.cur; i++ {
-			out = append(out, t.regions[i]...)
+			dst = append(dst, t.regions[i]...)
 		}
-		out = append(out, t.regions[t.cur][:t.pos]...)
-		return out
+		return append(dst, t.regions[t.cur][:t.pos]...)
 	}
-	var out []byte
-	out = append(out, t.regions[t.cur][t.pos:]...)
+	dst = append(dst, t.regions[t.cur][t.pos:]...)
 	for i := 1; i <= len(t.regions); i++ {
 		r := (t.cur + i) % len(t.regions)
 		if r == t.cur {
-			out = append(out, t.regions[r][:t.pos]...)
+			dst = append(dst, t.regions[r][:t.pos]...)
 		} else {
-			out = append(out, t.regions[r]...)
+			dst = append(dst, t.regions[r]...)
 		}
 	}
-	return out
+	return dst
 }
 
 // Reset discards all buffered bytes (used when tracing is reconfigured).
+// The monotonic byte count is preserved; the next write lands at the
+// start of the first region.
 func (t *ToPA) Reset() {
 	t.cur, t.pos, t.wrapped = 0, 0, false
+	t.resetTotal = t.total
+	t.gen++
 }
