@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test test-short race bench experiments examples vet fmt cover
+.PHONY: all test test-short race bench experiments examples vet fmt cover chaos fuzz-smoke
 
 all: vet test
 
@@ -28,6 +28,12 @@ examples:
 	$(GO) run ./examples/attacks
 	$(GO) run ./examples/fuzztrain
 	$(GO) run ./examples/multiproc
+
+chaos:
+	$(GO) test -race -short -run 'Chaos' ./internal/faults/ -count=1
+
+fuzz-smoke:
+	$(GO) test -run 'Fuzz' ./internal/trace/ipt/ -count=1
 
 vet:
 	$(GO) vet ./...

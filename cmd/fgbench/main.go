@@ -42,6 +42,7 @@ func main() {
 	modes := flag.Bool("modes", false, "compare checking modes: credits, path-sensitive, PMI fallback")
 	multiproc := flag.Bool("multiproc", false, "CR3-filter limitation with interleaved processes (§7.2.4)")
 	parallel := flag.Int("parallel", 0, "run N protected processes with pooled parallel checking (§6) and report aggregate check latency")
+	chaos := flag.Int("chaos", 0, "run N seeded fault-injection scenarios across the degraded-mode policies (§7.1.2 worst cases)")
 	scale := flag.Int("scale", 30, "workload scale (requests / iterations)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	train := flag.Int("train", 6, "training replays per application")
@@ -238,6 +239,22 @@ func main() {
 		}
 		fmt.Println(" ", res)
 		fmt.Println("  (checks for concurrent processes are offloaded to a bounded worker pool)")
+	}
+
+	if *all || *chaos > 0 {
+		n := *chaos
+		if n <= 0 {
+			n = 90
+		}
+		section("§7.1.2 worst cases: fault injection across degraded modes")
+		rows, err := r.Chaos(n)
+		if err != nil {
+			fail(err)
+		}
+		for _, row := range rows {
+			fmt.Println(" ", row)
+		}
+		fmt.Println("  (trace loss/corruption/gaps per policy; attacks must still die except in explicit fail-open windows)")
 	}
 
 	if !ran {

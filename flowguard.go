@@ -81,6 +81,40 @@ func (w *Workload) Input(scale int, seed int64) []byte {
 	return w.app.MakeInput(scale, seed)
 }
 
+// DegradedMode selects the guard's fail behavior when a trace window
+// cannot be verified — overflow, unattributable gap, grammar-level
+// corruption — or when an overloaded checker pool sheds the check (the
+// §7.1.2 worst cases).
+type DegradedMode uint8
+
+// Degraded-mode policies. The zero value is FailClosed.
+const (
+	// FailClosed treats any unverifiable window exactly like a detected
+	// violation: security preserved, availability sacrificed.
+	FailClosed DegradedMode = iota
+	// FailOpen lets the endpoint proceed unverified (counted in
+	// Outcome.FailOpens); records that survived decoding are still
+	// checked best-effort, so definite violations among them fire.
+	FailOpen
+	// SlowPathRetry re-snapshots the trace buffer and retries a
+	// full-precision decode from successive sync points before giving
+	// up and failing closed.
+	SlowPathRetry
+)
+
+func (m DegradedMode) String() string { return guard.DegradedMode(m).String() }
+
+func (m DegradedMode) internal() guard.DegradedMode {
+	switch m {
+	case FailOpen:
+		return guard.FailOpen
+	case SlowPathRetry:
+		return guard.SlowPathRetry
+	default:
+		return guard.FailClosed
+	}
+}
+
 // Policy holds the runtime-protection knobs of §7.1.1.
 type Policy struct {
 	// PktCount is the minimum number of TIP packets checked per
@@ -105,6 +139,12 @@ type Policy struct {
 	// CheckOnPMI also checks whenever the trace buffer fills — the
 	// worst-case endpoint fallback against endpoint-pruning attacks.
 	CheckOnPMI bool
+	// OnDegraded selects the response to unverifiable trace windows and
+	// shed checks; the zero value fails closed.
+	OnDegraded DegradedMode
+	// RetryMax bounds SlowPathRetry recovery attempts per check
+	// (0 = the guard's default).
+	RetryMax int
 }
 
 // DefaultPolicy returns the configuration the paper evaluates.
@@ -125,6 +165,8 @@ func (p Policy) internal() guard.Policy {
 	g.CredMinCount = p.CredMinCount
 	g.PathSensitive = p.PathSensitive
 	g.CheckOnPMI = p.CheckOnPMI
+	g.OnDegraded = p.OnDegraded.internal()
+	g.RetryMax = p.RetryMax
 	return g
 }
 
@@ -276,6 +318,13 @@ type Outcome struct {
 	Stdout []byte
 	// Checks / SlowChecks count endpoint flow checks.
 	Checks, SlowChecks uint64
+	// DegradedChecks counts checks resolved under Policy.OnDegraded
+	// (damaged trace windows or shed pooled checks); FailOpens and
+	// FailClosures split them by outcome, Retries counts SlowPathRetry
+	// recovery attempts, and Shed counts checks an overloaded checker
+	// pool refused — every shed is policy-resolved and lands in one of
+	// the other counters, never dropped silently.
+	DegradedChecks, FailOpens, FailClosures, Retries, Shed uint64
 	// CredRatio is the runtime fraction of credible edges.
 	CredRatio float64
 	// OverheadPct is the total protection overhead against the same
@@ -308,13 +357,18 @@ func (s *System) RunWithPolicy(input []byte, pol Policy) (*Outcome, error) {
 		return nil, err
 	}
 	out := &Outcome{
-		Exited:     st.Exited,
-		ExitCode:   st.Code,
-		Killed:     st.Killed,
-		Stdout:     p.Stdout,
-		Checks:     g.Stats.Checks,
-		SlowChecks: g.Stats.SlowChecks,
-		CredRatio:  g.Stats.CredRatioRuntime(),
+		Exited:         st.Exited,
+		ExitCode:       st.Code,
+		Killed:         st.Killed,
+		Stdout:         p.Stdout,
+		Checks:         g.Stats.Checks,
+		SlowChecks:     g.Stats.SlowChecks,
+		DegradedChecks: g.Stats.DegradedChecks,
+		FailOpens:      g.Stats.FailOpens,
+		FailClosures:   g.Stats.FailClosures,
+		Retries:        g.Stats.Retries,
+		Shed:           g.Stats.Shed,
+		CredRatio:      g.Stats.CredRatioRuntime(),
 	}
 	for _, rep := range km.Reports {
 		out.Violations = append(out.Violations, rep.String())
@@ -339,6 +393,9 @@ type MultiOutcome struct {
 	Outcomes []*Outcome
 	// Checks / SlowChecks aggregate the per-process flow checks.
 	Checks, SlowChecks uint64
+	// DegradedChecks, FailOpens, FailClosures, Retries and Shed
+	// aggregate the per-process degraded-mode accounting (see Outcome).
+	DegradedChecks, FailOpens, FailClosures, Retries, Shed uint64
 	// Violations aggregates every kernel-module report.
 	Violations []string
 	// Workers is the checker-pool concurrency bound used.
@@ -398,13 +455,18 @@ func (s *System) RunMulti(inputs [][]byte, pol Policy, workers int) (*MultiOutco
 	for i, p := range procs {
 		g := guards[i]
 		o := &Outcome{
-			Exited:     sts[i].Exited,
-			ExitCode:   sts[i].Code,
-			Killed:     sts[i].Killed,
-			Stdout:     p.Stdout,
-			Checks:     g.Stats.Checks,
-			SlowChecks: g.Stats.SlowChecks,
-			CredRatio:  g.Stats.CredRatioRuntime(),
+			Exited:         sts[i].Exited,
+			ExitCode:       sts[i].Code,
+			Killed:         sts[i].Killed,
+			Stdout:         p.Stdout,
+			Checks:         g.Stats.Checks,
+			SlowChecks:     g.Stats.SlowChecks,
+			DegradedChecks: g.Stats.DegradedChecks,
+			FailOpens:      g.Stats.FailOpens,
+			FailClosures:   g.Stats.FailClosures,
+			Retries:        g.Stats.Retries,
+			Shed:           g.Stats.Shed,
+			CredRatio:      g.Stats.CredRatioRuntime(),
 		}
 		for _, rep := range reports {
 			if rep.PID == p.PID {
@@ -425,6 +487,8 @@ func (s *System) RunMulti(inputs [][]byte, pol Policy, workers int) (*MultiOutco
 		agg.Merge(&g.Stats)
 	}
 	mo.Checks, mo.SlowChecks = agg.Checks, agg.SlowChecks
+	mo.DegradedChecks, mo.FailOpens, mo.FailClosures = agg.DegradedChecks, agg.FailOpens, agg.FailClosures
+	mo.Retries, mo.Shed = agg.Retries, agg.Shed
 	for _, rep := range reports {
 		mo.Violations = append(mo.Violations, rep.String())
 	}

@@ -1,0 +1,343 @@
+package faults_test
+
+// Chaos soak: seeded fault plans × degraded-mode policies × workloads
+// (benign traffic and real attacks), run end to end through the kernel
+// module. The soak pins the two robustness guarantees of the degraded
+// checking design: no fault plan can panic the guard, and injected
+// attacks are still detected in every degraded mode except an explicit
+// fail-open window. A companion test saturates a one-slot CheckPool and
+// verifies overload sheds are policy-governed and fully accounted —
+// never silent.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"flowguard/internal/apps"
+	"flowguard/internal/attack"
+	"flowguard/internal/cfg"
+	"flowguard/internal/faults"
+	"flowguard/internal/guard"
+	"flowguard/internal/isa"
+	"flowguard/internal/itc"
+	"flowguard/internal/kernelsim"
+	"flowguard/internal/trace"
+	"flowguard/internal/trace/ipt"
+)
+
+const ctlTrace = ipt.CtlTraceEn | ipt.CtlBranchEn | ipt.CtlUser | ipt.CtlToPA
+
+// fixture is the offline phase, shared across every soak scenario: the
+// CFG depends only on the deterministic binaries, so one analysis and
+// one training pass serve all runs.
+type fixture struct {
+	app  *apps.App
+	ocfg *cfg.Graph
+	ig   *itc.Graph
+	rop  []byte
+	srop []byte
+}
+
+var (
+	fixOnce sync.Once
+	fix     *fixture
+	fixErr  error
+)
+
+func chaosFixture(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		app := apps.Vulnd()
+		as, err := app.Load()
+		if err != nil {
+			fixErr = err
+			return
+		}
+		g, err := cfg.Build(as)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		f := &fixture{app: app, ocfg: g, ig: itc.FromCFG(g)}
+		if f.rop, err = attack.BuildROPWrite(as); err != nil {
+			fixErr = err
+			return
+		}
+		if f.srop, err = attack.BuildSROP(as); err != nil {
+			fixErr = err
+			return
+		}
+		for _, in := range [][]byte{benignTraffic(), []byte("G /x\nP 32\nH /h\n")} {
+			k := kernelsim.New()
+			p, err := app.Spawn(k, in)
+			if err != nil {
+				fixErr = err
+				return
+			}
+			tr := ipt.NewTracer(ipt.NewToPA(16 << 20))
+			if err := tr.WriteMSR(ipt.MSRRTITCtl, ctlTrace); err != nil {
+				fixErr = err
+				return
+			}
+			p.CPU.Branch = tr
+			if st, err := k.Run(p, 50_000_000); err != nil || !st.Exited {
+				fixErr = err
+				return
+			}
+			tr.Flush()
+			evs, err := ipt.DecodeFast(tr.Out.Snapshot())
+			if err != nil {
+				fixErr = err
+				return
+			}
+			f.ig.ObserveWindow(ipt.ExtractTIPs(evs))
+		}
+		f.ig.RebuildCache()
+		fix = f
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fix
+}
+
+func benignTraffic() []byte {
+	return []byte("G /index\nG /api/v1/users\nH /health\nP 128\nG /about\nG /static/logo\nP 256\nG /index2\n")
+}
+
+// scenario is one soak run: a workload under one degraded-mode policy
+// with one fault plan wired into the tracer's write path.
+type scenario struct {
+	seed   int64
+	mode   guard.DegradedMode
+	attack bool // workload is an exploit payload, not benign traffic
+}
+
+// runScenario executes one protected run with the plan injected and
+// returns the exit status, the guard, and the plan.
+func runScenario(t *testing.T, f *fixture, sc scenario) (kernelsim.ExitStatus, *guard.Guard, *faults.Plan) {
+	t.Helper()
+	input := benignTraffic()
+	if sc.attack {
+		if (sc.seed/2)%2 == 0 {
+			input = f.rop
+		} else {
+			input = f.srop
+		}
+	}
+	k := kernelsim.New()
+	p, err := f.app.Spawn(k, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	km := guard.InstallModule(k)
+	pol := guard.DefaultPolicy()
+	pol.OnDegraded = sc.mode
+	g, err := km.Protect(p, f.ocfg, f.ig, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.FromSeed(sc.seed)
+	g.Tracer.Fault = plan
+	st, err := k.Run(p, 80_000_000)
+	if err != nil {
+		t.Fatalf("seed %d mode %v attack %v: run aborted: %v", sc.seed, sc.mode, sc.attack, err)
+	}
+	return st, g, plan
+}
+
+// TestChaosSoak sweeps seeded fault plans across the three degraded
+// modes and both workload classes, in parallel. Any panic anywhere in
+// the pipeline fails the test; the per-scenario assertions pin the
+// security (attacks detected) and availability (benign loss-only runs
+// survive fail-open) halves of the policy contract.
+func TestChaosSoak(t *testing.T) {
+	f := chaosFixture(t)
+	n := int64(1002)
+	if testing.Short() {
+		n = 120
+	}
+	modes := []guard.DegradedMode{guard.FailClosed, guard.SlowPathRetry, guard.FailOpen}
+
+	var mu sync.Mutex
+	var degraded, retries, failOpens, failClosures uint64
+
+	seeds := make(chan int64)
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seed := range seeds {
+				// Mode cycles with period 3, workload with period 2, so
+				// every mode meets both workload classes (period 6).
+				sc := scenario{
+					seed:   seed,
+					mode:   modes[seed%int64(len(modes))],
+					attack: seed%2 == 1,
+				}
+				st, g, plan := runScenario(t, f, sc)
+				if sc.attack && sc.mode != guard.FailOpen && !st.Killed {
+					t.Errorf("seed %d mode %v: attack not detected (plan %+v, status %v)",
+						seed, sc.mode, plan.Config(), st)
+				}
+				if !sc.attack && sc.mode == guard.FailOpen && !plan.Corrupting() && !st.Exited {
+					t.Errorf("seed %d fail-open: benign loss-only run did not survive (plan %+v, status %v)",
+						seed, plan.Config(), st)
+				}
+				mu.Lock()
+				degraded += g.Stats.DegradedChecks
+				retries += g.Stats.Retries
+				failOpens += g.Stats.FailOpens
+				failClosures += g.Stats.FailClosures
+				mu.Unlock()
+			}
+		}()
+	}
+	for seed := int64(0); seed < n; seed++ {
+		seeds <- seed
+	}
+	close(seeds)
+	wg.Wait()
+
+	if degraded == 0 {
+		t.Error("soak never degraded a check; fault injection is not reaching the guard")
+	}
+	t.Logf("%d scenarios: degraded=%d retries=%d failOpens=%d failClosures=%d",
+		n, degraded, retries, failOpens, failClosures)
+}
+
+// TestChaosPoolOverload saturates a single-slot CheckPool with stalled
+// checks from parallel processes. The pool must neither deadlock nor
+// drop checks silently: every endpoint check appears in the guards'
+// statistics, sheds are counted on both sides, and attacks are still
+// detected under the non-fail-open policies.
+func TestChaosPoolOverload(t *testing.T) {
+	f := chaosFixture(t)
+	for _, mode := range []guard.DegradedMode{guard.FailClosed, guard.SlowPathRetry} {
+		k := kernelsim.New()
+		km := guard.InstallModule(k)
+		pool := guard.NewCheckPool(1)
+		pool.Deadline = 100 * time.Microsecond
+		pool.QueueLimit = 2
+		pool.RetryBackoff = 50 * time.Microsecond
+		stallPlan := faults.New(faults.Config{
+			Seed:     42,
+			Rates:    stallAlways(),
+			StallFor: 2 * time.Millisecond,
+		})
+		pool.Stall = stallPlan.Stall
+		km.UsePool(pool)
+
+		pol := guard.DefaultPolicy()
+		pol.OnDegraded = mode
+
+		var procs []*kernelsim.Process
+		var guards []*guard.Guard
+		attackIdx := map[int]bool{}
+		for i := 0; i < 6; i++ {
+			input := benignTraffic()
+			if i%3 == 0 {
+				input = f.rop
+				attackIdx[i] = true
+			}
+			p, err := f.app.Spawn(k, input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := km.Protect(p, f.ocfg, f.ig, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			procs = append(procs, p)
+			guards = append(guards, g)
+		}
+
+		done := make(chan struct{})
+		var sts []kernelsim.ExitStatus
+		var runErr error
+		go func() {
+			sts, runErr = k.RunParallel(procs, 80_000_000, 0)
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatalf("mode %v: pool overload deadlocked", mode)
+		}
+		if runErr != nil {
+			t.Fatalf("mode %v: %v", mode, runErr)
+		}
+
+		for i, st := range sts {
+			if attackIdx[i] && !st.Killed {
+				t.Errorf("mode %v: attack process %d not detected under overload: %v", mode, i, st)
+			}
+		}
+		ps := pool.Snapshot()
+		var guardChecks uint64
+		for _, g := range guards {
+			guardChecks += g.Stats.Checks
+		}
+		if guardChecks != ps.Checks+ps.Shed {
+			t.Errorf("mode %v: %d guard checks vs %d admitted + %d shed: checks dropped silently",
+				mode, guardChecks, ps.Checks, ps.Shed)
+		}
+		if ps.Shed == 0 {
+			t.Errorf("mode %v: saturated pool shed nothing; overload path untested", mode)
+		}
+		if mode == guard.SlowPathRetry && ps.Retried == 0 {
+			t.Errorf("slow-path-retry mode recorded no admission retries")
+		}
+		t.Logf("mode %v: admitted=%d shed=%d retried=%d guardChecks=%d", mode, ps.Checks, ps.Shed, ps.Retried, guardChecks)
+	}
+}
+
+func stallAlways() [faults.NumKinds]float64 {
+	var r [faults.NumKinds]float64
+	r[faults.Stall] = 1
+	return r
+}
+
+// TestChaosDecoderSoak is the cheap wide sweep: thousands of seeded
+// plans against the raw encode/decode pipeline (no kernel, no guard).
+// Decode errors are legal outcomes under corruption; panics are not.
+func TestChaosDecoderSoak(t *testing.T) {
+	n := int64(3000)
+	if testing.Short() {
+		n = 600
+	}
+	for seed := int64(0); seed < n; seed++ {
+		plan := faults.FromSeed(seed)
+		tr := ipt.NewTracer(ipt.NewToPA(4096, 4096))
+		if err := tr.WriteMSR(ipt.MSRRTITCtl, ctlTrace); err != nil {
+			t.Fatal(err)
+		}
+		tr.Fault = plan
+		for i := 0; i < 300; i++ {
+			addr := uint64(0x400000 + (seed*131+int64(i)*17)%8192*4)
+			tr.Branch(trace.Branch{Class: isa.CoFIIndirect, Source: addr, Target: addr, Taken: true})
+			if i%5 == 0 {
+				tr.Branch(trace.Branch{Class: isa.CoFICond, Source: addr, Target: addr + 4, Taken: i%2 == 0})
+			}
+		}
+		tr.Flush()
+		buf := tr.Out.Snapshot()
+		if evs, err := ipt.DecodeFast(buf); err == nil {
+			ipt.ExtractTIPs(evs)
+		}
+		d := ipt.NewWindowDecoder(0)
+		chunk := 1 + int(seed%97)
+		for lo := 0; lo < len(buf); lo += chunk {
+			hi := lo + chunk
+			if hi > len(buf) {
+				hi = len(buf)
+			}
+			if err := d.Feed(buf[lo:hi]); err != nil {
+				break // malformed: a legal outcome, not a panic
+			}
+		}
+	}
+}

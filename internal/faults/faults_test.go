@@ -1,0 +1,142 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestDeterminism: two plans from the same seed produce byte-identical
+// fault sequences over identical input sequences — the property that
+// makes a chaos-soak failure reproducible from its seed alone.
+func TestDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a, b := FromSeed(seed), FromSeed(seed)
+		if a.Config() != b.Config() {
+			t.Fatalf("seed %d: configs diverge: %+v vs %+v", seed, a.Config(), b.Config())
+		}
+		off := uint64(0)
+		for i := 0; i < 200; i++ {
+			in := bytes.Repeat([]byte{byte(i), 0x00, 0x02, 0x23}, 1+i%7)
+			ra := a.Corrupt(in, off)
+			rb := b.Corrupt(in, off)
+			if !bytes.Equal(ra, rb) {
+				t.Fatalf("seed %d write %d: outputs diverge (%d vs %d bytes)", seed, i, len(ra), len(rb))
+			}
+			if a.Stall() != b.Stall() {
+				t.Fatalf("seed %d write %d: stalls diverge", seed, i)
+			}
+			off += uint64(len(ra))
+		}
+		if a.Counts() != b.Counts() {
+			t.Fatalf("seed %d: counts diverge: %v vs %v", seed, a.Counts(), b.Counts())
+		}
+	}
+}
+
+// TestCallerSliceNeverMutated: Corrupt must copy before damaging — the
+// tracer passes its reusable scratch buffer.
+func TestCallerSliceNeverMutated(t *testing.T) {
+	var cfg Config
+	cfg.Seed = 7
+	for k := Kind(0); k < numKinds; k++ {
+		cfg.Rates[k] = 1 // every write faults with the first kind drawn
+	}
+	pl := New(cfg)
+	in := bytes.Repeat([]byte{0xA5}, 64)
+	want := append([]byte(nil), in...)
+	for i := 0; i < 500; i++ {
+		pl.Corrupt(in, uint64(i))
+		if !bytes.Equal(in, want) {
+			t.Fatalf("write %d mutated the caller's slice", i)
+		}
+	}
+	if pl.Total() == 0 {
+		t.Fatal("rate-1 plan injected nothing")
+	}
+}
+
+// TestDelayedBytesReleased: a Delay fault re-emits the held write before
+// the next one — bytes are reordered past an OVF marker, never lost
+// twice.
+func TestDelayedBytesReleased(t *testing.T) {
+	var cfg Config
+	cfg.Seed = 1
+	cfg.Rates[Delay] = 1
+	cfg.MaxFaults = 1
+	pl := New(cfg)
+	first := []byte{0x11, 0x22}
+	out1 := pl.Corrupt(first, 0)
+	if !bytes.Equal(out1, []byte{0x02, 0xF3}) {
+		t.Fatalf("delayed write emitted %x, want bare OVF marker", out1)
+	}
+	second := []byte{0x33}
+	out2 := pl.Corrupt(second, 2)
+	if !bytes.Equal(out2, []byte{0x11, 0x22, 0x33}) {
+		t.Fatalf("release write emitted %x, want held bytes then new", out2)
+	}
+}
+
+// TestMaxFaultsBudget: the injection budget is enforced.
+func TestMaxFaultsBudget(t *testing.T) {
+	var cfg Config
+	cfg.Seed = 3
+	cfg.Rates[Drop] = 1
+	cfg.MaxFaults = 4
+	pl := New(cfg)
+	in := []byte{0x00}
+	for i := 0; i < 100; i++ {
+		pl.Corrupt(in, uint64(i))
+	}
+	if got := pl.Total(); got != 4 {
+		t.Fatalf("injected %d faults, budget was 4", got)
+	}
+}
+
+// TestStallOnlyFromStallHook: Stall never fires on the write path and
+// stream kinds never fire on the stall path.
+func TestStallOnlyFromStallHook(t *testing.T) {
+	var cfg Config
+	cfg.Seed = 5
+	cfg.Rates[Stall] = 1
+	cfg.StallFor = time.Millisecond
+	pl := New(cfg)
+	in := []byte{0x00, 0x00}
+	for i := 0; i < 50; i++ {
+		out := pl.Corrupt(in, uint64(i))
+		if !bytes.Equal(out, in) {
+			t.Fatalf("stall-only plan altered write %d: %x", i, out)
+		}
+	}
+	if d := pl.Stall(); d != time.Millisecond {
+		t.Fatalf("Stall() = %v, want configured 1ms", d)
+	}
+	c := pl.Counts()
+	if c[Stall] != 1 || pl.Total() != 1 {
+		t.Fatalf("counts = %v, want exactly one stall", c)
+	}
+}
+
+// TestFromSeedActivatesSomething: every derived plan has at least one
+// active kind, and the seed space covers all kinds.
+func TestFromSeedActivatesSomething(t *testing.T) {
+	var seen [numKinds]bool
+	for seed := int64(0); seed < 500; seed++ {
+		pl := FromSeed(seed)
+		any := false
+		for k := Kind(0); k < numKinds; k++ {
+			if pl.Active(k) {
+				any = true
+				seen[k] = true
+			}
+		}
+		if !any {
+			t.Fatalf("seed %d derived an empty plan", seed)
+		}
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if !seen[k] {
+			t.Errorf("kind %v never activated across 500 seeds", k)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package guard_test
+
+// End-to-end degraded-mode tests: the real vulnerable server under full
+// protection, with targeted write faults injected into its trace
+// stream. Each test pins one cell of the policy contract — what happens
+// to benign and hijacked executions when trace is lost or corrupted
+// under each OnDegraded setting.
+
+import (
+	"strings"
+	"testing"
+
+	"flowguard/internal/apps"
+	"flowguard/internal/attack"
+	"flowguard/internal/guard"
+	"flowguard/internal/kernelsim"
+	"flowguard/internal/trace/ipt"
+)
+
+// nthWriteFault replaces or damages the payload of the Nth tracer
+// write, counting from 1.
+type nthWriteFault struct {
+	n    int
+	mode string // "drop" or "corrupt"
+	seen int
+}
+
+func (f *nthWriteFault) Corrupt(p []byte, off uint64) []byte {
+	f.seen++
+	if f.seen != f.n {
+		return p
+	}
+	switch f.mode {
+	case "drop": // lost output: in-band OVF marker, as the hardware leaves
+		return []byte{0x02, 0xF3}
+	default: // corrupt: garbage that violates the packet grammar
+		return append(append([]byte(nil), p...), 0x02, 0xFF)
+	}
+}
+
+// protectAndRunFault is protectAndRun with a write fault wired into the
+// tracer before the workload executes. psbPeriod != 0 overrides the
+// tracer's sync-point period: recovery semantics hinge on whether a PSB
+// lands between the damage and the next endpoint check.
+func (a *analyzed) protectAndRunFault(t *testing.T, input []byte, pol guard.Policy, fault ipt.WriteFault, psbPeriod int) (kernelsim.ExitStatus, *guard.KernelModule, *guard.Guard) {
+	t.Helper()
+	k := kernelsim.New()
+	p, err := a.app.Spawn(k, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	km := guard.InstallModule(k)
+	g, err := km.Protect(p, a.ocfg, a.ig, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Tracer.Fault = fault
+	if psbPeriod != 0 {
+		g.Tracer.PSBPeriod = psbPeriod
+	}
+	st, err := k.Run(p, 80_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, km, g
+}
+
+func TestFailClosedKillsOnTraceLoss(t *testing.T) {
+	a := analyze(t, apps.Vulnd())
+	a.train(t, benignTraffic())
+	pol := guard.DefaultPolicy() // zero-value OnDegraded is FailClosed
+	st, km, g := a.protectAndRunFault(t, benignTraffic(), pol, &nthWriteFault{n: 20, mode: "drop"}, 0)
+	if !st.Killed || st.Signal != kernelsim.SIGKILL {
+		t.Fatalf("benign run with trace loss under fail-closed: %v, want SIGKILL", st)
+	}
+	if len(km.Reports) == 0 || !strings.Contains(km.Reports[0].Reason, "degraded") {
+		t.Fatalf("reports = %v, want a degraded-trace violation", km.Reports)
+	}
+	if g.Stats.Overflows == 0 || g.Stats.FailClosures == 0 {
+		t.Fatalf("stats = %+v, want overflow seen and fail-closure counted", g.Stats)
+	}
+}
+
+func TestFailOpenSurvivesTraceLoss(t *testing.T) {
+	a := analyze(t, apps.Vulnd())
+	a.train(t, benignTraffic())
+	pol := guard.DefaultPolicy()
+	pol.OnDegraded = guard.FailOpen
+	st, km, g := a.protectAndRunFault(t, benignTraffic(), pol, &nthWriteFault{n: 20, mode: "drop"}, 0)
+	if !st.Exited {
+		t.Fatalf("benign run with trace loss under fail-open: %v, want clean exit; reports %v", st, km.Reports)
+	}
+	if len(km.Reports) != 0 {
+		t.Fatalf("false positives under fail-open: %v", km.Reports)
+	}
+	if g.Stats.FailOpens == 0 || g.Stats.DegradedChecks == 0 {
+		t.Fatalf("stats = %+v, want the unverified pass counted", g.Stats)
+	}
+}
+
+// TestFailOpenLossWindowSemantics pins both halves of the fail-open
+// contract against a real exploit. Trace lost shortly before the attack
+// and never resynchronized (the default 2048-byte PSB period exceeds
+// the remaining trace) is the explicit fail-open blind window: the
+// attack escapes — the documented price of choosing availability. With
+// frequent sync points the same loss resynchronizes before the exploit,
+// the attack's own records decode cleanly, and detection still fires
+// despite the fail-open policy.
+func TestFailOpenLossWindowSemantics(t *testing.T) {
+	a := analyze(t, apps.Vulnd())
+	a.train(t, benignTraffic())
+	as, _ := a.app.Load()
+	payload, err := attack.BuildROPWrite(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := guard.DefaultPolicy()
+	pol.OnDegraded = guard.FailOpen
+
+	t.Run("unresynced loss is the blind window", func(t *testing.T) {
+		st, km, g := a.protectAndRunFault(t, payload, pol, &nthWriteFault{n: 20, mode: "drop"}, 0)
+		if st.Killed {
+			t.Fatalf("run: %v — the blind window closed; this test's premise changed", st)
+		}
+		if g.Stats.FailOpens == 0 {
+			t.Fatalf("stats = %+v, want the escape counted as fail-opens", g.Stats)
+		}
+		if len(km.Reports) != 0 {
+			t.Fatalf("reports = %v in the blind window", km.Reports)
+		}
+	})
+	t.Run("resynced loss still detects", func(t *testing.T) {
+		st, km, _ := a.protectAndRunFault(t, payload, pol, &nthWriteFault{n: 20, mode: "drop"}, 256)
+		if !st.Killed {
+			t.Fatalf("ROP after resynchronized loss under fail-open: %v, want SIGKILL", st)
+		}
+		if len(km.Reports) == 0 {
+			t.Fatal("no violation report")
+		}
+	})
+}
+
+func TestSlowPathRetryRecoversFromCorruption(t *testing.T) {
+	a := analyze(t, apps.Vulnd())
+	a.train(t, benignTraffic())
+	pol := guard.DefaultPolicy()
+	pol.OnDegraded = guard.SlowPathRetry
+	// Frequent sync points give the recovery loop a decode origin past
+	// the corruption before the next endpoint check.
+	st, km, g := a.protectAndRunFault(t, benignTraffic(), pol, &nthWriteFault{n: 20, mode: "corrupt"}, 256)
+	if !st.Exited {
+		t.Fatalf("benign run with early corruption under slow-path-retry: %v, want recovery and clean exit; reports %v",
+			st, km.Reports)
+	}
+	if len(km.Reports) != 0 {
+		t.Fatalf("false positives: %v", km.Reports)
+	}
+	if g.Stats.Malformed == 0 {
+		t.Fatalf("stats = %+v, want the corruption observed", g.Stats)
+	}
+	if g.Stats.Retries == 0 {
+		t.Fatalf("stats = %+v, want recovery retries counted", g.Stats)
+	}
+}
+
+func TestSlowPathRetryStillDetectsAttackAfterLoss(t *testing.T) {
+	a := analyze(t, apps.Vulnd())
+	a.train(t, benignTraffic())
+	as, _ := a.app.Load()
+	payload, err := attack.BuildROPWrite(as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := guard.DefaultPolicy()
+	pol.OnDegraded = guard.SlowPathRetry
+	st, km, _ := a.protectAndRunFault(t, payload, pol, &nthWriteFault{n: 20, mode: "drop"}, 0)
+	if !st.Killed {
+		t.Fatalf("ROP with early trace loss under slow-path-retry: %v, want SIGKILL", st)
+	}
+	if len(km.Reports) == 0 {
+		t.Fatal("no violation report")
+	}
+}

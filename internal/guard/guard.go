@@ -95,6 +95,14 @@ type Policy struct {
 	// prohibitively slow on the fly"). Exists for the ablation that
 	// quantifies the ITC-CFG fast path's contribution.
 	NaiveFullDecode bool
+	// OnDegraded selects the fail behavior when the trace window cannot
+	// be verified — overflow, gap, grammar-level corruption — or when an
+	// overloaded CheckPool sheds the check (§7.1.2 worst cases). The
+	// zero value FailClosed treats unverifiable as a violation.
+	OnDegraded DegradedMode
+	// RetryMax bounds SlowPathRetry recovery attempts per check
+	// (0 = DefaultRetryMax).
+	RetryMax int
 }
 
 // DefaultEndpoints is the PathArmor-like sensitive-syscall set the paper
@@ -148,6 +156,14 @@ type Result struct {
 	LowCredit int
 	// UsedSlowPath reports the slow path ran.
 	UsedSlowPath bool
+	// Health classifies the trace window the check ran over.
+	Health TraceHealth
+	// Degraded reports the verdict was resolved under Policy.OnDegraded
+	// (damaged window or shed pooled check) rather than by a clean
+	// hybrid check.
+	Degraded bool
+	// Retries is the number of SlowPathRetry recovery attempts consumed.
+	Retries int
 	// DecodeCycles is the fast packet-scan cost; CheckCycles the graph
 	// search and credit assessment; OtherCycles the interception
 	// bookkeeping; SlowCycles the instruction-flow decode and precise
@@ -173,6 +189,17 @@ type Stats struct {
 	SlowCycles   uint64 // instruction-flow decoding + precise checks
 	BytesScanned uint64
 	CacheHits    uint64
+
+	// Degraded-mode accounting (§7.1.2 worst cases).
+	Resyncs        uint64 // window cache rebuilt after a wrap outran it
+	Overflows      uint64 // OVF packets decoded: trace bytes lost upstream
+	Gaps           uint64 // checks over a wrapped buffer holding no sync point
+	Malformed      uint64 // windows rejected for grammar-level corruption
+	DegradedChecks uint64 // checks resolved under Policy.OnDegraded
+	FailOpens      uint64 // degraded checks passed open (unverified)
+	FailClosures   uint64 // degraded checks failed closed
+	Retries        uint64 // SlowPathRetry recovery attempts
+	Shed           uint64 // checks shed by an overloaded CheckPool
 }
 
 // FastCycles returns the accumulated fast-path cost (decode + check).
@@ -194,6 +221,15 @@ func (s *Stats) Merge(o *Stats) {
 	s.SlowCycles += o.SlowCycles
 	s.BytesScanned += o.BytesScanned
 	s.CacheHits += o.CacheHits
+	s.Resyncs += o.Resyncs
+	s.Overflows += o.Overflows
+	s.Gaps += o.Gaps
+	s.Malformed += o.Malformed
+	s.DegradedChecks += o.DegradedChecks
+	s.FailOpens += o.FailOpens
+	s.FailClosures += o.FailClosures
+	s.Retries += o.Retries
+	s.Shed += o.Shed
 }
 
 // CredRatioRuntime returns the runtime fraction of credible edges
@@ -223,6 +259,16 @@ type winState struct {
 	base  uint64 // absolute stream offset of buf[0]
 	buf   []byte
 	dec   ipt.WindowDecoder
+	// prevOVF is the decoder's OVF count at the previous check; the
+	// delta classifies overflow between checks.
+	prevOVF int
+	// wrapLoss marks the current check as following an unmarked loss:
+	// either a wrap outran the cache (trace between the previous check
+	// and the resident window evicted unchecked) or the unwrapped
+	// stream's prefix was damaged and skipped unattributed. No OVF
+	// packet marks these, so the health classification and the
+	// SlowPathRetry tail rule consume this flag instead.
+	wrapLoss bool
 }
 
 // modScratch tracks module membership of a TIP window without per-check
@@ -320,25 +366,42 @@ func (g *Guard) InvalidateWindow() {
 // bytes appended since the previous check are copied out of the ToPA and
 // fast-decoded; the decoded TIP tail and sync points are retained. It
 // also returns the window region so a slow-path re-check decodes the
-// same bounded span, and the number of newly scanned bytes for the cost
-// model.
-func (g *Guard) window() (tips []ipt.TIPRecord, region []byte, scanned uint64, err error) {
+// same bounded span, the number of newly scanned bytes for the cost
+// model, and the trace-health classification Policy.OnDegraded responds
+// to: overflow since the last check (or an unresynchronized overflow at
+// the tail) is HealthResynced, a wrapped buffer with no resident sync
+// point is HealthGap, and grammar-level corruption is HealthMalformed
+// alongside the error. On a decode error the window cache is dropped —
+// the decoder state is unusable — so a later check restarts from a
+// fresh snapshot.
+func (g *Guard) window() (tips []ipt.TIPRecord, region []byte, scanned uint64, health TraceHealth, err error) {
 	g.Tracer.Flush()
 	topa := g.Tracer.Out
 	w := &g.win
 	total := topa.TotalWritten()
+	w.wrapLoss = false
 	fresh := w.src != topa || total < w.total
 	if !fresh && total > w.total {
 		old := len(w.buf)
 		nb, ok := topa.AppendSince(w.buf, w.total)
 		if !ok {
-			fresh = true // the buffer wrapped past our tail: resync
+			// The buffer wrapped past our tail: the span between the
+			// previous check and the resident window was evicted without
+			// ever being checked — the §7.1.2 worst case. Resync from a
+			// snapshot, and classify this check as degraded below (a
+			// first check over an already-wrapped buffer is NOT a loss:
+			// no coverage was promised before tracking began).
+			fresh = true
+			w.wrapLoss = true
+			g.Stats.Resyncs++
 		} else {
 			w.buf = nb
 			scanned = total - w.total
 			w.total = total
-			if err := w.dec.Feed(w.buf[old:]); err != nil {
-				return nil, nil, scanned, fmt.Errorf("guard: fast decode: %w", err)
+			if ferr := w.dec.Feed(w.buf[old:]); ferr != nil {
+				w.src = nil
+				g.Stats.Malformed++
+				return nil, nil, scanned, HealthMalformed, fmt.Errorf("guard: fast decode: %w", ferr)
 			}
 		}
 	}
@@ -347,9 +410,12 @@ func (g *Guard) window() (tips []ipt.TIPRecord, region []byte, scanned uint64, e
 		w.buf = topa.SnapshotInto(w.buf[:0])
 		w.base = total - uint64(len(w.buf))
 		w.dec.Reset(int(w.base))
+		w.prevOVF = 0
 		scanned = uint64(len(w.buf))
-		if err := w.dec.Feed(w.buf); err != nil {
-			return nil, nil, scanned, fmt.Errorf("guard: fast decode: %w", err)
+		if ferr := w.dec.Feed(w.buf); ferr != nil {
+			w.src = nil
+			g.Stats.Malformed++
+			return nil, nil, scanned, HealthMalformed, fmt.Errorf("guard: fast decode: %w", ferr)
 		}
 	}
 	// Forget history the ToPA itself no longer holds: the checker must
@@ -360,19 +426,54 @@ func (g *Guard) window() (tips []ipt.TIPRecord, region []byte, scanned uint64, e
 		w.base = lo
 		w.dec.DropBefore(int(lo))
 	}
+	// Trace-health classification (§7.1.2): new OVF packets mean bytes
+	// were lost since the last check; an overflow whose resynchronizing
+	// PSB has not arrived yet leaves the stream tail unvouched-for.
+	if d := w.dec.OVFTotal() - w.prevOVF; d > 0 {
+		g.Stats.Overflows += uint64(d)
+		w.prevOVF = w.dec.OVFTotal()
+		health = HealthResynced
+	} else if w.dec.OVFTotal() > 0 && !w.dec.Synced() {
+		health = HealthResynced
+	} else if w.wrapLoss {
+		// Checked coverage has a hole even though the resident stream
+		// decodes cleanly: wrap loss is overflow loss without the
+		// courtesy of an OVF marker.
+		health = HealthResynced
+	}
 	pts := w.dec.SyncPoints()
 	if len(pts) == 0 {
-		return nil, nil, scanned, nil // nothing traced yet
+		if topa.Held() > 0 {
+			// Trace exists but not one resident byte can be attributed.
+			// Wrapped: everything postdates the last sync point the
+			// buffer ever held (a PAD flood lands here). Unwrapped: a
+			// clean stream always opens with a PSB, so the sync points
+			// themselves were destroyed. Either way, reading this as
+			// "nothing traced" would pass an unverifiable window clean.
+			g.Stats.Gaps++
+			return nil, nil, scanned, HealthGap, nil
+		}
+		return nil, nil, scanned, health, nil // nothing traced yet
+	}
+	if !topa.Wrapped() && pts[0] > int(w.base) {
+		// The stream does not open with a sync point even though nothing
+		// wrapped away: the prefix was damaged and skipped unattributed.
+		// Unmarked loss, like a wrap past the cache — the tail rule must
+		// demand a full-strength window past the skip.
+		w.wrapLoss = true
+		if health == HealthClean {
+			health = HealthResynced
+		}
 	}
 	all := w.dec.Tips()
 	for k := len(pts) - 1; k >= 0; k-- {
 		sub := ipt.TipsFrom(all, pts[k])
 		if (len(sub) >= g.Policy.PktCount && g.strideOK(sub)) || k == 0 {
 			// k == 0: whole retained buffer, best effort.
-			return g.trim(sub), w.buf[uint64(pts[k])-w.base:], scanned, nil
+			return g.trim(sub), w.buf[uint64(pts[k])-w.base:], scanned, health, nil
 		}
 	}
-	return nil, nil, scanned, nil
+	return nil, nil, scanned, health, nil
 }
 
 // trim keeps the window tail: at least PktCount records, extended
@@ -414,44 +515,52 @@ func (g *Guard) strideOK(tips []ipt.TIPRecord) bool {
 
 // Check runs the hybrid flow check: fast path always, slow path when the
 // fast path finds the window suspicious. It is the routine the kernel
-// module invokes at every intercepted endpoint (§5.2 step 5).
+// module invokes at every intercepted endpoint (§5.2 step 5). A window
+// that is not HealthClean — overflowed, gapped, or corrupt — is resolved
+// under Policy.OnDegraded instead of the normal hybrid path.
 func (g *Guard) Check() Result {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.inCheck = true
 	defer func() { g.inCheck = false }()
 	g.Stats.Checks++
-	tips, region, scanned, err := g.window()
-	res := Result{TIPs: len(tips), OtherCycles: CyclesPerInterception}
+	tips, region, scanned, health, err := g.window()
+	res := Result{TIPs: len(tips), Health: health, OtherCycles: CyclesPerInterception}
 	res.DecodeCycles = uint64(float64(scanned) * g.fastDecodeCost())
 	g.Stats.BytesScanned += scanned
-	if err != nil {
-		// An undecodable trace stream is treated as a violation: packet
-		// corruption cannot occur under legitimate execution.
-		res.Verdict = VerdictViolation
-		res.Reason = err.Error()
-		g.finish(&res)
-		return res
+	if err != nil || health != HealthClean {
+		g.resolveDegraded(&res, tips, region, err)
+	} else if len(tips) >= 2 {
+		g.runChecks(&res, tips, region, g.Policy.NaiveFullDecode)
 	}
-	if len(tips) < 2 {
-		g.finish(&res)
-		return res
+	g.finish(&res)
+	return res
+}
+
+// runChecks applies the hybrid verification to one TIP window: the
+// ITC-CFG fast loop with credit assessment, then the slow path when the
+// window is suspicious (or unconditionally when forceSlow is set — the
+// NaiveFullDecode ablation and degraded-mode full-precision re-checks).
+// TIP pairs straddling an overflow seam (TIPRecord.Resync) were never
+// adjacent in the real flow and are skipped rather than misjudged.
+func (g *Guard) runChecks(res *Result, tips []ipt.TIPRecord, region []byte, forceSlow bool) {
+	if forceSlow {
+		g.slowPath(res, tips, region)
+		return
 	}
 
-	if g.Policy.NaiveFullDecode {
-		// Ablation: no fast filtering, straight to full decoding.
-		g.slowPath(&res, tips, region)
-		g.finish(&res)
-		return res
-	}
-
-	res.CheckCycles = uint64(len(tips)) * CyclesPerTIPCheck
+	res.CheckCycles += uint64(len(tips)) * CyclesPerTIPCheck
 	minCount := g.Policy.CredMinCount
 	if minCount == 0 {
 		minCount = 1
 	}
 	suspicious := 0
+	checked := 0
 	for i := 0; i+1 < len(tips); i++ {
+		if tips[i+1].Resync {
+			continue // overflow seam: not a real consecutive pair
+		}
+		checked++
 		src, dst, sig := tips[i].IP, tips[i+1].IP, tips[i+1].TNTSig
 		if minCount <= 1 {
 			// The separate high-credit cache holds count >= 1 edges, so
@@ -469,8 +578,7 @@ func (g *Guard) Check() Result {
 			res.Verdict = VerdictViolation
 			res.Reason = fmt.Sprintf("ITC-CFG edge mismatch: %s -> %s",
 				g.AS.SymbolFor(src), g.AS.SymbolFor(dst))
-			g.finish(&res)
-			return res
+			return
 		}
 		if l.HighCredit && l.SigMatch && l.Count >= minCount {
 			g.Stats.HighEdges++
@@ -489,6 +597,9 @@ func (g *Guard) Check() Result {
 	if g.Policy.PathSensitive {
 		res.CheckCycles += uint64(len(tips)) * CyclesPerTIPCheck / 2
 		for i := 0; i+2 < len(tips); i++ {
+			if tips[i+1].Resync || tips[i+2].Resync {
+				continue
+			}
 			a, b, c := tips[i].IP, tips[i+1].IP, tips[i+2].IP
 			if g.ITC.PathTrained(a, b, c) || g.appr.ApprovedPath(itc.PathKey(a, b, c)) {
 				continue
@@ -501,12 +612,9 @@ func (g *Guard) Check() Result {
 
 	// Credibility assessment (§7.1.1): with CredRatio = 1 any suspicious
 	// edge forwards the window to the slow path.
-	checked := len(tips) - 1
 	if float64(checked-suspicious) < g.Policy.CredRatio*float64(checked) {
-		g.slowPath(&res, tips, region)
+		g.slowPath(res, tips, region)
 	}
-	g.finish(&res)
-	return res
 }
 
 func (g *Guard) fastDecodeCost() float64 {

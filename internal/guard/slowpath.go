@@ -37,9 +37,17 @@ func (g *Guard) slowPath(res *Result, tips []ipt.TIPRecord, region []byte) {
 
 	// Shadow stack over the reconstructed window. The window may begin
 	// mid-execution, so returns that underflow the window-local stack
-	// fall back to the O-CFG return-matching check only.
+	// fall back to the O-CFG return-matching check only. At each
+	// overflow-resynchronization seam the walk restarted from a PSB with
+	// an unknown call depth, so the stack is cleared: popping frames
+	// pushed before the seam would fault legitimate returns.
 	var shadow []uint64
-	for _, b := range ft.Flow {
+	nextResync := 0
+	for fi, b := range ft.Flow {
+		for nextResync < len(ft.ResyncPoints) && ft.ResyncPoints[nextResync] <= fi {
+			shadow = shadow[:0]
+			nextResync++
+		}
 		if !g.OCFG.ContainsEdge(b.Source, b.Target, b.Class) {
 			res.Verdict = VerdictViolation
 			res.Reason = fmt.Sprintf("slow path: O-CFG mismatch: %v %s -> %s",
@@ -74,14 +82,18 @@ func (g *Guard) slowPath(res *Result, tips []ipt.TIPRecord, region []byte) {
 
 	// No attack: remember the suspicious edges (and, in path-sensitive
 	// mode, the edge pairs) so later fast paths pass them without
-	// re-decoding.
+	// re-decoding. Pairs straddling an overflow seam are not real edges
+	// and must not be cached as approved.
 	for i := 0; i+1 < len(tips); i++ {
+		if tips[i+1].Resync {
+			continue
+		}
 		src, dst, sig := tips[i].IP, tips[i+1].IP, tips[i+1].TNTSig
 		l := g.ITC.Lookup(src, dst, sig)
 		if l.Exists && !(l.HighCredit && l.SigMatch) {
 			g.appr.ApproveEdge(edgeKey{src, dst, sig})
 		}
-		if g.Policy.PathSensitive && i+2 < len(tips) {
+		if g.Policy.PathSensitive && i+2 < len(tips) && !tips[i+2].Resync {
 			g.appr.ApprovePath(itc.PathKey(src, dst, tips[i+2].IP))
 		}
 	}

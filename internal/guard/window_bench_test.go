@@ -37,7 +37,7 @@ func BenchmarkIncrementalWindow(b *testing.B) {
 			if invalidate {
 				f.g.InvalidateWindow()
 			}
-			if _, _, _, err := f.g.window(); err != nil {
+			if _, _, _, _, err := f.g.window(); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -75,7 +75,7 @@ func (w *windowFixture) emitTIP(addr uint64) {
 
 func tipsOf(t *testing.T, g *Guard) []ipt.TIPRecord {
 	t.Helper()
-	tips, _, _, err := g.window()
+	tips, _, _, _, err := g.window()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,13 +168,13 @@ func TestIncrementalWindowMatchesFullRescan(t *testing.T) {
 				}
 				f.emitTIP(addr)
 			}
-			inc, incRegion, scanned, err := f.g.window()
+			inc, incRegion, scanned, _, err := f.g.window()
 			if err != nil {
 				t.Fatalf("wrap=%v round %d: %v", wrap, round, err)
 			}
 			scannedSum += scanned
 			full.InvalidateWindow()
-			ref, refRegion, _, err := full.window()
+			ref, refRegion, _, _, err := full.window()
 			if err != nil {
 				t.Fatalf("wrap=%v round %d (rescan): %v", wrap, round, err)
 			}
@@ -194,6 +194,82 @@ func TestIncrementalWindowMatchesFullRescan(t *testing.T) {
 		if wrap && scannedSum > f.tr.Out.TotalWritten() {
 			t.Fatalf("incremental path scanned %d bytes of a %d-byte stream", scannedSum, f.tr.Out.TotalWritten())
 		}
+	}
+}
+
+// TestWrapPastWindowResyncs: when the producer wraps the ToPA past the
+// incremental cache's tail, AppendSince can no longer serve the delta
+// and the guard must resynchronize from a fresh snapshot. The resync is
+// counted in Stats.Resyncs and classified HealthResynced — the span
+// between the checks was evicted unchecked, which is overflow loss
+// without an OVF marker — while a first check over an already-wrapped
+// buffer stays clean (no coverage was promised before tracking began).
+// The resynced check selects the same window a from-scratch guard
+// selects, and the cache then resumes amortizing with clean health. An
+// explicit InvalidateWindow also forces a rescan but is not a resync.
+func TestWrapPastWindowResyncs(t *testing.T) {
+	pol := DefaultPolicy()
+	pol.PktCount = 8
+	pol.RequireModuleStride = false
+	f := newWindowFixture(t, pol)
+	f.tr.Out = ipt.NewToPA(2048, 2048)
+
+	// Prime the incremental cache.
+	for i := 0; i < 50; i++ {
+		f.emitTIP(f.exec)
+	}
+	tipsOf(t, f.g)
+	if f.g.Stats.Resyncs != 0 {
+		t.Fatalf("Resyncs = %d before any wrap", f.g.Stats.Resyncs)
+	}
+
+	// Outrun the cache: more new bytes than the whole buffer holds.
+	for i := 0; i < 6000; i++ {
+		f.emitTIP(f.exec)
+	}
+	inc, incRegion, _, health, err := f.g.window()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.g.Stats.Resyncs != 1 {
+		t.Fatalf("Resyncs = %d after wrap outran the cache, want 1", f.g.Stats.Resyncs)
+	}
+	if health != HealthResynced {
+		t.Fatalf("health = %v; wrap past unchecked trace must classify as resynced", health)
+	}
+	if len(inc) != 8 {
+		t.Fatalf("post-resync window = %d TIPs, want pkt_count 8", len(inc))
+	}
+	ref := New(f.as, nil, nil, f.tr, pol)
+	refTips, refRegion, _, refHealth, err := ref.window()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refHealth != HealthClean {
+		t.Fatalf("fresh guard's first check over a wrapped buffer = %v, want clean", refHealth)
+	}
+	if !reflect.DeepEqual(inc, refTips) || !bytes.Equal(incRegion, refRegion) {
+		t.Fatalf("resynced window (%d TIPs, %d-byte region) diverges from a fresh guard's (%d TIPs, %d bytes)",
+			len(inc), len(incRegion), len(refTips), len(refRegion))
+	}
+
+	// Small appends amortize again: no further resync, health clean.
+	for i := 0; i < 5; i++ {
+		f.emitTIP(f.exec)
+	}
+	if _, _, _, health, err := f.g.window(); err != nil || health != HealthClean {
+		t.Fatalf("after a servable delta: health %v, err %v", health, err)
+	}
+	if f.g.Stats.Resyncs != 1 {
+		t.Fatalf("Resyncs = %d after a servable delta, want still 1", f.g.Stats.Resyncs)
+	}
+
+	// Explicit invalidation rescans without counting as a resync: only
+	// an AppendSince failure is the wrap-outran-us event.
+	f.g.InvalidateWindow()
+	tipsOf(t, f.g)
+	if f.g.Stats.Resyncs != 1 {
+		t.Fatalf("Resyncs = %d after InvalidateWindow, want still 1", f.g.Stats.Resyncs)
 	}
 }
 

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+
+	"flowguard/internal/apps"
+	"flowguard/internal/attack"
+	"flowguard/internal/faults"
+	"flowguard/internal/guard"
+	"flowguard/internal/kernelsim"
+)
+
+// ChaosRow aggregates one degraded-mode policy's slice of a seeded
+// fault-injection sweep over the vulnerable server: how many hijacked
+// runs the guard still killed, how many benign runs survived, and the
+// degraded-check accounting behind those verdicts (the §7.1.2 worst
+// cases: trace loss, buffer gaps, corruption).
+type ChaosRow struct {
+	Mode guard.DegradedMode
+	Runs int
+	// Attacks / Detected count hijacked runs and their kills; Benign /
+	// Survived the clean-traffic runs that exited normally.
+	Attacks, Detected int
+	Benign, Survived  int
+	// Faults is the number of injected trace faults across the slice.
+	Faults uint64
+	// The summed guard counters behind the verdicts.
+	Degraded, Overflows, Malformed, Gaps uint64
+	Retries, FailOpens, FailClosures     uint64
+}
+
+func (c ChaosRow) String() string {
+	return fmt.Sprintf("%-15s runs=%-4d attacks=%2d/%-2d benign-ok=%2d/%-2d faults=%-4d degraded=%-4d ovf=%-3d bad=%-3d gap=%-2d retries=%-3d open=%-3d closed=%d",
+		c.Mode, c.Runs, c.Detected, c.Attacks, c.Survived, c.Benign,
+		c.Faults, c.Degraded, c.Overflows, c.Malformed, c.Gaps,
+		c.Retries, c.FailOpens, c.FailClosures)
+}
+
+// Chaos sweeps n seeded fault plans across the three degraded-mode
+// policies (seed i runs under mode i%3, with every other run carrying a
+// real exploit payload — the periods are coprime-ish by design so every
+// mode sees both workload classes, mirroring the chaos soak in
+// internal/faults).
+// It reports per-mode aggregates; an attack a non-fail-open mode let
+// through is an error — the security half of the degraded-mode
+// contract, enforced here just as in the tests.
+func (r *Runner) Chaos(n int) ([]ChaosRow, error) {
+	a := apps.Vulnd()
+	an, err := r.Analyze(a)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Train(an); err != nil {
+		return nil, err
+	}
+	as, err := a.Load()
+	if err != nil {
+		return nil, err
+	}
+	rop, err := attack.BuildROPWrite(as)
+	if err != nil {
+		return nil, err
+	}
+	srop, err := attack.BuildSROP(as)
+	if err != nil {
+		return nil, err
+	}
+	benign := a.MakeInput(r.Scale, r.Seed)
+
+	modes := []guard.DegradedMode{guard.FailClosed, guard.SlowPathRetry, guard.FailOpen}
+	rows := make([]ChaosRow, len(modes))
+	for i := range rows {
+		rows[i].Mode = modes[i]
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		mi := int(seed % int64(len(modes)))
+		mode := modes[mi]
+		isAttack := seed%2 == 1
+		input := benign
+		if isAttack {
+			if (seed/2)%2 == 0 {
+				input = rop
+			} else {
+				input = srop
+			}
+		}
+
+		k := kernelsim.New()
+		p, err := a.Spawn(k, input)
+		if err != nil {
+			return nil, err
+		}
+		km := guard.InstallModule(k)
+		pol := r.policy()
+		pol.OnDegraded = mode
+		g, err := km.Protect(p, an.OCFG, an.ITC, pol)
+		if err != nil {
+			return nil, err
+		}
+		plan := faults.FromSeed(seed)
+		g.Tracer.Fault = plan
+		st, err := k.Run(p, 500_000_000)
+		if err != nil {
+			return nil, err
+		}
+
+		row := &rows[mi]
+		row.Runs++
+		row.Faults += plan.Total()
+		if isAttack {
+			row.Attacks++
+			if st.Killed {
+				row.Detected++
+			} else if mode != guard.FailOpen {
+				return nil, fmt.Errorf("harness: chaos seed %d mode %v: attack not detected (plan %+v)",
+					seed, mode, plan.Config())
+			}
+		} else {
+			row.Benign++
+			if st.Exited {
+				row.Survived++
+			}
+		}
+		row.Degraded += g.Stats.DegradedChecks
+		row.Overflows += g.Stats.Overflows
+		row.Malformed += g.Stats.Malformed
+		row.Gaps += g.Stats.Gaps
+		row.Retries += g.Stats.Retries
+		row.FailOpens += g.Stats.FailOpens
+		row.FailClosures += g.Stats.FailClosures
+	}
+	return rows, nil
+}

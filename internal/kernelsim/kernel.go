@@ -74,6 +74,24 @@ var (
 // and stops the process (FlowGuard returns ErrKilled after SIGKILL).
 type Interceptor func(p *Process, sysno uint64) error
 
+// InterceptError reports an interceptor that failed for a reason other
+// than the sentinel kill/exit outcomes — the checker itself broke, not
+// the checked process. The kernel records it (InterceptErrors) and the
+// affected process is stopped fail-closed with SIGKILL; the scheduler
+// keeps running the other processes instead of aborting the whole run.
+type InterceptError struct {
+	PID   int
+	Sysno uint64
+	Err   error
+}
+
+func (e *InterceptError) Error() string {
+	return fmt.Sprintf("kernelsim: intercepting %s for pid %d: %v",
+		SyscallName(e.Sysno), e.PID, e.Err)
+}
+
+func (e *InterceptError) Unwrap() error { return e.Err }
+
 // ExecveRecord logs an execve attempt (the classic attacker goal).
 type ExecveRecord struct {
 	Path string
@@ -142,6 +160,10 @@ type Kernel struct {
 	// SyscallCount counts dispatched syscalls (diagnostics; updated
 	// atomically, read it after the run).
 	SyscallCount uint64
+	// errMu guards interceptErrs against concurrent syscall dispatch.
+	errMu sync.Mutex
+	// interceptErrs records interceptor failures (see InterceptError).
+	interceptErrs []*InterceptError
 	// OnSwitch, if set, runs at every context switch of RunInterleaved
 	// with the process about to execute — where the kernel reprograms
 	// the per-core trace unit's CR3 state (paper §5.1/§6).
@@ -167,6 +189,17 @@ func (k *Kernel) Intercept(sysno uint64, h Interceptor) { k.intercep[sysno] = h 
 // Uninstall removes the interceptor for a syscall-table entry, restoring
 // the original handler.
 func (k *Kernel) Uninstall(sysno uint64) { delete(k.intercep, sysno) }
+
+// InterceptErrors returns the interceptor failures recorded so far, in
+// dispatch order. Each corresponds to one process stopped fail-closed
+// because its checker errored rather than returning a verdict.
+func (k *Kernel) InterceptErrors() []*InterceptError {
+	k.errMu.Lock()
+	defer k.errMu.Unlock()
+	out := make([]*InterceptError, len(k.interceptErrs))
+	copy(out, k.interceptErrs)
+	return out
+}
 
 // FileContents returns the contents of an in-memory file.
 func (k *Kernel) FileContents(name string) ([]byte, bool) {
@@ -251,6 +284,13 @@ func (k *Kernel) classify(p *Process, err error) (ExitStatus, error) {
 		if errors.As(err, &f) {
 			k.Kill(p, SIGSEGV)
 			return ExitStatus{Killed: true, Signal: SIGSEGV, FaultErr: f}, nil
+		}
+		var ie *InterceptError
+		if errors.As(err, &ie) {
+			// A broken checker is not a verdict: stop this process
+			// fail-closed and let the scheduler continue the others.
+			k.Kill(p, SIGKILL)
+			return ExitStatus{Killed: true, Signal: SIGKILL, FaultErr: ie}, nil
 		}
 		return ExitStatus{}, err
 	}
@@ -351,7 +391,14 @@ func (s *procSyscalls) Syscall(c *cpu.CPU) error {
 	sysno := c.Regs[isa.R7]
 	if h, ok := k.intercep[sysno]; ok {
 		if err := h(p, sysno); err != nil {
-			return err
+			if errors.Is(err, ErrKilled) || errors.Is(err, ErrExited) {
+				return err
+			}
+			ie := &InterceptError{PID: p.PID, Sysno: sysno, Err: err}
+			k.errMu.Lock()
+			k.interceptErrs = append(k.interceptErrs, ie)
+			k.errMu.Unlock()
+			return ie
 		}
 	}
 	return k.dispatch(p, c, sysno)

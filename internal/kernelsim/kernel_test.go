@@ -163,6 +163,42 @@ func TestInterceptorVeto(t *testing.T) {
 	}
 }
 
+func TestInterceptorErrorSurfaced(t *testing.T) {
+	// An interceptor failing with a non-sentinel error is a broken
+	// checker, not a verdict: the process stops fail-closed (SIGKILL),
+	// the run is not aborted, and the error is recorded on the kernel.
+	k := kernelsim.New()
+	boom := errors.New("checker exploded")
+	k.Intercept(kernelsim.SysWrite, func(p *kernelsim.Process, sysno uint64) error {
+		return boom
+	})
+	p, err := k.Spawn("hello", helloModule(t), nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := k.Run(p, 1000)
+	if err != nil {
+		t.Fatalf("interceptor error aborted the run: %v", err)
+	}
+	if !st.Killed || st.Signal != kernelsim.SIGKILL {
+		t.Fatalf("status = %v, want fail-closed SIGKILL", st)
+	}
+	var ie *kernelsim.InterceptError
+	if !errors.As(st.FaultErr, &ie) {
+		t.Fatalf("FaultErr = %v, want *InterceptError", st.FaultErr)
+	}
+	if ie.PID != p.PID || ie.Sysno != kernelsim.SysWrite || !errors.Is(ie, boom) {
+		t.Errorf("InterceptError = %+v, want pid %d write wrapping boom", ie, p.PID)
+	}
+	recorded := k.InterceptErrors()
+	if len(recorded) != 1 || recorded[0] != ie {
+		t.Errorf("InterceptErrors() = %v, want the one recorded failure", recorded)
+	}
+	if len(p.Stdout) != 0 {
+		t.Errorf("failed interception still produced output %q", p.Stdout)
+	}
+}
+
 func TestInterceptorPassThrough(t *testing.T) {
 	k := kernelsim.New()
 	calls := 0

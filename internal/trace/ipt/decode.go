@@ -2,7 +2,6 @@ package ipt
 
 import (
 	"errors"
-	"fmt"
 	"math/bits"
 	"sync"
 )
@@ -97,7 +96,7 @@ func decodeFastFrom(buf []byte, base int) ([]Event, error) {
 					if i+PSBSize > len(buf) {
 						return evs, nil
 					}
-					return evs, fmt.Errorf("ipt: malformed PSB at %d", base+i)
+					return evs, malformedf("malformed PSB at %d", base+i)
 				}
 				evs = append(evs, Event{Kind: KindPSB, Off: base + i})
 				lastIP = 0
@@ -121,12 +120,12 @@ func decodeFastFrom(buf []byte, base int) ([]Event, error) {
 				evs = append(evs, Event{Kind: KindOVF, Off: base + i})
 				i += 2
 			default:
-				return evs, fmt.Errorf("ipt: unknown extended opcode %#02x at %d", buf[i+1], base+i)
+				return evs, malformedf("unknown extended opcode %#02x at %d", buf[i+1], base+i)
 			}
 		case b&1 == 0: // short TNT
 			n := bits.Len8(b) - 2
 			if n < 1 || n > maxTNTBits {
-				return evs, fmt.Errorf("ipt: malformed TNT byte %#02x at %d", b, base+i)
+				return evs, malformedf("malformed TNT byte %#02x at %d", b, base+i)
 			}
 			evs = append(evs, Event{
 				Kind:     KindTNT,
@@ -149,7 +148,7 @@ func decodeFastFrom(buf []byte, base int) ([]Event, error) {
 			case opFUP:
 				kind = KindFUP
 			default:
-				return evs, fmt.Errorf("ipt: unknown packet header %#02x at %d", b, base+i)
+				return evs, malformedf("unknown packet header %#02x at %d", b, base+i)
 			}
 			n := ipPayloadLen(ipb)
 			if i+1+n > len(buf) {
@@ -236,6 +235,12 @@ type TIPRecord struct {
 	TNTLen int
 	// Off is the stream offset (diagnostics).
 	Off int
+	// Resync marks the first TIP decoded after an overflow-forced
+	// resynchronization: the packets between the OVF and the next PSB
+	// were discarded, so this record is NOT control-flow-adjacent to the
+	// record before it. Pair-wise edge checks must not treat the two as
+	// a consecutive edge.
+	Resync bool
 }
 
 // TNTSigEmpty is the signature of an empty TNT run.
@@ -266,26 +271,48 @@ func TNTSigAppend(sig uint64, taken bool) uint64 {
 // signature accumulated since the previous TIP. Far-transfer and PSB
 // context packets do not produce records (a syscall is a fall-through on
 // the CFG) but TNT runs accumulate across them.
+//
+// An OVF packet means trace bytes were lost: IP compression and TNT
+// attribution are unreliable until the next PSB resets decoder state, so
+// packets between the OVF and that PSB are discarded (real-IPT decoders
+// resynchronize the same way) and the first TIP afterwards is flagged
+// Resync.
 func ExtractTIPs(evs []Event) []TIPRecord {
 	var out []TIPRecord
 	sig := TNTSigEmpty
 	n := 0
+	skipping := false
+	resync := false
 	for _, e := range evs {
 		switch e.Kind {
 		case KindTNT:
+			if skipping {
+				continue
+			}
 			for k := 0; k < e.TNTCount; k++ {
 				sig = TNTSigAppend(sig, e.TNTBits&(1<<k) != 0)
 				n++
 			}
 		case KindTIP:
+			if skipping {
+				continue
+			}
 			if n > TNTRunCap {
 				sig = TNTSigLongRun
 			}
-			out = append(out, TIPRecord{IP: e.IP, TNTSig: sig, TNTLen: n, Off: e.Off})
+			out = append(out, TIPRecord{IP: e.IP, TNTSig: sig, TNTLen: n, Off: e.Off, Resync: resync})
 			sig, n = TNTSigEmpty, 0
+			resync = false
+		case KindPSB:
+			if skipping {
+				skipping = false
+				resync = true
+			}
 		case KindOVF:
-			// Data lost: the accumulated run is unreliable.
+			// Data lost: everything up to the next sync point is
+			// unreliable.
 			sig, n = TNTSigEmpty, 0
+			skipping = true
 		}
 	}
 	return out

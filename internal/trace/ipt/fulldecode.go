@@ -33,6 +33,11 @@ type FullTrace struct {
 	// Resyncs counts recoveries via the next PSB after overflow or
 	// desynchronization.
 	Resyncs int
+	// ResyncPoints holds, for each resynchronization, the index into
+	// Flow where reconstruction resumed: Flow[p-1] and Flow[p] are not
+	// control-flow-adjacent, and stateful consumers (the slow path's
+	// shadow stack) must reset across the seam.
+	ResyncPoints []int
 }
 
 // Cycles returns the calibrated cost of this decode.
@@ -165,6 +170,7 @@ func DecodeFullEvents(as *module.AddressSpace, evs []Event, maxInstrs uint64) (*
 			return false
 		}
 		ft.Resyncs++
+		ft.ResyncPoints = append(ft.ResyncPoints, len(ft.Flow))
 		ip = nip
 		return true
 	}

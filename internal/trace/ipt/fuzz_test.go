@@ -1,6 +1,18 @@
 package ipt
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
+
+func mustTNT(t *testing.F, bits uint8, n int) []byte {
+	t.Helper()
+	b, err := appendTNT(nil, bits, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
 
 // FuzzDecodeFast drives the packet-grammar scanner with arbitrary bytes:
 // it must never panic, and whatever events it accepts must carry sane
@@ -10,13 +22,35 @@ func FuzzDecodeFast(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x00, 0x00})
 	f.Add(appendPSB(nil))
-	f.Add(appendTNT(nil, 0b101, 3))
+	f.Add(mustTNT(f, 0b101, 3))
 	f.Add(appendPIP(nil, 0x1234))
 	var last uint64
 	f.Add(appendIPPacket(nil, opTIP, 0x400000, &last))
 	f.Add([]byte{0x02, 0xF3}) // OVF
 	f.Add([]byte{0x02, 0x99}) // unknown extended opcode
 	f.Add([]byte{0xFF})       // unknown TIP-family header
+
+	// Fault-shaped seeds: the corruption classes the chaos harness
+	// injects (internal/faults).
+	{
+		// OVF spliced into the middle of a TIP packet's IP payload.
+		last = 0
+		tip := appendIPPacket(nil, opTIP, 0xdeadbeefcafe, &last)
+		mid := len(tip) / 2
+		ovfMidTIP := append(append(append([]byte{}, tip[:mid]...), 0x02, extOVF), tip[mid:]...)
+		f.Add(ovfMidTIP)
+	}
+	f.Add(appendPSB(nil)[:7]) // truncated PSB
+	{
+		// Wrap splice: the tail of a cut TIP payload, then a PSB and
+		// clean packets — the byte pattern after a ToPA wrap.
+		last = 0
+		cut := appendIPPacket(nil, opTIP, 0x123456789abc, &last)
+		splice := append(append([]byte{}, cut[3:]...), appendPSB(nil)...)
+		splice = appendIPPacket(splice, opTIP, 0x400100, &last)
+		f.Add(splice)
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		evs, err := DecodeFast(data)
 		if err != nil {
@@ -35,6 +69,56 @@ func FuzzDecodeFast(f *testing.F) {
 		pevs, perr := DecodeFastParallel(data, 2)
 		if perr != nil || len(pevs) != len(evs) {
 			t.Fatalf("parallel decode disagreed: %v (%d vs %d events)", perr, len(pevs), len(evs))
+		}
+	})
+}
+
+// FuzzWindowDecoder cross-checks the incremental decoder against the
+// batch path over arbitrary PSB-prefixed bytes: chunked feeding must
+// never panic, and when both paths accept the stream they must agree on
+// every TIP record (including the OVF-resync Resync flags).
+func FuzzWindowDecoder(f *testing.F) {
+	f.Add([]byte{}, 3)
+	f.Add(mustTNT(f, 0b11, 2), 1)
+	{
+		var last uint64
+		s := appendIPPacket(nil, opTIP, 0x400000, &last)
+		s = append(s, 0x02, extOVF)
+		s = appendPSB(s)
+		s = appendIPPacket(s, opTIP, 0x400100, &last)
+		f.Add(s, 2)
+	}
+	f.Fuzz(func(t *testing.T, body []byte, chunk int) {
+		if chunk <= 0 {
+			chunk = 1
+		}
+		if chunk > len(body)+1 {
+			chunk = len(body) + 1
+		}
+		buf := append(appendPSB(nil), body...)
+		d := NewWindowDecoder(0)
+		feedErr := error(nil)
+		for off := 0; off < len(buf) && feedErr == nil; off += chunk {
+			end := off + chunk
+			if end > len(buf) {
+				end = len(buf)
+			}
+			feedErr = d.Feed(buf[off:end])
+		}
+		evs, batchErr := DecodeFast(buf)
+		if feedErr != nil || batchErr != nil {
+			return // either path may reject corrupt bytes; neither may panic
+		}
+		if d.Consumed() < len(buf) {
+			return // trailing partial packet still in the carry
+		}
+		want := ExtractTIPs(evs)
+		got := d.Tips()
+		if len(got) == 0 && len(want) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("incremental decode diverges from batch: %d vs %d records", len(got), len(want))
 		}
 	})
 }

@@ -35,6 +35,16 @@ const (
 // ~3% tracing overhead of Table 1 (see EXPERIMENTS.md).
 const CyclesPerTraceByte = 0.35
 
+// WriteFault intercepts the tracer's packet writes on their way to the
+// ToPA buffer, modeling transport-level trace damage (bit flips, lost or
+// delayed bursts, buffer-flooding). Implementations receive the packet
+// bytes about to land at stream offset off and return the bytes to write
+// instead — possibly p itself, possibly empty. They must not retain p
+// past the call.
+type WriteFault interface {
+	Corrupt(p []byte, off uint64) []byte
+}
+
 // Tracer is one core's trace unit. It implements trace.Sink so the CPU
 // can feed it retired branches, filters and compresses them per the MSR
 // configuration, and streams packet bytes into the ToPA buffer.
@@ -44,6 +54,9 @@ type Tracer struct {
 	curCR3   uint64
 
 	Out *ToPA
+
+	// Fault, if non-nil, filters every packet write (fault injection).
+	Fault WriteFault
 
 	// PSBPeriod is the target byte distance between stream sync points.
 	PSBPeriod int
@@ -59,6 +72,10 @@ type Tracer struct {
 	TNTBitCount uint64
 	TIPCount    uint64
 	Branches    uint64
+	// EncodeFaults counts packets the encoder could not produce
+	// (impossible internal state); each one is signaled in-band with an
+	// OVF packet so decoders resynchronize instead of misattributing.
+	EncodeFaults uint64
 
 	scratch []byte
 }
@@ -196,7 +213,15 @@ func (t *Tracer) flushTNT() {
 	if t.tntCount == 0 {
 		return
 	}
-	t.scratch = appendTNT(t.scratch, t.tntBits, t.tntCount)
+	out, err := appendTNT(t.scratch, t.tntBits, t.tntCount)
+	if err != nil {
+		// The run cannot be encoded; dropping it silently would let a
+		// decoder misattribute every later outcome. Signal the loss
+		// in-band exactly as hardware overflow does.
+		out = append(t.scratch, 0x02, extOVF)
+		t.EncodeFaults++
+	}
+	t.scratch = out
 	t.tntBits, t.tntCount = 0, 0
 	t.Packets++
 }
@@ -225,6 +250,12 @@ func (t *Tracer) maybePSB(ip uint64) {
 }
 
 func (t *Tracer) write(p []byte) {
+	if t.Fault != nil {
+		p = t.Fault.Corrupt(p, t.Out.TotalWritten())
+	}
+	if len(p) == 0 {
+		return
+	}
 	t.Out.Write(p)
 	t.sincePSB += len(p)
 }

@@ -29,7 +29,22 @@
 // possible (§5.3).
 package ipt
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMalformedTrace is the sentinel wrapped by every grammar-level decode
+// failure (bad PSB, unknown opcode, impossible TNT byte) and by the
+// encoder when asked to emit an impossible packet. Degraded-mode policy
+// in the guard keys off this error to distinguish corruption from a
+// merely truncated or overflowed stream.
+var ErrMalformedTrace = errors.New("ipt: malformed trace")
+
+// malformedf builds an ErrMalformedTrace-wrapped error.
+func malformedf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrMalformedTrace, fmt.Sprintf(format, args...))
+}
 
 // Packet kind discriminators as seen by the decoders.
 type Kind uint8
@@ -158,12 +173,15 @@ func appendSuppressedIP(dst []byte, op uint8) []byte {
 }
 
 // appendTNT appends a short TNT packet carrying bits[0..n) (oldest first).
-func appendTNT(dst []byte, bits uint8, n int) []byte {
+// A bit count outside [1, maxTNTBits] cannot be encoded and is returned
+// as an error rather than a panic: the tracer must stay alive under any
+// internal-state corruption and signal the loss in-band instead.
+func appendTNT(dst []byte, bits uint8, n int) ([]byte, error) {
 	if n <= 0 || n > maxTNTBits {
-		panic(fmt.Sprintf("ipt: invalid TNT bit count %d", n))
+		return dst, malformedf("invalid TNT bit count %d", n)
 	}
 	b := byte(1)<<(n+1) | (bits&(1<<n-1))<<1
-	return append(dst, b)
+	return append(dst, b), nil
 }
 
 // appendPSB appends a PSB synchronization packet.

@@ -1,6 +1,7 @@
 package ipt
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -31,7 +32,10 @@ func TestIPCompressionRoundTrip(t *testing.T) {
 func TestTNTByteRoundTrip(t *testing.T) {
 	for n := 1; n <= maxTNTBits; n++ {
 		for bits := 0; bits < 1<<n; bits++ {
-			b := appendTNT(nil, uint8(bits), n)
+			b, err := appendTNT(nil, uint8(bits), n)
+			if err != nil {
+				t.Fatalf("TNT(%d bits): %v", n, err)
+			}
 			if len(b) != 1 {
 				t.Fatalf("TNT(%d bits) encoded to %d bytes", n, len(b))
 			}
@@ -49,13 +53,23 @@ func TestTNTByteRoundTrip(t *testing.T) {
 	}
 }
 
-func TestAppendTNTPanicsOnBadCount(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("appendTNT accepted 0 bits")
+// TestAppendTNTRejectsBadCount: counts outside [1, maxTNTBits] come back
+// as a typed ErrMalformedTrace instead of a panic (regression: the
+// encoder used to panic and could take the guard down with it).
+func TestAppendTNTRejectsBadCount(t *testing.T) {
+	for _, n := range []int{-1, 0, maxTNTBits + 1, 64} {
+		dst := []byte{0x00}
+		out, err := appendTNT(dst, 0, n)
+		if err == nil {
+			t.Fatalf("appendTNT accepted %d bits", n)
 		}
-	}()
-	appendTNT(nil, 0, 0)
+		if !errors.Is(err, ErrMalformedTrace) {
+			t.Fatalf("appendTNT(%d bits) error %v is not ErrMalformedTrace", n, err)
+		}
+		if len(out) != len(dst) {
+			t.Fatalf("appendTNT(%d bits) wrote %d bytes despite error", n, len(out)-len(dst))
+		}
+	}
 }
 
 // TestEncodeDecodeBranchStreamProperty: random CoFI streams encoded by

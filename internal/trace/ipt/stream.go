@@ -1,7 +1,6 @@
 package ipt
 
 import (
-	"fmt"
 	"math/bits"
 )
 
@@ -31,6 +30,22 @@ type WindowDecoder struct {
 	synced bool // a PSB has been seen; bytes before the first PSB are skipped
 	off    int  // absolute stream offset of the next undecoded byte
 
+	// skipping is set between an OVF packet and the next PSB: trace
+	// bytes were lost, so IP compression and TNT attribution are
+	// unreliable until a sync point resets decoder state. Packets in the
+	// interval are grammar-checked but produce no records.
+	skipping bool
+	// resync marks that the next emitted TIP record follows an
+	// OVF-forced resynchronization (TIPRecord.Resync).
+	resync bool
+	// ovf counts OVF packets seen since Reset (monotonic across
+	// DropBefore); the guard uses the delta between checks to classify
+	// trace health.
+	ovf int
+	// lastOVF is the absolute offset of the most recent OVF packet, or
+	// -1 if none has been seen since Reset.
+	lastOVF int
+
 	// carry holds a packet truncated at the end of the previous chunk.
 	carry []byte
 
@@ -52,6 +67,10 @@ func (d *WindowDecoder) Reset(base int) {
 	d.sig = TNTSigEmpty
 	d.sigN = 0
 	d.synced = false
+	d.skipping = false
+	d.resync = false
+	d.ovf = 0
+	d.lastOVF = -1
 	d.off = base
 	d.carry = d.carry[:0]
 	d.tips = d.tips[:0]
@@ -69,6 +88,22 @@ func (d *WindowDecoder) SyncPoints() []int { return d.pts }
 // Consumed returns the absolute stream offset of the next undecoded byte
 // (bytes held back in the truncation carry are not consumed).
 func (d *WindowDecoder) Consumed() int { return d.off - len(d.carry) }
+
+// OVFTotal returns the number of OVF packets decoded since Reset. It is
+// monotonic and survives DropBefore, so a caller can diff two
+// observations to detect overflow between checks.
+func (d *WindowDecoder) OVFTotal() int { return d.ovf }
+
+// LastOVFOff returns the absolute stream offset of the most recent OVF
+// packet, or -1 if none has been decoded since Reset. Records at or
+// after this offset postdate the loss; records before it may be the
+// last survivors of a severed history.
+func (d *WindowDecoder) LastOVFOff() int { return d.lastOVF }
+
+// Synced reports whether the decode position is trustworthy: a PSB has
+// been seen and no overflow is pending resynchronization. While false,
+// the tail of the stream cannot vouch for the control flow it encodes.
+func (d *WindowDecoder) Synced() bool { return d.synced && !d.skipping }
 
 // DropBefore discards TIP records and sync points with offsets below lo,
 // compacting storage in place. Decoding state is unaffected: the stream
@@ -151,14 +186,18 @@ func (d *WindowDecoder) scan(buf []byte, base int) (int, error) {
 					if isPSBPrefix(buf[i:]) {
 						return i, nil // PSB split across chunks
 					}
-					return i, fmt.Errorf("ipt: malformed PSB at %d", base+i)
+					return i, malformedf("malformed PSB at %d", base+i)
 				}
 				if !isPSBAt(buf, i) {
-					return i, fmt.Errorf("ipt: malformed PSB at %d", base+i)
+					return i, malformedf("malformed PSB at %d", base+i)
 				}
 				d.pts = append(d.pts, base+i)
 				d.lastIP = 0
 				d.synced = true
+				if d.skipping {
+					d.skipping = false
+					d.resync = true
+				}
 				i += PSBSize
 			case extPSBEND:
 				i += 2
@@ -168,16 +207,24 @@ func (d *WindowDecoder) scan(buf []byte, base int) (int, error) {
 				}
 				i += 10
 			case extOVF:
-				// Data lost: the accumulated TNT run is unreliable.
+				// Data lost: the accumulated TNT run is unreliable, and
+				// so is everything up to the next sync point.
 				d.sig, d.sigN = TNTSigEmpty, 0
+				d.skipping = true
+				d.ovf++
+				d.lastOVF = base + i
 				i += 2
 			default:
-				return i, fmt.Errorf("ipt: unknown extended opcode %#02x at %d", buf[i+1], base+i)
+				return i, malformedf("unknown extended opcode %#02x at %d", buf[i+1], base+i)
 			}
 		case b&1 == 0: // short TNT
 			n := bits.Len8(b) - 2
 			if n < 1 || n > maxTNTBits {
-				return i, fmt.Errorf("ipt: malformed TNT byte %#02x at %d", b, base+i)
+				return i, malformedf("malformed TNT byte %#02x at %d", b, base+i)
+			}
+			if d.skipping {
+				i++
+				continue
 			}
 			payload := (b >> 1) & (1<<n - 1)
 			for k := 0; k < n; k++ {
@@ -190,7 +237,7 @@ func (d *WindowDecoder) scan(buf []byte, base int) (int, error) {
 			switch op {
 			case opTIP, opTIPPGE, opTIPPGD, opFUP:
 			default:
-				return i, fmt.Errorf("ipt: unknown packet header %#02x at %d", b, base+i)
+				return i, malformedf("unknown packet header %#02x at %d", b, base+i)
 			}
 			ipb := b >> 5
 			n := ipPayloadLen(ipb)
@@ -200,13 +247,14 @@ func (d *WindowDecoder) scan(buf []byte, base int) (int, error) {
 			if ipb != 0 {
 				d.lastIP = ipReconstruct(ipb, buf[i+1:i+1+n], d.lastIP)
 			}
-			if op == opTIP {
+			if op == opTIP && !d.skipping {
 				sig := d.sig
 				if d.sigN > TNTRunCap {
 					sig = TNTSigLongRun
 				}
-				d.tips = append(d.tips, TIPRecord{IP: d.lastIP, TNTSig: sig, TNTLen: d.sigN, Off: base + i})
+				d.tips = append(d.tips, TIPRecord{IP: d.lastIP, TNTSig: sig, TNTLen: d.sigN, Off: base + i, Resync: d.resync})
 				d.sig, d.sigN = TNTSigEmpty, 0
+				d.resync = false
 			}
 			i += 1 + n
 		}

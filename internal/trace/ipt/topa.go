@@ -32,11 +32,16 @@ type ToPA struct {
 }
 
 // NewToPA allocates a table with the given region sizes. The paper's
-// default configuration is two regions (§5.1).
+// default configuration is two regions (§5.1). Non-positive region sizes
+// are dropped — a zero-capacity region can never absorb a write, and a
+// table made only of them would spin Write forever — and a table left
+// empty falls back to the default configuration.
 func NewToPA(regionSizes ...int) *ToPA {
 	t := &ToPA{}
 	for _, n := range regionSizes {
-		t.regions = append(t.regions, make([]byte, n))
+		if n > 0 {
+			t.regions = append(t.regions, make([]byte, n))
+		}
 	}
 	if len(t.regions) == 0 {
 		t.regions = [][]byte{make([]byte, 8<<10), make([]byte, 8<<10)}
@@ -55,6 +60,11 @@ func (t *ToPA) Capacity() int {
 
 // TotalWritten returns the monotonic count of bytes ever written.
 func (t *ToPA) TotalWritten() uint64 { return t.total }
+
+// Wrapped reports whether the buffer has discarded its oldest bytes at
+// least once since the last Reset: the logical stream no longer starts
+// at a packet boundary, and bytes before TotalWritten()-Held() are gone.
+func (t *ToPA) Wrapped() bool { return t.wrapped }
 
 // Gen returns the write generation: it increases whenever the buffer
 // contents change (writes or Reset), never decreases, and is equal

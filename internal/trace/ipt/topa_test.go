@@ -84,3 +84,175 @@ func TestDefaultRegions(t *testing.T) {
 		t.Errorf("default capacity = %d, want 16 KiB (two 8 KiB regions)", tp.Capacity())
 	}
 }
+
+// fillPattern writes n bytes of a recognizable sequence starting at
+// value start.
+func fillPattern(t *ToPA, start, n int) {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(start + i)
+	}
+	t.Write(buf)
+}
+
+func TestToPAZeroCapacityRegions(t *testing.T) {
+	cases := []struct {
+		name    string
+		regions []int
+		wantCap int
+	}{
+		{"all-zero falls back to default", []int{0, 0}, 16 << 10},
+		{"no regions falls back to default", nil, 16 << 10},
+		{"negative dropped", []int{-4, 64}, 64},
+		{"zeros dropped between real regions", []int{0, 32, 0, 32}, 64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tp := NewToPA(tc.regions...)
+			if got := tp.Capacity(); got != tc.wantCap {
+				t.Fatalf("capacity = %d, want %d", got, tc.wantCap)
+			}
+			// The write must terminate and stay fully accounted: a
+			// zero-capacity region surviving into the table would spin
+			// Write forever.
+			fillPattern(tp, 0, 3*tc.wantCap/2)
+			if got := int(tp.TotalWritten()); got != 3*tc.wantCap/2 {
+				t.Fatalf("total = %d, want %d", got, 3*tc.wantCap/2)
+			}
+			if !tp.Wrapped() {
+				t.Fatal("overfilled table did not wrap")
+			}
+			if got := len(tp.Snapshot()); got != tc.wantCap {
+				t.Fatalf("snapshot = %d bytes, want full capacity %d", got, tc.wantCap)
+			}
+		})
+	}
+}
+
+// TestToPAResetWhileWrapped: Reset on a wrapped buffer must restart the
+// resident window cleanly — the next snapshot holds exactly the
+// post-Reset bytes, and AppendSince addresses them by the still
+// monotonic logical offsets.
+func TestToPAResetWhileWrapped(t *testing.T) {
+	tp := NewToPA(32, 32)
+	fillPattern(tp, 0, 150) // wraps more than twice
+	if !tp.Wrapped() {
+		t.Fatal("setup: buffer did not wrap")
+	}
+	genBefore := tp.Gen()
+	tp.Reset()
+	if tp.Wrapped() {
+		t.Fatal("Reset left the buffer marked wrapped")
+	}
+	if tp.Held() != 0 {
+		t.Fatalf("Held after Reset = %d, want 0", tp.Held())
+	}
+	if tp.Gen() <= genBefore {
+		t.Fatal("Reset did not advance the generation")
+	}
+	if tp.TotalWritten() != 150 {
+		t.Fatalf("Reset changed the monotonic total: %d", tp.TotalWritten())
+	}
+
+	fillPattern(tp, 200, 20)
+	want := make([]byte, 20)
+	for i := range want {
+		want[i] = byte(200 + i)
+	}
+	if got := tp.Snapshot(); !bytes.Equal(got, want) {
+		t.Fatalf("post-Reset snapshot = %x, want %x", got, want)
+	}
+	// Logical offsets keep counting across Reset: the post-Reset bytes
+	// span [150, 170).
+	got, ok := tp.AppendSince(nil, 150)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("AppendSince(150) = %x, %v; want the 20 post-Reset bytes", got, ok)
+	}
+	if got, ok := tp.AppendSince(nil, 170); !ok || len(got) != 0 {
+		t.Fatalf("AppendSince(at head) = %x, %v; want empty, true", got, ok)
+	}
+	// Pre-Reset offsets are gone even though they are numerically below
+	// the total: the resident window starts at the Reset point.
+	if _, ok := tp.AppendSince(nil, 149); ok {
+		t.Fatal("AppendSince reached across Reset")
+	}
+}
+
+// TestToPAAppendSinceOlderThanResident: once the buffer wraps, offsets
+// below TotalWritten-Held are unservable and must report false — the
+// incremental reader's signal to resynchronize from a snapshot.
+func TestToPAAppendSinceOlderThanResident(t *testing.T) {
+	tp := NewToPA(16, 16)
+	fillPattern(tp, 0, 80) // capacity 32, so [48, 80) is resident
+	cases := []struct {
+		name string
+		from uint64
+		ok   bool
+		len  int
+	}{
+		{"exact resident start", 48, true, 32},
+		{"mid-window", 60, true, 20},
+		{"head", 80, true, 0},
+		{"one byte too old", 47, false, 0},
+		{"ancient", 0, false, 0},
+		{"beyond head", 81, false, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := tp.AppendSince(nil, tc.from)
+			if ok != tc.ok || len(got) != tc.len {
+				t.Fatalf("AppendSince(%d) = %d bytes, %v; want %d bytes, %v",
+					tc.from, len(got), ok, tc.len, tc.ok)
+			}
+			if !ok {
+				return
+			}
+			for i, b := range got {
+				if b != byte(int(tc.from)+i) {
+					t.Fatalf("byte %d = %#x, want %#x", i, b, byte(int(tc.from)+i))
+				}
+			}
+		})
+	}
+}
+
+// TestToPASnapshotIntoReuse: SnapshotInto(dst[:0]) must equal Snapshot
+// and reuse the backing array once grown.
+func TestToPASnapshotIntoReuse(t *testing.T) {
+	tp := NewToPA(16, 16)
+	fillPattern(tp, 0, 40)
+	buf := tp.SnapshotInto(nil)
+	if !bytes.Equal(buf, tp.Snapshot()) {
+		t.Fatal("SnapshotInto(nil) != Snapshot()")
+	}
+	p0 := &buf[0]
+	buf2 := tp.SnapshotInto(buf[:0])
+	if !bytes.Equal(buf2, tp.Snapshot()) {
+		t.Fatal("SnapshotInto(reused) != Snapshot()")
+	}
+	if &buf2[0] != p0 {
+		t.Error("SnapshotInto reallocated despite sufficient capacity")
+	}
+}
+
+// TestToPAAppendSinceMatchesSnapshotTail: for every resident from, the
+// AppendSince range equals the snapshot's tail — the equivalence the
+// incremental window decoder is built on.
+func TestToPAAppendSinceMatchesSnapshotTail(t *testing.T) {
+	tp := NewToPA(8, 24) // asymmetric regions exercise locate()
+	for round := 0; round < 10; round++ {
+		fillPattern(tp, round*13, 7+round*5)
+		snap := tp.Snapshot()
+		lo := tp.TotalWritten() - uint64(tp.Held())
+		for from := lo; from <= tp.TotalWritten(); from++ {
+			got, ok := tp.AppendSince(nil, from)
+			if !ok {
+				t.Fatalf("round %d: AppendSince(%d) refused a resident offset", round, from)
+			}
+			want := snap[from-lo:]
+			if !bytes.Equal(got, want) {
+				t.Fatalf("round %d: AppendSince(%d) diverges from snapshot tail", round, from)
+			}
+		}
+	}
+}
