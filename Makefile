@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test test-short race bench experiments examples vet fmt cover chaos fuzz-smoke
+.PHONY: all test test-short race bench experiments examples vet fmt cover chaos fuzz-smoke fuzz oracle-soak cover-ratchet
 
 all: vet test
 
@@ -33,7 +33,32 @@ chaos:
 	$(GO) test -race -short -run 'Chaos' ./internal/faults/ -count=1
 
 fuzz-smoke:
-	$(GO) test -run 'Fuzz' ./internal/trace/ipt/ -count=1
+	$(GO) test -run 'Fuzz' ./internal/trace/ipt/ ./internal/harness/ -count=1
+
+# Short real fuzzing campaigns (one -fuzz pattern per go test invocation).
+fuzz:
+	$(GO) test -fuzz FuzzTNTAnnotations -fuzztime 30s ./internal/trace/ipt/
+	$(GO) test -fuzz FuzzWindowDecoder -fuzztime 30s ./internal/trace/ipt/
+	$(GO) test -fuzz FuzzHybridVsOracle -fuzztime 60s ./internal/harness/
+
+# Long differential soak of the optimized hybrid pipeline against the
+# naive oracle (internal/oracle); nightly CI runs this.
+oracle-soak:
+	$(GO) run ./cmd/fgbench -oracle 10000
+
+# Coverage ratchet for the packages the oracle suite exercises hardest.
+# Raise the floors when coverage grows; never lower them.
+COVER_FLOOR_GUARD ?= 88.0
+COVER_FLOOR_IPT   ?= 84.0
+
+cover-ratchet:
+	@check() { \
+	  pct=$$($(GO) test -cover $$1 -count=1 | awk '{for(i=1;i<=NF;i++) if ($$i ~ /%$$/) v=$$i} END {gsub(/%/,"",v); print v}'); \
+	  echo "$$1 coverage: $$pct% (floor $$2%)"; \
+	  awk -v p="$$pct" -v f="$$2" 'BEGIN {exit !(p+0 >= f+0)}' || { echo "coverage ratchet failed for $$1"; exit 1; }; \
+	}; \
+	check ./internal/guard/ $(COVER_FLOOR_GUARD) && \
+	check ./internal/trace/ipt/ $(COVER_FLOOR_IPT)
 
 vet:
 	$(GO) vet ./...

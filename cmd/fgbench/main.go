@@ -10,6 +10,7 @@
 //	fgbench -sweep -ablation     # §7.1.1 parameters, §7.2.4 HW decoder
 //	fgbench -parallel 4          # §6 pooled parallel checking speedup
 //	fgbench -claim decode230x    # the §2 slow-decoding measurement
+//	fgbench -oracle 10000        # differential soak vs the naive oracle
 //
 // -scale / -seed / -train size the workloads; the defaults finish a full
 // run in well under a minute.
@@ -43,6 +44,7 @@ func main() {
 	multiproc := flag.Bool("multiproc", false, "CR3-filter limitation with interleaved processes (§7.2.4)")
 	parallel := flag.Int("parallel", 0, "run N protected processes with pooled parallel checking (§6) and report aggregate check latency")
 	chaos := flag.Int("chaos", 0, "run N seeded fault-injection scenarios across the degraded-mode policies (§7.1.2 worst cases)")
+	oracle := flag.Int("oracle", 0, "run N seeded differential checks of the optimized hybrid pipeline against the naive oracle")
 	scale := flag.Int("scale", 30, "workload scale (requests / iterations)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	train := flag.Int("train", 6, "training replays per application")
@@ -255,6 +257,30 @@ func main() {
 			fmt.Println(" ", row)
 		}
 		fmt.Println("  (trace loss/corruption/gaps per policy; attacks must still die except in explicit fail-open windows)")
+	}
+
+	if *all || *oracle > 0 {
+		n := *oracle
+		if n <= 0 {
+			n = 60
+		}
+		section("differential oracle: optimized hybrid pipeline vs naive reference")
+		rows, err := r.OracleSoak(n)
+		if err != nil {
+			fail(err)
+		}
+		diverged := 0
+		for _, row := range rows {
+			fmt.Println(" ", row)
+			diverged += row.DivergenceCount + row.Panics + row.Errors
+			for _, s := range row.Samples {
+				fmt.Println("    !", s)
+			}
+		}
+		if diverged != 0 {
+			fail(fmt.Errorf("oracle soak found %d divergences/panics/errors", diverged))
+		}
+		fmt.Println("  (benign, exploit, chaos-faulted and mutated-stream workloads; zero divergences required)")
 	}
 
 	if !ran {

@@ -1,6 +1,9 @@
 package guard
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // approvalStripes is the number of lock stripes in an ApprovalCache; a
 // small power of two keeps the mask cheap while spreading contention of
@@ -21,6 +24,11 @@ const approvalStripes = 16
 // path — the cross-core analogue of the paper's per-process caching.
 type ApprovalCache struct {
 	stripes [approvalStripes]approvalStripe
+
+	// gen is the ITC-CFG label generation the cached verdicts were
+	// earned against; genMu serializes the flush when it advances.
+	gen   atomic.Uint64
+	genMu sync.Mutex
 }
 
 type approvalStripe struct {
@@ -89,6 +97,31 @@ func (c *ApprovalCache) ApprovePath(k uint64) {
 	s.mu.Lock()
 	s.paths[k] = struct{}{}
 	s.mu.Unlock()
+}
+
+// SyncGen flushes every cached approval when the ITC-CFG label
+// generation has advanced since the last sync: a slow-path "no attack"
+// verdict is earned against one label snapshot, and retraining followed
+// by RebuildCache may relabel the very edges it vouched for. Guards call
+// this at the top of every check; when the generation is unchanged (the
+// steady state) it is a single atomic load.
+func (c *ApprovalCache) SyncGen(gen uint64) {
+	if c.gen.Load() == gen {
+		return
+	}
+	c.genMu.Lock()
+	defer c.genMu.Unlock()
+	if c.gen.Load() == gen {
+		return // another checker flushed while we waited
+	}
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		clear(s.edges)
+		clear(s.paths)
+		s.mu.Unlock()
+	}
+	c.gen.Store(gen)
 }
 
 // Len returns the number of approved edges (diagnostics).

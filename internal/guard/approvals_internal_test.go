@@ -1,0 +1,86 @@
+package guard
+
+import (
+	"testing"
+)
+
+// TestApprovalCacheSyncGen pins the generation contract: SyncGen at an
+// unchanged generation is a no-op, and a generation advance flushes
+// every stripe — edges and paths alike — before new verdicts accumulate
+// at the new generation.
+func TestApprovalCacheSyncGen(t *testing.T) {
+	c := NewApprovalCache()
+	e := edgeKey{src: 0x401000, dst: 0x402000, sig: 0x9e3779b97f4a7c15}
+	const path = uint64(0xdeadbeefcafe)
+
+	c.SyncGen(1)
+	c.ApproveEdge(e)
+	c.ApprovePath(path)
+	if !c.ApprovedEdge(e) || !c.ApprovedPath(path) {
+		t.Fatal("approvals not stored")
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len() = %d after one edge approval", n)
+	}
+
+	// Unchanged generation: the steady state must keep every verdict.
+	c.SyncGen(1)
+	if !c.ApprovedEdge(e) || !c.ApprovedPath(path) {
+		t.Fatal("SyncGen at an unchanged generation flushed the cache")
+	}
+
+	// Populate every stripe so the flush is exercised across all of
+	// them, not just the one the first key happened to hash to.
+	for i := 0; i < 8*approvalStripes; i++ {
+		c.ApproveEdge(edgeKey{src: uint64(0x400000 + i), dst: uint64(0x500000 + 7*i), sig: uint64(i)})
+		c.ApprovePath(uint64(0x1000 + i))
+	}
+	if n := c.Len(); n != 1+8*approvalStripes {
+		t.Fatalf("Len() = %d, want %d", n, 1+8*approvalStripes)
+	}
+
+	// A generation advance invalidates every cached verdict: they were
+	// earned against a superseded label snapshot.
+	c.SyncGen(2)
+	if c.ApprovedEdge(e) || c.ApprovedPath(path) {
+		t.Fatal("label-generation advance did not flush cached approvals")
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("Len() = %d after flush, want 0", n)
+	}
+
+	// Verdicts re-earned at the new generation survive further syncs.
+	c.ApproveEdge(e)
+	c.SyncGen(2)
+	if !c.ApprovedEdge(e) {
+		t.Fatal("re-earned approval flushed at its own generation")
+	}
+}
+
+// TestApprovalCacheSyncGenConcurrent hammers SyncGen from racing
+// checkers (run under -race): whatever interleaving wins, the cache must
+// settle at the newest generation with no stale verdicts resurfacing.
+func TestApprovalCacheSyncGenConcurrent(t *testing.T) {
+	c := NewApprovalCache()
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for gen := uint64(1); gen <= 50; gen++ {
+				c.SyncGen(gen)
+				c.ApproveEdge(edgeKey{src: uint64(w), dst: gen, sig: 0})
+				c.ApprovedEdge(edgeKey{src: uint64(w), dst: gen, sig: 0})
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	c.SyncGen(51)
+	if n := c.Len(); n != 0 {
+		t.Fatalf("Len() = %d after final flush, want 0", n)
+	}
+	if got := c.gen.Load(); got != 51 {
+		t.Fatalf("cache generation = %d, want 51", got)
+	}
+}

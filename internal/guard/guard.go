@@ -523,6 +523,11 @@ func (g *Guard) Check() Result {
 	defer g.mu.Unlock()
 	g.inCheck = true
 	defer func() { g.inCheck = false }()
+	if g.ITC != nil {
+		// Approvals earned against a superseded label snapshot must be
+		// re-earned (mid-run retraining relabels edges).
+		g.appr.SyncGen(g.ITC.LabelGen())
+	}
 	g.Stats.Checks++
 	tips, region, scanned, health, err := g.window()
 	res := Result{TIPs: len(tips), Health: health, OtherCycles: CyclesPerInterception}

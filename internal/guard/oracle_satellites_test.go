@@ -1,0 +1,197 @@
+package guard_test
+
+// Satellite tests riding the differential-oracle PR: slow-path verdict
+// caching across processes and retraining (the §7.1.1 approval cache
+// end to end), Stats.Merge completeness, and the CheckPool accounting
+// invariant under concurrent use (run with -race).
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"flowguard/internal/apps"
+	"flowguard/internal/guard"
+	"flowguard/internal/kernelsim"
+	"flowguard/internal/trace/ipt"
+)
+
+// TestSlowPathApprovalReuseAndInvalidation drives the approval cache
+// through its full life cycle: a sparsely trained ITC-CFG forces slow
+// paths whose clean verdicts are cached; a second identical run reuses
+// them (fewer slow checks); a RebuildCache advances the label generation,
+// so a third run must re-earn every verdict from scratch.
+func TestSlowPathApprovalReuseAndInvalidation(t *testing.T) {
+	a := analyze(t, apps.Vulnd())
+	a.train(t, []byte("G /x\n")) // sparse: benign traffic leaves low-credit edges
+
+	shared := guard.NewApprovalCache()
+	run := func() uint64 {
+		k := kernelsim.New()
+		km := guard.InstallModule(k)
+		p, err := a.app.Spawn(k, benignTraffic())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := km.Protect(p, a.ocfg, a.ig, guard.DefaultPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.ShareApprovals(shared)
+		st, err := k.Run(p, 80_000_000)
+		if err != nil || !st.Exited {
+			t.Fatalf("benign run: %v %v; reports %v", st, err, km.ReportsSnapshot())
+		}
+		if g.Stats.Violations != 0 {
+			t.Fatalf("false positives: %+v", g.Stats)
+		}
+		return g.Stats.SlowChecks
+	}
+
+	s1 := run()
+	if s1 == 0 {
+		t.Fatal("sparse training produced no slow paths; test is vacuous")
+	}
+	if shared.Len() == 0 {
+		t.Fatal("clean slow-path verdicts were not cached")
+	}
+
+	s2 := run()
+	if s2 >= s1 {
+		t.Fatalf("cached approvals not reused: %d slow checks (warm) vs %d (cold)", s2, s1)
+	}
+
+	// RebuildCache republishes the label snapshot; the flush is lazy —
+	// it happens at the first check of the next run, not here.
+	before := shared.Len()
+	a.ig.RebuildCache()
+	if shared.Len() != before {
+		t.Fatalf("approval cache flushed eagerly (%d -> %d); SyncGen is a check-time sync", before, shared.Len())
+	}
+
+	// With the cache invalidated, the deterministic workload retraces
+	// run 1 exactly: every approval is re-earned on the slow path.
+	s3 := run()
+	if s3 != s1 {
+		t.Fatalf("after label-generation advance, slow checks = %d, want the cold count %d", s3, s1)
+	}
+	if shared.Len() == 0 {
+		t.Fatal("approvals not re-earned after invalidation")
+	}
+}
+
+// TestStatsMerge checks Merge over every Stats field by reflection, so a
+// field added to Stats but forgotten in Merge fails here instead of
+// silently vanishing from multi-process aggregates.
+func TestStatsMerge(t *testing.T) {
+	var a, b guard.Stats
+	va := reflect.ValueOf(&a).Elem()
+	vb := reflect.ValueOf(&b).Elem()
+	n := va.NumField()
+	if n == 0 {
+		t.Fatal("Stats has no fields")
+	}
+	for i := 0; i < n; i++ {
+		f := va.Type().Field(i)
+		if f.Type.Kind() != reflect.Uint64 {
+			t.Fatalf("Stats field %s is %s; this test (and Merge) assume uint64 counters", f.Name, f.Type)
+		}
+		va.Field(i).SetUint(uint64(i + 1))
+		vb.Field(i).SetUint(uint64(1000 + 10*i))
+	}
+	a.Merge(&b)
+	for i := 0; i < n; i++ {
+		want := uint64(i+1) + uint64(1000+10*i)
+		if got := va.Field(i).Uint(); got != want {
+			t.Errorf("Merge dropped field %s: got %d, want %d", va.Type().Field(i).Name, got, want)
+		}
+	}
+	if got := vb.Field(0).Uint(); got != 1000 {
+		t.Errorf("Merge mutated its argument: field 0 = %d", got)
+	}
+}
+
+// TestCheckPoolInvariantConcurrent saturates a small pool from many
+// goroutines and asserts the no-silent-drop invariant: every Do call is
+// either admitted or shed (pool accounting), and every one of them lands
+// in some guard's Stats.Checks (guard accounting), with the shed counts
+// agreeing between the two ledgers.
+func TestCheckPoolInvariantConcurrent(t *testing.T) {
+	a := analyze(t, apps.Vulnd())
+	a.train(t, benignTraffic())
+	as, err := a.app.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := guard.NewCheckPool(2)
+	pool.Deadline = 100 * time.Microsecond
+	pool.QueueLimit = 1
+	pool.RetryBackoff = 20 * time.Microsecond
+	pool.Stall = func() time.Duration { return 200 * time.Microsecond }
+
+	modes := []guard.DegradedMode{guard.FailClosed, guard.FailOpen, guard.SlowPathRetry}
+	const goroutines, iters = 8, 25
+	guards := make([]*guard.Guard, goroutines)
+	for i := range guards {
+		tr := ipt.NewTracer(ipt.NewToPA(4096))
+		if err := tr.WriteMSR(ipt.MSRRTITCtl, ctlTrace); err != nil {
+			t.Fatal(err)
+		}
+		pol := guard.DefaultPolicy()
+		pol.OnDegraded = modes[i%len(modes)]
+		pol.RetryMax = 2
+		guards[i] = guard.New(as, a.ocfg, a.ig, tr, pol)
+	}
+
+	var wg sync.WaitGroup
+	for i := range guards {
+		wg.Add(1)
+		go func(g *guard.Guard) {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				res := pool.Do(g)
+				// The tracers never record anything, so the only possible
+				// violations are shed fail-closed verdicts.
+				if res.Verdict == guard.VerdictViolation && !res.Degraded {
+					t.Errorf("non-degraded violation over an empty trace: %+v", res)
+				}
+			}
+		}(guards[i])
+	}
+	wg.Wait()
+
+	ps := pool.Snapshot()
+	const total = uint64(goroutines * iters)
+	if ps.Checks+ps.Shed != total {
+		t.Fatalf("pool ledger leaks: admitted %d + shed %d != %d Do calls", ps.Checks, ps.Shed, total)
+	}
+	var sumChecks, sumShed, sumFailOpen, sumFailClosed uint64
+	for i, g := range guards {
+		sumChecks += g.Stats.Checks
+		sumShed += g.Stats.Shed
+		sumFailOpen += g.Stats.FailOpens
+		sumFailClosed += g.Stats.FailClosures
+		if g.Stats.Checks == 0 {
+			t.Errorf("guard %d recorded no checks", i)
+		}
+	}
+	if sumChecks != ps.Checks+ps.Shed {
+		t.Fatalf("guard ledger disagrees with pool: %d guard checks vs %d admitted + %d shed",
+			sumChecks, ps.Checks, ps.Shed)
+	}
+	if sumShed != ps.Shed {
+		t.Fatalf("shed counts disagree: guards say %d, pool says %d", sumShed, ps.Shed)
+	}
+	if sumFailOpen+sumFailClosed != ps.Shed {
+		t.Fatalf("every shed check must resolve fail-open or fail-closed: %d + %d != %d",
+			sumFailOpen, sumFailClosed, ps.Shed)
+	}
+	if ps.Shed == 0 {
+		t.Fatal("pool never shed a check; invariant not exercised (raise the stall)")
+	}
+	if ps.Retried == 0 {
+		t.Error("SlowPathRetry guards never retried admission; invariant not exercised")
+	}
+}

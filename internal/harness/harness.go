@@ -101,6 +101,21 @@ func (r *Runner) Train(an *Analysis) error {
 // traceRun executes the app on input with IPT attached and returns the
 // extracted TIP window over the whole run.
 func (r *Runner) traceRun(a *apps.App, input []byte) ([]ipt.TIPRecord, error) {
+	raw, err := r.traceBytes(a, input)
+	if err != nil {
+		return nil, err
+	}
+	evs, err := ipt.DecodeFast(raw)
+	if err != nil {
+		return nil, err
+	}
+	return ipt.ExtractTIPs(evs), nil
+}
+
+// traceBytes executes the app on input with IPT attached and returns the
+// raw trace stream (the differential oracle trains both pipelines from
+// the identical bytes).
+func (r *Runner) traceBytes(a *apps.App, input []byte) ([]byte, error) {
 	k := kernelsim.New()
 	p, err := a.Spawn(k, input)
 	if err != nil {
@@ -119,11 +134,7 @@ func (r *Runner) traceRun(a *apps.App, input []byte) ([]ipt.TIPRecord, error) {
 		return nil, fmt.Errorf("harness: training run of %s: %v", a.Name, st)
 	}
 	tr.Flush()
-	evs, err := ipt.DecodeFast(tr.Out.Snapshot())
-	if err != nil {
-		return nil, err
-	}
-	return ipt.ExtractTIPs(evs), nil
+	return tr.Out.Snapshot(), nil
 }
 
 // Baseline runs the app unprotected and untraced, returning execution

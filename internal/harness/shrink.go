@@ -1,0 +1,122 @@
+package harness
+
+// Failure minimization and replayable seed artifacts for the
+// differential property suite: a failing trace shrinks to a
+// packet-aligned minimum and is dumped as a JSON artifact that
+// TestOracleReplay re-runs bit-for-bit.
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"flowguard/internal/oracle"
+)
+
+// packetOffsets returns every packet boundary of the parseable prefix
+// plus the end-of-stream sentinel.
+func packetOffsets(raw []byte) []int {
+	pkts, _, err := oracle.ParsePackets(raw)
+	if err != nil {
+		return nil
+	}
+	offs := make([]int, 0, len(pkts)+1)
+	for _, p := range pkts {
+		offs = append(offs, p.Off)
+	}
+	offs = append(offs, len(raw))
+	return offs
+}
+
+// ShrinkTrace minimizes a failing trace while fails keeps holding:
+// packet-aligned span removal with geometrically shrinking span sizes,
+// looped to a fixed point (delta debugging without the external
+// dependency).
+func ShrinkTrace(raw []byte, fails func([]byte) bool) []byte {
+	cur := append([]byte(nil), raw...)
+	if !fails(cur) {
+		return cur
+	}
+	for improved := true; improved; {
+		improved = false
+		offs := packetOffsets(cur)
+		if len(offs) < 2 {
+			return cur
+		}
+		for span := (len(offs) - 1) / 2; span >= 1; span /= 2 {
+			for i := 0; i+span < len(offs); {
+				cand := append(append([]byte(nil), cur[:offs[i]]...), cur[offs[i+span]:]...)
+				if len(cand) < len(cur) && fails(cand) {
+					cur = cand
+					improved = true
+					offs = packetOffsets(cur)
+					if len(offs) < 2 {
+						return cur
+					}
+					if span > (len(offs)-1)/2 {
+						span = (len(offs) - 1) / 2
+						if span < 1 {
+							return cur
+						}
+					}
+				} else {
+					i++
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// SeedArtifact is a self-contained reproduction of one property
+// failure.
+type SeedArtifact struct {
+	// Property names the failed property (TestOracleReplay dispatches
+	// on it).
+	Property string `json:"property"`
+	// Seed is the generator seed of the failing case.
+	Seed int64 `json:"seed"`
+	// Mode is the degraded-mode policy (guard.DegradedMode value).
+	Mode int `json:"mode"`
+	// Chunks is the stream-replay chunking.
+	Chunks int `json:"chunks"`
+	// Pick parameterizes the mutation (e.g. which TIP was retargeted).
+	Pick int `json:"pick"`
+	// TraceHex is the (minimized) raw trace.
+	TraceHex string `json:"trace_hex"`
+}
+
+// Trace decodes the artifact's raw trace bytes.
+func (a *SeedArtifact) Trace() ([]byte, error) {
+	return hex.DecodeString(a.TraceHex)
+}
+
+// DumpSeedArtifact writes the artifact next to the test binary's temp
+// space and returns its path.
+func DumpSeedArtifact(a *SeedArtifact) (string, error) {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(os.TempDir(),
+		fmt.Sprintf("flowguard-oracle-%s-seed%d.json", a.Property, a.Seed))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadSeedArtifact reads an artifact dumped by DumpSeedArtifact.
+func LoadSeedArtifact(path string) (*SeedArtifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a := &SeedArtifact{}
+	if err := json.Unmarshal(data, a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

@@ -89,6 +89,13 @@ type Graph struct {
 	// paths holds the trained consecutive-edge pairs for the optional
 	// path-sensitive fast path (see paths.go).
 	paths map[uint64]struct{}
+
+	// labelGen counts label-snapshot publications (RebuildCache calls).
+	// A rebuilt snapshot may relabel edges, so consumers caching
+	// verdicts derived from the labels — the guard's approval cache —
+	// key their validity on this generation and re-earn verdicts after
+	// it advances.
+	labelGen atomic.Uint64
 }
 
 // labelSnap is a deep, immutable copy of the training labels. Deep
@@ -362,7 +369,12 @@ func (g *Graph) RebuildCache() {
 		}
 	}
 	g.snap.Store(s)
+	g.labelGen.Add(1)
 }
+
+// LabelGen returns the label-snapshot generation: the number of
+// RebuildCache publications so far. Lock-free.
+func (g *Graph) LabelGen() uint64 { return g.labelGen.Load() }
 
 // CacheLookup checks the high-credit cache only; a miss does not imply a
 // violation (fall back to Lookup). Lock-free after RebuildCache.

@@ -1,0 +1,66 @@
+package oracle
+
+// The oracle's value as a differential reference depends on sharing no
+// decode or check code with the production pipeline. This test enforces
+// the boundary mechanically: the package may import only the ground
+// truth both pipelines are defined against (isa, module, cfg) plus the
+// standard library.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// forbiddenImports are the production packages whose decode/check logic
+// the oracle re-derives rather than reuses.
+var forbiddenImports = []string{
+	"flowguard/internal/guard",
+	"flowguard/internal/itc",
+	"flowguard/internal/trace",
+	"flowguard/internal/trace/ipt",
+}
+
+// allowedProjectImports is the closed list of in-module packages the
+// oracle (non-test files) may depend on.
+var allowedProjectImports = map[string]bool{
+	"flowguard/internal/cfg":    true,
+	"flowguard/internal/isa":    true,
+	"flowguard/internal/module": true,
+}
+
+func TestOracleImportIsolation(t *testing.T) {
+	ents, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for _, bad := range forbiddenImports {
+				if path == bad || strings.HasPrefix(path, bad+"/") {
+					t.Errorf("%s imports %s: the oracle must not share code with the production pipeline", name, path)
+				}
+			}
+			if strings.HasPrefix(path, "flowguard/") && !allowedProjectImports[path] {
+				t.Errorf("%s imports %s: not on the oracle's allowed project-import list", name, path)
+			}
+		}
+	}
+}

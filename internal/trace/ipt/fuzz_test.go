@@ -88,6 +88,29 @@ func FuzzWindowDecoder(f *testing.F) {
 		s = appendIPPacket(s, opTIP, 0x400100, &last)
 		f.Add(s, 2)
 	}
+	{
+		// IP-byte compression rollover: a full-width IP establishes
+		// last-IP, then 2-byte-compressed TIPs move the low 16 bits
+		// downward (the reconstruction must keep the upper bits rather
+		// than borrow), with chunk sizes that split the 3-byte packets
+		// mid-payload — the seam shape AppendSince hands the decoder
+		// when a packet straddles a ToPA region boundary.
+		var last uint64
+		s := appendIPPacket(nil, opTIP, 0x4afffe, &last)
+		s = appendIPPacket(s, opTIP, 0x4a0002, &last) // ipb=1, low bytes wrap down
+		s = appendIPPacket(s, opTIP, 0x4aff00, &last) // ipb=1, back up
+		f.Add(s, 2)
+		f.Add(s, 5)
+	}
+	{
+		// 4-byte compression split mid-payload: the target changes bits
+		// 16..31 as the low 16 roll over.
+		var last uint64
+		s := appendIPPacket(nil, opTIP, 0x4afffe, &last)
+		s = appendIPPacket(s, opTIP, 0x4b0001, &last) // ipb=2
+		s = appendIPPacket(s, opTIP, 0x4afffc, &last) // ipb=2 back down
+		f.Add(s, 3)
+	}
 	f.Fuzz(func(t *testing.T, body []byte, chunk int) {
 		if chunk <= 0 {
 			chunk = 1
@@ -121,4 +144,162 @@ func FuzzWindowDecoder(f *testing.F) {
 			t.Fatalf("incremental decode diverges from batch: %d vs %d records", len(got), len(want))
 		}
 	})
+}
+
+// FuzzTNTAnnotations drives TNT-annotation extraction with generated
+// TNT/TIP scripts: the TNT signature and length attached to every TIP
+// record must equal an independently folded ground truth, in both the
+// batch and the incremental decoder.
+func FuzzTNTAnnotations(f *testing.F) {
+	f.Add([]byte{}, 3)
+	f.Add([]byte{0b101<<3 | 1, 0x00, 0b11<<3 | 2}, 1)
+	f.Add([]byte{0x00, 0x00, 0x00}, 2)
+	{
+		// A run past TNTRunCap followed by a TIP: the wildcard case.
+		long := make([]byte, 8)
+		for i := range long {
+			long[i] = 0b10101<<3 | 5
+		}
+		f.Add(append(long, 0x00), 4)
+	}
+
+	f.Fuzz(func(t *testing.T, script []byte, chunk int) {
+		if chunk <= 0 {
+			chunk = 1
+		}
+		buf := appendPSB(nil)
+		var last uint64
+		ip := uint64(0x400000)
+		var run []bool
+		type truth struct {
+			sig uint64
+			n   int
+		}
+		var want []truth
+		flush := func() {
+			sig, n := TNTSigEmpty, len(run)
+			if n > TNTRunCap {
+				sig = TNTSigLongRun
+			} else {
+				for _, taken := range run {
+					sig = TNTSigAppend(sig, taken)
+				}
+			}
+			want = append(want, truth{sig, n})
+			run = run[:0]
+		}
+		for _, b := range script {
+			if b&0x07 == 0 {
+				ip += 0x40 + uint64(b>>3)
+				buf = appendIPPacket(buf, opTIP, ip, &last)
+				flush()
+				continue
+			}
+			n := 1 + int(b&0x07)%maxTNTBits
+			bits := b >> 3
+			var err error
+			if buf, err = appendTNT(buf, bits, n); err != nil {
+				t.Fatalf("appendTNT(%#x, %d): %v", bits, n, err)
+			}
+			for i := 0; i < n; i++ {
+				run = append(run, bits>>i&1 == 1)
+			}
+		}
+
+		evs, err := DecodeFast(buf)
+		if err != nil {
+			t.Fatalf("generated stream rejected: %v", err)
+		}
+		recs := ExtractTIPs(evs)
+		if len(recs) != len(want) {
+			t.Fatalf("%d TIP records, want %d", len(recs), len(want))
+		}
+		for i, r := range recs {
+			if r.TNTSig != want[i].sig || r.TNTLen != want[i].n {
+				t.Fatalf("record %d: sig %#x len %d, want %#x len %d",
+					i, r.TNTSig, r.TNTLen, want[i].sig, want[i].n)
+			}
+		}
+
+		// The incremental decoder must annotate identically under any
+		// chunking.
+		d := NewWindowDecoder(0)
+		for off := 0; off < len(buf); off += chunk {
+			end := off + chunk
+			if end > len(buf) {
+				end = len(buf)
+			}
+			if err := d.Feed(buf[off:end]); err != nil {
+				t.Fatalf("incremental feed rejected generated stream: %v", err)
+			}
+		}
+		if got := d.Tips(); !reflect.DeepEqual(got, recs) {
+			t.Fatalf("incremental TNT annotations diverge from batch (%d vs %d records)", len(got), len(recs))
+		}
+	})
+}
+
+// TestIPCompressionRolloverAcrossRegions is the regression test for the
+// fuzz-corpus gap where a 2-byte-compressed TIP payload straddles a ToPA
+// region boundary while the low 16 bits of the IP roll downward: the
+// incremental decoder fed AppendSince slices across the seam must
+// reconstruct the same absolute IPs as a batch decode of the stitched
+// snapshot.
+func TestIPCompressionRolloverAcrossRegions(t *testing.T) {
+	const region = 32
+	topa := NewToPA(region, region)
+
+	var raw []byte
+	raw = appendPSB(raw) // 16 bytes
+	var last uint64
+	raw = appendIPPacket(raw, opTIP, 0x7ffffa, &last) // ipb=2, 5 bytes -> 21
+	raw = append(raw, make([]byte, 7)...)             // PAD to 28
+	raw = appendIPPacket(raw, opTIP, 0x7ffffe, &last) // ipb=1, 3 bytes -> 31
+	// Header at 31, payload at 32/33: the payload bytes land in the
+	// second region while the low 16 bits wrap downward.
+	raw = appendIPPacket(raw, opTIP, 0x7f0004, &last)
+	raw = appendIPPacket(raw, opTIP, 0x7fff02, &last) // and back up
+	if len(raw) <= region || len(raw) > 2*region {
+		t.Fatalf("stream is %d bytes; want one region < len <= two regions", len(raw))
+	}
+	if hdr := raw[31] &^ (3 << 5); hdr != opTIP {
+		t.Fatalf("byte 31 is %#x, want a TIP header straddling the region seam", raw[31])
+	}
+
+	// Feed the decoder exactly as the guard does: AppendSince deltas
+	// after every burst of writes, with a burst boundary mid-payload.
+	d := NewWindowDecoder(0)
+	var consumed uint64
+	var carry []byte
+	prev := 0
+	for _, cut := range []int{19, 33, len(raw)} {
+		topa.Write(raw[prev:cut])
+		prev = cut
+		nb, ok := topa.AppendSince(carry[:0], consumed)
+		if !ok {
+			t.Fatalf("AppendSince failed at cut %d", cut)
+		}
+		consumed += uint64(len(nb))
+		if err := d.Feed(nb); err != nil {
+			t.Fatalf("incremental feed at cut %d: %v", cut, err)
+		}
+	}
+
+	evs, err := DecodeFast(topa.Snapshot())
+	if err != nil {
+		t.Fatalf("batch decode: %v", err)
+	}
+	batch := ExtractTIPs(evs)
+	want := []uint64{0x7ffffa, 0x7ffffe, 0x7f0004, 0x7fff02}
+	if len(batch) != len(want) {
+		t.Fatalf("batch extracted %d records, want %d", len(batch), len(want))
+	}
+	for i, r := range batch {
+		if r.IP != want[i] {
+			t.Fatalf("batch record %d IP %#x, want %#x (compression rollover mis-merged)", i, r.IP, want[i])
+		}
+	}
+	if got := d.Tips(); !reflect.DeepEqual(got, batch) {
+		t.Fatalf("incremental decode across the region seam diverges from batch:\n got  %+v\n want %+v", got, batch)
+	}
 }
