@@ -3,7 +3,13 @@
 
 GO ?= go
 
-.PHONY: all test test-short race bench experiments examples vet fmt cover chaos fuzz-smoke fuzz oracle-soak cover-ratchet
+# staticcheck is optional locally (the repo is stdlib-only and cannot
+# vendor it); CI installs exactly this version so local runs of
+# `make staticcheck` agree with the lint job. Keep the two in sync via
+# this single variable — ci.yml reads it out of the Makefile.
+STATICCHECK_VERSION ?= 2025.1.1
+
+.PHONY: all test test-short race bench experiments examples vet fgvet staticcheck fmt cover chaos fuzz-smoke fuzz oracle-soak cover-ratchet
 
 all: vet test
 
@@ -60,8 +66,27 @@ cover-ratchet:
 	check ./internal/guard/ $(COVER_FLOOR_GUARD) && \
 	check ./internal/trace/ipt/ $(COVER_FLOOR_IPT)
 
-vet:
+# vet is the pre-commit gate (and part of `make all`): the stock go vet
+# suite plus fgvet, the repo's own analyzers (oracle import isolation,
+# fail-closed verdict handling, hot-path allocation, stats lockstep,
+# lock discipline). fgvet exits non-zero on any unsuppressed finding.
+vet: fgvet
 	$(GO) vet ./...
+
+fgvet:
+	$(GO) run ./cmd/fgvet -quiet ./...
+
+# staticcheck runs honnef.co's suite when the binary is available (CI
+# pins it; locally install the same version or skip). `go run` would
+# need network access to fetch the module, so this requires a
+# preinstalled binary on PATH.
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 || { \
+	  echo "staticcheck not installed; CI runs $(STATICCHECK_VERSION). Install with:"; \
+	  echo "  go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
+	  exit 1; \
+	}
+	staticcheck ./...
 
 fmt:
 	gofmt -l .

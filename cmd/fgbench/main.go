@@ -241,6 +241,8 @@ func main() {
 		}
 		fmt.Println(" ", res)
 		fmt.Println("  (checks for concurrent processes are offloaded to a bounded worker pool)")
+		fmt.Println("  merged guard stats across the fleet:")
+		fmt.Print(harness.FormatStats(&res.Agg))
 	}
 
 	if *all || *chaos > 0 {

@@ -1,0 +1,110 @@
+// Command fgvet is FlowGuard's domain-specific multichecker: it runs
+// the internal/analysis suite over the module and fails on any
+// unsuppressed finding. It is part of `make vet` and the CI lint job;
+// the analyzers turn the repo's implicit contracts into build gates:
+//
+//	oracleisolation  the differential oracle shares no code with the
+//	                 production pipeline (DESIGN.md §7)
+//	failclosed       Verdict/TraceHealth decisions are exhaustive and
+//	                 never pass from a default branch (§7.1.2)
+//	hotpathalloc     //fg:hotpath functions stay allocation-free (§5.3)
+//	statssync        guard.Stats, Stats.Merge, the oracle comparison
+//	                 and the reporters stay in lockstep
+//	lockdiscipline   no checker lock held across blocking operations or
+//	                 callbacks (§6)
+//
+// Findings are suppressed line-by-line with a documented
+//
+//	//fg:ignore <analyzer> <reason>
+//
+// and every suppression is echoed in the output (with -quiet they are
+// counted but not printed), so exceptions stay visible. Stale or
+// undocumented suppressions are errors.
+//
+// Usage:
+//
+//	fgvet [-quiet] [-list] [packages]
+//
+// With no package patterns, ./... is checked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flowguard/internal/analysis"
+	"flowguard/internal/analysis/failclosed"
+	"flowguard/internal/analysis/hotpathalloc"
+	"flowguard/internal/analysis/lockdiscipline"
+	"flowguard/internal/analysis/oracleisolation"
+	"flowguard/internal/analysis/statssync"
+)
+
+// analyzers is the full suite, in stable output order.
+var analyzers = []*analysis.Analyzer{
+	failclosed.Analyzer,
+	hotpathalloc.Analyzer,
+	lockdiscipline.Analyzer,
+	oracleisolation.Analyzer,
+	statssync.Analyzer,
+}
+
+func main() {
+	quiet := flag.Bool("quiet", false, "do not print suppressed findings")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fail(err)
+	}
+	loader := analysis.NewLoader(wd)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fail(err)
+	}
+
+	bad, suppressed := 0, 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fail(err)
+		}
+		for _, f := range findings {
+			if f.Suppressed {
+				suppressed++
+				if !*quiet {
+					fmt.Println(f)
+				}
+				continue
+			}
+			bad++
+			fmt.Println(f)
+		}
+	}
+	if suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "fgvet: %d finding(s) suppressed by documented //fg:ignore\n", suppressed)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "fgvet: %d finding(s) in %d package(s)\n", bad, len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fgvet:", err)
+	os.Exit(1)
+}

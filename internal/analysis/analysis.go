@@ -1,0 +1,75 @@
+// Package analysis is a small, stdlib-only analogue of
+// golang.org/x/tools/go/analysis: enough driver machinery to write
+// domain-specific static checkers for this repository without pulling
+// in a dependency. FlowGuard's security argument rests on invariants
+// the compiler cannot see — fail-closed verdict handling, the
+// zero-allocation fast path, the oracle's import isolation — and the
+// analyzers built on this package (see cmd/fgvet) turn those implicit
+// contracts into machine-checked ones.
+//
+// An Analyzer inspects one package at a time. The driver hands it a
+// Pass holding the parsed files and (for NeedTypes analyzers) the
+// type-checked package and types.Info; the analyzer reports findings
+// via Pass.Reportf. Findings can be suppressed at the offending line
+// with a documented comment:
+//
+//	//fg:ignore <analyzer> <reason>
+//
+// placed on the flagged line or on the line directly above it. The
+// reason is mandatory: an undocumented suppression is itself an error.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //fg:ignore comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// NeedTypes requests a fully type-checked Pass. Analyzers that
+	// only look at syntax (imports, comments) leave it false and can
+	// run without a working build cache.
+	NeedTypes bool
+	// Run performs the check and reports findings on the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass holds the per-package inputs handed to an Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test files, parsed with comments.
+	Files []*ast.File
+	// PkgPath is the package's import path ("flowguard/internal/guard").
+	PkgPath string
+	// Pkg and TypesInfo are nil unless Analyzer.NeedTypes is set.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the findings reported so far, in position order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diags, func(i, j int) bool { return p.diags[i].Pos < p.diags[j].Pos })
+	return p.diags
+}

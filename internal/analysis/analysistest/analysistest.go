@@ -1,0 +1,183 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its findings against the fixtures' want comments — the
+// repo's miniature analogue of golang.org/x/tools/go/analysis/analysistest.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+
+	"flowguard/internal/analysis"
+)
+
+// Fixture packages live
+// under an analyzer's testdata/ directory (which the go tool skips), and
+// lines expecting a diagnostic carry a trailing comment of the form
+//
+//	// want "regexp"
+//
+// with one quoted regexp per expected diagnostic on that line. The
+// fixtures must be valid, compiling Go: they demonstrate that an
+// injected violation fails the build gate without ever breaking main.
+
+var (
+	sharedLoaderOnce sync.Once
+	sharedLoader     *analysis.Loader
+	sharedLoaderErr  error
+)
+
+// TestLoader returns a process-wide loader rooted at the enclosing
+// module, so every analyzer test shares one `go list -export` walk.
+func TestLoader() (*analysis.Loader, error) {
+	sharedLoaderOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			sharedLoaderErr = err
+			return
+		}
+		sharedLoader = analysis.NewLoader(root)
+	})
+	return sharedLoader, sharedLoaderErr
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// RunFixture loads the fixture directory as a package named pkgPath,
+// runs the analyzer, and checks the findings against the fixture's
+// want comments. Suppressed findings count as absent, so fixtures also
+// exercise the //fg:ignore machinery.
+func RunFixture(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+	var pkg *analysis.Package
+	var err error
+	if a.NeedTypes {
+		var l *analysis.Loader
+		l, err = TestLoader()
+		if err != nil {
+			t.Fatalf("loader: %v", err)
+		}
+		pkg, err = l.LoadDir(dir, pkgPath)
+	} else {
+		pkg, err = analysis.ParseDir(dir, pkgPath)
+	}
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	checkExpectations(t, pkg, findings)
+}
+
+// expectation is one want comment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// collectWants extracts the want expectations from the fixture files.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range splitQuoted(m[1]) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted returns the double-quoted tokens of s.
+func splitQuoted(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		if s[i] != '"' {
+			continue
+		}
+		j := i + 1
+		for j < len(s) && s[j] != '"' {
+			if s[j] == '\\' {
+				j++
+			}
+			j++
+		}
+		if j < len(s) {
+			out = append(out, s[i:j+1])
+			i = j
+		}
+	}
+	return out
+}
+
+// checkExpectations matches findings against want comments 1:1.
+func checkExpectations(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, fd := range findings {
+		if fd.Suppressed {
+			continue
+		}
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != fd.Position.Filename || w.line != fd.Position.Line {
+				continue
+			}
+			if w.re.MatchString(fd.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", fd)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one driver-level result: a diagnostic resolved to a file
+// position, with suppression state attached.
+type Finding struct {
+	Analyzer   string
+	Position   token.Position
+	Message    string
+	Suppressed bool
+	// SuppressReason is the documented justification when Suppressed.
+	SuppressReason string
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+	if f.Suppressed {
+		s += " (suppressed: " + f.SuppressReason + ")"
+	}
+	return s
+}
+
+// ignoreDirective is one parsed //fg:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	line     int
+	used     bool
+	pos      token.Position
+}
+
+// collectIgnores parses the //fg:ignore directives of a file. A
+// directive with no analyzer name or no reason is reported as a
+// finding itself: suppressions must say what they suppress and why.
+func collectIgnores(fset *token.FileSet, f *ast.File) (dirs []*ignoreDirective, bad []Finding) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//fg:ignore")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(text)
+			if len(fields) < 2 {
+				bad = append(bad, Finding{
+					Analyzer: "fgvet",
+					Position: pos,
+					Message:  "malformed //fg:ignore: want \"//fg:ignore <analyzer> <reason>\"",
+				})
+				continue
+			}
+			dirs = append(dirs, &ignoreDirective{
+				analyzer: fields[0],
+				reason:   strings.Join(fields[1:], " "),
+				line:     pos.Line,
+				pos:      pos,
+			})
+		}
+	}
+	return dirs, bad
+}
+
+// Run executes the analyzers over one loaded package and resolves
+// suppressions. Every unused //fg:ignore directive is itself reported:
+// a suppression that no longer suppresses anything is stale and must
+// be deleted, so suppressions can never outlive the finding they
+// documented.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	var ignores []*ignoreDirective
+	var findings []Finding
+	for _, f := range pkg.Files {
+		dirs, bad := collectIgnores(pkg.Fset, f)
+		ignores = append(ignores, dirs...)
+		findings = append(findings, bad...)
+	}
+	for _, a := range analyzers {
+		if a.NeedTypes && pkg.Types == nil {
+			return nil, fmt.Errorf("analyzer %s needs types but package %s was loaded syntax-only", a.Name, pkg.Path)
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			PkgPath:   pkg.Path,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+		}
+		for _, d := range pass.Diagnostics() {
+			fd := Finding{
+				Analyzer: a.Name,
+				Position: pkg.Fset.Position(d.Pos),
+				Message:  d.Message,
+			}
+			if dir := matchIgnore(ignores, a.Name, fd.Position); dir != nil {
+				dir.used = true
+				fd.Suppressed = true
+				fd.SuppressReason = dir.reason
+			}
+			findings = append(findings, fd)
+		}
+	}
+	for _, dir := range ignores {
+		if !dir.used {
+			findings = append(findings, Finding{
+				Analyzer: "fgvet",
+				Position: dir.pos,
+				Message:  fmt.Sprintf("stale //fg:ignore %s: no %s finding on this or the next line", dir.analyzer, dir.analyzer),
+			})
+		}
+	}
+	sort.SliceStable(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}
+
+// matchIgnore finds a directive for the analyzer sitting on the
+// finding's line (trailing comment) or the line above it (standalone
+// comment).
+func matchIgnore(dirs []*ignoreDirective, analyzer string, pos token.Position) *ignoreDirective {
+	for _, d := range dirs {
+		if d.analyzer != analyzer {
+			continue
+		}
+		if samePosFile(d.pos, pos) && (d.line == pos.Line || d.line == pos.Line-1) {
+			return d
+		}
+	}
+	return nil
+}
+
+func samePosFile(a, b token.Position) bool { return a.Filename == b.Filename }

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFixture materializes one file as a parseable package dir.
+func writeFixture(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// flagReturns is a toy analyzer reporting every return statement.
+var flagReturns = &Analyzer{
+	Name: "flagreturns",
+	Doc:  "test analyzer: flags every return statement",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					p.Reportf(r.Pos(), "return statement")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func runOn(t *testing.T, src string) []Finding {
+	t.Helper()
+	pkg, err := ParseDir(writeFixture(t, src), "example/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(pkg, []*Analyzer{flagReturns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func TestSuppressionOnSameLine(t *testing.T) {
+	fs := runOn(t, `package p
+func f() int {
+	return 1 //fg:ignore flagreturns documented reason
+}
+`)
+	if len(fs) != 1 || !fs[0].Suppressed || fs[0].SuppressReason != "documented reason" {
+		t.Fatalf("want one suppressed finding with its reason, got %v", fs)
+	}
+}
+
+func TestSuppressionOnPrecedingLine(t *testing.T) {
+	fs := runOn(t, `package p
+func f() int {
+	//fg:ignore flagreturns reason above the line
+	return 1
+}
+`)
+	if len(fs) != 1 || !fs[0].Suppressed {
+		t.Fatalf("want one suppressed finding, got %v", fs)
+	}
+}
+
+func TestSuppressionWrongAnalyzerDoesNotApply(t *testing.T) {
+	fs := runOn(t, `package p
+func f() int {
+	return 1 //fg:ignore otheranalyzer reason
+}
+`)
+	var unsuppressed, stale int
+	for _, f := range fs {
+		if f.Analyzer == "flagreturns" && !f.Suppressed {
+			unsuppressed++
+		}
+		if f.Analyzer == "fgvet" && strings.Contains(f.Message, "stale") {
+			stale++
+		}
+	}
+	if unsuppressed != 1 || stale != 1 {
+		t.Fatalf("want the finding unsuppressed and the mismatched directive reported stale, got %v", fs)
+	}
+}
+
+func TestMalformedIgnoreReported(t *testing.T) {
+	fs := runOn(t, `package p
+//fg:ignore flagreturns
+func f() {}
+`)
+	found := false
+	for _, f := range fs {
+		if f.Analyzer == "fgvet" && strings.Contains(f.Message, "malformed //fg:ignore") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want a malformed-ignore finding, got %v", fs)
+	}
+}
+
+func TestStaleIgnoreReported(t *testing.T) {
+	fs := runOn(t, `package p
+//fg:ignore flagreturns nothing to suppress here
+var x = 1
+`)
+	if len(fs) != 1 || !strings.Contains(fs[0].Message, "stale //fg:ignore") {
+		t.Fatalf("want exactly the stale-directive finding, got %v", fs)
+	}
+}
+
+func TestFindingsSortedByPosition(t *testing.T) {
+	fs := runOn(t, `package p
+func a() int { return 1 }
+func b() int { return 2 }
+`)
+	if len(fs) != 2 || fs[0].Position.Line > fs[1].Position.Line {
+		t.Fatalf("want two findings in position order, got %v", fs)
+	}
+}

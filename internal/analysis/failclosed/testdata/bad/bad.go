@@ -1,0 +1,66 @@
+// Package fixture injects every violation class of the fail-closed
+// contract: a non-exhaustive verdict switch, a default branch that
+// passes, and pass-by-exclusion ifs.
+package fixture
+
+// Verdict mirrors guard.Verdict with a third value, modeling the
+// enumeration growing after the decision sites below were written.
+type Verdict uint8
+
+const (
+	VerdictClean Verdict = iota
+	VerdictViolation
+	VerdictDeferred
+)
+
+// TraceHealth mirrors guard.TraceHealth.
+type TraceHealth uint8
+
+const (
+	HealthClean TraceHealth = iota
+	HealthResynced
+	HealthGap
+)
+
+func nonExhaustive(v Verdict) string {
+	switch v { // want "not exhaustive: missing VerdictDeferred"
+	case VerdictClean:
+		return "clean"
+	case VerdictViolation:
+		return "violation"
+	}
+	return "?"
+}
+
+func defaultPasses(v Verdict) Verdict {
+	switch v {
+	case VerdictClean, VerdictViolation, VerdictDeferred:
+		return v
+	default:
+		return VerdictClean // want "default branch of a switch over fixture.Verdict must not produce the passing value VerdictClean"
+	}
+}
+
+func healthDefaultPasses(h TraceHealth) TraceHealth {
+	switch h { // want "not exhaustive: missing HealthClean"
+	case HealthResynced, HealthGap:
+		return h
+	default:
+		return HealthClean // want "default branch of a switch over fixture.TraceHealth must not produce the passing value HealthClean"
+	}
+}
+
+func exclusionEq(v Verdict) Verdict {
+	if v == VerdictViolation {
+		return v
+	} else {
+		return VerdictClean // want "passing value VerdictClean reached by excluding only VerdictViolation"
+	}
+}
+
+func exclusionNeq(h TraceHealth) TraceHealth {
+	if h != HealthGap {
+		return HealthClean // want "passing value HealthClean reached by excluding only HealthGap"
+	}
+	return h
+}

@@ -1,0 +1,71 @@
+// Package fixture holds the allowed shapes: exhaustive switches,
+// defaults that fail closed, explicit comparisons against the passing
+// value, and a documented suppression.
+package fixture
+
+type Verdict uint8
+
+const (
+	VerdictClean Verdict = iota
+	VerdictViolation
+)
+
+type TraceHealth uint8
+
+const (
+	HealthClean TraceHealth = iota
+	HealthResynced
+	HealthGap
+	HealthMalformed
+)
+
+func exhaustive(v Verdict) string {
+	switch v {
+	case VerdictClean:
+		return "clean"
+	case VerdictViolation:
+		return "violation"
+	}
+	return "?"
+}
+
+// defaultFailsClosed names every value AND keeps a fail-closed default
+// for values that do not exist yet.
+func defaultFailsClosed(h TraceHealth) Verdict {
+	switch h {
+	case HealthClean:
+		return VerdictClean
+	case HealthResynced, HealthGap, HealthMalformed:
+		return VerdictViolation
+	default:
+		return VerdictViolation
+	}
+}
+
+// explicitCleanComparison names its case: passing on == clean is the
+// contract, not a violation of it.
+func explicitCleanComparison(v Verdict) bool {
+	if v == VerdictClean {
+		return true
+	}
+	return false
+}
+
+// failClosedExclusion excludes a value but the excluded branch fails
+// closed — allowed.
+func failClosedExclusion(v Verdict) Verdict {
+	if v == VerdictClean {
+		return v
+	}
+	return VerdictViolation
+}
+
+// suppressed documents a deliberate exception; the driver must treat
+// it as handled and the fixture runner as absent.
+func suppressed(v Verdict) Verdict {
+	switch v { //fg:ignore failclosed fixture demonstrating a documented suppression
+	case VerdictViolation:
+		return v
+	}
+	return VerdictViolation
+}

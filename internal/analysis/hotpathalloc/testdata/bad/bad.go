@@ -1,0 +1,79 @@
+// Package fixture injects each allocation-forcing construct into an
+// annotated hot path.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+type rec struct {
+	ip  uint64
+	buf []byte
+}
+
+//fg:hotpath
+func fmtOnHotPath(r *rec) string {
+	return fmt.Sprintf("ip=%d", r.ip) // want "call to fmt.Sprintf on the hot path"
+}
+
+//fg:hotpath
+func sortClosure(a []uint64, x uint64) int {
+	return sort.Search(len(a), func(i int) bool { return a[i] >= x }) // want "call to sort.Search on the hot path"
+}
+
+//fg:hotpath
+func closure(n int) func() int {
+	f := func() int { return n } // want "closure on the hot path"
+	return f
+}
+
+//fg:hotpath
+func freshMap() int {
+	m := map[uint64]bool{1: true} // want "map literal allocates on the hot path"
+	return len(m)
+}
+
+//fg:hotpath
+func freshSliceLit() []int {
+	return []int{1, 2, 3} // want "slice literal allocates on the hot path"
+}
+
+//fg:hotpath
+func makeAlloc(n int) []byte {
+	return make([]byte, n) // want "make allocates on the hot path"
+}
+
+//fg:hotpath
+func newAlloc() *rec {
+	return new(rec) // want "new allocates on the hot path"
+}
+
+//fg:hotpath
+func appendFresh(r *rec) []byte {
+	var out []byte
+	out = append(out, r.buf...) // want "append to a non-scratch slice allocates per call"
+	return out
+}
+
+//fg:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates on the hot path"
+}
+
+//fg:hotpath
+func stringify(b []byte) string {
+	return string(b) // want "string conversion copies the byte slice"
+}
+
+//fg:hotpath
+func explicitBox(x uint64) any {
+	return any(x) // want "conversion boxes uint64 into any"
+}
+
+func sink(v any) {}
+
+//fg:hotpath
+func implicitBox(x uint64) {
+	sink(x) // want "argument boxes uint64 into interface parameter"
+}

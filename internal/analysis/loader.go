@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// Package is one loaded (and, when requested, type-checked) package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Types and Info are nil when the package was loaded syntax-only.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader reads.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Loader resolves and type-checks module packages from source, using
+// the build cache's export data (via `go list -export`) for every
+// dependency — the same offline-friendly technique the go vet driver
+// uses, built only on the standard library.
+type Loader struct {
+	// Dir is the module root the go tool runs in.
+	Dir string
+
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+	fset    *token.FileSet
+}
+
+// NewLoader returns a loader rooted at dir (a directory inside the
+// target module).
+func NewLoader(dir string) *Loader { return &Loader{Dir: dir} }
+
+// goList runs the go tool and decodes its JSON package stream.
+func (l *Loader) goList(patterns ...string) ([]*listedPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Error",
+		"-deps",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ensureImporter populates the export-data map and the gc importer.
+// The std pattern is included so analysistest fixtures may import any
+// standard-library package, not only those the module already uses.
+func (l *Loader) ensureImporter() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.imp != nil {
+		return nil
+	}
+	pkgs, err := l.goList("std", "./...")
+	if err != nil {
+		return err
+	}
+	l.exports = make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	l.fset = token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (package failed to build?)", path)
+		}
+		return os.Open(f)
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", lookup)
+	return nil
+}
+
+// newInfo returns a types.Info with every map analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Load parses and type-checks the module packages matching patterns
+// (non-test files only). Type errors are returned, not ignored: the
+// analyzers assume a compiling package.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if err := l.ensureImporter(); err != nil {
+		return nil, err
+	}
+	listed, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := l.checkFiles(lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the .go files in one directory that
+// is not necessarily a listable package (analysistest fixtures live in
+// testdata, which the go tool skips). pkgPath becomes the checked
+// package's import path, letting fixtures impersonate e.g. a package
+// under internal/oracle.
+func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
+	if err := l.ensureImporter(); err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if n := e.Name(); filepath.Ext(n) == ".go" {
+			files = append(files, n)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return l.checkFiles(pkgPath, dir, files)
+}
+
+// ParseDir parses (without type-checking) the non-test .go files of a
+// directory — the syntax-only path used by analyzers with
+// NeedTypes == false and by thin runtime wrappers in tests.
+func ParseDir(dir, pkgPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pkg := &Package{Path: pkgPath, Dir: dir, Fset: fset}
+	for _, e := range ents {
+		n := e.Name()
+		if filepath.Ext(n) != ".go" || isTestFile(n) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("no non-test .go files in %s", dir)
+	}
+	return pkg, nil
+}
+
+func isTestFile(name string) bool {
+	return len(name) > len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}
+
+// checkFiles parses and type-checks one file set as a package.
+func (l *Loader) checkFiles(pkgPath, dir string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{Path: pkgPath, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,56 @@
+// Package fixture injects each lock-discipline violation.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type pool struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	ch    chan int
+	stall func() time.Duration
+}
+
+func sleepUnderLock(p *pool) {
+	p.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding p.mu"
+	p.mu.Unlock()
+}
+
+func sleepUnderDeferredLock(p *pool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding p.mu"
+}
+
+func sendUnderLock(p *pool) {
+	p.mu.Lock()
+	p.ch <- 1 // want "channel send while holding p.mu"
+	p.mu.Unlock()
+}
+
+func recvUnderLock(p *pool) int {
+	p.rw.RLock()
+	v := <-p.ch // want "channel receive while holding p.rw"
+	p.rw.RUnlock()
+	return v
+}
+
+func callbackUnderLock(p *pool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stall() // want "callback invoked while holding p.mu"
+}
+
+type guarded struct {
+	mu    sync.Mutex
+	count int
+}
+
+func worker(g guarded) {}
+
+func copiesLockIntoGoroutine(g *guarded) {
+	go worker(*g) // want "copying a lock-containing"
+}

@@ -1,0 +1,72 @@
+// Package fixture holds the allowed shapes: blocking work outside the
+// critical section, static calls under locks, pointers into
+// goroutines, and hooks consulted lock-free.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type pool struct {
+	mu    sync.Mutex
+	ch    chan int
+	stall func() time.Duration
+	n     int
+}
+
+func (p *pool) bump() { p.n++ }
+
+// sleepAfterUnlock releases before blocking — the CheckPool backoff
+// pattern.
+func sleepAfterUnlock(p *pool) {
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// staticCallsUnderLock are fine: methods and functions are not hooks.
+func staticCallsUnderLock(p *pool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.bump()
+}
+
+// hookOutsideLock consults the callback lock-free, then accounts under
+// the lock.
+func hookOutsideLock(p *pool) {
+	d := p.stall()
+	_ = d
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+}
+
+// sendOutsideLock snapshots under the lock and sends after.
+func sendOutsideLock(p *pool) {
+	p.mu.Lock()
+	v := p.n
+	p.mu.Unlock()
+	p.ch <- v
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func workerPtr(g *guarded) {}
+
+// pointerIntoGoroutine shares the lock instead of copying it.
+func pointerIntoGoroutine(g *guarded) {
+	go workerPtr(g)
+}
+
+// suppressed documents a deliberate exception.
+func suppressed(p *pool) {
+	p.mu.Lock()
+	//fg:ignore lockdiscipline fixture demonstrating a documented suppression
+	time.Sleep(time.Microsecond)
+	p.mu.Unlock()
+}

@@ -1,0 +1,82 @@
+// Package oracleisolation statically enforces the differential
+// oracle's import boundary: internal/oracle re-derives the packet
+// grammar, the ITC-CFG reference and the shadow stack from the paper's
+// definitions, and its value as a reference (DESIGN.md §7) evaporates
+// the moment it shares decode or check code with the optimized
+// pipeline. The analyzer promotes the former runtime import-graph test
+// to a compile gate: the oracle package may import only the ground
+// truth both pipelines are defined against (isa, module, cfg) plus the
+// standard library.
+package oracleisolation
+
+import (
+	"strconv"
+	"strings"
+
+	"flowguard/internal/analysis"
+)
+
+// ForbiddenImports are the production packages whose decode/check
+// logic the oracle re-derives rather than reuses. A prefix match also
+// bans their subpackages (trace covers trace/ipt, trace/lbr, trace/bts).
+var ForbiddenImports = []string{
+	"flowguard/internal/guard",
+	"flowguard/internal/itc",
+	"flowguard/internal/trace",
+}
+
+// AllowedProjectImports is the closed list of in-module packages the
+// oracle may depend on: the shared ground truth, nothing derived.
+var AllowedProjectImports = map[string]bool{
+	"flowguard/internal/cfg":    true,
+	"flowguard/internal/isa":    true,
+	"flowguard/internal/module": true,
+}
+
+// modulePrefix identifies in-module import paths.
+const modulePrefix = "flowguard/"
+
+// Analyzer is the oracleisolation analyzer. It is syntax-only: import
+// declarations are all it needs, so the runtime test wrapper in
+// internal/oracle can run it without a type-checking toolchain walk.
+var Analyzer = &analysis.Analyzer{
+	Name: "oracleisolation",
+	Doc: "forbid internal/oracle from importing the production decode/check packages " +
+		"(guard, itc, trace/...); only cfg, isa, module and std are allowed",
+	Run: run,
+}
+
+// applies reports whether pkgPath is an oracle package.
+func applies(pkgPath string) bool {
+	return pkgPath == "internal/oracle" ||
+		strings.HasSuffix(pkgPath, "/internal/oracle") ||
+		strings.Contains(pkgPath, "/internal/oracle/")
+}
+
+func run(pass *analysis.Pass) error {
+	if !applies(pass.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue // the parser would have rejected it
+			}
+			banned := false
+			for _, bad := range ForbiddenImports {
+				if path == bad || strings.HasPrefix(path, bad+"/") {
+					pass.Reportf(imp.Pos(),
+						"oracle imports %s: the oracle must not share code with the production pipeline", path)
+					banned = true
+					break
+				}
+			}
+			if !banned && strings.HasPrefix(path, modulePrefix) && !AllowedProjectImports[path] {
+				pass.Reportf(imp.Pos(),
+					"oracle imports %s: not on the oracle's allowed project-import list (cfg, isa, module)", path)
+			}
+		}
+	}
+	return nil
+}

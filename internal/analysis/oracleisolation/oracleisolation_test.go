@@ -1,0 +1,32 @@
+package oracleisolation
+
+import (
+	"testing"
+
+	"flowguard/internal/analysis"
+	"flowguard/internal/analysis/analysistest"
+)
+
+func TestBadImports(t *testing.T) {
+	analysistest.RunFixture(t, Analyzer, "testdata/bad", "flowguard/internal/oracle")
+}
+
+func TestGoodImports(t *testing.T) {
+	analysistest.RunFixture(t, Analyzer, "testdata/good", "flowguard/internal/oracle")
+}
+
+// TestNonOraclePackagesIgnored pins the analyzer's scope: the same
+// imports in any other package are none of its business.
+func TestNonOraclePackagesIgnored(t *testing.T) {
+	pkg, err := analysis.ParseDir("testdata/bad", "flowguard/internal/harness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(pkg, []*analysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding outside internal/oracle: %s", f)
+	}
+}

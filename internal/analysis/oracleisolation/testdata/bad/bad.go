@@ -1,0 +1,18 @@
+// Package oracle is a fixture impersonating internal/oracle with
+// every class of forbidden import: a production package, a production
+// subpackage, and an in-module package missing from the allowed list.
+package oracle
+
+import (
+	"fmt"
+
+	"flowguard/internal/guard"     // want "must not share code with the production pipeline"
+	"flowguard/internal/itc"       // want "must not share code with the production pipeline"
+	"flowguard/internal/kernelsim" // want "not on the oracle's allowed project-import list"
+	"flowguard/internal/module"
+	"flowguard/internal/trace/ipt" // want "must not share code with the production pipeline"
+)
+
+func use() {
+	fmt.Println(guard.VerdictClean, itc.PathKey(1, 2, 3), ipt.PSBSize, kernelsim.SysWrite, module.AddressSpace{})
+}

@@ -1,0 +1,18 @@
+// Package oracle is a fixture impersonating internal/oracle with only
+// legal imports: the shared ground-truth packages and std.
+package oracle
+
+import (
+	"sort"
+
+	"flowguard/internal/cfg"
+	"flowguard/internal/isa"
+	"flowguard/internal/module"
+)
+
+func use() {
+	sort.Ints(nil)
+	_ = cfg.Graph{}
+	_ = isa.Program{}
+	_ = module.AddressSpace{}
+}

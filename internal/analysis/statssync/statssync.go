@@ -1,0 +1,203 @@
+// Package statssync keeps guard.Stats and its consumers in lockstep.
+// The differential-oracle suite (DESIGN.md §7) treats Stats as part of
+// the checker's observable behavior: a counter added to guard.Stats
+// but forgotten in Stats.Merge silently under-reports in every
+// parallel run, and one forgotten in the oracle comparison list or the
+// fgbench reporter silently escapes verification. The PR 3 reflection
+// test catches the Merge half at test time; this analyzer catches all
+// of it at vet time.
+//
+// A function opts in with a doc-comment line
+//
+//	//fg:statssync <Type> [-exempt A,B,C]
+//
+// where <Type> is a struct type (optionally package-qualified, e.g.
+// guard.Stats) visible to the function's package. The function body
+// must then mention every field of the struct as a selector on a value
+// of that type. Fields listed after -exempt are excused — with the
+// reason living right next to the function — and an exemption naming a
+// field that no longer exists is itself an error, so the list cannot
+// go stale.
+package statssync
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"flowguard/internal/analysis"
+)
+
+// Marker opens the annotation line.
+const Marker = "fg:statssync"
+
+// Analyzer is the statssync analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "statssync",
+	Doc: "a function annotated //fg:statssync T must reference every field of struct T " +
+		"(minus documented -exempt fields): Merge, oracle comparison and reporters stay in lockstep with Stats",
+	NeedTypes: true,
+	Run:       run,
+}
+
+// annotation is one parsed marker line.
+type annotation struct {
+	typeRef string
+	exempt  map[string]bool
+}
+
+// parseAnnotation extracts the marker from a doc comment, or nil.
+// A malformed marker is returned as an error string diagnostic by the
+// caller.
+func parseAnnotation(doc *ast.CommentGroup) (*annotation, error) {
+	if doc == nil {
+		return nil, nil
+	}
+	for _, c := range doc.List {
+		t := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		rest, ok := strings.CutPrefix(t, Marker)
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("malformed //%s: want \"//%s <Type> [-exempt A,B,C]\"", Marker, Marker)
+		}
+		a := &annotation{typeRef: fields[0], exempt: map[string]bool{}}
+		for i := 1; i < len(fields); i++ {
+			if fields[i] == "-exempt" && i+1 < len(fields) {
+				for _, name := range strings.Split(fields[i+1], ",") {
+					if name != "" {
+						a.exempt[name] = true
+					}
+				}
+				i++
+				continue
+			}
+			return nil, fmt.Errorf("malformed //%s: unexpected %q", Marker, fields[i])
+		}
+		return a, nil
+	}
+	return nil, nil
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ann, err := parseAnnotation(fd.Doc)
+			if err != nil {
+				pass.Reportf(fd.Pos(), "%v", err)
+				continue
+			}
+			if ann == nil {
+				continue
+			}
+			checkFunc(pass, fd, ann)
+		}
+	}
+	return nil
+}
+
+// resolveStruct finds the annotated struct type from the function's
+// package or one of its imports.
+func resolveStruct(pass *analysis.Pass, ref string) (*types.Named, *types.Struct, error) {
+	var scope *types.Scope
+	name := ref
+	if pkgName, typeName, ok := strings.Cut(ref, "."); ok {
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Name() == pkgName {
+				scope = imp.Scope()
+				break
+			}
+		}
+		if scope == nil {
+			return nil, nil, fmt.Errorf("package %q is not imported here", pkgName)
+		}
+		name = typeName
+	} else {
+		scope = pass.Pkg.Scope()
+	}
+	tn, ok := scope.Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil, nil, fmt.Errorf("%s is not a type in scope", ref)
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil, nil, fmt.Errorf("%s is not a defined type", ref)
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil, fmt.Errorf("%s is not a struct type", ref)
+	}
+	return named, st, nil
+}
+
+// checkFunc verifies the annotated function references every
+// non-exempt field of the struct.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, ann *annotation) {
+	named, st, err := resolveStruct(pass, ann.typeRef)
+	if err != nil {
+		pass.Reportf(fd.Pos(), "//%s %s: %v", Marker, ann.typeRef, err)
+		return
+	}
+	fields := map[string]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		fields[st.Field(i).Name()] = true
+	}
+	for name := range ann.exempt {
+		if !fields[name] {
+			pass.Reportf(fd.Pos(), "//%s %s: exempt field %s does not exist (stale exemption)", Marker, ann.typeRef, name)
+		}
+	}
+	seen := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if tv, ok := pass.TypesInfo.Types[x.X]; ok && sameStruct(tv.Type, named) && fields[x.Sel.Name] {
+				seen[x.Sel.Name] = true
+			}
+		case *ast.CompositeLit:
+			// Stats{Checks: ..., ...} literals count as references too.
+			if tv, ok := pass.TypesInfo.Types[x]; ok && sameStruct(tv.Type, named) {
+				for _, e := range x.Elts {
+					if kv, ok := e.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok && fields[id.Name] {
+							seen[id.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	var missing []string
+	for i := 0; i < st.NumFields(); i++ {
+		name := st.Field(i).Name()
+		if !seen[name] && !ann.exempt[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(fd.Pos(), "%s does not reference %s field(s) %s: a field was added to %s without updating this consumer (or add -exempt with a reason)",
+			fd.Name.Name, ann.typeRef, strings.Join(missing, ", "), ann.typeRef)
+	}
+}
+
+// sameStruct reports whether t (possibly a pointer) is the named type.
+func sameStruct(t types.Type, named *types.Named) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() == named.Obj()
+}

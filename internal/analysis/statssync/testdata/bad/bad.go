@@ -1,0 +1,46 @@
+// Package fixture reproduces the exact mistake the PR 3 reflection
+// test guards against: a field added to Stats but not to Merge — plus
+// a stale exemption and an under-referencing cross-package reporter.
+package fixture
+
+import "flowguard/internal/guard"
+
+// Stats mirrors guard.Stats at the moment a new counter (Shed) has
+// just been added.
+type Stats struct {
+	Checks     uint64
+	SlowChecks uint64
+	Violations uint64
+	Shed       uint64 // newly added
+}
+
+// Merge predates the Shed field — the bug this analyzer exists for.
+//
+//fg:statssync Stats
+func (s *Stats) Merge(o *Stats) { // want "Merge does not reference Stats field.s. Shed"
+	s.Checks += o.Checks
+	s.SlowChecks += o.SlowChecks
+	s.Violations += o.Violations
+}
+
+// staleExempt excuses a field that was since renamed away.
+//
+//fg:statssync Stats -exempt Checks,Dropped
+func staleExempt(s *Stats) uint64 { // want "exempt field Dropped does not exist"
+	return s.SlowChecks + s.Violations + s.Shed
+}
+
+// prodReporter consumes the real guard.Stats but references none of
+// its counters.
+//
+//fg:statssync guard.Stats
+func prodReporter(s *guard.Stats) uint64 { // want "prodReporter does not reference guard.Stats field"
+	return 0
+}
+
+// malformed annotation: no type.
+//
+//fg:statssync
+func malformed(s *Stats) { // want "malformed //fg:statssync"
+	_ = s.Checks
+}

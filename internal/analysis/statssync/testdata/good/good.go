@@ -1,0 +1,39 @@
+// Package fixture holds the compliant shapes: full coverage via
+// selectors, coverage via composite-literal keys, documented
+// exemptions, and unannotated functions out of scope.
+package fixture
+
+type Stats struct {
+	Checks     uint64
+	SlowChecks uint64
+	Violations uint64
+	Shed       uint64
+}
+
+// Merge references every field.
+//
+//fg:statssync Stats
+func (s *Stats) Merge(o *Stats) {
+	s.Checks += o.Checks
+	s.SlowChecks += o.SlowChecks
+	s.Violations += o.Violations
+	s.Shed += o.Shed
+}
+
+// literalCoverage counts composite-literal keys as references.
+//
+//fg:statssync Stats
+func literalCoverage() Stats {
+	return Stats{Checks: 1, SlowChecks: 2, Violations: 3, Shed: 4}
+}
+
+// exempted documents why Shed is not compared (it has no analogue on
+// the other side, say).
+//
+//fg:statssync Stats -exempt Shed
+func exempted(a, b *Stats) bool {
+	return a.Checks == b.Checks && a.SlowChecks == b.SlowChecks && a.Violations == b.Violations
+}
+
+// unannotated functions may reference as little as they like.
+func unannotated(s *Stats) uint64 { return s.Checks }

@@ -207,7 +207,11 @@ func (s *Stats) FastCycles() uint64 { return s.DecodeCycles + s.CheckCycles }
 
 // Merge adds o into s — the deterministic aggregation step after a
 // parallel multi-process run (each guard's stats are themselves
-// deterministic functions of that process's trace).
+// deterministic functions of that process's trace). The statssync
+// annotation makes forgetting a newly added field a vet error, before
+// the reflection test would catch it.
+//
+//fg:statssync Stats
 func (s *Stats) Merge(o *Stats) {
 	s.Checks += o.Checks
 	s.SlowChecks += o.SlowChecks
@@ -284,6 +288,7 @@ func (m *modScratch) reset() {
 	m.inExec = false
 }
 
+//fg:hotpath
 func (m *modScratch) add(as *module.AddressSpace, ip uint64) {
 	l := as.FindModule(ip)
 	if l == nil {
@@ -374,6 +379,8 @@ func (g *Guard) InvalidateWindow() {
 // alongside the error. On a decode error the window cache is dropped —
 // the decoder state is unusable — so a later check restarts from a
 // fresh snapshot.
+//
+//fg:hotpath steady-state window maintenance must not allocate
 func (g *Guard) window() (tips []ipt.TIPRecord, region []byte, scanned uint64, health TraceHealth, err error) {
 	g.Tracer.Flush()
 	topa := g.Tracer.Out
@@ -480,6 +487,8 @@ func (g *Guard) window() (tips []ipt.TIPRecord, region []byte, scanned uint64, h
 // backwards only as far as the module-stride rule demands. Module
 // membership is maintained incrementally while extending, so trim is
 // O(window) rather than quadratic.
+//
+//fg:hotpath
 func (g *Guard) trim(tips []ipt.TIPRecord) []ipt.TIPRecord {
 	if len(tips) <= g.Policy.PktCount {
 		return tips
@@ -501,6 +510,8 @@ func (g *Guard) trim(tips []ipt.TIPRecord) []ipt.TIPRecord {
 }
 
 // strideOK checks the multi-module requirement.
+//
+//fg:hotpath
 func (g *Guard) strideOK(tips []ipt.TIPRecord) bool {
 	if !g.Policy.RequireModuleStride {
 		return true
@@ -518,11 +529,13 @@ func (g *Guard) strideOK(tips []ipt.TIPRecord) bool {
 // module invokes at every intercepted endpoint (§5.2 step 5). A window
 // that is not HealthClean — overflowed, gapped, or corrupt — is resolved
 // under Policy.OnDegraded instead of the normal hybrid path.
+//
+//fg:hotpath invoked at every intercepted endpoint
 func (g *Guard) Check() Result {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.inCheck = true
-	defer func() { g.inCheck = false }()
+	defer g.endCheck()
 	if g.ITC != nil {
 		// Approvals earned against a superseded label snapshot must be
 		// re-earned (mid-run retraining relabels edges).
@@ -542,12 +555,18 @@ func (g *Guard) Check() Result {
 	return res
 }
 
+// endCheck is a named method rather than a closure so deferring it from
+// the hot path does not capture g into a heap-allocated func value.
+func (g *Guard) endCheck() { g.inCheck = false }
+
 // runChecks applies the hybrid verification to one TIP window: the
 // ITC-CFG fast loop with credit assessment, then the slow path when the
 // window is suspicious (or unconditionally when forceSlow is set — the
 // NaiveFullDecode ablation and degraded-mode full-precision re-checks).
 // TIP pairs straddling an overflow seam (TIPRecord.Resync) were never
 // adjacent in the real flow and are skipped rather than misjudged.
+//
+//fg:hotpath the per-TIP fast loop
 func (g *Guard) runChecks(res *Result, tips []ipt.TIPRecord, region []byte, forceSlow bool) {
 	if forceSlow {
 		g.slowPath(res, tips, region)
@@ -581,8 +600,7 @@ func (g *Guard) runChecks(res *Result, tips []ipt.TIPRecord, region []byte, forc
 			// Out of the conservative graph: no legitimate execution can
 			// produce this pair (§4.2), so this is a definite violation.
 			res.Verdict = VerdictViolation
-			res.Reason = fmt.Sprintf("ITC-CFG edge mismatch: %s -> %s",
-				g.AS.SymbolFor(src), g.AS.SymbolFor(dst))
+			res.Reason = g.violationReason(src, dst)
 			return
 		}
 		if l.HighCredit && l.SigMatch && l.Count >= minCount {
@@ -622,6 +640,15 @@ func (g *Guard) runChecks(res *Result, tips []ipt.TIPRecord, region []byte, forc
 	}
 }
 
+// violationReason formats the terminal diagnostic. It is deliberately
+// not //fg:hotpath: it runs at most once per Check, on the verdict that
+// stops the loop, so allocating here is fine — and keeping it a separate
+// cold helper keeps fmt-style formatting out of the annotated fast loop.
+func (g *Guard) violationReason(src, dst uint64) string {
+	return "ITC-CFG edge mismatch: " + g.AS.SymbolFor(src) + " -> " + g.AS.SymbolFor(dst)
+}
+
+//fg:hotpath
 func (g *Guard) fastDecodeCost() float64 {
 	if g.Policy.HWDecoder {
 		return CyclesPerFastDecodeByte / HWDecoderSpeedup
@@ -629,6 +656,7 @@ func (g *Guard) fastDecodeCost() float64 {
 	return CyclesPerFastDecodeByte
 }
 
+//fg:hotpath
 func (g *Guard) finish(res *Result) {
 	g.Stats.TIPsChecked += uint64(res.TIPs)
 	g.Stats.DecodeCycles += res.DecodeCycles

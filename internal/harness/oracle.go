@@ -155,9 +155,11 @@ func compareResults(check int, g guard.Result, o oracle.Result) (divs []string) 
 	return divs
 }
 
-// compareStats diffs the counters shared by both Stats types (cycle
-// meters, bytes scanned and cache hits are production cost/shortcut
-// bookkeeping with no oracle analogue).
+// compareStats diffs the counters shared by both Stats types. The
+// exempt fields are cycle meters, bytes scanned and cache hits:
+// production cost/shortcut bookkeeping with no oracle analogue.
+//
+//fg:statssync guard.Stats -exempt DecodeCycles,CheckCycles,OtherCycles,SlowCycles,BytesScanned,CacheHits
 func compareStats(g *guard.Stats, o *oracle.Stats) (divs []string) {
 	pairs := []struct {
 		name   string

@@ -30,6 +30,9 @@ type ParallelResult struct {
 	// CheckBusy is the summed time spent inside Check() across pool
 	// slots; CheckWait is the summed slot-acquisition wait.
 	CheckBusy, CheckWait time.Duration
+	// Agg is the full merged per-guard Stats of the parallel run, for
+	// the FormatStats report.
+	Agg guard.Stats
 }
 
 // Speedup is the serial/parallel wall-time ratio.
@@ -134,6 +137,7 @@ func (r *Runner) Parallel(procs int) (ParallelResult, error) {
 	for _, g := range gs {
 		agg.Merge(&g.Stats)
 	}
+	res.Agg = agg
 	res.Checks = agg.Checks
 	res.SlowChecks = agg.SlowChecks
 	pstats := pool.Snapshot()

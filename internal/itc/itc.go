@@ -197,9 +197,31 @@ func (g *Graph) NumNodes() int { return len(g.nodes) }
 // Nodes returns the IT-BB entry addresses in ascending order.
 func (g *Graph) Nodes() []uint64 { return g.nodes }
 
+// searchU64 is sort.SearchInts for []uint64, inlined for the lookup hot
+// path: sort.Search takes the predicate as a func value, which forces a
+// closure allocation per call at the capture sites. The lookups below
+// run per TIP pair per check, so they use this instead; training-time
+// code (Observe) keeps sort.Search.
+//
+//fg:hotpath
+func searchU64(a []uint64, x uint64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // nodeIndex binary-searches the sorted node array (§5.3).
+//
+//fg:hotpath
 func (g *Graph) nodeIndex(addr uint64) (int, bool) {
-	i := sort.Search(len(g.nodes), func(i int) bool { return g.nodes[i] >= addr })
+	i := searchU64(g.nodes, addr)
 	if i < len(g.nodes) && g.nodes[i] == addr {
 		return i, true
 	}
@@ -213,9 +235,11 @@ func (g *Graph) HasNode(addr uint64) bool {
 }
 
 // edgeIndex locates dst in the sorted successor array of node i.
+//
+//fg:hotpath
 func (g *Graph) edgeIndex(i int, dst uint64) (int, bool) {
 	ts := g.succs[i]
-	j := sort.Search(len(ts), func(j int) bool { return ts[j] >= dst })
+	j := searchU64(ts, dst)
 	if j < len(ts) && ts[j] == dst {
 		return j, true
 	}
@@ -250,6 +274,8 @@ type EdgeLabel struct {
 // Lookup performs the full fast-path edge check: membership, credit, and
 // TNT-signature match. After RebuildCache it is lock-free (and stays so
 // until labels change again); otherwise it takes a read lock.
+//
+//fg:hotpath per-TIP-pair on every check
 func (g *Graph) Lookup(src, dst uint64, sig uint64) EdgeLabel {
 	i, ok := g.nodeIndex(src)
 	if !ok {
@@ -378,6 +404,8 @@ func (g *Graph) LabelGen() uint64 { return g.labelGen.Load() }
 
 // CacheLookup checks the high-credit cache only; a miss does not imply a
 // violation (fall back to Lookup). Lock-free after RebuildCache.
+//
+//fg:hotpath
 func (g *Graph) CacheLookup(src, dst uint64, sig uint64) (hit, sigMatch bool) {
 	if s := g.snap.Load(); s != nil {
 		return cacheLookup(s.highNodes, s.highSuccs, s.highSigs, src, dst, sig)
@@ -387,13 +415,14 @@ func (g *Graph) CacheLookup(src, dst uint64, sig uint64) (hit, sigMatch bool) {
 	return cacheLookup(g.highNodes, g.highSuccs, g.highSigs, src, dst, sig)
 }
 
+//fg:hotpath
 func cacheLookup(nodes []uint64, succs [][]uint64, allSigs [][][]uint64, src, dst, sig uint64) (hit, sigMatch bool) {
-	i := sort.Search(len(nodes), func(i int) bool { return nodes[i] >= src })
+	i := searchU64(nodes, src)
 	if i >= len(nodes) || nodes[i] != src {
 		return false, false
 	}
 	ts := succs[i]
-	j := sort.Search(len(ts), func(j int) bool { return ts[j] >= dst })
+	j := searchU64(ts, dst)
 	if j >= len(ts) || ts[j] != dst {
 		return false, false
 	}
@@ -407,12 +436,14 @@ func cacheLookup(nodes []uint64, succs [][]uint64, allSigs [][][]uint64, src, ds
 // explosion, §4.2), so any presented run is accepted for it. Short-run
 // edges — the Figure 4 forks the labels exist for — still require an
 // exact match.
+//
+//fg:hotpath
 func sigMatches(sigs []uint64, sig uint64) bool {
-	k := sort.Search(len(sigs), func(k int) bool { return sigs[k] >= sig })
+	k := searchU64(sigs, sig)
 	if k < len(sigs) && sigs[k] == sig {
 		return true
 	}
-	k = sort.Search(len(sigs), func(k int) bool { return sigs[k] >= ipt.TNTSigLongRun })
+	k = searchU64(sigs, ipt.TNTSigLongRun)
 	return k < len(sigs) && sigs[k] == ipt.TNTSigLongRun
 }
 

@@ -12,6 +12,8 @@ import "sort"
 // edges into novel orders — at the price of more slow-path escalations.
 
 // PathKey hashes one consecutive-edge pair (a->b, b->c).
+//
+//fg:hotpath
 func PathKey(a, b, c uint64) uint64 {
 	h := uint64(0xcbf29ce484222325)
 	for _, v := range [3]uint64{a, b, c} {
@@ -33,6 +35,8 @@ func (g *Graph) ObservePath(a, b, c uint64) {
 
 // PathTrained reports whether the consecutive-edge pair was observed in
 // training. Lock-free after RebuildCache, like Lookup.
+//
+//fg:hotpath
 func (g *Graph) PathTrained(a, b, c uint64) bool {
 	k := PathKey(a, b, c)
 	if s := g.snap.Load(); s != nil {

@@ -108,6 +108,8 @@ func (d *WindowDecoder) Synced() bool { return d.synced && !d.skipping }
 // DropBefore discards TIP records and sync points with offsets below lo,
 // compacting storage in place. Decoding state is unaffected: the stream
 // remains continuous, only history is forgotten.
+//
+//fg:hotpath
 func (d *WindowDecoder) DropBefore(lo int) {
 	i := 0
 	for i < len(d.tips) && d.tips[i].Off < lo {
@@ -131,6 +133,8 @@ func (d *WindowDecoder) DropBefore(lo int) {
 // boundaries (the tracer writes whole packet groups); a packet truncated
 // at the chunk end is carried over and completed by the next Feed. A
 // malformed packet is returned as an error, as DecodeFast would.
+//
+//fg:hotpath incremental decode runs on every check
 func (d *WindowDecoder) Feed(chunk []byte) error {
 	buf := chunk
 	if len(d.carry) > 0 {
@@ -155,6 +159,8 @@ func (d *WindowDecoder) Feed(chunk []byte) error {
 
 // scan consumes complete packets from buf (whose first byte sits at
 // absolute offset base) and returns how many bytes it consumed.
+//
+//fg:hotpath
 func (d *WindowDecoder) scan(buf []byte, base int) (int, error) {
 	i := 0
 	// Before the first PSB the stream may start mid-packet (a wrapped
@@ -279,6 +285,8 @@ func isPSBPrefix(tail []byte) bool {
 
 // TipsFrom returns the suffix of tips whose records sit at or after
 // absolute stream offset lo (binary search on the ascending Off field).
+//
+//fg:hotpath
 func TipsFrom(tips []TIPRecord, lo int) []TIPRecord {
 	a, b := 0, len(tips)
 	for a < b {

@@ -82,6 +82,8 @@ func (t *ToPA) Held() int {
 
 // Write appends trace bytes, wrapping when the chain fills. total is
 // advanced chunk by chunk so an OnFull hook observes a consistent view.
+//
+//fg:hotpath the producer side of every simulated trace byte
 func (t *ToPA) Write(p []byte) {
 	for len(p) > 0 {
 		r := t.regions[t.cur]
@@ -109,6 +111,8 @@ func (t *ToPA) Write(p []byte) {
 // dst unchanged — when that range is no longer fully resident (the
 // buffer wrapped past it), in which case the caller must resynchronize
 // from a fresh Snapshot.
+//
+//fg:hotpath appends only into the caller's reusable scratch
 func (t *ToPA) AppendSince(dst []byte, from uint64) ([]byte, bool) {
 	if from > t.total || t.total-from > uint64(t.Held()) {
 		return dst, false
@@ -128,6 +132,8 @@ func (t *ToPA) AppendSince(dst []byte, from uint64) ([]byte, bool) {
 
 // locate maps a resident logical offset to (region index, offset within
 // region).
+//
+//fg:hotpath
 func (t *ToPA) locate(off uint64) (int, int) {
 	phys := int((off - t.resetTotal) % uint64(t.Capacity()))
 	for i, r := range t.regions {
@@ -146,6 +152,8 @@ func (t *ToPA) Snapshot() []byte { return t.SnapshotInto(nil) }
 
 // SnapshotInto appends the buffered stream to dst (usually dst[:0] of a
 // reusable buffer) and returns the extended slice.
+//
+//fg:hotpath appends only into the caller's reusable scratch
 func (t *ToPA) SnapshotInto(dst []byte) []byte {
 	if !t.wrapped {
 		for i := 0; i < t.cur; i++ {
