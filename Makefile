@@ -9,7 +9,7 @@ GO ?= go
 # this single variable — ci.yml reads it out of the Makefile.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all test test-short race bench experiments examples vet fgvet staticcheck fmt cover chaos fuzz-smoke fuzz oracle-soak cover-ratchet
+.PHONY: all test test-short race bench bench-raw bench-compare experiments examples vet fgvet staticcheck fmt cover chaos fuzz-smoke fuzz oracle-soak cover-ratchet
 
 all: vet test
 
@@ -22,8 +22,24 @@ test-short:
 race:
 	$(GO) test -race ./...
 
+# bench runs the orchestrated tier-1 suite via fgperf: N interleaved
+# iterations, summarized into a schema-versioned BENCH_<date>.json
+# trajectory artifact. bench-raw is the plain unorchestrated run.
 bench:
+	$(GO) run ./cmd/fgperf -short
+
+bench-raw:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-compare re-runs the tier-1 suite and gates it against a baseline
+# artifact: exit 1 on a statistically significant >10% median slowdown
+# in any tier-1 hot-path benchmark (Mann-Whitney U, p < 0.05).
+#   make bench-compare                      # vs the committed baseline
+#   make bench-compare BASE=BENCH_2026-08-06.json
+BASE ?= bench/baseline.json
+
+bench-compare:
+	$(GO) run ./cmd/fgperf -short -base $(BASE) -gate
 
 experiments:
 	$(GO) run ./cmd/fgbench -all
@@ -39,7 +55,7 @@ chaos:
 	$(GO) test -race -short -run 'Chaos' ./internal/faults/ -count=1
 
 fuzz-smoke:
-	$(GO) test -run 'Fuzz' ./internal/trace/ipt/ ./internal/harness/ -count=1
+	$(GO) test -run 'Fuzz' ./internal/trace/ipt/ ./internal/harness/ ./internal/perfstat/ -count=1
 
 # Short real fuzzing campaigns (one -fuzz pattern per go test invocation).
 fuzz:

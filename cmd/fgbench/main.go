@@ -20,9 +20,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"flowguard/internal/harness"
+	"flowguard/internal/perfstat"
 )
 
 type listFlag []string
@@ -45,6 +48,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "run N protected processes with pooled parallel checking (§6) and report aggregate check latency")
 	chaos := flag.Int("chaos", 0, "run N seeded fault-injection scenarios across the degraded-mode policies (§7.1.2 worst cases)")
 	oracle := flag.Int("oracle", 0, "run N seeded differential checks of the optimized hybrid pipeline against the naive oracle")
+	jsonOut := flag.String("json", "", "also write the results that ran as a perfstat artifact (fgperf-compatible BENCH json) to this path")
 	scale := flag.Int("scale", 30, "workload scale (requests / iterations)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	train := flag.Int("train", 6, "training replays per application")
@@ -79,6 +83,12 @@ func main() {
 		ran = true
 		fmt.Printf("\n== %s ==\n", title)
 	}
+
+	// -json accumulators: whichever sections run contribute their piece
+	// of the perfstat artifact.
+	var phases []perfstat.PhaseBreakdown
+	var fleetStats map[string]uint64
+	var jsonBenches []perfstat.Benchmark
 
 	if want(tables, "1") {
 		section("Table 1: hardware control-flow tracing mechanisms")
@@ -130,6 +140,7 @@ func main() {
 		for _, row := range rows {
 			fmt.Println(" ", row)
 		}
+		phases = append(phases, harness.PhaseBreakdowns(rows)...)
 	}
 	if want(figs, "5b") {
 		section("Figure 5(b): Linux-utility overhead")
@@ -140,6 +151,7 @@ func main() {
 		for _, row := range rows {
 			fmt.Println(" ", row)
 		}
+		phases = append(phases, harness.PhaseBreakdowns(rows)...)
 	}
 	if want(figs, "5c") {
 		section("Figure 5(c): SPEC-like kernel overhead")
@@ -150,6 +162,7 @@ func main() {
 		for _, row := range rows {
 			fmt.Println(" ", row)
 		}
+		phases = append(phases, harness.PhaseBreakdowns(rows)...)
 	}
 	if want(figs, "5d") {
 		section("Figure 5(d): fuzzing training dynamics")
@@ -169,6 +182,17 @@ func main() {
 		}
 		fmt.Println(" ", m)
 		fmt.Println("  (paper: slow path ~0.23 ms, ~60x over the fast path)")
+		jsonBenches = append(jsonBenches,
+			perfstat.Benchmark{Name: "FgbenchMicro/fast-path", Tier1: true, Samples: map[string][]float64{
+				"cycles/window": {float64(m.FastCycles)},
+				"ns/op":         {float64(m.FastWall.Nanoseconds())},
+			}},
+			perfstat.Benchmark{Name: "FgbenchMicro/slow-path", Samples: map[string][]float64{
+				"cycles/window":  {float64(m.SlowCycles)},
+				"ns/op":          {float64(m.SlowWall.Nanoseconds())},
+				"slow-over-fast": {m.SlowOverFast},
+			}},
+		)
 	}
 	if *all || *attacks {
 		section("§7.1.2: real attack prevention")
@@ -243,6 +267,7 @@ func main() {
 		fmt.Println("  (checks for concurrent processes are offloaded to a bounded worker pool)")
 		fmt.Println("  merged guard stats across the fleet:")
 		fmt.Print(harness.FormatStats(&res.Agg))
+		fleetStats = harness.StatsMap(&res.Agg)
 	}
 
 	if *all || *chaos > 0 {
@@ -288,5 +313,34 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *jsonOut != "" {
+		art := &perfstat.Artifact{
+			Schema:     perfstat.SchemaVersion,
+			Tool:       "fgbench",
+			CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			Iterations: 1,
+			BenchArgs:  strings.Join(os.Args[1:], " "),
+			Benchmarks: jsonBenches,
+			Phases:     phases,
+			FleetStats: fleetStats,
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := art.Encode(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nwrote %s (%d benchmarks, %d phase rows)\n", *jsonOut, len(jsonBenches), len(phases))
 	}
 }

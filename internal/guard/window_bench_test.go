@@ -31,6 +31,7 @@ func BenchmarkIncrementalWindow(b *testing.B) {
 			}
 		}
 		emit(20000) // fill (and wrap) the buffer before measuring
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			emit(16) // branches arriving between endpoint checks

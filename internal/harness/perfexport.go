@@ -1,0 +1,82 @@
+package harness
+
+// perfexport bridges the harness's experiment results into the
+// perfstat artifact schema, so fgbench -json and fgperf speak the same
+// BENCH_<date>.json dialect and a trajectory point can carry both
+// wall-clock benchmarks and the paper's per-phase overhead breakdowns.
+
+import (
+	"flowguard/internal/guard"
+	"flowguard/internal/perfstat"
+)
+
+// StatField is one guard.Stats counter paired with its report name.
+type StatField struct {
+	Name  string
+	Value uint64
+}
+
+// StatsFields flattens every guard.Stats counter into named fields, in
+// report order. It is the reporter leg of the statssync invariant: a
+// field added to guard.Stats but missing here (or from Stats.Merge or
+// the oracle comparison) is an fgvet error, so neither the FormatStats
+// block nor the JSON artifact can silently omit a counter.
+//
+//fg:statssync guard.Stats
+func StatsFields(s *guard.Stats) []StatField {
+	return []StatField{
+		{"Checks", s.Checks},
+		{"SlowChecks", s.SlowChecks},
+		{"Violations", s.Violations},
+		{"TIPsChecked", s.TIPsChecked},
+		{"HighEdges", s.HighEdges},
+		{"LowEdges", s.LowEdges},
+		{"DecodeCycles", s.DecodeCycles},
+		{"CheckCycles", s.CheckCycles},
+		{"OtherCycles", s.OtherCycles},
+		{"SlowCycles", s.SlowCycles},
+		{"BytesScanned", s.BytesScanned},
+		{"CacheHits", s.CacheHits},
+		{"Resyncs", s.Resyncs},
+		{"Overflows", s.Overflows},
+		{"Gaps", s.Gaps},
+		{"Malformed", s.Malformed},
+		{"DegradedChecks", s.DegradedChecks},
+		{"FailOpens", s.FailOpens},
+		{"FailClosures", s.FailClosures},
+		{"Retries", s.Retries},
+		{"Shed", s.Shed},
+	}
+}
+
+// StatsMap returns the counters keyed by name — the artifact's
+// fleet_stats form.
+func StatsMap(s *guard.Stats) map[string]uint64 {
+	fields := StatsFields(s)
+	m := make(map[string]uint64, len(fields))
+	for _, f := range fields {
+		m[f.Name] = f.Value
+	}
+	return m
+}
+
+// PhaseBreakdowns converts Figure-5 overhead rows into their
+// schema-stable artifact form.
+func PhaseBreakdowns(rows []OverheadRow) []perfstat.PhaseBreakdown {
+	out := make([]perfstat.PhaseBreakdown, len(rows))
+	for i, r := range rows {
+		out[i] = perfstat.PhaseBreakdown{
+			App:        r.App,
+			Category:   r.Category,
+			TotalPct:   r.TotalPct,
+			TracePct:   r.TracePct,
+			DecodePct:  r.DecodePct,
+			CheckPct:   r.CheckPct,
+			OtherPct:   r.OtherPct,
+			SlowRate:   r.SlowRate,
+			CredRatio:  r.CredRatio,
+			BaseInstrs: r.BaseInstrs,
+		}
+	}
+	return out
+}

@@ -8,37 +8,13 @@ import (
 )
 
 // FormatStats renders every guard.Stats counter as an aligned block for
-// fgbench reports. It is the reporter leg of the statssync invariant: a
-// field added to guard.Stats but missing here (or from Stats.Merge or
-// the oracle comparison) is an fgvet error, so aggregate reports can
-// never silently omit a counter.
-//
-//fg:statssync guard.Stats
+// fgbench reports. The counter list lives in StatsFields (which carries
+// the statssync invariant), so this block and the JSON artifact's
+// fleet_stats can never disagree about which counters exist.
 func FormatStats(s *guard.Stats) string {
 	var b strings.Builder
-	line := func(name string, v uint64) {
-		fmt.Fprintf(&b, "  %-14s %12d\n", name, v)
+	for _, f := range StatsFields(s) {
+		fmt.Fprintf(&b, "  %-14s %12d\n", f.Name, f.Value)
 	}
-	line("Checks", s.Checks)
-	line("SlowChecks", s.SlowChecks)
-	line("Violations", s.Violations)
-	line("TIPsChecked", s.TIPsChecked)
-	line("HighEdges", s.HighEdges)
-	line("LowEdges", s.LowEdges)
-	line("DecodeCycles", s.DecodeCycles)
-	line("CheckCycles", s.CheckCycles)
-	line("OtherCycles", s.OtherCycles)
-	line("SlowCycles", s.SlowCycles)
-	line("BytesScanned", s.BytesScanned)
-	line("CacheHits", s.CacheHits)
-	line("Resyncs", s.Resyncs)
-	line("Overflows", s.Overflows)
-	line("Gaps", s.Gaps)
-	line("Malformed", s.Malformed)
-	line("DegradedChecks", s.DegradedChecks)
-	line("FailOpens", s.FailOpens)
-	line("FailClosures", s.FailClosures)
-	line("Retries", s.Retries)
-	line("Shed", s.Shed)
 	return b.String()
 }

@@ -1,0 +1,117 @@
+package perfstat
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleArtifact builds a small valid artifact used across tests.
+func sampleArtifact() *Artifact {
+	return &Artifact{
+		Schema:     SchemaVersion,
+		Tool:       "fgperf",
+		CreatedAt:  "2026-08-06T00:00:00Z",
+		GoVersion:  "go1.24.0",
+		GOOS:       "linux",
+		GOARCH:     "amd64",
+		NumCPU:     8,
+		Iterations: 5,
+		BenchArgs:  "-benchmem -benchtime 20x",
+		Benchmarks: []Benchmark{
+			{
+				Name:  "BenchmarkFastPath",
+				Tier1: true,
+				Samples: map[string][]float64{
+					"ns/op":     {1000, 1010, 990, 1005, 995},
+					"allocs/op": {0, 0, 0, 0, 0},
+				},
+			},
+			{
+				Name: "BenchmarkSlowPath",
+				Samples: map[string][]float64{
+					"ns/op": {60000, 61000, 59000, 60500, 59500},
+				},
+			},
+		},
+		Phases: []PhaseBreakdown{
+			{App: "nginx", Category: "server", TotalPct: 4.4, TracePct: 1.0, DecodePct: 1.4, CheckPct: 1.2, OtherPct: 0.8, SlowRate: 0.004, CredRatio: 0.97, BaseInstrs: 1 << 20},
+		},
+		FleetStats: map[string]uint64{"Checks": 42, "Violations": 0},
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	a := sampleArtifact()
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Fatalf("round trip changed the artifact:\n  in:  %+v\n  out: %+v", a, got)
+	}
+}
+
+func TestDecodeRejectsWrongSchema(t *testing.T) {
+	a := sampleArtifact()
+	a.Schema = SchemaVersion + 1
+	var buf bytes.Buffer
+	// Encode refuses to produce it...
+	if err := a.Encode(&buf); err == nil {
+		t.Fatal("Encode accepted a future schema")
+	}
+	// ...and Decode refuses to read it if produced by hand.
+	raw := `{"schema": 99, "tool": "fgperf", "created_at": "x", "benchmarks": []}`
+	if _, err := DecodeArtifact(strings.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("DecodeArtifact(schema 99) err = %v, want schema error", err)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Artifact)
+		want   string
+	}{
+		{"empty_name", func(a *Artifact) { a.Benchmarks[0].Name = "" }, "empty name"},
+		{"duplicate", func(a *Artifact) { a.Benchmarks[1].Name = a.Benchmarks[0].Name }, "duplicate"},
+		{"empty_unit", func(a *Artifact) { a.Benchmarks[0].Samples[""] = []float64{1} }, "empty unit"},
+		{"no_samples", func(a *Artifact) { a.Benchmarks[0].Samples["ns/op"] = nil }, "no samples"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := sampleArtifact()
+			c.mutate(a)
+			err := a.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Validate err = %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	a := sampleArtifact()
+	if b := a.Find("BenchmarkSlowPath"); b == nil || b.Name != "BenchmarkSlowPath" {
+		t.Fatalf("Find(BenchmarkSlowPath) = %+v", b)
+	}
+	if b := a.Find("BenchmarkNope"); b != nil {
+		t.Fatalf("Find(BenchmarkNope) = %+v, want nil", b)
+	}
+}
+
+func TestUnitsOrder(t *testing.T) {
+	b := Benchmark{Samples: map[string][]float64{
+		"allocs/op": {0}, "ns/op": {1}, "B/op": {0}, "gc-cycles/op": {0},
+	}}
+	got := b.Units()
+	want := []string{"ns/op", "B/op", "allocs/op", "gc-cycles/op"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Units() = %v, want %v", got, want)
+	}
+}

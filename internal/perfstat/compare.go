@@ -1,0 +1,123 @@
+package perfstat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GateConfig parameterizes a baseline comparison and its regression
+// gate.
+type GateConfig struct {
+	// Alpha is the significance level for the Mann–Whitney U test
+	// (default 0.05).
+	Alpha float64
+	// ThresholdPct is the minimum median slowdown, in percent, that a
+	// statistically significant change must reach to count as a
+	// regression (default 10): the CI gate fails on "significant AND
+	// >10% slower", so pure noise and real-but-tiny drifts both pass.
+	ThresholdPct float64
+	// Resamples and Seed drive the bootstrap CI annotations (defaults
+	// 1000 and 1); they do not affect the gate verdict.
+	Resamples int
+	Seed      int64
+	// Unit is the compared unit (default "ns/op").
+	Unit string
+}
+
+// withDefaults fills the zero fields.
+func (c GateConfig) withDefaults() GateConfig {
+	if c.Alpha == 0 {
+		c.Alpha = 0.05
+	}
+	if c.ThresholdPct == 0 {
+		c.ThresholdPct = 10
+	}
+	if c.Resamples == 0 {
+		c.Resamples = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Unit == "" {
+		c.Unit = "ns/op"
+	}
+	return c
+}
+
+// Comparison is one benchmark's baseline-vs-current verdict.
+type Comparison struct {
+	Name  string
+	Unit  string
+	Tier1 bool
+
+	Old, New         Summary
+	OldLo, OldHi     float64 // bootstrap CI of the old median
+	NewLo, NewHi     float64 // bootstrap CI of the new median
+	DeltaPct         float64 // median change, percent; positive = slower
+	P                float64 // two-sided Mann–Whitney p-value
+	Significant      bool    // P < Alpha
+	Regression       bool    // Significant && DeltaPct > ThresholdPct
+	Improvement      bool    // Significant && DeltaPct < -ThresholdPct
+	MissingInCurrent bool    // baseline benchmark absent from the new artifact
+}
+
+// Compare evaluates every baseline benchmark against the current
+// artifact under cfg. Benchmarks present only in the current artifact
+// are ignored (new benchmarks cannot regress); baseline benchmarks
+// missing from the current run are reported with MissingInCurrent set,
+// and a missing *tier-1* benchmark fails the gate — deleting the
+// benchmark must never be a way to silence it.
+func Compare(base, cur *Artifact, cfg GateConfig) []Comparison {
+	cfg = cfg.withDefaults()
+	var out []Comparison
+	for i := range base.Benchmarks {
+		ob := &base.Benchmarks[i]
+		oldSamples := ob.Samples[cfg.Unit]
+		if len(oldSamples) == 0 {
+			continue // baseline never measured this unit
+		}
+		c := Comparison{Name: ob.Name, Unit: cfg.Unit, Tier1: ob.Tier1, Old: Summarize(oldSamples)}
+		c.OldLo, c.OldHi = BootstrapCI(oldSamples, 0.95, cfg.Resamples, cfg.Seed)
+		nb := cur.Find(ob.Name)
+		if nb == nil || len(nb.Samples[cfg.Unit]) == 0 {
+			c.MissingInCurrent = true
+			out = append(out, c)
+			continue
+		}
+		newSamples := nb.Samples[cfg.Unit]
+		c.Tier1 = c.Tier1 || nb.Tier1
+		c.New = Summarize(newSamples)
+		c.NewLo, c.NewHi = BootstrapCI(newSamples, 0.95, cfg.Resamples, cfg.Seed)
+		if c.Old.Median != 0 {
+			c.DeltaPct = (c.New.Median - c.Old.Median) / c.Old.Median * 100
+		}
+		_, c.P = MannWhitneyU(oldSamples, newSamples)
+		c.Significant = c.P < cfg.Alpha
+		c.Regression = c.Significant && c.DeltaPct > cfg.ThresholdPct
+		c.Improvement = c.Significant && c.DeltaPct < -cfg.ThresholdPct
+		out = append(out, c)
+	}
+	return out
+}
+
+// Gate returns an error naming every tier-1 regression (or missing
+// tier-1 benchmark) in comps, or nil when the gate passes. Non-tier-1
+// regressions are advisory: they show in the table but do not fail CI.
+func Gate(comps []Comparison) error {
+	var bad []string
+	for _, c := range comps {
+		if !c.Tier1 {
+			continue
+		}
+		switch {
+		case c.MissingInCurrent:
+			bad = append(bad, fmt.Sprintf("%s: tier-1 benchmark missing from current run", c.Name))
+		case c.Regression:
+			bad = append(bad, fmt.Sprintf("%s: %+.1f%% %s (p=%.4f)", c.Name, c.DeltaPct, c.Unit, c.P))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("perfstat: %d tier-1 regression(s):\n  %s", len(bad), strings.Join(bad, "\n  "))
+}

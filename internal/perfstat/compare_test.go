@@ -1,0 +1,151 @@
+package perfstat
+
+import (
+	"strings"
+	"testing"
+)
+
+// artifactWith builds a one-benchmark artifact from ns/op samples.
+func artifactWith(name string, tier1 bool, nsop []float64) *Artifact {
+	return &Artifact{
+		Schema: SchemaVersion, Tool: "test", CreatedAt: "2026-08-06T00:00:00Z",
+		Benchmarks: []Benchmark{{Name: name, Tier1: tier1, Samples: map[string][]float64{"ns/op": nsop}}},
+	}
+}
+
+// TestGateFiresOnSyntheticSlowdown is the acceptance fixture: a clean
+// 2x slowdown of a tier-1 benchmark across 8 interleaved samples must
+// be flagged significant, classified a regression, and fail the gate.
+func TestGateFiresOnSyntheticSlowdown(t *testing.T) {
+	base := artifactWith("BenchmarkFastPath", true,
+		[]float64{100, 101, 99, 100, 102, 98, 100, 101})
+	cur := artifactWith("BenchmarkFastPath", true,
+		[]float64{200, 202, 198, 201, 199, 200, 203, 197})
+	comps := Compare(base, cur, GateConfig{})
+	if len(comps) != 1 {
+		t.Fatalf("comparisons = %+v", comps)
+	}
+	c := comps[0]
+	if !c.Significant || c.P >= 0.05 {
+		t.Fatalf("2x slowdown not significant: p=%v", c.P)
+	}
+	if c.DeltaPct < 90 || c.DeltaPct > 110 {
+		t.Fatalf("DeltaPct = %v, want ~+100%%", c.DeltaPct)
+	}
+	if !c.Regression {
+		t.Fatalf("2x slowdown not classified as regression: %+v", c)
+	}
+	err := Gate(comps)
+	if err == nil {
+		t.Fatal("gate passed a 2x tier-1 slowdown")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkFastPath") {
+		t.Fatalf("gate error does not name the benchmark: %v", err)
+	}
+}
+
+// TestGateIgnoresNonTier1Regression: the same slowdown on an ungated
+// benchmark is reported in the comparison but does not fail the gate.
+func TestGateIgnoresNonTier1Regression(t *testing.T) {
+	base := artifactWith("BenchmarkOffline", false,
+		[]float64{100, 101, 99, 100, 102, 98, 100, 101})
+	cur := artifactWith("BenchmarkOffline", false,
+		[]float64{200, 202, 198, 201, 199, 200, 203, 197})
+	comps := Compare(base, cur, GateConfig{})
+	if !comps[0].Regression {
+		t.Fatalf("slowdown not classified: %+v", comps[0])
+	}
+	if err := Gate(comps); err != nil {
+		t.Fatalf("gate failed on a non-tier-1 regression: %v", err)
+	}
+}
+
+// TestNoRegressionOnIdenticalDistribution: comparing an artifact
+// against itself must report nothing significant — this is what `make
+// bench-compare BASE=<just-written artifact>` relies on.
+func TestNoRegressionOnIdenticalDistribution(t *testing.T) {
+	a := artifactWith("BenchmarkFastPath", true,
+		[]float64{100, 105, 95, 102, 98, 101, 99, 103})
+	comps := Compare(a, a, GateConfig{})
+	c := comps[0]
+	if c.Significant || c.Regression || c.Improvement {
+		t.Fatalf("self-comparison flagged: %+v", c)
+	}
+	if c.P != 1 {
+		t.Fatalf("self-comparison p = %v, want 1", c.P)
+	}
+	if err := Gate(comps); err != nil {
+		t.Fatalf("gate failed a self-comparison: %v", err)
+	}
+}
+
+// TestSignificantButSmallDeltaPasses: a real but sub-threshold shift
+// (clean +5% with tight samples) is significant yet not a regression.
+func TestSignificantButSmallDeltaPasses(t *testing.T) {
+	base := artifactWith("BenchmarkFastPath", true,
+		[]float64{100, 100.1, 99.9, 100, 100.2, 99.8, 100, 100.1})
+	cur := artifactWith("BenchmarkFastPath", true,
+		[]float64{105, 105.1, 104.9, 105, 105.2, 104.8, 105, 105.1})
+	comps := Compare(base, cur, GateConfig{})
+	c := comps[0]
+	if !c.Significant {
+		t.Fatalf("clean +5%% shift not significant: p=%v", c.P)
+	}
+	if c.Regression {
+		t.Fatalf("+5%% flagged as regression with 10%% threshold: %+v", c)
+	}
+	if err := Gate(comps); err != nil {
+		t.Fatalf("gate failed: %v", err)
+	}
+}
+
+// TestImprovementClassified: a 2x speedup is an improvement, never a
+// gate failure.
+func TestImprovementClassified(t *testing.T) {
+	base := artifactWith("BenchmarkFastPath", true,
+		[]float64{200, 202, 198, 201, 199, 200, 203, 197})
+	cur := artifactWith("BenchmarkFastPath", true,
+		[]float64{100, 101, 99, 100, 102, 98, 100, 101})
+	comps := Compare(base, cur, GateConfig{})
+	if !comps[0].Improvement || comps[0].Regression {
+		t.Fatalf("speedup misclassified: %+v", comps[0])
+	}
+	if err := Gate(comps); err != nil {
+		t.Fatalf("gate failed on an improvement: %v", err)
+	}
+}
+
+// TestMissingTier1FailsGate: deleting a gated benchmark must not
+// silence the gate.
+func TestMissingTier1FailsGate(t *testing.T) {
+	base := artifactWith("BenchmarkFastPath", true, []float64{100, 101, 99})
+	cur := &Artifact{Schema: SchemaVersion, Tool: "test", CreatedAt: "x"}
+	comps := Compare(base, cur, GateConfig{})
+	if len(comps) != 1 || !comps[0].MissingInCurrent {
+		t.Fatalf("comparisons = %+v", comps)
+	}
+	if err := Gate(comps); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("gate err = %v, want missing-benchmark failure", err)
+	}
+	// A missing non-tier-1 benchmark is fine.
+	base.Benchmarks[0].Tier1 = false
+	if err := Gate(Compare(base, cur, GateConfig{})); err != nil {
+		t.Fatalf("gate failed on missing non-tier-1: %v", err)
+	}
+}
+
+// TestTinySampleCountsCannotFire: with n=3 per side the Mann–Whitney
+// normal approximation cannot reach p < 0.05, so noisy small runs are
+// structurally incapable of failing the gate — the orchestrator must
+// use n >= 5 for a meaningful gate (fgperf -short does).
+func TestTinySampleCountsCannotFire(t *testing.T) {
+	base := artifactWith("BenchmarkFastPath", true, []float64{100, 101, 99})
+	cur := artifactWith("BenchmarkFastPath", true, []float64{200, 202, 198})
+	comps := Compare(base, cur, GateConfig{})
+	if comps[0].Significant {
+		t.Fatalf("n=3 comparison reached significance: p=%v", comps[0].P)
+	}
+	if err := Gate(comps); err != nil {
+		t.Fatalf("gate failed: %v", err)
+	}
+}

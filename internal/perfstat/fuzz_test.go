@@ -1,0 +1,60 @@
+package perfstat
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzBenchArtifactRoundTrip: any byte stream DecodeArtifact accepts
+// must Encode back and re-Decode to the identical artifact, and both
+// directions must be panic-free on arbitrary input. Part of `make
+// fuzz-smoke`; the seed corpus covers the schema's corners (every
+// optional section, degenerate sample sets, rejected schemas).
+func FuzzBenchArtifactRoundTrip(f *testing.F) {
+	seed := func(a *Artifact) {
+		f.Helper()
+		var buf bytes.Buffer
+		if err := a.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(sampleArtifact())
+	seed(&Artifact{Schema: SchemaVersion, Tool: "fgbench", CreatedAt: "2026-08-06T00:00:00Z"})
+	seed(&Artifact{
+		Schema: SchemaVersion, Tool: "fgperf", CreatedAt: "t",
+		Benchmarks: []Benchmark{{Name: "B", Samples: map[string][]float64{"ns/op": {0}}}},
+	})
+	seed(&Artifact{
+		Schema: SchemaVersion, Tool: "fgperf", CreatedAt: "t",
+		Phases:     []PhaseBreakdown{{App: "nginx", TotalPct: -1.5}},
+		FleetStats: map[string]uint64{"Checks": 1<<63 + 1},
+	})
+	// Rejected inputs: wrong schema, malformed JSON, non-finite floats,
+	// empty units. These must decode to an error, not a panic.
+	f.Add([]byte(`{"schema": 0}`))
+	f.Add([]byte(`{"schema": 1, "benchmarks": [{"name": "", "samples": {}}]}`))
+	f.Add([]byte(`{"schema": 1, "benchmarks": [{"name": "B", "samples": {"": [1]}}]}`))
+	f.Add([]byte(`{"schema": 1, "benchmarks": [{"name": "B", "samples": {"ns/op": []}}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeArtifact(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: fine, as long as it did not panic
+		}
+		var buf bytes.Buffer
+		if err := a.Encode(&buf); err != nil {
+			t.Fatalf("decoded artifact failed to re-encode: %v", err)
+		}
+		b, err := DecodeArtifact(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded artifact failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("round trip not stable:\n  first:  %+v\n  second: %+v", a, b)
+		}
+	})
+}

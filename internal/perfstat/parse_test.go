@@ -1,0 +1,92 @@
+package perfstat
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestNormalizeBenchName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFastPath-8":             "BenchmarkFastPath",
+		"BenchmarkFastPath":               "BenchmarkFastPath",
+		"BenchmarkCheckParallel/serial-8": "BenchmarkCheckParallel/serial",
+		"BenchmarkX/sub-case":             "BenchmarkX/sub-case", // non-numeric suffix stays
+		"BenchmarkX/n-16-4":               "BenchmarkX/n-16",     // only the last -N strips
+	}
+	for in, want := range cases {
+		if got := NormalizeBenchName(in); got != want {
+			t.Errorf("NormalizeBenchName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	name, vals, ok := ParseBenchLine("BenchmarkFastPath-8   \t 1234\t  987.5 ns/op\t 16 B/op\t  0 allocs/op")
+	if !ok || name != "BenchmarkFastPath" {
+		t.Fatalf("parse: ok=%v name=%q", ok, name)
+	}
+	want := map[string]float64{"ns/op": 987.5, "B/op": 16, "allocs/op": 0}
+	if !reflect.DeepEqual(vals, want) {
+		t.Fatalf("values = %v, want %v", vals, want)
+	}
+
+	for _, bad := range []string{
+		"PASS",
+		"ok  \tflowguard\t1.234s",
+		"goos: linux",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"--- BENCH: BenchmarkFastPath-8",
+		"BenchmarkNoValues-8 100",
+	} {
+		if _, _, ok := ParseBenchLine(bad); ok {
+			t.Errorf("ParseBenchLine(%q) accepted a non-result line", bad)
+		}
+	}
+}
+
+func TestCollectorInterleaved(t *testing.T) {
+	c := NewCollector()
+	// Two interleaved iterations of the same two-benchmark suite.
+	iter1 := `goos: linux
+BenchmarkFastPath-8    100    1000 ns/op    0 allocs/op
+BenchmarkSlowPath-8    10     60000 ns/op
+PASS`
+	iter2 := `BenchmarkFastPath-8    100    1010 ns/op    0 allocs/op
+BenchmarkSlowPath-8    10     59000 ns/op`
+	if err := c.Add(strings.NewReader(iter1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(strings.NewReader(iter2)); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Benchmarks()
+	if len(got) != 2 || got[0].Name != "BenchmarkFastPath" || got[1].Name != "BenchmarkSlowPath" {
+		t.Fatalf("benchmarks = %+v", got)
+	}
+	if !reflect.DeepEqual(got[0].Samples["ns/op"], []float64{1000, 1010}) {
+		t.Fatalf("FastPath ns/op samples = %v", got[0].Samples["ns/op"])
+	}
+	if !reflect.DeepEqual(got[0].Samples["allocs/op"], []float64{0, 0}) {
+		t.Fatalf("FastPath allocs/op samples = %v", got[0].Samples["allocs/op"])
+	}
+	if !reflect.DeepEqual(got[1].Samples["ns/op"], []float64{60000, 59000}) {
+		t.Fatalf("SlowPath samples = %v", got[1].Samples["ns/op"])
+	}
+}
+
+func TestMarkTier1(t *testing.T) {
+	benches := []Benchmark{
+		{Name: "BenchmarkFastPath"},
+		{Name: "BenchmarkIncrementalWindow/incremental"},
+		{Name: "BenchmarkSlowPath"},
+		{Name: "BenchmarkFastPathological"}, // prefix but not a sub-benchmark: must NOT match
+	}
+	n := MarkTier1(benches, Tier1Names())
+	if n != 2 {
+		t.Fatalf("marked %d, want 2", n)
+	}
+	if !benches[0].Tier1 || !benches[1].Tier1 || benches[2].Tier1 || benches[3].Tier1 {
+		t.Fatalf("tier-1 flags: %+v", benches)
+	}
+}

@@ -1,0 +1,190 @@
+// Package perfstat is the statistics and artifact layer behind cmd/fgperf
+// and fgbench -json: summary statistics over repeated benchmark samples,
+// a percentile-bootstrap confidence interval for the median, a
+// Mann–Whitney U significance test for baseline comparisons, and a
+// schema-versioned JSON artifact (BENCH_<date>.json) that records the
+// repo's performance trajectory.
+//
+// The paper's whole claim is quantitative (~3% tracing overhead, ~60x
+// fast/slow asymmetry, ~4.4% server geomean), so "did this PR slow the
+// fast path down?" must be answered with a significance test over
+// repeated interleaved runs, not by eyeballing two numbers. Everything
+// here is stdlib-only and deterministic: the bootstrap is seeded, so a
+// given artifact pair always produces the same verdict.
+package perfstat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Summary holds the descriptive statistics of one benchmark's samples.
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	// StdDev is the sample standard deviation (n-1 denominator); 0 for
+	// n < 2.
+	StdDev float64 `json:"stddev"`
+}
+
+// Summarize computes the descriptive statistics of samples. An empty
+// slice yields the zero Summary.
+func Summarize(samples []float64) Summary {
+	n := len(samples)
+	if n == 0 {
+		return Summary{}
+	}
+	s := Summary{N: n, Min: samples[0], Max: samples[0]}
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(n)
+	if n > 1 {
+		ss := 0.0
+		for _, v := range samples {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(n-1))
+	}
+	s.Median = Median(samples)
+	return s
+}
+
+// Median returns the sample median (mean of the two central order
+// statistics for even n), or 0 for an empty slice. The input is not
+// modified.
+func Median(samples []float64) float64 {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// BootstrapCI returns a percentile-bootstrap confidence interval for the
+// median of samples at the given confidence level (e.g. 0.95). The
+// resampling is driven by a seeded generator so artifacts and gate
+// verdicts are reproducible. Degenerate inputs collapse the interval:
+// n == 0 yields (0, 0) and n == 1 yields (x, x).
+func BootstrapCI(samples []float64, confidence float64, resamples int, seed int64) (lo, hi float64) {
+	n := len(samples)
+	if n == 0 {
+		return 0, 0
+	}
+	if n == 1 {
+		return samples[0], samples[0]
+	}
+	if resamples < 1 {
+		resamples = 1000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	medians := make([]float64, resamples)
+	resample := make([]float64, n)
+	for i := range medians {
+		for j := range resample {
+			resample[j] = samples[rng.Intn(n)]
+		}
+		sort.Float64s(resample)
+		if n%2 == 1 {
+			medians[i] = resample[n/2]
+		} else {
+			medians[i] = (resample[n/2-1] + resample[n/2]) / 2
+		}
+	}
+	sort.Float64s(medians)
+	alpha := (1 - confidence) / 2
+	loIdx := int(alpha * float64(resamples))
+	hiIdx := int((1 - alpha) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	if loIdx > hiIdx {
+		loIdx = hiIdx
+	}
+	return medians[loIdx], medians[hiIdx]
+}
+
+// MannWhitneyU runs the two-sided Mann–Whitney U rank-sum test on two
+// independent sample sets and returns the U statistic (for x) plus the
+// two-sided p-value from the normal approximation with tie correction
+// and continuity correction. Benchmark sample counts are small (3–20),
+// where the normal approximation is the standard benchstat-style
+// compromise; the continuity correction keeps it conservative.
+//
+// Degenerate inputs are defined, not errors: an empty side or a
+// zero-variance pooled ranking (every observation tied) reports p = 1 —
+// "no evidence of a shift" — which is exactly what the regression gate
+// should conclude from them.
+func MannWhitneyU(x, y []float64) (u, p float64) {
+	n1, n2 := len(x), len(y)
+	if n1 == 0 || n2 == 0 {
+		return 0, 1
+	}
+	type obs struct {
+		v     float64
+		fromX bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range x {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range y {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks, accumulating the tie-group correction term Σ(t³−t).
+	n := n1 + n2
+	rankSumX := 0.0
+	tieTerm := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		t := j - i
+		rank := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			if all[k].fromX {
+				rankSumX += rank
+			}
+		}
+		if t > 1 {
+			tieTerm += float64(t*t*t - t)
+		}
+		i = j
+	}
+
+	u = rankSumX - float64(n1*(n1+1))/2
+	mu := float64(n1*n2) / 2
+	variance := float64(n1*n2) / 12 * (float64(n+1) - tieTerm/float64(n*(n-1)))
+	if variance <= 0 {
+		return u, 1
+	}
+	z := (math.Abs(u-mu) - 0.5) / math.Sqrt(variance)
+	if z < 0 {
+		z = 0
+	}
+	p = math.Erfc(z / math.Sqrt2)
+	if p > 1 {
+		p = 1
+	}
+	return u, p
+}

@@ -1,0 +1,173 @@
+package perfstat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("Summarize bounds: %+v", s)
+	}
+	if s.Mean != 2.5 || s.Median != 2.5 {
+		t.Fatalf("Summarize center: %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", s.StdDev, want)
+	}
+	if z := Summarize(nil); z != (Summary{}) {
+		t.Fatalf("Summarize(nil) = %+v, want zero", z)
+	}
+	if one := Summarize([]float64{7}); one.StdDev != 0 || one.Median != 7 {
+		t.Fatalf("Summarize single: %+v", one)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// The input must not be reordered.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("Median mutated its input: %v", in)
+	}
+}
+
+// TestMannWhitneyU pins the statistic and p-value against hand-computed
+// fixtures (normal approximation, tie and continuity corrections — the
+// formulas documented on the function).
+func TestMannWhitneyU(t *testing.T) {
+	cases := []struct {
+		name  string
+		x, y  []float64
+		wantU float64
+		wantP float64
+	}{
+		{
+			// Fully separated: ranks 1,2,3 vs 4,5,6. R1=6, U=0.
+			// z = (4.5-0.5)/sqrt(9*7/12) = 1.7457, p = 0.0809.
+			name: "separated_n3", x: []float64{1, 2, 3}, y: []float64{4, 5, 6},
+			wantU: 0, wantP: 0.0809,
+		},
+		{
+			// Ties across groups: pooled 1,2,2,2,3,4; the three 2s share
+			// midrank 3. R1 = 1+3+3 = 7, U = 1.
+			// variance = 9/12*(7 - 24/30) = 4.65, z = 3/2.15639 = 1.39121,
+			// p = 0.1642.
+			name: "ties", x: []float64{1, 2, 2}, y: []float64{2, 3, 4},
+			wantU: 1, wantP: 0.1642,
+		},
+		{
+			// Identical constant samples: zero variance → p = 1 by
+			// definition (no evidence of a shift).
+			name: "all_tied", x: []float64{5, 5, 5}, y: []float64{5, 5, 5},
+			wantU: 4.5, wantP: 1,
+		},
+		{
+			// Identical distributions: U = n1*n2/2 exactly, and the
+			// continuity correction clamps z to 0 → p = 1.
+			name: "identical_distributions", x: []float64{1, 2, 3, 4}, y: []float64{1, 2, 3, 4},
+			wantU: 8, wantP: 1,
+		},
+		{
+			// n = 1 per side: the test cannot reach significance.
+			// U = 0, mu = 0.5, sigma = 0.5, z = 0 after continuity.
+			name: "degenerate_n1", x: []float64{1}, y: []float64{2},
+			wantU: 0, wantP: 1,
+		},
+		{
+			// Large fully-separated groups are decisively significant:
+			// z = 31.5/sqrt(64*17/12) = 3.3082, p = 0.00094.
+			name:  "separated_n8",
+			x:     []float64{1, 2, 3, 4, 5, 6, 7, 8},
+			y:     []float64{11, 12, 13, 14, 15, 16, 17, 18},
+			wantU: 0, wantP: 0.00094,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			u, p := MannWhitneyU(c.x, c.y)
+			if u != c.wantU {
+				t.Errorf("U = %v, want %v", u, c.wantU)
+			}
+			if math.Abs(p-c.wantP) > 2e-3 {
+				t.Errorf("p = %v, want %v", p, c.wantP)
+			}
+		})
+	}
+}
+
+func TestMannWhitneyUEmpty(t *testing.T) {
+	if _, p := MannWhitneyU(nil, []float64{1, 2}); p != 1 {
+		t.Fatalf("empty x: p = %v, want 1", p)
+	}
+	if _, p := MannWhitneyU([]float64{1, 2}, nil); p != 1 {
+		t.Fatalf("empty y: p = %v, want 1", p)
+	}
+}
+
+// TestMannWhitneyUSymmetry: swapping the sides must flip U around
+// n1*n2/2 and keep p identical.
+func TestMannWhitneyUSymmetry(t *testing.T) {
+	x := []float64{1, 5, 7, 9}
+	y := []float64{2, 3, 8, 11, 12}
+	u1, p1 := MannWhitneyU(x, y)
+	u2, p2 := MannWhitneyU(y, x)
+	if u1+u2 != float64(len(x)*len(y)) {
+		t.Fatalf("U1 + U2 = %v + %v, want %d", u1, u2, len(x)*len(y))
+	}
+	if p1 != p2 {
+		t.Fatalf("p not symmetric: %v vs %v", p1, p2)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	t.Run("degenerate", func(t *testing.T) {
+		if lo, hi := BootstrapCI(nil, 0.95, 100, 1); lo != 0 || hi != 0 {
+			t.Fatalf("empty: (%v, %v)", lo, hi)
+		}
+		if lo, hi := BootstrapCI([]float64{42}, 0.95, 100, 1); lo != 42 || hi != 42 {
+			t.Fatalf("n=1: (%v, %v), want collapsed at 42", lo, hi)
+		}
+		if lo, hi := BootstrapCI([]float64{3, 3, 3, 3}, 0.95, 200, 1); lo != 3 || hi != 3 {
+			t.Fatalf("constant: (%v, %v), want collapsed at 3", lo, hi)
+		}
+	})
+	t.Run("bounds_and_coverage", func(t *testing.T) {
+		samples := []float64{10, 11, 12, 13, 14, 15, 16}
+		lo, hi := BootstrapCI(samples, 0.95, 2000, 7)
+		if lo > hi {
+			t.Fatalf("inverted interval (%v, %v)", lo, hi)
+		}
+		if lo < 10 || hi > 16 {
+			t.Fatalf("interval (%v, %v) escapes sample range", lo, hi)
+		}
+		med := Median(samples)
+		if lo > med || hi < med {
+			t.Fatalf("interval (%v, %v) excludes the sample median %v", lo, hi, med)
+		}
+	})
+	t.Run("deterministic", func(t *testing.T) {
+		samples := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+		lo1, hi1 := BootstrapCI(samples, 0.95, 500, 99)
+		lo2, hi2 := BootstrapCI(samples, 0.95, 500, 99)
+		if lo1 != lo2 || hi1 != hi2 {
+			t.Fatalf("same seed, different interval: (%v,%v) vs (%v,%v)", lo1, hi1, lo2, hi2)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package perfstat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// formatValue renders a sample value compactly with an SI-style suffix,
+// benchstat-fashion: 1234567 → "1.23M", 987.5 → "988".
+func formatValue(v float64) string {
+	abs := v
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case abs >= 1 || abs == 0:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+// spread renders the CI half-width as a ±percentage of the median,
+// "±3%"; a collapsed interval renders "±0%".
+func spread(median, lo, hi float64) string {
+	if median == 0 {
+		return "±0%"
+	}
+	half := (hi - lo) / 2
+	pct := half / median * 100
+	if pct < 0 {
+		pct = -pct
+	}
+	return fmt.Sprintf("±%.0f%%", pct)
+}
+
+// FormatArtifact renders one artifact as an aligned summary table: per
+// benchmark and unit, the sample count, median with bootstrap-CI
+// spread, and min..max range.
+func FormatArtifact(a *Artifact) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %-12s %3s  %-12s %s\n", "benchmark", "unit", "n", "median", "range")
+	for i := range a.Benchmarks {
+		bench := &a.Benchmarks[i]
+		name := bench.Name
+		if bench.Tier1 {
+			name += " *"
+		}
+		for _, unit := range bench.Units() {
+			samples := bench.Samples[unit]
+			s := Summarize(samples)
+			lo, hi := BootstrapCI(samples, 0.95, 1000, 1)
+			fmt.Fprintf(&b, "%-44s %-12s %3d  %-12s %s..%s\n",
+				name, unit, s.N,
+				formatValue(s.Median)+" "+spread(s.Median, lo, hi),
+				formatValue(s.Min), formatValue(s.Max))
+			name = "" // only label the first unit row
+		}
+	}
+	b.WriteString("(* = tier-1 hot-path benchmark, gated in CI)\n")
+	return b.String()
+}
+
+// FormatComparison renders baseline-vs-current verdicts benchstat-style.
+// The delta column stays "~" unless the shift is statistically
+// significant at the gate's alpha.
+func FormatComparison(comps []Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %-16s %-16s %-10s %-8s %s\n", "benchmark", "old", "new", "delta", "p", "verdict")
+	for _, c := range comps {
+		name := c.Name
+		if c.Tier1 {
+			name += " *"
+		}
+		if c.MissingInCurrent {
+			fmt.Fprintf(&b, "%-44s %-16s %-16s %-10s %-8s %s\n",
+				name, formatValue(c.Old.Median)+" "+spread(c.Old.Median, c.OldLo, c.OldHi),
+				"(missing)", "", "", missingVerdict(c))
+			continue
+		}
+		delta := "~"
+		if c.Significant {
+			delta = fmt.Sprintf("%+.1f%%", c.DeltaPct)
+		}
+		fmt.Fprintf(&b, "%-44s %-16s %-16s %-10s %-8.3f %s\n",
+			name,
+			formatValue(c.Old.Median)+" "+spread(c.Old.Median, c.OldLo, c.OldHi),
+			formatValue(c.New.Median)+" "+spread(c.New.Median, c.NewLo, c.NewHi),
+			delta, c.P, verdict(c))
+	}
+	b.WriteString("(* = tier-1, gated; delta shown only when significant)\n")
+	return b.String()
+}
+
+func verdict(c Comparison) string {
+	switch {
+	case c.Regression && c.Tier1:
+		return "REGRESSION (gated)"
+	case c.Regression:
+		return "regression"
+	case c.Improvement:
+		return "improvement"
+	case c.Significant:
+		return "shifted"
+	default:
+		return "ok"
+	}
+}
+
+func missingVerdict(c Comparison) string {
+	if c.Tier1 {
+		return "MISSING (gated)"
+	}
+	return "missing"
+}

@@ -1,0 +1,63 @@
+package perfstat
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// golden compares got against testdata/<name>, rewriting it under
+// -update. Golden files pin the exact rendered shape so reporter drift
+// is an explicit diff in review, never a silent reshape.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/perfstat -run %s -update` to create it)", err, t.Name())
+	}
+	if got != string(want) {
+		t.Fatalf("output drifted from %s (re-run with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestFormatArtifactGolden(t *testing.T) {
+	golden(t, "artifact_table.golden", FormatArtifact(sampleArtifact()))
+}
+
+func TestFormatComparisonGolden(t *testing.T) {
+	base := &Artifact{
+		Schema: SchemaVersion, Tool: "test", CreatedAt: "x",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkFastPath", Tier1: true, Samples: map[string][]float64{
+				"ns/op": {100, 101, 99, 100, 102, 98, 100, 101}}},
+			{Name: "BenchmarkSlowPath", Samples: map[string][]float64{
+				"ns/op": {60000, 61000, 59000, 60500, 59500, 60200, 59800, 60100}}},
+			{Name: "BenchmarkRemoved", Tier1: true, Samples: map[string][]float64{
+				"ns/op": {10, 11, 9}}},
+		},
+	}
+	cur := &Artifact{
+		Schema: SchemaVersion, Tool: "test", CreatedAt: "x",
+		Benchmarks: []Benchmark{
+			// Gated 2x regression.
+			{Name: "BenchmarkFastPath", Tier1: true, Samples: map[string][]float64{
+				"ns/op": {200, 202, 198, 201, 199, 200, 203, 197}}},
+			// Clean 2x improvement, ungated.
+			{Name: "BenchmarkSlowPath", Samples: map[string][]float64{
+				"ns/op": {30000, 30500, 29500, 30250, 29750, 30100, 29900, 30050}}},
+		},
+	}
+	golden(t, "comparison_table.golden", FormatComparison(Compare(base, cur, GateConfig{})))
+}
