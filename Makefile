@@ -55,7 +55,7 @@ chaos:
 	$(GO) test -race -short -run 'Chaos' ./internal/faults/ -count=1
 
 fuzz-smoke:
-	$(GO) test -run 'Fuzz' ./internal/trace/ipt/ ./internal/harness/ ./internal/perfstat/ -count=1
+	$(GO) test -run 'Fuzz' ./internal/trace/ipt/ ./internal/harness/ ./internal/perfstat/ ./internal/itc/ -count=1
 
 # Short real fuzzing campaigns (one -fuzz pattern per go test invocation).
 fuzz:

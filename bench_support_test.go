@@ -181,4 +181,28 @@ func TestFastPathZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("fast path allocated %.1f allocs/op in steady state, want 0 (hotpathalloc invariant)", allocs)
 	}
+
+	// Trained-graph flavor: after training and RebuildCache the lookups
+	// route through the flat snapshot (eytzinger index + offset arenas);
+	// the lock-free Lookup, the high-credit CacheLookup and the
+	// path-sensitive probe must all stay allocation-free too.
+	dec.Reset(0)
+	if err := dec.Feed(window); err != nil {
+		t.Fatal(err)
+	}
+	tips := dec.Tips()
+	ig.ObserveWindow(tips) // train the edges the window itself exercises
+	ig.RebuildCache()
+	allocs = testing.AllocsPerRun(50, func() {
+		for j := 0; j+1 < len(tips); j++ {
+			ig.Lookup(tips[j].IP, tips[j+1].IP, tips[j+1].TNTSig)
+			ig.CacheLookup(tips[j].IP, tips[j+1].IP, tips[j+1].TNTSig)
+			if j+2 < len(tips) {
+				ig.PathTrained(tips[j].IP, tips[j+1].IP, tips[j+2].IP)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("flat lookup path allocated %.1f allocs/op in steady state, want 0 (hotpathalloc invariant)", allocs)
+	}
 }

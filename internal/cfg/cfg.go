@@ -190,6 +190,24 @@ type Graph struct {
 	blockAt map[uint64]*Block
 }
 
+// Synthetic assembles a Graph directly from hand- or generator-built
+// blocks, bypassing binary analysis: conformance suites use it to drive
+// the ITC-CFG machinery over randomized topologies that no real program
+// would compile to. Blocks are sorted by start address and indexed; no
+// function or site information is derived.
+func Synthetic(blocks []*Block) *Graph {
+	g := &Graph{
+		Blocks:  append([]*Block(nil), blocks...),
+		funcAt:  make(map[uint64]*Function),
+		blockAt: make(map[uint64]*Block, len(blocks)),
+	}
+	sort.Slice(g.Blocks, func(i, j int) bool { return g.Blocks[i].Start < g.Blocks[j].Start })
+	for _, b := range g.Blocks {
+		g.blockAt[b.Start] = b
+	}
+	return g
+}
+
 // FuncAt returns the function whose entry is addr.
 func (g *Graph) FuncAt(addr uint64) (*Function, bool) {
 	f, ok := g.funcAt[addr]

@@ -78,13 +78,11 @@ type Graph struct {
 	// last RebuildCache.
 	snap atomic.Pointer[labelSnap]
 
-	// highNodes/highSuccs form the separate high-credit cache §5.3
-	// describes ("preserves separate memory to store the source nodes
-	// and their targets connected by edges with high credits"). Rebuilt
-	// by RebuildCache after training.
-	highNodes []uint64
-	highSuccs [][]uint64
-	highSigs  [][][]uint64
+	// high is the separate high-credit cache §5.3 describes ("preserves
+	// separate memory to store the source nodes and their targets
+	// connected by edges with high credits"), in flat form. Rebuilt by
+	// RebuildCache after training; read under mu when snap is nil.
+	high *Flat
 
 	// paths holds the trained consecutive-edge pairs for the optional
 	// path-sensitive fast path (see paths.go).
@@ -98,16 +96,13 @@ type Graph struct {
 	labelGen atomic.Uint64
 }
 
-// labelSnap is a deep, immutable copy of the training labels. Deep
-// because Observe mutates sig arrays in place (sorted insertion shifts
-// the backing array), so a snapshot must not alias them.
+// labelSnap is an immutable flat rendering of the training labels: the
+// full labeled graph plus the high-credit subset. Immutable by
+// construction — the flat arenas own their storage, so later Observe
+// calls (which mutate meta in place) cannot reach them.
 type labelSnap struct {
-	counts    [][]uint32
-	sigs      [][][]uint64
-	highNodes []uint64
-	highSuccs [][]uint64
-	highSigs  [][][]uint64
-	paths     map[uint64]struct{}
+	full *Flat
+	high *Flat
 }
 
 // FromCFG builds the unlabeled ITC-CFG from a conservative O-CFG by
@@ -277,6 +272,9 @@ type EdgeLabel struct {
 //
 //fg:hotpath per-TIP-pair on every check
 func (g *Graph) Lookup(src, dst uint64, sig uint64) EdgeLabel {
+	if s := g.snap.Load(); s != nil {
+		return s.full.Lookup(src, dst, sig)
+	}
 	i, ok := g.nodeIndex(src)
 	if !ok {
 		return EdgeLabel{}
@@ -284,14 +282,6 @@ func (g *Graph) Lookup(src, dst uint64, sig uint64) EdgeLabel {
 	j, ok := g.edgeIndex(i, dst)
 	if !ok {
 		return EdgeLabel{}
-	}
-	if s := g.snap.Load(); s != nil {
-		count := s.counts[i][j]
-		l := EdgeLabel{Exists: true, HighCredit: count > 0, Count: count}
-		if l.HighCredit {
-			l.SigMatch = sigMatches(s.sigs[i][j], sig)
-		}
-		return l
 	}
 	g.mu.RLock()
 	m := &g.meta[i][j]
@@ -350,50 +340,19 @@ func (g *Graph) ObserveWindow(tips []ipt.TIPRecord) bool {
 	return ok
 }
 
-// RebuildCache regenerates the separate high-credit fast-matching arrays
-// after training (§5.3) and publishes the immutable label snapshot that
-// makes subsequent lookups lock-free.
+// RebuildCache regenerates the flat lookup tables after training — the
+// full labeled graph and the §5.3 separate high-credit memory — and
+// publishes them as the immutable label snapshot that makes subsequent
+// lookups lock-free. The flat arenas own their storage, so later
+// in-place label mutation cannot alias into a published snapshot.
 func (g *Graph) RebuildCache() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.highNodes = g.highNodes[:0]
-	g.highSuccs = g.highSuccs[:0]
-	g.highSigs = g.highSigs[:0]
 	s := &labelSnap{
-		counts: make([][]uint32, len(g.nodes)),
-		sigs:   make([][][]uint64, len(g.nodes)),
+		full: g.buildFlatLocked(false),
+		high: g.buildFlatLocked(true),
 	}
-	for i, n := range g.nodes {
-		s.counts[i] = make([]uint32, len(g.succs[i]))
-		s.sigs[i] = make([][]uint64, len(g.succs[i]))
-		var ts []uint64
-		var sigs [][]uint64
-		for j, t := range g.succs[i] {
-			m := &g.meta[i][j]
-			s.counts[i][j] = m.count
-			// Deep-copy: Observe shifts sig arrays in place, so the
-			// snapshot must own its storage.
-			s.sigs[i][j] = append([]uint64(nil), m.sigs...)
-			if m.count > 0 {
-				ts = append(ts, t)
-				sigs = append(sigs, s.sigs[i][j])
-			}
-		}
-		if len(ts) > 0 {
-			g.highNodes = append(g.highNodes, n)
-			g.highSuccs = append(g.highSuccs, ts)
-			g.highSigs = append(g.highSigs, sigs)
-		}
-	}
-	s.highNodes = append([]uint64(nil), g.highNodes...)
-	s.highSuccs = append([][]uint64(nil), g.highSuccs...)
-	s.highSigs = append([][][]uint64(nil), g.highSigs...)
-	if g.paths != nil {
-		s.paths = make(map[uint64]struct{}, len(g.paths))
-		for p := range g.paths {
-			s.paths[p] = struct{}{}
-		}
-	}
+	g.high = s.high
 	g.snap.Store(s)
 	g.labelGen.Add(1)
 }
@@ -408,25 +367,14 @@ func (g *Graph) LabelGen() uint64 { return g.labelGen.Load() }
 //fg:hotpath
 func (g *Graph) CacheLookup(src, dst uint64, sig uint64) (hit, sigMatch bool) {
 	if s := g.snap.Load(); s != nil {
-		return cacheLookup(s.highNodes, s.highSuccs, s.highSigs, src, dst, sig)
+		return s.high.CacheLookup(src, dst, sig)
 	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return cacheLookup(g.highNodes, g.highSuccs, g.highSigs, src, dst, sig)
-}
-
-//fg:hotpath
-func cacheLookup(nodes []uint64, succs [][]uint64, allSigs [][][]uint64, src, dst, sig uint64) (hit, sigMatch bool) {
-	i := searchU64(nodes, src)
-	if i >= len(nodes) || nodes[i] != src {
+	if g.high == nil {
 		return false, false
 	}
-	ts := succs[i]
-	j := searchU64(ts, dst)
-	if j >= len(ts) || ts[j] != dst {
-		return false, false
-	}
-	return true, sigMatches(allSigs[i][j], sig)
+	return g.high.CacheLookup(src, dst, sig)
 }
 
 // sigMatches checks a TNT-run signature against an edge's trained set.
@@ -569,12 +517,8 @@ func (g *Graph) MemoryBytes() uint64 {
 			b += uint64(len(g.meta[i][j].sigs)) * 8
 		}
 	}
-	b += uint64(len(g.highNodes)) * 8
-	for i := range g.highSuccs {
-		b += uint64(len(g.highSuccs[i])) * 8
-		for j := range g.highSigs[i] {
-			b += uint64(len(g.highSigs[i][j])) * 8
-		}
+	if g.high != nil {
+		b += uint64(g.high.Size())
 	}
 	return b
 }

@@ -40,8 +40,7 @@ func (g *Graph) ObservePath(a, b, c uint64) {
 func (g *Graph) PathTrained(a, b, c uint64) bool {
 	k := PathKey(a, b, c)
 	if s := g.snap.Load(); s != nil {
-		_, ok := s.paths[k]
-		return ok
+		return s.full.PathTrained(k)
 	}
 	g.mu.RLock()
 	_, ok := g.paths[k]

@@ -1,7 +1,6 @@
 package itc
 
 import (
-	"encoding/gob"
 	"fmt"
 	"io"
 )
@@ -10,78 +9,40 @@ import (
 // artifact (the paper conducts CFG generation and training "before the
 // distribution of the protected software", §3.3, so the labeled ITC-CFG
 // ships alongside the binary and loads at protection time).
-
-// graphWire is the gob-stable on-disk form.
-type graphWire struct {
-	Version int
-	Nodes   []uint64
-	Succs   [][]uint64
-	Counts  [][]uint32
-	Sigs    [][][]uint64
-	Paths   []uint64
-}
-
-const wireVersion = 1
+//
+// The wire format IS the flat in-memory form (flat.go): when the label
+// snapshot is current, Encode writes the already-built arena verbatim,
+// and Decode adopts the validated bytes as the lookup tables without
+// copying — the artifact is mapped, not unmarshaled.
 
 // Encode writes the labeled graph (including path training) to w.
 func (g *Graph) Encode(w io.Writer) error {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	wire := graphWire{
-		Version: wireVersion,
-		Nodes:   g.nodes,
-		Succs:   g.succs,
-		Counts:  make([][]uint32, len(g.meta)),
-		Sigs:    make([][][]uint64, len(g.meta)),
+	var f *Flat
+	if s := g.snap.Load(); s != nil {
+		f = s.full
+	} else {
+		g.mu.RLock()
+		f = g.buildFlatLocked(false)
+		g.mu.RUnlock()
 	}
-	for i := range g.meta {
-		wire.Counts[i] = make([]uint32, len(g.meta[i]))
-		wire.Sigs[i] = make([][]uint64, len(g.meta[i]))
-		for j := range g.meta[i] {
-			wire.Counts[i][j] = g.meta[i][j].count
-			wire.Sigs[i][j] = g.meta[i][j].sigs
-		}
-	}
-	for p := range g.paths {
-		wire.Paths = append(wire.Paths, p)
-	}
-	return gob.NewEncoder(w).Encode(&wire)
+	_, err := w.Write(f.Bytes())
+	return err
 }
 
 // Decode reads a labeled graph written by Encode and rebuilds the
-// high-credit cache.
+// high-credit cache. The input must be a complete, valid artifact;
+// LoadFlat's strict validation makes accepted bytes canonical, so
+// re-encoding the result reproduces them exactly.
 func Decode(r io.Reader) (*Graph, error) {
-	var wire graphWire
-	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
 		return nil, fmt.Errorf("itc: decode: %w", err)
 	}
-	if wire.Version != wireVersion {
-		return nil, fmt.Errorf("itc: unsupported graph version %d", wire.Version)
+	f, err := LoadFlat(data)
+	if err != nil {
+		return nil, fmt.Errorf("itc: decode: %w", err)
 	}
-	if len(wire.Succs) != len(wire.Nodes) || len(wire.Counts) != len(wire.Nodes) || len(wire.Sigs) != len(wire.Nodes) {
-		return nil, fmt.Errorf("itc: corrupt graph: ragged arrays")
-	}
-	g := &Graph{
-		nodes: wire.Nodes,
-		succs: wire.Succs,
-		meta:  make([][]edgeMeta, len(wire.Nodes)),
-	}
-	for i := range wire.Succs {
-		if len(wire.Counts[i]) != len(wire.Succs[i]) || len(wire.Sigs[i]) != len(wire.Succs[i]) {
-			return nil, fmt.Errorf("itc: corrupt graph: ragged edge metadata at node %d", i)
-		}
-		g.meta[i] = make([]edgeMeta, len(wire.Succs[i]))
-		for j := range wire.Succs[i] {
-			g.meta[i][j] = edgeMeta{count: wire.Counts[i][j], sigs: wire.Sigs[i][j]}
-		}
-		g.Edges += len(wire.Succs[i])
-	}
-	if len(wire.Paths) > 0 {
-		g.paths = make(map[uint64]struct{}, len(wire.Paths))
-		for _, p := range wire.Paths {
-			g.paths[p] = struct{}{}
-		}
-	}
+	g := graphFromFlat(f)
 	g.RebuildCache()
 	return g, nil
 }

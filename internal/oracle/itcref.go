@@ -144,6 +144,40 @@ func (r *Ref) Rebuild() { r.gen++ }
 // Gen returns the label generation.
 func (r *Ref) Gen() uint64 { return r.gen }
 
+// Lookup classifies one observed transfer for external conformance
+// checks: whether the edge is in the graph at all, its credit count, and
+// whether the observed TNT signature was seen in training. Identical to
+// the unexported probe the differential oracle uses internally.
+func (r *Ref) Lookup(src, dst, sig uint64) (exists bool, count uint32, sigOK bool) {
+	return r.lookup(src, dst, sig)
+}
+
+// Observe trains one edge with one TNT signature, exactly as a benign
+// trace containing the consecutive pair would. It reports whether the
+// edge exists in the reference graph.
+func (r *Ref) Observe(src, dst, sig uint64) bool {
+	e := edge{src, dst}
+	if !r.edges[e] {
+		return false
+	}
+	r.counts[e]++
+	set := r.sigs[e]
+	if set == nil {
+		set = make(map[uint64]bool)
+		r.sigs[e] = set
+	}
+	set[sig] = true
+	return true
+}
+
+// ObservePath trains one consecutive-edge triple.
+func (r *Ref) ObservePath(a, b, c uint64) {
+	r.paths[[3]uint64{a, b, c}] = true
+}
+
+// PathObserved reports whether the triple was trained.
+func (r *Ref) PathObserved(a, b, c uint64) bool { return r.pathTrained(a, b, c) }
+
 // lookup classifies one observed transfer: whether the edge is in the
 // graph at all, its credit count, and whether the observed TNT signature
 // was seen in training (a stored long-run wildcard matches anything).

@@ -116,6 +116,28 @@ func MarkTier1(benches []Benchmark, names []string) int {
 	return marked
 }
 
+// MissingTier1 lists the tier-1 names with no benchmark in the set —
+// neither an exact match nor a sub-benchmark. A gate that only diffs
+// against a baseline misses a benchmark that was renamed or deleted in
+// the same change that regenerated the baseline; this check is absolute,
+// so the protected set cannot silently shrink.
+func MissingTier1(benches []Benchmark, names []string) []string {
+	var missing []string
+	for _, n := range names {
+		found := false
+		for i := range benches {
+			if benches[i].Name == n || strings.HasPrefix(benches[i].Name, n+"/") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, n)
+		}
+	}
+	return missing
+}
+
 // Tier1Names is the hot-path benchmark set the CI regression gate
 // protects: the §5.3 fast path and its feeding layers. Sub-benchmarks
 // of a listed name are included.
@@ -125,6 +147,7 @@ func Tier1Names() []string {
 		"BenchmarkFastDecode",
 		"BenchmarkGuardCheck",
 		"BenchmarkITCLookup",
+		"BenchmarkITCFlatSerialize",
 		"BenchmarkIPTPacketScan",
 		"BenchmarkApprovalCache",
 		"BenchmarkIncrementalWindow",

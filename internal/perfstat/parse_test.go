@@ -90,3 +90,26 @@ func TestMarkTier1(t *testing.T) {
 		t.Fatalf("tier-1 flags: %+v", benches)
 	}
 }
+
+func TestMissingTier1(t *testing.T) {
+	if m := MissingTier1(nil, []string{"BenchmarkA"}); !reflect.DeepEqual(m, []string{"BenchmarkA"}) {
+		t.Fatalf("empty run: missing = %v", m)
+	}
+	benches := []Benchmark{
+		{Name: "BenchmarkA"},
+		{Name: "BenchmarkB/sub"},
+		{Name: "BenchmarkCache"}, // prefix of BenchmarkC but not a sub-benchmark
+	}
+	got := MissingTier1(benches, []string{"BenchmarkA", "BenchmarkB", "BenchmarkC"})
+	if !reflect.DeepEqual(got, []string{"BenchmarkC"}) {
+		t.Fatalf("missing = %v, want [BenchmarkC]", got)
+	}
+	// Every current tier-1 name present: nothing missing.
+	var all []Benchmark
+	for _, n := range Tier1Names() {
+		all = append(all, Benchmark{Name: n})
+	}
+	if m := MissingTier1(all, Tier1Names()); m != nil {
+		t.Fatalf("complete run reported missing: %v", m)
+	}
+}

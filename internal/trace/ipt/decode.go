@@ -2,7 +2,6 @@ package ipt
 
 import (
 	"errors"
-	"math/bits"
 	"sync"
 )
 
@@ -81,19 +80,53 @@ func decodeFastFrom(buf []byte, base int) ([]Event, error) {
 	lastIP := uint64(0)
 	inPSB := false
 	i := 0
-	for i < len(buf) {
+	n := len(buf)
+	for i < n {
 		b := buf[i]
-		switch {
-		case b == 0x00: // PAD
+		e := pktTab[b]
+		switch e & pcClassMask {
+		case pcTNT:
+			tn := int(e >> 8)
+			evs = append(evs, Event{
+				Kind:     KindTNT,
+				TNTBits:  (b >> 1) & (1<<tn - 1),
+				TNTCount: tn,
+				Off:      base + i,
+			})
 			i++
-		case b == 0x02: // extended
-			if i+1 >= len(buf) {
+		case pcTIP, pcTIPRec:
+			plen := int(e & pcLenMask)
+			if i+plen > n {
+				return evs, nil // truncated tail
+			}
+			kind := Kind(e >> 8)
+			ev := Event{Kind: kind, Off: base + i}
+			if ipb := b >> 5; ipb == 0 {
+				ev.Suppressed = true
+				ev.IP = lastIP
+			} else {
+				lastIP = ipReconstruct(ipb, buf[i+1:i+plen], lastIP)
+				ev.IP = lastIP
+			}
+			if kind == KindFUP && inPSB {
+				ev.Ctx = true
+			}
+			evs = append(evs, ev)
+			i += plen
+		case pcPAD:
+			i++
+			// PAD fills ToPA region tails: skip whole zero words.
+			for i+8 <= n && leUint64(buf[i:]) == 0 {
+				i += 8
+			}
+		case pcExt:
+			if i+1 >= n {
 				return evs, nil // truncated tail
 			}
 			switch buf[i+1] {
 			case extPSB:
 				if !isPSBAt(buf, i) {
-					if i+PSBSize > len(buf) {
+					if i+PSBSize > n {
 						return evs, nil
 					}
 					return evs, malformedf("malformed PSB at %d", base+i)
@@ -107,14 +140,10 @@ func decodeFastFrom(buf []byte, base int) ([]Event, error) {
 				inPSB = false
 				i += 2
 			case extPIP:
-				if i+10 > len(buf) {
+				if i+10 > n {
 					return evs, nil
 				}
-				var cr3 uint64
-				for j := 0; j < 8; j++ {
-					cr3 |= uint64(buf[i+2+j]) << (8 * j)
-				}
-				evs = append(evs, Event{Kind: KindPIP, CR3: cr3, Off: base + i})
+				evs = append(evs, Event{Kind: KindPIP, CR3: leUint64(buf[i+2 : i+10]), Off: base + i})
 				i += 10
 			case extOVF:
 				evs = append(evs, Event{Kind: KindOVF, Off: base + i})
@@ -122,51 +151,11 @@ func decodeFastFrom(buf []byte, base int) ([]Event, error) {
 			default:
 				return evs, malformedf("unknown extended opcode %#02x at %d", buf[i+1], base+i)
 			}
-		case b&1 == 0: // short TNT
-			n := bits.Len8(b) - 2
-			if n < 1 || n > maxTNTBits {
+		default: // pcBad
+			if b&1 == 0 {
 				return evs, malformedf("malformed TNT byte %#02x at %d", b, base+i)
 			}
-			evs = append(evs, Event{
-				Kind:     KindTNT,
-				TNTBits:  (b >> 1) & (1<<n - 1),
-				TNTCount: n,
-				Off:      base + i,
-			})
-			i++
-		default: // TIP family
-			op := b & 0x1f
-			ipb := b >> 5
-			var kind Kind
-			switch op {
-			case opTIP:
-				kind = KindTIP
-			case opTIPPGE:
-				kind = KindTIPPGE
-			case opTIPPGD:
-				kind = KindTIPPGD
-			case opFUP:
-				kind = KindFUP
-			default:
-				return evs, malformedf("unknown packet header %#02x at %d", b, base+i)
-			}
-			n := ipPayloadLen(ipb)
-			if i+1+n > len(buf) {
-				return evs, nil // truncated tail
-			}
-			ev := Event{Kind: kind, Off: base + i}
-			if ipb == 0 {
-				ev.Suppressed = true
-				ev.IP = lastIP
-			} else {
-				lastIP = ipReconstruct(ipb, buf[i+1:i+1+n], lastIP)
-				ev.IP = lastIP
-			}
-			if kind == KindFUP && inPSB {
-				ev.Ctx = true
-			}
-			evs = append(evs, ev)
-			i += 1 + n
+			return evs, malformedf("unknown packet header %#02x at %d", b, base+i)
 		}
 	}
 	return evs, nil
@@ -225,16 +214,23 @@ func DecodeFastParallel(buf []byte, workers int) ([]Event, error) {
 // TIPRecord is one checked unit of the fast path: a TIP target plus the
 // signature of the TNT run observed since the previous TIP (the
 // information §4.3 attaches to ITC-CFG edges).
+//
+// The layout is deliberately 32 bytes — two records per cache line, no
+// record ever straddling one — because the scanners emit these in bulk on
+// the hot path and the checkers stream over them again per check.
 type TIPRecord struct {
 	// IP is the indirect branch target carried by the TIP packet.
 	IP uint64
 	// TNTSig is the signature of the conditional-branch outcomes seen
 	// between the previous TIP and this one; TNTSigEmpty if none.
 	TNTSig uint64
-	// TNTLen is the number of conditional outcomes folded into TNTSig.
-	TNTLen int
 	// Off is the stream offset (diagnostics).
 	Off int
+	// TNTLen is the number of conditional outcomes folded into TNTSig.
+	// 32 bits keep the record at two per cache line; a run that long
+	// (hundreds of megabytes of contiguous TNT) collapsed its signature
+	// to TNTSigLongRun at TNTRunCap outcomes already.
+	TNTLen int32
 	// Resync marks the first TIP decoded after an overflow-forced
 	// resynchronization: the packets between the OVF and the next PSB
 	// were discarded, so this record is NOT control-flow-adjacent to the
@@ -300,7 +296,7 @@ func ExtractTIPs(evs []Event) []TIPRecord {
 			if n > TNTRunCap {
 				sig = TNTSigLongRun
 			}
-			out = append(out, TIPRecord{IP: e.IP, TNTSig: sig, TNTLen: n, Off: e.Off, Resync: resync})
+			out = append(out, TIPRecord{IP: e.IP, TNTSig: sig, TNTLen: int32(n), Off: e.Off, Resync: resync})
 			sig, n = TNTSigEmpty, 0
 			resync = false
 		case KindPSB:

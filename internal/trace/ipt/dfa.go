@@ -1,0 +1,147 @@
+package ipt
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Packet-length DFA (§5.3 fast path): the per-byte dispatch of the
+// packet-grammar scanners is folded into a single 256-entry table mapping
+// a header byte to its packet class and total encoded length. The
+// scanners index the table once per packet instead of walking an if/else
+// ladder per byte, which removes the data-dependent branches the
+// hardware-speed scan cannot afford; only the rare 0x02 prefix escapes to
+// a second dispatch on the extended opcode.
+//
+// Each entry packs, little end first:
+//
+//	bits 0..4   total packet length in bytes (header + payload)
+//	bits 5..7   packet class (pc* constants)
+//	bits 8..15  class-specific auxiliary value:
+//	              pcTNT: the number of payload outcome bits
+//	              pcTIP/pcTIPRec: the Kind discriminator of the family member
+//
+// The table is a pure function of the packet grammar in packets.go and is
+// built once at init; both the batch scanner (decode.go) and the
+// incremental WindowDecoder (stream.go) dispatch through it.
+
+// Packet classes of the DFA. TIP proper gets a class of its own
+// (pcTIPRec) distinct from the rest of its family: it is the only packet
+// that emits a checked record, and record-bearing windows are TIP-dense,
+// so the incremental scanner wants to reach the emit path on the class
+// test alone without re-discriminating the Kind per packet.
+const (
+	pcBad    uint16 = iota << 5 // no packet starts with this byte
+	pcPAD                       // 0x00 padding
+	pcTNT                       // short TNT, outcome bits in the header byte
+	pcTIP                       // TIP.PGE, TIP.PGD, FUP: last-IP update only
+	pcExt                       // 0x02 extended-opcode escape
+	pcTIPRec                    // TIP proper: updates last-IP and emits a record
+)
+
+const (
+	pcLenMask   = 0x1f // bits 0..4: total packet length
+	pcClassMask = 0xe0 // bits 5..7: packet class
+)
+
+// pktTab is the 256-entry header-byte DFA.
+var pktTab [256]uint16
+
+// TIP-family register dispatch: every odd header byte is TIP-family or
+// invalid, and the family is the dense class of a record-bearing window,
+// so the incremental scanner resolves it without touching pktTab — the
+// advance of the scan position must not wait out a load-use latency per
+// packet. Both constants are pure functions of the packet grammar;
+// TestDFATableMatchesGrammar pins them against the table.
+const (
+	// tipOpSet has bit op set for each valid TIP-family low-5-bit opcode.
+	tipOpSet uint32 = 1<<opTIP | 1<<opTIPPGE | 1<<opTIPPGD | 1<<opFUP
+	// ipLenNibbles packs ipPayloadLen(ipb) for ipb 0..7, one nibble each:
+	// payload length = ipLenNibbles >> (ipb*4) & 0xf.
+	ipLenNibbles uint32 = 0x88888420
+)
+
+func init() {
+	for b := 0; b < 256; b++ {
+		pktTab[b] = classifyHeader(byte(b))
+	}
+}
+
+// classifyHeader derives one DFA entry from the packet grammar; it must
+// agree byte-for-byte with the dispatch rules the scanners used to
+// implement inline (TestDFATableMatchesGrammar pins that).
+func classifyHeader(b byte) uint16 {
+	switch {
+	case b == 0x00:
+		return pcPAD | 1
+	case b == 0x02:
+		// Extended escape: real length depends on the second byte.
+		return pcExt | 2
+	case b&1 == 0:
+		n := bits.Len8(b) - 2
+		if n < 1 || n > maxTNTBits {
+			return pcBad
+		}
+		return pcTNT | 1 | uint16(n)<<8
+	default:
+		class := pcTIP
+		var kind Kind
+		switch b & 0x1f {
+		case opTIP:
+			kind, class = KindTIP, pcTIPRec
+		case opTIPPGE:
+			kind = KindTIPPGE
+		case opTIPPGD:
+			kind = KindTIPPGD
+		case opFUP:
+			kind = KindFUP
+		default:
+			return pcBad
+		}
+		return class | uint16(1+ipPayloadLen(b>>5)) | uint16(kind)<<8
+	}
+}
+
+// Word-at-a-time probes: the scanners load 8 stream bytes as one uint64
+// and classify the whole word with branch-free bit tricks, so PAD gaps
+// and long TNT runs cost one probe per 8 bytes instead of one dispatch
+// per byte.
+
+const (
+	wordLSBs = 0x0101010101010101 // bit 0 of every byte
+	wordMSBs = 0x8080808080808080 // bit 7 of every byte
+	wordTNT  = 0xfcfcfcfcfcfcfcfc // bits 2..7 of every byte
+)
+
+// leUint64 loads 8 little-endian stream bytes as one probe word.
+//
+//fg:hotpath
+func leUint64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// isTNTWord reports whether all 8 bytes of w are short-TNT headers: bit 0
+// clear (even) and at least one bit above bit 1 set (the stop bit of a
+// 1..6-outcome payload). Any byte failing either test — PAD, the 0x02
+// escape, or a TIP-family header — rejects the word.
+//
+//fg:hotpath
+func isTNTWord(w uint64) bool {
+	if w&wordLSBs != 0 {
+		return false // some byte is odd: TIP family
+	}
+	// Every byte needs a bit in 2..7; isolate those bits and reject if
+	// any byte of the result is zero (the classic subtract/borrow probe).
+	m := w & wordTNT
+	return (m-wordLSBs)&^m&wordMSBs == 0
+}
+
+// tntWordBits sums the payload bit counts of a word of 8 short-TNT bytes
+// (each byte carries bits.Len8(b)-2 outcomes below its stop bit).
+//
+//fg:hotpath
+func tntWordBits(w uint64) int {
+	n := 0
+	for k := 0; k < 8; k++ {
+		n += bits.Len8(byte(w>>(8*k))) - 2
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+package ipt
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// TestDFATableMatchesGrammar pins every pktTab entry against the packet
+// grammar rules the scanners used to branch on inline: class, total
+// length, and the class-specific auxiliary value must all agree for each
+// of the 256 possible header bytes.
+func TestDFATableMatchesGrammar(t *testing.T) {
+	for hb := 0; hb < 256; hb++ {
+		b := byte(hb)
+		e := pktTab[b]
+		class, length, aux := e&pcClassMask, int(e&pcLenMask), uint8(e>>8)
+		switch {
+		case b == 0x00:
+			if class != pcPAD || length != 1 {
+				t.Errorf("%#02x: got class %#x len %d, want PAD len 1", b, class, length)
+			}
+		case b == 0x02:
+			if class != pcExt {
+				t.Errorf("%#02x: got class %#x, want extended escape", b, class)
+			}
+		case b&1 == 0:
+			n := bits.Len8(b) - 2
+			if n >= 1 && n <= maxTNTBits {
+				if class != pcTNT || length != 1 || int(aux) != n {
+					t.Errorf("%#02x: got class %#x len %d aux %d, want TNT len 1 bits %d", b, class, length, aux, n)
+				}
+			} else if class != pcBad {
+				t.Errorf("%#02x: got class %#x, want bad (invalid TNT)", b, class)
+			}
+		default:
+			// TIP proper is the record-emitting family member and carries
+			// its own class; the rest of the family shares pcTIP.
+			wantClass := pcTIP
+			var kind Kind
+			valid := true
+			switch b & 0x1f {
+			case opTIP:
+				kind, wantClass = KindTIP, pcTIPRec
+			case opTIPPGE:
+				kind = KindTIPPGE
+			case opTIPPGD:
+				kind = KindTIPPGD
+			case opFUP:
+				kind = KindFUP
+			default:
+				valid = false
+			}
+			if !valid {
+				if class != pcBad {
+					t.Errorf("%#02x: got class %#x, want bad (unknown TIP op)", b, class)
+				}
+				continue
+			}
+			wantLen := 1 + ipPayloadLen(b>>5)
+			if class != wantClass || length != wantLen || Kind(aux) != kind {
+				t.Errorf("%#02x: got class %#x len %d kind %v, want class %#x len %d kind %v",
+					b, class, length, Kind(aux), wantClass, wantLen, kind)
+			}
+		}
+	}
+}
+
+// TestTIPRegisterDispatch pins the register-dispatch constants the
+// incremental scanner uses for the TIP family against the table: every
+// odd header byte must agree on validity and total length, and the
+// nibble-packed payload lengths must match ipPayloadLen for all ipb.
+func TestTIPRegisterDispatch(t *testing.T) {
+	for hb := 1; hb < 256; hb += 2 {
+		b := byte(hb)
+		e := pktTab[b]
+		valid := tipOpSet>>(b&0x1f)&1 != 0
+		if wantValid := e&pcClassMask != pcBad; valid != wantValid {
+			t.Errorf("%#02x: bitmap valid = %v, table valid = %v", b, valid, wantValid)
+		}
+		if !valid {
+			continue
+		}
+		plen := 1 + int(ipLenNibbles>>((b>>5)*4)&0xf)
+		if want := int(e & pcLenMask); plen != want {
+			t.Errorf("%#02x: nibble len = %d, table len = %d", b, plen, want)
+		}
+	}
+	for ipb := uint8(0); ipb < 8; ipb++ {
+		if got, want := int(ipLenNibbles>>(ipb*4)&0xf), ipPayloadLen(ipb); got != want {
+			t.Errorf("ipb %d: nibble payload len = %d, want %d", ipb, got, want)
+		}
+	}
+}
+
+// TestTNTWordProbe pins the word classifier: a word is a TNT run iff all
+// 8 bytes individually classify as pcTNT, and the summed bit count
+// matches the per-byte grammar.
+func TestTNTWordProbe(t *testing.T) {
+	isTNTByte := func(b byte) bool { return pktTab[b]&pcClassMask == pcTNT }
+	// Exhaustive over single differing bytes in an otherwise-TNT word.
+	for hb := 0; hb < 256; hb++ {
+		b := byte(hb)
+		var w uint64
+		for k := 0; k < 8; k++ {
+			w |= uint64(0x06) << (8 * k) // one-outcome TNT filler
+		}
+		w = w&^0xff | uint64(b) // byte 0 varies
+		if got, want := isTNTWord(w), isTNTByte(b); got != want {
+			t.Errorf("word with byte %#02x: isTNTWord = %v, want %v", b, got, want)
+		}
+	}
+	// Bit counts: a few mixed-width words.
+	words := [][8]byte{
+		{0x06, 0x06, 0x06, 0x06, 0x06, 0x06, 0x06, 0x06},
+		{0xfe, 0xfe, 0xfe, 0xfe, 0xfe, 0xfe, 0xfe, 0xfe},
+		{0x06, 0xfe, 0x0a, 0x72, 0x34, 0x06, 0xd8, 0x1c},
+	}
+	for _, bs := range words {
+		var w uint64
+		want := 0
+		for k, b := range bs {
+			w |= uint64(b) << (8 * k)
+			want += bits.Len8(b) - 2
+		}
+		if !isTNTWord(w) {
+			t.Fatalf("word % x not recognized as TNT run", bs)
+		}
+		if got := tntWordBits(w); got != want {
+			t.Errorf("tntWordBits(% x) = %d, want %d", bs, got, want)
+		}
+	}
+}

@@ -111,6 +111,61 @@ func FuzzWindowDecoder(f *testing.F) {
 		s = appendIPPacket(s, opTIP, 0x4afffc, &last) // ipb=2 back down
 		f.Add(s, 3)
 	}
+	{
+		// Every extended-opcode escape back to back: the DFA's pcExt
+		// entry covers only the 0x02 prefix, so the second-byte dispatch
+		// and its length handling (PSBEND 2, PIP 10, OVF 2) must survive
+		// chunk seams that split each escape after its prefix byte.
+		s := []byte{0x02, extPSBEND}
+		s = appendPIP(s, 0xdead0000beef)
+		s = append(s, 0x02, extOVF)
+		s = appendPSB(s)
+		f.Add(s, 1)
+		f.Add(s, 3)
+	}
+	{
+		// A TNT run long enough that the word-at-a-time probe both enters
+		// (below TNTRunCap) and re-enters (above it, count-only) batching,
+		// with chunk sizes of 7 and 9 so the uint64 probe window never
+		// aligns with the feed seams: the incremental scan must fold the
+		// same signature the batch scan does across every split.
+		var last uint64
+		s := appendIPPacket(nil, opTIP, 0x400000, &last)
+		for i := 0; i < 24; i++ {
+			s = append(s, 0b1<<3|0b101<<1) // 3-outcome TNT bytes, 72 total
+		}
+		s = appendIPPacket(s, opTIP, 0x400040, &last)
+		f.Add(s, 7)
+		f.Add(s, 9)
+	}
+	{
+		// Short run that crosses exactly one probe boundary (9 one-outcome
+		// bytes): stays under TNTRunCap, so the folded signature — not the
+		// wildcard — must match across the word-batched path.
+		var last uint64
+		s := appendIPPacket(nil, opTIP, 0x400000, &last)
+		for i := 0; i < 9; i++ {
+			s = append(s, 0x06) // one taken outcome each
+		}
+		s = appendIPPacket(s, opTIP, 0x400040, &last)
+		f.Add(s, 4)
+		f.Add(s, 8)
+	}
+	{
+		// IP-compression rollover at a ToPA region seam while a TNT word
+		// run is in flight: PAD fill (zero words) precedes the region
+		// boundary, then compressed TIPs continue against the carried
+		// last-IP.
+		var last uint64
+		s := appendIPPacket(nil, opTIP, 0x4afffe, &last)
+		for i := 0; i < 8; i++ {
+			s = append(s, 0xfe) // 6-outcome TNT bytes: one full probe word
+		}
+		s = append(s, make([]byte, 16)...) // PAD to the region edge
+		s = appendIPPacket(s, opTIP, 0x4b0002, &last)
+		f.Add(s, 5)
+		f.Add(s, 16)
+	}
 	f.Fuzz(func(t *testing.T, body []byte, chunk int) {
 		if chunk <= 0 {
 			chunk = 1
@@ -215,7 +270,7 @@ func FuzzTNTAnnotations(f *testing.F) {
 			t.Fatalf("%d TIP records, want %d", len(recs), len(want))
 		}
 		for i, r := range recs {
-			if r.TNTSig != want[i].sig || r.TNTLen != want[i].n {
+			if r.TNTSig != want[i].sig || int(r.TNTLen) != want[i].n {
 				t.Fatalf("record %d: sig %#x len %d, want %#x len %d",
 					i, r.TNTSig, r.TNTLen, want[i].sig, want[i].n)
 			}

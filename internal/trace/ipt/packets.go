@@ -30,6 +30,7 @@
 package ipt
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -131,25 +132,21 @@ func ipPayloadLen(ipb uint8) int {
 	}
 }
 
-// ipReconstruct merges a compressed payload into the last-IP state.
+// ipReconstruct merges a compressed payload into the last-IP state. The
+// payload widths are fixed per ipb, so the merges are single
+// little-endian loads rather than per-byte shifts.
+//
+//fg:hotpath runs per TIP-family packet in both scanners
 func ipReconstruct(ipb uint8, payload []byte, lastIP uint64) uint64 {
 	switch ipb {
 	case 0:
 		return lastIP
 	case 1:
-		return lastIP&^0xffff | uint64(payload[0]) | uint64(payload[1])<<8
+		return lastIP&^0xffff | uint64(binary.LittleEndian.Uint16(payload))
 	case 2:
-		var v uint64
-		for i := 0; i < 4; i++ {
-			v |= uint64(payload[i]) << (8 * i)
-		}
-		return lastIP&^0xffffffff | v
+		return lastIP&^0xffffffff | uint64(binary.LittleEndian.Uint32(payload))
 	default:
-		var v uint64
-		for i := 0; i < 8; i++ {
-			v |= uint64(payload[i]) << (8 * i)
-		}
-		return v
+		return binary.LittleEndian.Uint64(payload)
 	}
 }
 

@@ -1,9 +1,5 @@
 package ipt
 
-import (
-	"math/bits"
-)
-
 // WindowDecoder is the incremental form of the fast path's packet-grammar
 // scan (§5.3): it consumes an append-only trace stream chunk by chunk and
 // maintains the decoded TIP-record tail plus the PSB sync-point offsets,
@@ -160,12 +156,21 @@ func (d *WindowDecoder) Feed(chunk []byte) error {
 // scan consumes complete packets from buf (whose first byte sits at
 // absolute offset base) and returns how many bytes it consumed.
 //
+// This is the throughput-critical loop of the fast path: the TIP family
+// (every odd header byte, the dense class of a record-bearing window) is
+// dispatched entirely in registers, the even classes in one pktTab load
+// per packet (no per-byte branch ladder), PAD gaps and TNT runs are
+// skipped word-at-a-time with uint64 probes, and the last-IP / TNT-run
+// state lives in locals across the whole window — the decoder fields are
+// read once on entry and stored once per exit instead of per packet.
+//
 //fg:hotpath
 func (d *WindowDecoder) scan(buf []byte, base int) (int, error) {
 	i := 0
 	// Before the first PSB the stream may start mid-packet (a wrapped
 	// ToPA): skip to the first sync point, keeping a partial-PSB-sized
-	// tail unconsumed in case the PSB completes in the next chunk.
+	// tail unconsumed in case the PSB completes in the next chunk. No
+	// decoder state has been touched yet, so these exits need no stash.
 	if !d.synced {
 		p := Sync(buf, 0)
 		if p < 0 {
@@ -177,95 +182,184 @@ func (d *WindowDecoder) scan(buf []byte, base int) (int, error) {
 		}
 		i = p
 	}
-	for i < len(buf) {
+	// Hoist the per-packet state into registers for the window; the
+	// record slice rides along so the append fast path works on a local
+	// header instead of reloading d.tips through the pointer per record.
+	lastIP, sig, sigN, skipping := d.lastIP, d.sig, d.sigN, d.skipping
+	resync, tips := d.resync, d.tips
+	n := len(buf)
+	for i < n {
 		b := buf[i]
-		switch {
-		case b == 0x00: // PAD
+		// The TIP family — every odd header byte — is the dense class of a
+		// record-bearing window, so it is dispatched first and entirely in
+		// registers: opcode validity is one bitmap probe and the packet
+		// length one nibble shift, so advancing i never waits out the
+		// load-use latency of a pktTab entry. The even classes are rarer
+		// and go through the table.
+		if b&1 != 0 {
+			op := b & 0x1f
+			if tipOpSet>>op&1 == 0 {
+				d.stash(lastIP, sig, sigN, skipping, resync, tips)
+				return i, malformedf("unknown packet header %#02x at %d", b, base+i)
+			}
+			ipb := b >> 5
+			plen := 1 + int(ipLenNibbles>>(ipb*4)&0xf)
+			if i+plen > n {
+				d.stash(lastIP, sig, sigN, skipping, resync, tips)
+				return i, nil // truncated tail
+			}
+			if ipb != 0 {
+				lastIP = ipReconstruct(ipb, buf[i+1:i+plen], lastIP)
+			}
+			if op == opTIP && !skipping {
+				// TIP proper: the one family member that emits a checked
+				// record. The signature is already collapsed to
+				// TNTSigLongRun when the run overran TNTRunCap (the TNT
+				// case maintains that invariant), so the emit path is
+				// branch-free on the run state. The record fields are
+				// stored straight into the slice slot: appending the
+				// composite literal would stage all 32 bytes on the stack
+				// and copy them over.
+				if len(tips) == cap(tips) {
+					tips = append(tips, TIPRecord{})
+				} else {
+					tips = tips[:len(tips)+1]
+				}
+				r := &tips[len(tips)-1]
+				r.IP = lastIP
+				r.TNTSig = sig
+				r.Off = base + i
+				r.TNTLen = int32(sigN)
+				r.Resync = resync
+				sig, sigN = TNTSigEmpty, 0
+				resync = false
+			}
+			i += plen
+			continue
+		}
+		e := pktTab[b]
+		c := e & pcClassMask
+		if c == pcTNT {
+			if skipping {
+				// Resynchronizing after OVF: outcomes are discarded, so
+				// whole TNT words are skipped with one probe each.
+				i++
+				for i+8 <= n && isTNTWord(leUint64(buf[i:])) {
+					i += 8
+				}
+				continue
+			}
+			nb := int(e >> 8)
+			if sigN <= TNTRunCap {
+				payload := (b >> 1) & (1<<nb - 1)
+				for k := 0; k < nb; k++ {
+					sig = TNTSigAppend(sig, payload&(1<<k) != 0)
+				}
+			}
+			sigN += nb
 			i++
-		case b == 0x02: // extended
-			if i+1 >= len(buf) {
+			// Batch the rest of the run: while the next 8 bytes are all
+			// short-TNT headers, fold them without re-dispatching. Once
+			// the run exceeds TNTRunCap the folded value is dead (the
+			// record collapses to TNTSigLongRun below) and only the exact
+			// outcome count still matters.
+			for i+8 <= n {
+				w := leUint64(buf[i:])
+				if !isTNTWord(w) {
+					break
+				}
+				if sigN > TNTRunCap {
+					sigN += tntWordBits(w)
+				} else {
+					for k := 0; k < 8; k++ {
+						tb := byte(w >> (8 * k))
+						tn := int(pktTab[tb] >> 8)
+						tp := (tb >> 1) & (1<<tn - 1)
+						for t := 0; t < tn; t++ {
+							sig = TNTSigAppend(sig, tp&(1<<t) != 0)
+						}
+						sigN += tn
+					}
+				}
+				i += 8
+			}
+			// Maintain the emit invariant: once the run overruns the cap,
+			// sig IS the long-run wildcard, so the TIP case never has to
+			// re-check the length. (Bits folded past the cap above were
+			// already dead — sig is reset at every emit and every OVF.)
+			if sigN > TNTRunCap {
+				sig = TNTSigLongRun
+			}
+		} else if c == pcPAD {
+			i++
+			// Skip whole zero words: PAD fills ToPA region tails.
+			for i+8 <= n && leUint64(buf[i:]) == 0 {
+				i += 8
+			}
+		} else if c == pcExt {
+			if i+1 >= n {
+				d.stash(lastIP, sig, sigN, skipping, resync, tips)
 				return i, nil // truncated tail
 			}
 			switch buf[i+1] {
 			case extPSB:
-				if i+PSBSize > len(buf) {
+				if i+PSBSize > n {
+					d.stash(lastIP, sig, sigN, skipping, resync, tips)
 					if isPSBPrefix(buf[i:]) {
 						return i, nil // PSB split across chunks
 					}
 					return i, malformedf("malformed PSB at %d", base+i)
 				}
 				if !isPSBAt(buf, i) {
+					d.stash(lastIP, sig, sigN, skipping, resync, tips)
 					return i, malformedf("malformed PSB at %d", base+i)
 				}
 				d.pts = append(d.pts, base+i)
-				d.lastIP = 0
+				lastIP = 0
 				d.synced = true
-				if d.skipping {
-					d.skipping = false
-					d.resync = true
+				if skipping {
+					skipping = false
+					resync = true
 				}
 				i += PSBSize
 			case extPSBEND:
 				i += 2
 			case extPIP:
-				if i+10 > len(buf) {
+				if i+10 > n {
+					d.stash(lastIP, sig, sigN, skipping, resync, tips)
 					return i, nil
 				}
 				i += 10
 			case extOVF:
 				// Data lost: the accumulated TNT run is unreliable, and
 				// so is everything up to the next sync point.
-				d.sig, d.sigN = TNTSigEmpty, 0
-				d.skipping = true
+				sig, sigN = TNTSigEmpty, 0
+				skipping = true
 				d.ovf++
 				d.lastOVF = base + i
 				i += 2
 			default:
+				d.stash(lastIP, sig, sigN, skipping, resync, tips)
 				return i, malformedf("unknown extended opcode %#02x at %d", buf[i+1], base+i)
 			}
-		case b&1 == 0: // short TNT
-			n := bits.Len8(b) - 2
-			if n < 1 || n > maxTNTBits {
-				return i, malformedf("malformed TNT byte %#02x at %d", b, base+i)
-			}
-			if d.skipping {
-				i++
-				continue
-			}
-			payload := (b >> 1) & (1<<n - 1)
-			for k := 0; k < n; k++ {
-				d.sig = TNTSigAppend(d.sig, payload&(1<<k) != 0)
-				d.sigN++
-			}
-			i++
-		default: // TIP family
-			op := b & 0x1f
-			switch op {
-			case opTIP, opTIPPGE, opTIPPGD, opFUP:
-			default:
-				return i, malformedf("unknown packet header %#02x at %d", b, base+i)
-			}
-			ipb := b >> 5
-			n := ipPayloadLen(ipb)
-			if i+1+n > len(buf) {
-				return i, nil // truncated tail
-			}
-			if ipb != 0 {
-				d.lastIP = ipReconstruct(ipb, buf[i+1:i+1+n], d.lastIP)
-			}
-			if op == opTIP && !d.skipping {
-				sig := d.sig
-				if d.sigN > TNTRunCap {
-					sig = TNTSigLongRun
-				}
-				d.tips = append(d.tips, TIPRecord{IP: d.lastIP, TNTSig: sig, TNTLen: d.sigN, Off: base + i, Resync: d.resync})
-				d.sig, d.sigN = TNTSigEmpty, 0
-				d.resync = false
-			}
-			i += 1 + n
+		} else { // pcBad: an even byte that is no packet — impossible TNT
+			d.stash(lastIP, sig, sigN, skipping, resync, tips)
+			return i, malformedf("malformed TNT byte %#02x at %d", b, base+i)
 		}
 	}
+	d.stash(lastIP, sig, sigN, skipping, resync, tips)
 	return i, nil
+}
+
+// stash writes the register-carried scan state back to the decoder; every
+// scan exit calls it exactly once.
+func (d *WindowDecoder) stash(lastIP, sig uint64, sigN int, skipping, resync bool, tips []TIPRecord) {
+	d.lastIP = lastIP
+	d.sig = sig
+	d.sigN = sigN
+	d.skipping = skipping
+	d.resync = resync
+	d.tips = tips
 }
 
 // isPSBPrefix reports whether tail is a (possibly incomplete) prefix of a
