@@ -9,7 +9,7 @@ GO ?= go
 # this single variable — ci.yml reads it out of the Makefile.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all test test-short race bench bench-raw bench-compare experiments examples vet fgvet staticcheck fmt cover chaos fuzz-smoke fuzz oracle-soak cover-ratchet
+.PHONY: all test test-short race bench bench-raw bench-compare experiments examples vet fgvet staticcheck fmt cover chaos async-smoke fuzz-smoke fuzz oracle-soak cover-ratchet
 
 all: vet test
 
@@ -53,6 +53,13 @@ examples:
 
 chaos:
 	$(GO) test -race -short -run 'Chaos' ./internal/faults/ -count=1
+
+# async-smoke races the asynchronous checking pipeline end to end: the
+# guard's conformance/containment tests, the ToPA capture-concurrency
+# suite, and the async slice of the chaos soak (worker stalls/crashes
+# under every OnDegraded mode).
+async-smoke:
+	$(GO) test -race -short -run 'Async|ToPA|Chaos' ./internal/guard/ ./internal/trace/ipt/ ./internal/faults/ -count=1
 
 fuzz-smoke:
 	$(GO) test -run 'Fuzz' ./internal/trace/ipt/ ./internal/harness/ ./internal/perfstat/ ./internal/itc/ -count=1

@@ -46,6 +46,7 @@ func main() {
 	modes := flag.Bool("modes", false, "compare checking modes: credits, path-sensitive, PMI fallback")
 	multiproc := flag.Bool("multiproc", false, "CR3-filter limitation with interleaved processes (§7.2.4)")
 	parallel := flag.Int("parallel", 0, "run N protected processes with pooled parallel checking (§6) and report aggregate check latency")
+	asyncN := flag.Int("async", 0, "run N samples per checking configuration comparing syscall-blocked time: synchronous vs the asynchronous pipeline")
 	chaos := flag.Int("chaos", 0, "run N seeded fault-injection scenarios across the degraded-mode policies (§7.1.2 worst cases)")
 	oracle := flag.Int("oracle", 0, "run N seeded differential checks of the optimized hybrid pipeline against the naive oracle")
 	jsonOut := flag.String("json", "", "also write the results that ran as a perfstat artifact (fgperf-compatible BENCH json) to this path")
@@ -268,6 +269,26 @@ func main() {
 		fmt.Println("  merged guard stats across the fleet:")
 		fmt.Print(harness.FormatStats(&res.Agg))
 		fleetStats = harness.StatsMap(&res.Agg)
+	}
+
+	if *all || *asyncN > 0 {
+		n := *asyncN
+		if n <= 0 {
+			n = 12
+		}
+		section("asynchronous checking: syscall-blocked time at the interception boundary")
+		rows, err := r.AsyncGate(n)
+		if err != nil {
+			fail(err)
+		}
+		for _, row := range rows {
+			fmt.Println(" ", row)
+			jsonBenches = append(jsonBenches, perfstat.Benchmark{
+				Name:    "FgbenchAsyncGate/" + row.Name,
+				Samples: map[string][]float64{"blocked-ns/call": row.Samples},
+			})
+		}
+		fmt.Println("  (async rows must beat sync with Mann-Whitney p < 0.05; verdicts are unchanged by construction)")
 	}
 
 	if *all || *chaos > 0 {

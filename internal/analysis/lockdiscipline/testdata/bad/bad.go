@@ -54,3 +54,35 @@ func worker(g guarded) {}
 func copiesLockIntoGoroutine(g *guarded) {
 	go worker(*g) // want "copying a lock-containing"
 }
+
+// The asynchronous-pipeline shapes: a capture path that wakes the
+// worker pool while still inside its own accounting lock, and a
+// region-full notification hook fired under the buffer mutex.
+
+type asyncPipe struct {
+	mu      sync.Mutex
+	wake    chan *pool
+	pending []int
+	onFull  func(int)
+}
+
+func wakesPoolUnderLock(a *asyncPipe, g *pool) {
+	a.mu.Lock()
+	a.pending = append(a.pending, 1)
+	a.wake <- g // want "channel send while holding a.mu"
+	a.mu.Unlock()
+}
+
+func firesHookUnderLock(a *asyncPipe, region int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.onFull(region) // want "callback invoked while holding a.mu"
+}
+
+func backpressureSleepUnderLock(a *asyncPipe) {
+	a.mu.Lock()
+	for len(a.pending) > 8 {
+		time.Sleep(time.Microsecond) // want "time.Sleep while holding a.mu"
+	}
+	a.mu.Unlock()
+}

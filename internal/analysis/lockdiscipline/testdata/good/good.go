@@ -70,3 +70,46 @@ func suppressed(p *pool) {
 	time.Sleep(time.Microsecond)
 	p.mu.Unlock()
 }
+
+// The asynchronous-pipeline shapes, done right: enqueue under the lock,
+// wake and fire hooks only after releasing it — the capture-hook
+// contract asyncOnRegionFull and the ToPA's OnRegionFull dispatch keep.
+
+type asyncPipe struct {
+	mu      sync.Mutex
+	wake    chan *pool
+	pending []int
+	onFull  func(int)
+}
+
+// enqueueThenWake appends under the lock and wakes the pool after — the
+// enqueue/asyncNotify split.
+func enqueueThenWake(a *asyncPipe, g *pool) {
+	a.mu.Lock()
+	a.pending = append(a.pending, 1)
+	a.mu.Unlock()
+	select {
+	case a.wake <- g:
+	default:
+	}
+}
+
+// snapshotThenFire copies what the hook needs under the lock and
+// invokes it released — the OnRegionFull dispatch shape.
+func snapshotThenFire(a *asyncPipe, region int) {
+	a.mu.Lock()
+	n := len(a.pending)
+	a.mu.Unlock()
+	a.onFull(region + n)
+}
+
+// backpressureSleepOutsideLock polls the queue depth lock-free between
+// bounded sleeps — the producer-stall shape.
+func backpressureSleepOutsideLock(a *asyncPipe, depth func() int) {
+	for depth() > 8 {
+		time.Sleep(time.Microsecond)
+	}
+	a.mu.Lock()
+	a.pending = a.pending[:0]
+	a.mu.Unlock()
+}

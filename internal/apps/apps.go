@@ -73,6 +73,9 @@ func ByName(name string) (*App, error) {
 	if name == "vulnd" {
 		return Vulnd(), nil
 	}
+	if name == "transcoded" {
+		return Transcoded(), nil
+	}
 	return nil, fmt.Errorf("apps: unknown app %q", name)
 }
 

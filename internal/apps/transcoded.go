@@ -1,0 +1,128 @@
+package apps
+
+import (
+	"fmt"
+
+	"flowguard/internal/asm"
+	"flowguard/internal/isa"
+)
+
+// Transcoded is the syscall-blocked-time workload of the asynchronous
+// checking experiment: a transcoder-like daemon that alternates an
+// indirect-call-dense compute burst (h264ref's prediction-mode dispatch
+// shape, §7.2 Figure 5(c)) with one write endpoint per frame. Each burst
+// floods more than a ToPA region of TIP packets, so a synchronous gate
+// pays the accumulated decode at every frame boundary while the
+// asynchronous pipeline's workers drain it during the burst — and with a
+// frame per endpoint, the per-call blocked time averages over the whole
+// run instead of hinging on a single final syscall.
+func Transcoded() *App {
+	b := asm.NewModule("transcoded").Needs("libc", "libfmt")
+	b.DataSpace("inline", 32, false)
+	b.DataSpace("out", 128, false)
+	b.DataBytes("k_frame", []byte("frame\x00"), false)
+	emitReadLine(b)
+	emitExitCall(b)
+
+	b.FuncTable("pred_tbl", []string{
+		"p_dc", "p_h", "p_v", "p_diag", "p_dc2", "p_h2", "p_v2", "p_diag2",
+	}, false)
+	mk := func(name string, k int32) {
+		f := b.Func(name, 1, false)
+		f.Addi(r0, k)
+		f.Movi(r8, 5)
+		f.Shl(r0, r8)
+		f.Movi(r8, 3)
+		f.Shr(r0, r8)
+		f.Ret()
+	}
+	mk("p_dc", 1)
+	mk("p_h", 3)
+	mk("p_v", 5)
+	mk("p_diag", 7)
+	mk("p_dc2", 11)
+	mk("p_h2", 13)
+	mk("p_v2", 17)
+	mk("p_diag2", 19)
+
+	// burst(frame r0) -> acc: 1536 prediction-mode dispatches through the
+	// table — one TIP every handful of instructions, just over a ToPA
+	// region of trace per frame.
+	f := b.Func("burst", 1, false)
+	f.Prologue(32)
+	f.Mov(r10, r0)
+	f.Addi(r10, 0x1234)
+	f.Movi(r13, 0) // block
+	f.Label("blk")
+	f.Cmpi(r13, 1536)
+	f.Jcc(isa.GE, "done")
+	f.Mov(r8, r10)
+	f.Movi(r5, 7)
+	f.And(r8, r5)
+	f.Movi(r5, 8)
+	f.Mul(r8, r5)
+	f.AddrOf(r6, "pred_tbl")
+	f.Add(r6, r8)
+	f.Ld(r6, r6, 0)
+	f.Mov(r0, r10)
+	f.St(fp, -24, r13)
+	f.CallR(r6)
+	f.Ld(r13, fp, -24)
+	f.Mov(r10, r0)
+	f.Addi(r10, 1)
+	f.Addi(r13, 1)
+	f.Jmp("blk")
+	f.Label("done")
+	f.Mov(r0, r10)
+	f.Epilogue()
+
+	// main: read the frame count, then per frame run one burst and write
+	// the frame checksum — the per-frame endpoint the gate experiment
+	// measures.
+	main := b.Func("main", 0, true)
+	b.SetEntry("main")
+	main.Prologue(24)
+	main.AddrOf(r0, "inline")
+	main.Movi(r1, 31)
+	main.Call("read_line")
+	main.AddrOf(r0, "inline")
+	main.Call("atoi")
+	main.Cmpi(r0, 1)
+	main.Jcc(isa.GE, "run")
+	main.Movi(r0, 1)
+	main.Label("run")
+	main.St(fp, -8, r0)
+	main.Movi(r11, 0) // frame
+	main.Label("frame")
+	main.Ld(r8, fp, -8)
+	main.Cmp(r11, r8)
+	main.Jcc(isa.GE, "done")
+	main.St(fp, -16, r11)
+	main.Mov(r0, r11)
+	main.Call("burst")
+	main.Mov(r2, r0)
+	main.AddrOf(r0, "out")
+	main.AddrOf(r1, "k_frame")
+	main.Call("fmt_kv")
+	main.Mov(r1, r0)
+	main.AddrOf(r0, "out")
+	main.Call("write_out")
+	main.Ld(r11, fp, -16)
+	main.Addi(r11, 1)
+	main.Jmp("frame")
+	main.Label("done")
+	main.Movi(r0, 0)
+	main.Call("do_exit")
+	main.Halt()
+
+	return &App{
+		Name:     "transcoded",
+		Exec:     mustAssemble(b),
+		Libs:     StdLibs(),
+		VDSO:     VDSO(),
+		Category: "server",
+		MakeInput: func(scale int, seed int64) []byte {
+			return []byte(fmt.Sprintf("%d\n", scale))
+		},
+	}
+}

@@ -11,6 +11,7 @@ package faults_test
 
 import (
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -108,11 +109,14 @@ func benignTraffic() []byte {
 }
 
 // scenario is one soak run: a workload under one degraded-mode policy
-// with one fault plan wired into the tracer's write path.
+// with one fault plan wired into the tracer's write path — and, for
+// async scenarios, the same plan wired into the worker pool's fault
+// hooks (WorkerStall/WorkerCrash).
 type scenario struct {
 	seed   int64
 	mode   guard.DegradedMode
 	attack bool // workload is an exploit payload, not benign traffic
+	async  bool // run the asynchronous checking pipeline
 }
 
 // runScenario executes one protected run with the plan injected and
@@ -120,6 +124,13 @@ type scenario struct {
 func runScenario(t *testing.T, f *fixture, sc scenario) (kernelsim.ExitStatus, *guard.Guard, *faults.Plan) {
 	t.Helper()
 	input := benignTraffic()
+	if sc.async && !sc.attack {
+		// Async scenarios need enough trace to fill 8 KiB ToPA regions,
+		// or the capture path (and its worker-fault hooks) never fires.
+		// Safe requests only: repeating payload requests overflows the
+		// server by itself.
+		input = []byte(strings.Repeat("G /index\nG /api/v1/users\nH /health\n", 8))
+	}
 	if sc.attack {
 		if (sc.seed/2)%2 == 0 {
 			input = f.rop
@@ -135,15 +146,26 @@ func runScenario(t *testing.T, f *fixture, sc scenario) (kernelsim.ExitStatus, *
 	km := guard.InstallModule(k)
 	pol := guard.DefaultPolicy()
 	pol.OnDegraded = sc.mode
+	pol.Async = sc.async
+	plan := faults.FromSeed(sc.seed)
+	var ap *guard.AsyncPool
+	if sc.async {
+		ap = guard.NewAsyncPool(2, 0)
+		ap.InjectFaults(plan)
+		km.UseAsync(ap)
+	}
 	g, err := km.Protect(p, f.ocfg, f.ig, pol)
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan := faults.FromSeed(sc.seed)
 	g.Tracer.Fault = plan
 	st, err := k.Run(p, 80_000_000)
+	km.Shutdown()
+	if ap != nil {
+		ap.Close()
+	}
 	if err != nil {
-		t.Fatalf("seed %d mode %v attack %v: run aborted: %v", sc.seed, sc.mode, sc.attack, err)
+		t.Fatalf("seed %d mode %v attack %v async %v: run aborted: %v", sc.seed, sc.mode, sc.attack, sc.async, err)
 	}
 	return st, g, plan
 }
@@ -163,6 +185,7 @@ func TestChaosSoak(t *testing.T) {
 
 	var mu sync.Mutex
 	var degraded, retries, failOpens, failClosures uint64
+	var asyncRuns, asyncWindows, workerFaults, workerCrashes uint64
 
 	seeds := make(chan int64)
 	var wg sync.WaitGroup
@@ -171,27 +194,37 @@ func TestChaosSoak(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for seed := range seeds {
-				// Mode cycles with period 3, workload with period 2, so
-				// every mode meets both workload classes (period 6).
+				// Mode cycles with period 3, workload with period 2, and
+				// the async pipeline with period 6 × 2, so every mode
+				// meets both workload classes both sync and async
+				// (full combination period 12).
 				sc := scenario{
 					seed:   seed,
 					mode:   modes[seed%int64(len(modes))],
 					attack: seed%2 == 1,
+					async:  (seed/6)%2 == 0,
 				}
 				st, g, plan := runScenario(t, f, sc)
 				if sc.attack && sc.mode != guard.FailOpen && !st.Killed {
-					t.Errorf("seed %d mode %v: attack not detected (plan %+v, status %v)",
-						seed, sc.mode, plan.Config(), st)
+					t.Errorf("seed %d mode %v async %v: attack not detected (plan %+v, status %v)",
+						seed, sc.mode, sc.async, plan.Config(), st)
 				}
 				if !sc.attack && sc.mode == guard.FailOpen && !plan.Corrupting() && !st.Exited {
-					t.Errorf("seed %d fail-open: benign loss-only run did not survive (plan %+v, status %v)",
-						seed, plan.Config(), st)
+					t.Errorf("seed %d fail-open async %v: benign loss-only run did not survive (plan %+v, status %v)",
+						seed, sc.async, plan.Config(), st)
 				}
+				counts := plan.Counts()
 				mu.Lock()
 				degraded += g.Stats.DegradedChecks
 				retries += g.Stats.Retries
 				failOpens += g.Stats.FailOpens
 				failClosures += g.Stats.FailClosures
+				if sc.async {
+					asyncRuns++
+					asyncWindows += g.Stats.AsyncWindows
+					workerFaults += counts[faults.WorkerStall] + counts[faults.WorkerCrash]
+					workerCrashes += g.Stats.WorkerCrashes
+				}
 				mu.Unlock()
 			}
 		}()
@@ -205,8 +238,15 @@ func TestChaosSoak(t *testing.T) {
 	if degraded == 0 {
 		t.Error("soak never degraded a check; fault injection is not reaching the guard")
 	}
-	t.Logf("%d scenarios: degraded=%d retries=%d failOpens=%d failClosures=%d",
-		n, degraded, retries, failOpens, failClosures)
+	if asyncRuns == 0 || asyncWindows == 0 {
+		t.Errorf("soak ran %d async scenarios capturing %d windows; the pipeline is not being exercised",
+			asyncRuns, asyncWindows)
+	}
+	if !testing.Short() && workerFaults == 0 {
+		t.Error("full soak never drew a worker-side fault; WorkerStall/WorkerCrash plans are not folded in")
+	}
+	t.Logf("%d scenarios (%d async): degraded=%d retries=%d failOpens=%d failClosures=%d asyncWindows=%d workerFaults=%d workerCrashes=%d",
+		n, asyncRuns, degraded, retries, failOpens, failClosures, asyncWindows, workerFaults, workerCrashes)
 }
 
 // TestChaosPoolOverload saturates a single-slot CheckPool with stalled

@@ -50,6 +50,14 @@ const (
 	// Stall does not touch the stream: it wedges a checker-pool slot for
 	// StallFor (via Plan.Stall), modeling checker overload.
 	Stall
+	// WorkerStall wedges an asynchronous checking worker at task pickup
+	// for StallFor (via Plan.WorkerStall): the pipeline falls behind and
+	// the gate deadline / watchdog must cover the backlog.
+	WorkerStall
+	// WorkerCrash panics an asynchronous checking worker at task pickup
+	// (via Plan.WorkerCrash): the pool must contain the crash and the
+	// backlog must still reach a verdict.
+	WorkerCrash
 
 	numKinds
 )
@@ -60,7 +68,14 @@ const NumKinds = int(numKinds)
 var kindNames = [...]string{
 	BitFlip: "bit-flip", Truncate: "truncate", Splice: "splice",
 	InjectOVF: "inject-ovf", Drop: "drop", Delay: "delay",
-	Wrap: "wrap", Stall: "stall",
+	Wrap: "wrap", Stall: "stall", WorkerStall: "worker-stall",
+	WorkerCrash: "worker-crash",
+}
+
+// sideKind reports a checker-side fault: it fires from pool hooks, not
+// from tracer writes.
+func sideKind(k Kind) bool {
+	return k == Stall || k == WorkerStall || k == WorkerCrash
 }
 
 func (k Kind) String() string {
@@ -104,21 +119,34 @@ type Config struct {
 }
 
 // Plan is a live fault injector. It is safe for concurrent use (the
-// tracer write path and the pool's Stall hook may race); determinism
-// holds for a deterministic sequence of calls.
+// tracer write path and the pool hooks may race); stream faults draw
+// from their own generator, so their sequence is deterministic for a
+// deterministic write sequence even while checker-side hooks (Stall,
+// WorkerStall, WorkerCrash) race against the stream from worker
+// goroutines — essential for comparing asynchronous runs against
+// synchronous ones on identical trace bytes.
 type Plan struct {
 	cfg Config
 
 	mu      sync.Mutex
-	rng     *rand.Rand
-	pending []byte // a delayed write awaiting release
+	rng     *rand.Rand // stream-fault draws (per tracer write)
+	side    *rand.Rand // checker-side draws (per pool hook call)
+	pending []byte     // a delayed write awaiting release
 	counts  [numKinds]uint64
 	total   uint64
 }
 
+// sideSeedMix decorrelates the checker-side generator from the stream
+// generator derived from the same seed.
+const sideSeedMix int64 = 0x1e3779b97f4a7c15
+
 // New returns a Plan for the config.
 func New(cfg Config) *Plan {
-	return &Plan{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &Plan{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		side: rand.New(rand.NewSource(cfg.Seed ^ sideSeedMix)),
+	}
 }
 
 // FromSeed derives a whole plan deterministically from one seed: 1–3
@@ -166,14 +194,15 @@ func (pl *Plan) Total() uint64 {
 	return pl.total
 }
 
-// draw picks the fault to inject for one event, or -1. Caller holds mu.
-func (pl *Plan) draw(stream bool) Kind {
+// draw picks the stream fault to inject for one write, or -1. Caller
+// holds mu.
+func (pl *Plan) draw() Kind {
 	if pl.cfg.MaxFaults > 0 && pl.total >= uint64(pl.cfg.MaxFaults) {
 		return -1
 	}
 	for k := Kind(0); k < numKinds; k++ {
-		if stream == (k == Stall) {
-			continue // stream faults on writes, Stall on pool slots
+		if sideKind(k) {
+			continue // stream faults on writes, side kinds on pool hooks
 		}
 		if pl.cfg.Rates[k] > 0 && pl.rng.Float64() < pl.cfg.Rates[k] {
 			pl.counts[k]++
@@ -182,6 +211,20 @@ func (pl *Plan) draw(stream bool) Kind {
 		}
 	}
 	return -1
+}
+
+// drawSide is one Bernoulli draw of a single checker-side kind from the
+// side generator. Caller holds mu.
+func (pl *Plan) drawSide(k Kind) bool {
+	if pl.cfg.MaxFaults > 0 && pl.total >= uint64(pl.cfg.MaxFaults) {
+		return false
+	}
+	if pl.cfg.Rates[k] > 0 && pl.side.Float64() < pl.cfg.Rates[k] {
+		pl.counts[k]++
+		pl.total++
+		return true
+	}
+	return false
 }
 
 // Corrupt implements ipt.WriteFault: it returns the bytes that actually
@@ -199,7 +242,7 @@ func (pl *Plan) Corrupt(p []byte, off uint64) []byte {
 	}
 
 	out := p
-	switch pl.draw(true) {
+	switch pl.draw() {
 	case BitFlip:
 		out = append([]byte(nil), p...)
 		for i, n := 0, 1+pl.rng.Intn(3); i < n && len(out) > 0; i++ {
@@ -250,9 +293,33 @@ func (pl *Plan) Corrupt(p []byte, off uint64) []byte {
 func (pl *Plan) Stall() time.Duration {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
-	if pl.draw(false) != Stall {
+	if !pl.drawSide(Stall) {
 		return 0
 	}
+	return pl.stallFor()
+}
+
+// WorkerStall implements guard.WorkerFaults: how long an async worker
+// wedges at task pickup (zero = no fault this time).
+func (pl *Plan) WorkerStall() time.Duration {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if !pl.drawSide(WorkerStall) {
+		return 0
+	}
+	return pl.stallFor()
+}
+
+// WorkerCrash implements guard.WorkerFaults: whether an async worker
+// crashes at task pickup.
+func (pl *Plan) WorkerCrash() bool {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.drawSide(WorkerCrash)
+}
+
+// stallFor returns the configured stall duration. Caller holds mu.
+func (pl *Plan) stallFor() time.Duration {
 	if pl.cfg.StallFor > 0 {
 		return pl.cfg.StallFor
 	}

@@ -29,6 +29,7 @@ package guard
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"flowguard/internal/cfg"
 	"flowguard/internal/itc"
@@ -103,6 +104,31 @@ type Policy struct {
 	// RetryMax bounds SlowPathRetry recovery attempts per check
 	// (0 = DefaultRetryMax).
 	RetryMax int
+	// Async enables the asynchronous checking pipeline (§6 offloading,
+	// DESIGN.md §9): ToPA region-full events capture filled trace
+	// windows for a background AsyncPool, and endpoint checks wait for
+	// the pipeline to catch up instead of decoding the whole backlog
+	// inline. Verdicts are identical to synchronous checking — the gate
+	// always completes the residual decode itself before deciding.
+	Async bool
+	// MaxLagWindows is the endpoint gate's staleness bound: the largest
+	// captured-but-unchecked window backlog the gate will take onto the
+	// syscall's critical path without first waiting for the workers
+	// (0 = DefaultMaxLagWindows).
+	MaxLagWindows int
+	// AsyncGateWait is the gate's catch-up deadline. When the backlog
+	// stays above MaxLagWindows past it, the gate stops waiting, counts
+	// a watchdog shed, and drains synchronously — never deadlocks, never
+	// verdicts over unchecked trace (0 = DefaultAsyncGateWait).
+	AsyncGateWait time.Duration
+	// AsyncQueue bounds the captured-window queue. A full queue stalls
+	// the producer briefly and then makes it drain the oldest window
+	// itself — backpressure into the tracer, never trace loss
+	// (0 = DefaultAsyncQueue).
+	AsyncQueue int
+	// AsyncWorkers sizes the pool KernelModule creates on demand when
+	// Async is set and no pool was attached (0 = DefaultAsyncWorkers).
+	AsyncWorkers int
 }
 
 // DefaultEndpoints is the PathArmor-like sensitive-syscall set the paper
@@ -200,6 +226,13 @@ type Stats struct {
 	FailClosures   uint64 // degraded checks failed closed
 	Retries        uint64 // SlowPathRetry recovery attempts
 	Shed           uint64 // checks shed by an overloaded CheckPool
+
+	// Asynchronous-pipeline accounting (Policy.Async, DESIGN.md §9).
+	AsyncWindows       uint64 // region-full captures handed to the worker pool
+	AsyncMaxLag        uint64 // high-water mark of captured-but-unchecked windows
+	BackpressureStalls uint64 // producer stalls against a full pending queue
+	WatchdogSheds      uint64 // sheds to synchronous draining (gate deadline or watchdog)
+	WorkerCrashes      uint64 // contained async-worker crashes (injected or real)
 }
 
 // FastCycles returns the accumulated fast-path cost (decode + check).
@@ -234,6 +267,15 @@ func (s *Stats) Merge(o *Stats) {
 	s.FailClosures += o.FailClosures
 	s.Retries += o.Retries
 	s.Shed += o.Shed
+	s.AsyncWindows += o.AsyncWindows
+	// A high-water mark merges by maximum, not sum: the merged value is
+	// the worst staleness any constituent guard ever observed.
+	if o.AsyncMaxLag > s.AsyncMaxLag {
+		s.AsyncMaxLag = o.AsyncMaxLag
+	}
+	s.BackpressureStalls += o.BackpressureStalls
+	s.WatchdogSheds += o.WatchdogSheds
+	s.WorkerCrashes += o.WorkerCrashes
 }
 
 // CredRatioRuntime returns the runtime fraction of credible edges
@@ -263,6 +305,19 @@ type winState struct {
 	base  uint64 // absolute stream offset of buf[0]
 	buf   []byte
 	dec   ipt.WindowDecoder
+	// checkedTotal is the stream offset at the end of the previous
+	// check — the last byte a verdict ever vouched for. Synchronously it
+	// always equals total between checks; with the async pipeline,
+	// workers advance total ahead of it, and the wrap-loss rule keys off
+	// checkedTotal so loss classification is identical in both modes
+	// (a span evicted before any verdict covered it is a loss even if a
+	// worker managed to pre-decode part of it).
+	checkedTotal uint64
+	// asyncErr is a packet-grammar error an async worker hit while
+	// pre-decoding; the next check replays it through the same malformed
+	// path the synchronous decoder would have taken. Workers stop
+	// feeding once it is set.
+	asyncErr error
 	// prevOVF is the decoder's OVF count at the previous check; the
 	// delta classifies overflow between checks.
 	prevOVF int
@@ -334,6 +389,11 @@ type Guard struct {
 	win     winState
 	scratch modScratch
 
+	// async, when non-nil, is the guard's attachment to an AsyncPool
+	// (EnableAsync): captured-window queue, cursor, and pipeline
+	// counters. nil guards check fully synchronously.
+	async *asyncState
+
 	Stats Stats
 }
 
@@ -382,28 +442,60 @@ func (g *Guard) InvalidateWindow() {
 //
 //fg:hotpath steady-state window maintenance must not allocate
 func (g *Guard) window() (tips []ipt.TIPRecord, region []byte, scanned uint64, health TraceHealth, err error) {
+	// Whatever this call classifies is "checked" for the next call's
+	// loss rule: synchronously checkedTotal therefore always equals
+	// total between calls, reducing the rule to the classic
+	// AppendSince-outrun test.
+	defer g.noteWindowed()
 	g.Tracer.Flush()
 	topa := g.Tracer.Out
 	w := &g.win
 	total := topa.TotalWritten()
 	w.wrapLoss = false
 	fresh := w.src != topa || total < w.total
+	if !fresh && total > w.checkedTotal && total-w.checkedTotal > uint64(topa.Held()) {
+		// The buffer wrapped past the last *checked* offset: the span
+		// between the previous check and the resident window was evicted
+		// without any verdict ever vouching for it — the §7.1.2 worst
+		// case. Async workers may have pre-decoded part of that span, but
+		// the synchronous checker could never have seen it, so the
+		// prefetched decoder state is discarded and the check classified
+		// exactly as the synchronous path classifies it. Resync from a
+		// snapshot (a first check over an already-wrapped buffer is NOT a
+		// loss: no coverage was promised before tracking began).
+		fresh = true
+		w.wrapLoss = true
+		g.Stats.Resyncs++
+	}
+	if !fresh {
+		// The cost model charges every byte decoded since the last
+		// verdict, whether a worker pre-decoded it or the gate does the
+		// residual below — the work is the same, only its placement
+		// relative to the syscall differs.
+		scanned = total - w.checkedTotal
+		if w.asyncErr != nil {
+			// A worker hit this grammar error pre-decoding bytes the
+			// synchronous checker would have decoded at this check;
+			// resolve it exactly as the inline Feed below would have.
+			ferr := w.asyncErr
+			w.asyncErr = nil
+			w.src = nil
+			g.Stats.Malformed++
+			return nil, nil, scanned, HealthMalformed, fmt.Errorf("guard: fast decode: %w", ferr)
+		}
+	}
 	if !fresh && total > w.total {
 		old := len(w.buf)
 		nb, ok := topa.AppendSince(w.buf, w.total)
 		if !ok {
-			// The buffer wrapped past our tail: the span between the
-			// previous check and the resident window was evicted without
-			// ever being checked — the §7.1.2 worst case. Resync from a
-			// snapshot, and classify this check as degraded below (a
-			// first check over an already-wrapped buffer is NOT a loss:
-			// no coverage was promised before tracking began).
+			// Unreachable once the checkedTotal rule above passed
+			// (total-w.total <= total-w.checkedTotal <= Held); kept as a
+			// defensive resynchronization with identical classification.
 			fresh = true
 			w.wrapLoss = true
 			g.Stats.Resyncs++
 		} else {
 			w.buf = nb
-			scanned = total - w.total
 			w.total = total
 			if ferr := w.dec.Feed(w.buf[old:]); ferr != nil {
 				w.src = nil
@@ -413,6 +505,9 @@ func (g *Guard) window() (tips []ipt.TIPRecord, region []byte, scanned uint64, h
 		}
 	}
 	if fresh {
+		// Any pre-decoded async state (including a pending worker error)
+		// predates this snapshot and is superseded by it.
+		w.asyncErr = nil
 		w.src, w.total = topa, total
 		w.buf = topa.SnapshotInto(w.buf[:0])
 		w.base = total - uint64(len(w.buf))
@@ -532,10 +627,19 @@ func (g *Guard) strideOK(tips []ipt.TIPRecord) bool {
 //
 //fg:hotpath invoked at every intercepted endpoint
 func (g *Guard) Check() Result {
+	if a := g.async; a != nil {
+		// Bounded-staleness gate: wait (lock-free) for the pipeline to
+		// drain to Policy.MaxLagWindows before taking the residual decode
+		// onto the syscall's critical path.
+		a.gateWait(g)
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.inCheck = true
 	defer g.endCheck()
+	if g.async != nil {
+		g.asyncBeforeCheckLocked()
+	}
 	if g.ITC != nil {
 		// Approvals earned against a superseded label snapshot must be
 		// re-earned (mid-run retraining relabels edges).
@@ -552,12 +656,19 @@ func (g *Guard) Check() Result {
 		g.runChecks(&res, tips, region, g.Policy.NaiveFullDecode)
 	}
 	g.finish(&res)
+	if g.async != nil {
+		g.asyncAfterCheckLocked()
+	}
 	return res
 }
 
 // endCheck is a named method rather than a closure so deferring it from
 // the hot path does not capture g into a heap-allocated func value.
 func (g *Guard) endCheck() { g.inCheck = false }
+
+// noteWindowed is window()'s exit bookkeeping (named method: no closure
+// on the hot path).
+func (g *Guard) noteWindowed() { g.win.checkedTotal = g.win.total }
 
 // runChecks applies the hybrid verification to one TIP window: the
 // ITC-CFG fast loop with credit assessment, then the slow path when the

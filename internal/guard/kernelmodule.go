@@ -67,6 +67,12 @@ type KernelModule struct {
 	// pool, when set, bounds concurrent endpoint checks (§6 offloading).
 	pool *CheckPool
 
+	// apool, when set (UseAsync, or created on demand for Policy.Async),
+	// runs the asynchronous checking pipeline for protected processes.
+	apool *AsyncPool
+	// ownsAPool marks a pool the module created itself and must close.
+	ownsAPool bool
+
 	installed map[uint64]bool
 }
 
@@ -82,6 +88,33 @@ func InstallModule(k *kernelsim.Kernel) *KernelModule {
 // UsePool routes all flow checks through p. Call before the workload
 // runs.
 func (m *KernelModule) UsePool(p *CheckPool) { m.pool = p }
+
+// UseAsync attaches an asynchronous checking pool: processes protected
+// with Policy.Async get their region-full captures drained by p's
+// workers. Call before Protect. Without it, Protect creates (and
+// Shutdown closes) a module-owned pool on first async protection.
+func (m *KernelModule) UseAsync(p *AsyncPool) { m.apool = p }
+
+// Shutdown ends the module's background machinery: pipeline counters
+// still unfolded are flushed into their guards' Stats, and a
+// module-owned async pool is closed. Call it after the workload
+// completes and before reading guard statistics.
+func (m *KernelModule) Shutdown() {
+	m.mu.Lock()
+	guards := make([]*Guard, 0, len(m.guards))
+	for _, g := range m.guards {
+		guards = append(guards, g)
+	}
+	pool, owns := m.apool, m.ownsAPool
+	m.apool, m.ownsAPool = nil, false
+	m.mu.Unlock()
+	if pool != nil && owns {
+		pool.Close()
+	}
+	for _, g := range guards {
+		g.AsyncFlushStats()
+	}
+}
 
 // check runs one flow check, through the pool when one is attached.
 func (m *KernelModule) check(g *Guard) Result {
@@ -132,7 +165,15 @@ func (m *KernelModule) Protect(p *kernelsim.Process, ocfg *cfg.Graph, ig *itc.Gr
 	g := New(p.AS, ocfg, ig, tr, pol)
 	m.mu.Lock()
 	m.guards[p.CR3] = g
+	if pol.Async && m.apool == nil {
+		m.apool = NewAsyncPool(pol.AsyncWorkers, pol.AsyncQueue)
+		m.ownsAPool = true
+	}
+	apool := m.apool
 	m.mu.Unlock()
+	if pol.Async && apool != nil {
+		g.EnableAsync(apool)
+	}
 	if pol.CheckOnPMI {
 		// The worst-case endpoint of §7.1.2: a buffer-full PMI triggers
 		// a flow check even when the process avoids every sensitive

@@ -83,8 +83,10 @@ func TestSlowPathApprovalReuseAndInvalidation(t *testing.T) {
 
 // TestStatsMerge checks Merge over every Stats field by reflection, so a
 // field added to Stats but forgotten in Merge fails here instead of
-// silently vanishing from multi-process aggregates.
+// silently vanishing from multi-process aggregates. Counters merge by
+// sum; high-water marks (listed in maxMerged) merge by maximum.
 func TestStatsMerge(t *testing.T) {
+	maxMerged := map[string]bool{"AsyncMaxLag": true}
 	var a, b guard.Stats
 	va := reflect.ValueOf(&a).Elem()
 	vb := reflect.ValueOf(&b).Elem()
@@ -102,9 +104,14 @@ func TestStatsMerge(t *testing.T) {
 	}
 	a.Merge(&b)
 	for i := 0; i < n; i++ {
-		want := uint64(i+1) + uint64(1000+10*i)
+		name := va.Type().Field(i).Name
+		lo, hi := uint64(i+1), uint64(1000+10*i)
+		want := lo + hi
+		if maxMerged[name] {
+			want = hi // hi > lo by construction
+		}
 		if got := va.Field(i).Uint(); got != want {
-			t.Errorf("Merge dropped field %s: got %d, want %d", va.Type().Field(i).Name, got, want)
+			t.Errorf("Merge dropped field %s: got %d, want %d", name, got, want)
 		}
 	}
 	if got := vb.Field(0).Uint(); got != 1000 {

@@ -93,13 +93,28 @@ func (r *Runner) Chaos(n int) ([]ChaosRow, error) {
 		km := guard.InstallModule(k)
 		pol := r.policy()
 		pol.OnDegraded = mode
+		// Alternate the async pipeline on a period coprime with the
+		// mode (3) and workload (2) cycles, so every mode sees faulted
+		// attacks and faulted benign traffic both sync and async. The
+		// same plan doubles as the pool's worker-fault source.
+		pol.Async = (seed/6)%2 == 0
+		plan := faults.FromSeed(seed)
+		var ap *guard.AsyncPool
+		if pol.Async {
+			ap = guard.NewAsyncPool(pol.AsyncWorkers, pol.AsyncQueue)
+			ap.InjectFaults(plan)
+			km.UseAsync(ap)
+		}
 		g, err := km.Protect(p, an.OCFG, an.ITC, pol)
 		if err != nil {
 			return nil, err
 		}
-		plan := faults.FromSeed(seed)
 		g.Tracer.Fault = plan
 		st, err := k.Run(p, 500_000_000)
+		km.Shutdown()
+		if ap != nil {
+			ap.Close()
+		}
 		if err != nil {
 			return nil, err
 		}

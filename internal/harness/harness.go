@@ -209,6 +209,7 @@ func (r *Runner) RunProtected(an *Analysis, input []byte, pol guard.Policy) (*Pr
 	}
 	start := time.Now()
 	st, err := k.Run(p, 500_000_000)
+	km.Shutdown() // close any module-owned async pool, flush pipeline counters
 	if err != nil {
 		return nil, err
 	}

@@ -156,10 +156,13 @@ func compareResults(check int, g guard.Result, o oracle.Result) (divs []string) 
 }
 
 // compareStats diffs the counters shared by both Stats types. The
-// exempt fields are cycle meters, bytes scanned and cache hits:
-// production cost/shortcut bookkeeping with no oracle analogue.
+// exempt fields are cycle meters, bytes scanned, cache hits and the
+// asynchronous-pipeline counters: production cost/shortcut/scheduling
+// bookkeeping with no oracle analogue (the oracle always decodes
+// synchronously; the async design guarantees the verdict-bearing
+// counters above still match it exactly).
 //
-//fg:statssync guard.Stats -exempt DecodeCycles,CheckCycles,OtherCycles,SlowCycles,BytesScanned,CacheHits
+//fg:statssync guard.Stats -exempt DecodeCycles,CheckCycles,OtherCycles,SlowCycles,BytesScanned,CacheHits,AsyncWindows,AsyncMaxLag,BackpressureStalls,WatchdogSheds,WorkerCrashes
 func compareStats(g *guard.Stats, o *oracle.Stats) (divs []string) {
 	pairs := []struct {
 		name   string
@@ -220,6 +223,14 @@ func diffProtectedRun(fx *DiffFixture, input []byte, pol guard.Policy, plan *fau
 	}
 
 	g := guard.New(p.AS, fx.An.OCFG, fx.An.ITC, tr, pol)
+	if pol.Async {
+		ap := guard.NewAsyncPool(pol.AsyncWorkers, pol.AsyncQueue)
+		defer ap.Close()
+		if plan != nil {
+			ap.InjectFaults(plan)
+		}
+		g.EnableAsync(ap)
+	}
 	o := oracle.New(p.AS, fx.An.OCFG, fx.Ref, topa, oraclePolicy(pol))
 	out := &DiffOutcome{}
 
@@ -251,6 +262,7 @@ func diffProtectedRun(fx *DiffFixture, input []byte, pol guard.Policy, plan *fau
 		return nil, err
 	}
 	out.Killed, out.Exited = st.Killed, st.Exited
+	g.AsyncFlushStats()
 	out.Divergences = append(out.Divergences, compareStats(&g.Stats, &o.Stats)...)
 	return out, nil
 }
@@ -263,6 +275,11 @@ func diffRawStream(fx *DiffFixture, pol guard.Policy, raw []byte, chunks, region
 	g, o, topa, err := newDiffPair(fx, pol, region)
 	if err != nil {
 		return nil, err
+	}
+	if pol.Async {
+		ap := guard.NewAsyncPool(pol.AsyncWorkers, pol.AsyncQueue)
+		defer ap.Close()
+		g.EnableAsync(ap)
 	}
 	return replayStream(g, o, topa, raw, chunks), nil
 }
@@ -476,6 +493,10 @@ func (r *Runner) OracleSoak(n int) ([]OracleSoakRow, error) {
 		row := &rows[mi]
 		pol := guard.DefaultPolicy()
 		pol.OnDegraded = modes[mi]
+		// Half the seeds run the production guard asynchronously: the
+		// pipeline's verdict transparency means every comparison below
+		// must still hold bit-for-bit against the synchronous oracle.
+		pol.Async = seed%2 == 0
 		row.Runs++
 		func() {
 			defer func() {

@@ -46,6 +46,11 @@ func StatsFields(s *guard.Stats) []StatField {
 		{"FailClosures", s.FailClosures},
 		{"Retries", s.Retries},
 		{"Shed", s.Shed},
+		{"AsyncWindows", s.AsyncWindows},
+		{"AsyncMaxLag", s.AsyncMaxLag},
+		{"BackpressureStalls", s.BackpressureStalls},
+		{"WatchdogSheds", s.WatchdogSheds},
+		{"WorkerCrashes", s.WorkerCrashes},
 	}
 }
 

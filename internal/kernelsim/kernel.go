@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"flowguard/internal/cpu"
 	"flowguard/internal/isa"
@@ -160,6 +161,14 @@ type Kernel struct {
 	// SyscallCount counts dispatched syscalls (diagnostics; updated
 	// atomically, read it after the run).
 	SyscallCount uint64
+	// gateNanos/gateCalls meter the syscall gate: cumulative wall-clock
+	// time processes spent blocked inside intercepted syscall handlers,
+	// and how many intercepted calls there were (atomics). This is the
+	// paper's syscall-blocked time, measured at the interception point
+	// itself, so synchronous and asynchronous checking are compared at
+	// the exact same boundary.
+	gateNanos uint64
+	gateCalls uint64
 	// errMu guards interceptErrs against concurrent syscall dispatch.
 	errMu sync.Mutex
 	// interceptErrs records interceptor failures (see InterceptError).
@@ -185,6 +194,15 @@ func New() *Kernel {
 // the mechanism FlowGuard's kernel module uses for its security-sensitive
 // endpoints (§5.2). It replaces any previous interceptor for that entry.
 func (k *Kernel) Intercept(sysno uint64, h Interceptor) { k.intercep[sysno] = h }
+
+// GateWait returns the cumulative wall-clock time processes spent
+// blocked inside intercepted syscall handlers and the number of
+// intercepted calls — the syscall-blocked time the asynchronous checking
+// pipeline exists to shrink. Safe to call concurrently with a run;
+// read it after the run for a stable value.
+func (k *Kernel) GateWait() (time.Duration, uint64) {
+	return time.Duration(atomic.LoadUint64(&k.gateNanos)), atomic.LoadUint64(&k.gateCalls)
+}
 
 // Uninstall removes the interceptor for a syscall-table entry, restoring
 // the original handler.
@@ -390,7 +408,11 @@ func (s *procSyscalls) Syscall(c *cpu.CPU) error {
 	atomic.AddUint64(&k.clock, 1+c.Instrs%7)
 	sysno := c.Regs[isa.R7]
 	if h, ok := k.intercep[sysno]; ok {
-		if err := h(p, sysno); err != nil {
+		start := time.Now()
+		err := h(p, sysno)
+		atomic.AddUint64(&k.gateNanos, uint64(time.Since(start)))
+		atomic.AddUint64(&k.gateCalls, 1)
+		if err != nil {
 			if errors.Is(err, ErrKilled) || errors.Is(err, ErrExited) {
 				return err
 			}

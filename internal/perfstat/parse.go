@@ -152,6 +152,7 @@ func Tier1Names() []string {
 		"BenchmarkApprovalCache",
 		"BenchmarkIncrementalWindow",
 		"BenchmarkCheckPoolThroughput",
+		"BenchmarkAsyncSyscallGate",
 	}
 	sort.Strings(names)
 	return names

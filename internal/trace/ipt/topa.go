@@ -1,5 +1,7 @@
 package ipt
 
+import "sync"
+
 // ToPA models the Table-of-Physical-Addresses output scheme: trace bytes
 // stream into a chain of regions; when the last region fills, the table
 // either wraps (losing the oldest data, the paper's default with two
@@ -11,7 +13,16 @@ package ipt
 // past the newest byte, Held is how many trailing bytes are still
 // resident, and AppendSince copies a trailing range out without
 // disturbing the write cursor.
+//
+// All methods are safe for concurrent use: the asynchronous checking
+// pipeline reads (AppendSince, SnapshotInto, Gen, TotalWritten) while
+// the producer writes. The hook fields OnFull and OnRegionFull must be
+// installed before concurrent use begins; they are invoked on the
+// writer's goroutine with the buffer's lock released, so a hook may call
+// back into any ToPA method (including Write).
 type ToPA struct {
+	mu sync.Mutex
+
 	regions [][]byte
 	// cur/pos locate the write cursor.
 	cur, pos int
@@ -29,6 +40,28 @@ type ToPA struct {
 	// OnFull, if non-nil, is invoked each time the final region fills
 	// (the PMI hook). The buffer wraps regardless.
 	OnFull func()
+	// OnRegionFull, if non-nil, is invoked each time any region fills —
+	// the interrupt real ToPA tables raise per INT-flagged entry. This is
+	// the asynchronous pipeline's capture point: it fires mid-Write, on
+	// the writer's goroutine, once per region boundary crossed, before
+	// OnFull for the final region.
+	OnRegionFull func(RegionFull)
+}
+
+// RegionFull describes one region-boundary crossing for OnRegionFull
+// subscribers. All fields are a consistent snapshot taken at the instant
+// the region filled (later writes may already have advanced the buffer
+// by the time the hook body runs).
+type RegionFull struct {
+	// Region is the index of the region that just filled.
+	Region int
+	// Gen is the write generation after the fill.
+	Gen uint64
+	// Total is the stream offset one past the filled region's last byte.
+	Total uint64
+	// Wrapped marks the final region's fill: the table wrapped and the
+	// oldest resident bytes are being discarded.
+	Wrapped bool
 }
 
 // NewToPA allocates a table with the given region sizes. The paper's
@@ -51,6 +84,12 @@ func NewToPA(regionSizes ...int) *ToPA {
 
 // Capacity returns the total byte capacity of all regions.
 func (t *ToPA) Capacity() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.capacity()
+}
+
+func (t *ToPA) capacity() int {
 	n := 0
 	for _, r := range t.regions {
 		n += len(r)
@@ -59,48 +98,79 @@ func (t *ToPA) Capacity() int {
 }
 
 // TotalWritten returns the monotonic count of bytes ever written.
-func (t *ToPA) TotalWritten() uint64 { return t.total }
+func (t *ToPA) TotalWritten() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
 
 // Wrapped reports whether the buffer has discarded its oldest bytes at
 // least once since the last Reset: the logical stream no longer starts
 // at a packet boundary, and bytes before TotalWritten()-Held() are gone.
-func (t *ToPA) Wrapped() bool { return t.wrapped }
+func (t *ToPA) Wrapped() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.wrapped
+}
 
 // Gen returns the write generation: it increases whenever the buffer
 // contents change (writes or Reset), never decreases, and is equal
 // between two observations only if the buffer is unchanged.
-func (t *ToPA) Gen() uint64 { return t.gen }
+func (t *ToPA) Gen() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.gen
+}
 
 // Held returns how many of the most recently written logical bytes are
 // still resident in the buffer (the span Snapshot would return).
 func (t *ToPA) Held() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.held()
+}
+
+func (t *ToPA) held() int {
 	if t.wrapped {
-		return t.Capacity()
+		return t.capacity()
 	}
 	return int(t.total - t.resetTotal)
 }
 
 // Write appends trace bytes, wrapping when the chain fills. total is
-// advanced chunk by chunk so an OnFull hook observes a consistent view.
+// advanced chunk by chunk so the hooks observe a consistent view; the
+// lock is dropped around each hook invocation so hook bodies may read
+// the buffer (or even write to it) without deadlocking.
 //
 //fg:hotpath the producer side of every simulated trace byte
 func (t *ToPA) Write(p []byte) {
 	for len(p) > 0 {
+		t.mu.Lock()
 		r := t.regions[t.cur]
 		n := copy(r[t.pos:], p)
 		t.pos += n
 		t.total += uint64(n)
 		t.gen++
 		p = p[n:]
-		if t.pos == len(r) {
+		filled := t.pos == len(r)
+		var ev RegionFull
+		if filled {
+			ev = RegionFull{Region: t.cur, Gen: t.gen, Total: t.total}
 			t.cur++
 			t.pos = 0
 			if t.cur == len(t.regions) {
 				t.cur = 0
 				t.wrapped = true
-				if t.OnFull != nil {
-					t.OnFull()
-				}
+				ev.Wrapped = true
+			}
+		}
+		t.mu.Unlock()
+		if filled {
+			if t.OnRegionFull != nil {
+				t.OnRegionFull(ev)
+			}
+			if ev.Wrapped && t.OnFull != nil {
+				t.OnFull()
 			}
 		}
 	}
@@ -114,7 +184,9 @@ func (t *ToPA) Write(p []byte) {
 //
 //fg:hotpath appends only into the caller's reusable scratch
 func (t *ToPA) AppendSince(dst []byte, from uint64) ([]byte, bool) {
-	if from > t.total || t.total-from > uint64(t.Held()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if from > t.total || t.total-from > uint64(t.held()) {
 		return dst, false
 	}
 	for off := from; off < t.total; {
@@ -131,11 +203,11 @@ func (t *ToPA) AppendSince(dst []byte, from uint64) ([]byte, bool) {
 }
 
 // locate maps a resident logical offset to (region index, offset within
-// region).
+// region). Caller holds mu.
 //
 //fg:hotpath
 func (t *ToPA) locate(off uint64) (int, int) {
-	phys := int((off - t.resetTotal) % uint64(t.Capacity()))
+	phys := int((off - t.resetTotal) % uint64(t.capacity()))
 	for i, r := range t.regions {
 		if phys < len(r) {
 			return i, phys
@@ -155,6 +227,8 @@ func (t *ToPA) Snapshot() []byte { return t.SnapshotInto(nil) }
 //
 //fg:hotpath appends only into the caller's reusable scratch
 func (t *ToPA) SnapshotInto(dst []byte) []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if !t.wrapped {
 		for i := 0; i < t.cur; i++ {
 			dst = append(dst, t.regions[i]...)
@@ -177,6 +251,8 @@ func (t *ToPA) SnapshotInto(dst []byte) []byte {
 // The monotonic byte count is preserved; the next write lands at the
 // start of the first region.
 func (t *ToPA) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.cur, t.pos, t.wrapped = 0, 0, false
 	t.resetTotal = t.total
 	t.gen++
