@@ -55,6 +55,7 @@ type suite struct {
 var fullSuites = []suite{
 	{pkg: ".", bench: "."},
 	{pkg: "./internal/guard", bench: "."},
+	{pkg: "./internal/harness", bench: "^BenchmarkFleetThroughput$"},
 }
 
 // shortSuites is the tier-1 hot-path subset: quick enough for CI, and
@@ -62,6 +63,7 @@ var fullSuites = []suite{
 var shortSuites = []suite{
 	{pkg: ".", bench: "^(BenchmarkFastPath|BenchmarkFastDecode|BenchmarkGuardCheck|BenchmarkITCLookup|BenchmarkITCFlatSerialize|BenchmarkIPTPacketScan)$"},
 	{pkg: "./internal/guard", bench: "^(BenchmarkIncrementalWindow|BenchmarkApprovalCache|BenchmarkCheckPoolThroughput|BenchmarkAsyncSyscallGate)$"},
+	{pkg: "./internal/harness", bench: "^BenchmarkFleetThroughput$"},
 }
 
 func main() {

@@ -73,6 +73,9 @@ func ByName(name string) (*App, error) {
 	if name == "vulnd" {
 		return Vulnd(), nil
 	}
+	if name == "forkd" {
+		return Forkd(), nil
+	}
 	if name == "transcoded" {
 		return Transcoded(), nil
 	}

@@ -1,0 +1,117 @@
+package apps
+
+import (
+	"flowguard/internal/asm"
+	"flowguard/internal/isa"
+	"flowguard/internal/kernelsim"
+)
+
+// Forkd builds "forkd", the fork-storm workload of the fleet scenarios
+// (DESIGN.md §10): a pre-fork worker pool in miniature. The process
+// consumes one command byte at a time from stdin and dispatches it
+// through a function table (an indirect call per command); an 'F'
+// command issues the fork syscall instead, and — because the child
+// inherits the parent's stdin cursor — both sides keep processing the
+// remaining command stream independently. Every worker ends in a write
+// syscall, so each dispatched command crosses a guarded endpoint.
+//
+// Input bytes: 'F' forks; anything else selects worker (byte & 3).
+func Forkd() *App {
+	b := asm.NewModule("forkd").Needs("libc")
+	b.DataSpace("ch", 8, false)
+	b.DataSpace("out", 8, false)
+	b.FuncTable("work_tbl", []string{"w0", "w1", "w2", "w3"}, false)
+	emitExitCall(b)
+
+	main := b.Func("main", 0, true)
+	b.SetEntry("main")
+	main.Prologue(64)
+	main.Label("loop")
+	main.AddrOf(r0, "ch")
+	main.Movi(r1, 1)
+	main.Call("read_stdin")
+	main.Cmpi(r0, 1)
+	main.Jcc(isa.LT, "fini")
+	main.AddrOf(r9, "ch")
+	main.Ldb(r8, r9, 0)
+	main.Cmpi(r8, 'F')
+	main.Jcc(isa.NE, "work")
+	// fork(): the child resumes here with r0 = 0; both sides loop.
+	main.Movu64(r7, kernelsim.SysFork)
+	main.Syscall()
+	main.Jmp("loop")
+	main.Label("work")
+	main.Mov(r10, r8)
+	main.Movi(r5, 3)
+	main.And(r10, r5)
+	main.Movi(r5, 8)
+	main.Mul(r10, r5)
+	main.AddrOf(r6, "work_tbl")
+	main.Add(r6, r10)
+	main.Ld(r6, r6, 0)
+	main.Mov(r0, r8)
+	main.CallR(r6)
+	main.Jmp("loop")
+	main.Label("fini")
+	main.Movi(r0, 0)
+	main.Call("do_exit")
+	main.Halt()
+
+	// Four workers with distinct compute shapes, all ending in a guarded
+	// write endpoint. iters and the mixing constant differ per worker so
+	// the ITC-CFG sees four distinct flow neighborhoods.
+	worker := func(name string, iters int32, mixer uint64) {
+		w := b.Func(name, 1, false)
+		w.Prologue(32)
+		w.Mov(r9, r0)
+		w.Movi(r10, iters)
+		w.Label("spin")
+		w.Cmpi(r10, 0)
+		w.Jcc(isa.LE, "emit")
+		w.Movu64(r5, mixer)
+		w.Mul(r9, r5)
+		w.Movi(r5, 13)
+		w.Shr(r9, r5)
+		w.Addi(r10, -1)
+		w.Jmp("spin")
+		w.Label("emit")
+		w.AddrOf(r5, "out")
+		w.Stb(r5, 0, r9)
+		w.Movi(r0, 1)
+		w.AddrOf(r1, "out")
+		w.Movi(r2, 1)
+		w.Movu64(r7, kernelsim.SysWrite)
+		w.Syscall()
+		w.Epilogue()
+	}
+	worker("w0", 3, 0x9e3779b97f4a7c15)
+	worker("w1", 5, 0xff51afd7ed558ccd)
+	worker("w2", 7, 0xc4ceb9fe1a85ec53)
+	worker("w3", 2, 0x2545f4914f6cdd1d)
+
+	return &App{
+		Name:     "forkd",
+		Exec:     mustAssemble(b),
+		Libs:     StdLibs(),
+		VDSO:     VDSO(),
+		Category: "server",
+		MakeInput: func(scale int, seed int64) []byte {
+			r := rng(seed)
+			n := 4 + scale
+			in := make([]byte, 0, n)
+			forks := 0
+			for i := 0; i < n; i++ {
+				// A bounded number of forks: each one doubles the
+				// remaining processing, so cap the storm at 2^3 workers
+				// per initial process.
+				if forks < 3 && i > 0 && r.Intn(n/3+1) == 0 {
+					in = append(in, 'F')
+					forks++
+					continue
+				}
+				in = append(in, byte('a'+r.Intn(4)))
+			}
+			return in
+		},
+	}
+}

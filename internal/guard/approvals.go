@@ -124,6 +124,30 @@ func (c *ApprovalCache) SyncGen(gen uint64) {
 	c.gen.Store(gen)
 }
 
+// Clone returns a deep copy of the cache: a point-in-time snapshot of
+// every approved edge and path at the current label generation. The
+// fork-inheritance conformance property is stated in terms of it — a
+// forked child sharing the parent's live cache behaves byte-identically
+// to a fresh process pre-trained with Clone() taken at fork time, as
+// long as both then observe the same traffic.
+func (c *ApprovalCache) Clone() *ApprovalCache {
+	out := NewApprovalCache()
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		d := &out.stripes[i]
+		s.mu.RLock()
+		for k := range s.edges {
+			d.edges[k] = struct{}{}
+		}
+		for k := range s.paths {
+			d.paths[k] = struct{}{}
+		}
+		s.mu.RUnlock()
+	}
+	out.gen.Store(c.gen.Load())
+	return out
+}
+
 // Len returns the number of approved edges (diagnostics).
 func (c *ApprovalCache) Len() int {
 	n := 0

@@ -223,12 +223,24 @@ func recoveredTailOK(evs []ipt.Event, tips []ipt.TIPRecord) bool {
 // noteShed accounts for a check the pool shed before it could run: the
 // result was synthesized by CheckPool.Do under Policy.OnDegraded, and
 // the guard's statistics must reflect it so nothing is dropped silently.
-func (g *Guard) noteShed(res *Result) {
+func (g *Guard) noteShed(res *Result) { g.noteShedKind(res, false) }
+
+// noteFairnessShed accounts for a check shed by per-tenant fairness
+// (FleetPool refused admission to an over-share tenant): the same
+// degraded accounting as an overload shed, plus the fairness counter so
+// fleet stats distinguish "the pool was full" from "your tenant was
+// hogging it".
+func (g *Guard) noteFairnessShed(res *Result) { g.noteShedKind(res, true) }
+
+func (g *Guard) noteShedKind(res *Result, fairness bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.Stats.Checks++
 	g.Stats.DegradedChecks++
 	g.Stats.Shed++
+	if fairness {
+		g.Stats.FairnessSheds++
+	}
 	if res.Verdict == VerdictViolation {
 		g.Stats.Violations++
 		g.Stats.FailClosures++

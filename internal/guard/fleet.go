@@ -1,0 +1,129 @@
+// Fleet-scale enforcement (DESIGN.md §10): one shared, immutable label
+// artifact per protected binary serving any number of per-process
+// guards. The per-process enforcement state shrinks to the window
+// cursor, the (possibly shared) approval cache, and the stats block —
+// everything heavyweight (address space, O-CFG, the flat ITC-CFG
+// arenas) is referenced by pointer from one Binary, never copied.
+//
+// This is the paper's end goal at system scale: training is per-binary,
+// so its product — the credit-labeled ITC-CFG — is per-binary too, and
+// the FGITCFL1 flat encoding (itc.Flat) doubles as the zero-copy wire
+// and in-memory form. A fleet controller loads a few dozen artifacts
+// and protects ten thousand processes with them.
+
+package guard
+
+import (
+	"flowguard/internal/cfg"
+	"flowguard/internal/itc"
+	"flowguard/internal/module"
+	"flowguard/internal/trace/ipt"
+)
+
+// Binary is the shared per-binary enforcement state: everything that is
+// identical across every process running the same executable image.
+// All fields are immutable after construction except Appr, which is the
+// binary's pooled approval cache (internally synchronized). A Binary is
+// safe for concurrent use by any number of guards.
+type Binary struct {
+	// AS is the canonical loaded address space of the binary. Processes
+	// replaying recorded traces share it read-only; a live forked
+	// process with its own (cloned) address space passes that clone to
+	// ForkGuard instead.
+	AS *module.AddressSpace
+	// OCFG is the conservative O-CFG (slow-path precision source).
+	OCFG *cfg.Graph
+	// Art is the shared immutable label artifact every guard of this
+	// binary probes. Exactly one per binary — the no-copy pin in the
+	// fleet tests asserts pointer identity across all its guards.
+	Art *itc.Artifact
+	// Appr is the binary-wide pooled approval cache: a clean slow-path
+	// verdict in any process serves every sibling's fast path.
+	Appr *ApprovalCache
+}
+
+// NewBinary bundles the shared state of one protected binary. The
+// artifact is typically graph.Artifact() after training, or
+// itc.ArtifactFromFlat over shipped FGITCFL1 bytes.
+func NewBinary(as *module.AddressSpace, ocfg *cfg.Graph, art *itc.Artifact) *Binary {
+	return &Binary{AS: as, OCFG: ocfg, Art: art, Appr: NewApprovalCache()}
+}
+
+// NewGuard builds a per-process guard over the binary's shared state
+// and the process's own tracer. The guard holds pointers into the
+// Binary — no artifact bytes, no graph tables, no approval map of its
+// own — so its marginal footprint is the Guard struct plus the lazily
+// grown window buffer.
+func (b *Binary) NewGuard(tr *ipt.Tracer, pol Policy) *Guard {
+	return &Guard{
+		AS: b.AS, OCFG: b.OCFG, Tracer: tr, Policy: pol,
+		art:  b.Art,
+		appr: b.Appr,
+	}
+}
+
+// UseArtifact switches an existing guard's fast path to a shared
+// immutable artifact (tests and migration paths; fleet guards get one
+// from Binary.NewGuard). Call before checking starts.
+func (g *Guard) UseArtifact(a *itc.Artifact) { g.art = a }
+
+// Artifact returns the shared artifact the guard probes, or nil for a
+// live-graph guard.
+func (g *Guard) Artifact() *itc.Artifact { return g.art }
+
+// ForkGuard builds the guard of a forked child: it inherits the
+// parent's trained credit (the shared artifact or live graph, by
+// pointer) and the parent's approvals (the live cache itself — an edge
+// either process approves serves both, exactly like ShareApprovals
+// siblings). The child gets a fresh window cursor over its own tracer
+// and a fresh stats block; as points at the child's own address space
+// (nil shares the parent's, the right choice for replayed streams).
+//
+// Conformance contract (pinned by the fork-inheritance property test):
+// with the parent quiescent after the fork, the child's verdicts over
+// any replayed trace are byte-identical to those of a fresh process
+// built with the parent's Approvals().Clone() taken at fork time.
+func ForkGuard(parent *Guard, as *module.AddressSpace, tr *ipt.Tracer) *Guard {
+	if as == nil {
+		as = parent.AS
+	}
+	g := &Guard{
+		AS: as, OCFG: parent.OCFG, ITC: parent.ITC, Tracer: tr,
+		Policy: parent.Policy,
+		art:    parent.art,
+		appr:   parent.appr,
+	}
+	g.Stats.ForkInherits = 1
+	return g
+}
+
+// lookupEdge dispatches the full fast-path edge check to the shared
+// artifact when the guard has one, else to the live graph.
+//
+//fg:hotpath
+func (g *Guard) lookupEdge(src, dst, sig uint64) itc.EdgeLabel {
+	if g.art != nil {
+		return g.art.Lookup(src, dst, sig)
+	}
+	return g.ITC.Lookup(src, dst, sig)
+}
+
+// cacheLookup dispatches the high-credit cache probe.
+//
+//fg:hotpath
+func (g *Guard) cacheLookup(src, dst, sig uint64) (hit, sigMatch bool) {
+	if g.art != nil {
+		return g.art.CacheLookup(src, dst, sig)
+	}
+	return g.ITC.CacheLookup(src, dst, sig)
+}
+
+// pathTrained dispatches the path-sensitive probe.
+//
+//fg:hotpath
+func (g *Guard) pathTrained(a, b, c uint64) bool {
+	if g.art != nil {
+		return g.art.PathTrained(itc.PathKey(a, b, c))
+	}
+	return g.ITC.PathTrained(a, b, c)
+}

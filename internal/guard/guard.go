@@ -226,6 +226,7 @@ type Stats struct {
 	FailClosures   uint64 // degraded checks failed closed
 	Retries        uint64 // SlowPathRetry recovery attempts
 	Shed           uint64 // checks shed by an overloaded CheckPool
+	FairnessSheds  uint64 // sheds forced by per-tenant fairness (FleetPool)
 
 	// Asynchronous-pipeline accounting (Policy.Async, DESIGN.md §9).
 	AsyncWindows       uint64 // region-full captures handed to the worker pool
@@ -233,6 +234,9 @@ type Stats struct {
 	BackpressureStalls uint64 // producer stalls against a full pending queue
 	WatchdogSheds      uint64 // sheds to synchronous draining (gate deadline or watchdog)
 	WorkerCrashes      uint64 // contained async-worker crashes (injected or real)
+
+	// Fleet accounting (DESIGN.md §10).
+	ForkInherits uint64 // guards created by fork inheritance (ForkGuard)
 }
 
 // FastCycles returns the accumulated fast-path cost (decode + check).
@@ -267,6 +271,7 @@ func (s *Stats) Merge(o *Stats) {
 	s.FailClosures += o.FailClosures
 	s.Retries += o.Retries
 	s.Shed += o.Shed
+	s.FairnessSheds += o.FairnessSheds
 	s.AsyncWindows += o.AsyncWindows
 	// A high-water mark merges by maximum, not sum: the merged value is
 	// the worst staleness any constituent guard ever observed.
@@ -276,6 +281,7 @@ func (s *Stats) Merge(o *Stats) {
 	s.BackpressureStalls += o.BackpressureStalls
 	s.WatchdogSheds += o.WatchdogSheds
 	s.WorkerCrashes += o.WorkerCrashes
+	s.ForkInherits += o.ForkInherits
 }
 
 // CredRatioRuntime returns the runtime fraction of credible edges
@@ -374,6 +380,14 @@ type Guard struct {
 	ITC    *itc.Graph
 	Tracer *ipt.Tracer
 	Policy Policy
+
+	// art, when non-nil, is the shared immutable label artifact the fast
+	// path probes instead of the live ITC graph — the fleet configuration
+	// (DESIGN.md §10), where thousands of per-process guards reference
+	// one itc.Artifact per binary by pointer. The slow path still uses
+	// ITC for approval labeling when both are set; fleet guards built by
+	// Binary.NewGuard carry only the artifact.
+	art *itc.Artifact
 
 	// appr caches slow-path "no attack" verdicts; it may be shared
 	// between guards via ShareApprovals.
@@ -640,7 +654,11 @@ func (g *Guard) Check() Result {
 	if g.async != nil {
 		g.asyncBeforeCheckLocked()
 	}
-	if g.ITC != nil {
+	if g.art != nil {
+		// A shared artifact is a fixed point-in-time label snapshot: its
+		// generation never advances, so this is a one-time adoption.
+		g.appr.SyncGen(g.art.Gen())
+	} else if g.ITC != nil {
 		// Approvals earned against a superseded label snapshot must be
 		// re-earned (mid-run retraining relabels edges).
 		g.appr.SyncGen(g.ITC.LabelGen())
@@ -700,13 +718,13 @@ func (g *Guard) runChecks(res *Result, tips []ipt.TIPRecord, region []byte, forc
 		if minCount <= 1 {
 			// The separate high-credit cache holds count >= 1 edges, so
 			// it is only a shortcut under binary labeling.
-			if hit, sigOK := g.ITC.CacheLookup(src, dst, sig); hit && sigOK {
+			if hit, sigOK := g.cacheLookup(src, dst, sig); hit && sigOK {
 				g.Stats.CacheHits++
 				g.Stats.HighEdges++
 				continue
 			}
 		}
-		l := g.ITC.Lookup(src, dst, sig)
+		l := g.lookupEdge(src, dst, sig)
 		if !l.Exists {
 			// Out of the conservative graph: no legitimate execution can
 			// produce this pair (§4.2), so this is a definite violation.
@@ -735,7 +753,7 @@ func (g *Guard) runChecks(res *Result, tips []ipt.TIPRecord, region []byte, forc
 				continue
 			}
 			a, b, c := tips[i].IP, tips[i+1].IP, tips[i+2].IP
-			if g.ITC.PathTrained(a, b, c) || g.appr.ApprovedPath(itc.PathKey(a, b, c)) {
+			if g.pathTrained(a, b, c) || g.appr.ApprovedPath(itc.PathKey(a, b, c)) {
 				continue
 			}
 			g.Stats.LowEdges++

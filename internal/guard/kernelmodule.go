@@ -76,13 +76,17 @@ type KernelModule struct {
 	installed map[uint64]bool
 }
 
-// InstallModule loads the kernel module into the simulated kernel.
+// InstallModule loads the kernel module into the simulated kernel. It
+// hooks fork dispatch: a protected process's children are automatically
+// protected by inheritance (ProtectForked) before they ever run.
 func InstallModule(k *kernelsim.Kernel) *KernelModule {
-	return &KernelModule{
+	m := &KernelModule{
 		K:         k,
 		guards:    make(map[uint64]*Guard),
 		installed: make(map[uint64]bool),
 	}
+	k.OnFork = m.onFork
+	return m
 }
 
 // UsePool routes all flow checks through p. Call before the workload
@@ -202,6 +206,83 @@ func (m *KernelModule) Protect(p *kernelsim.Process, ocfg *cfg.Graph, ig *itc.Gr
 		m.K.Intercept(sysno, m.onEndpoint)
 	}
 	return g, nil
+}
+
+// onFork is the kernel's fork hook: an unprotected parent's child stays
+// unprotected; a protected parent's child inherits protection before it
+// is scheduled. A failure vetoes the fork in the kernel (the child must
+// never run unguarded).
+func (m *KernelModule) onFork(parent, child *kernelsim.Process) error {
+	m.mu.Lock()
+	pg, ok := m.guards[parent.CR3]
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	_, err := m.ProtectForked(pg, child)
+	return err
+}
+
+// ProtectForked configures tracing and checking for a forked child of an
+// already-protected process (§5.1 per-core trace setup, fleet fork
+// semantics of DESIGN.md §10): a fresh ToPA and tracer filtered on the
+// child's CR3, and a guard built by ForkGuard — the child inherits the
+// parent's trained credit (shared artifact or live graph, by pointer)
+// and its live approval cache, with a fresh window cursor and stats.
+func (m *KernelModule) ProtectForked(parent *Guard, child *kernelsim.Process) (*Guard, error) {
+	pol := parent.Policy
+	topa := ipt.NewToPA(regionSizes()...)
+	tr := ipt.NewTracer(topa)
+	ctl := ipt.CtlTraceEn | ipt.CtlBranchEn | ipt.CtlUser | ipt.CtlCR3Filter | ipt.CtlToPA
+	if err := tr.WriteMSR(ipt.MSRRTITCtl, ctl); err != nil {
+		return nil, err
+	}
+	if err := tr.WriteMSR(ipt.MSRRTITCR3Match, child.CR3); err != nil {
+		return nil, err
+	}
+	tr.SetCR3(child.CR3)
+
+	if child.CPU.Branch != nil {
+		child.CPU.Branch = trace.MultiSink{child.CPU.Branch, tr}
+	} else {
+		child.CPU.Branch = tr
+	}
+
+	g := ForkGuard(parent, child.AS, tr)
+	m.mu.Lock()
+	m.guards[child.CR3] = g
+	apool := m.apool
+	m.mu.Unlock()
+	if pol.Async && apool != nil {
+		g.EnableAsync(apool)
+	}
+	if pol.CheckOnPMI {
+		topa.OnFull = func() {
+			if g.inCheck {
+				return
+			}
+			res := m.check(g)
+			if res.Verdict == VerdictViolation {
+				m.report(ViolationReport{
+					PID: child.PID, Process: child.Name, Syscall: pmiPseudoSyscall, Reason: res.Reason,
+				})
+				m.K.Kill(child, kernelsim.SIGKILL)
+				child.CPU.PendingTrap = kernelsim.ErrKilled
+			}
+		}
+	}
+	return g, nil
+}
+
+// Guards returns every registered guard (fleet stats aggregation).
+func (m *KernelModule) Guards() []*Guard {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Guard, 0, len(m.guards))
+	for _, g := range m.guards {
+		out = append(out, g)
+	}
+	return out
 }
 
 // Unprotect removes a process's guard (its interceptors remain for other

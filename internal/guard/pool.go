@@ -51,6 +51,7 @@ type CheckPool struct {
 	mu        sync.Mutex
 	checks    uint64
 	shed      uint64
+	fairSheds uint64
 	retried   uint64
 	waitNanos int64
 	busyNanos int64
@@ -131,6 +132,42 @@ func (p *CheckPool) Do(g *Guard) Result {
 		p.mu.Unlock()
 		return res
 	}
+	return p.run(g, t0)
+}
+
+// TryDo runs g.Check() only if a checker slot is free right now; it
+// never queues. The FleetPool gives over-fair-share tenants exactly
+// this best-effort admission: spare capacity is theirs, a queue slot is
+// not. The boolean reports whether the check ran — a false return has
+// touched no accounting, so the caller decides how to shed.
+func (p *CheckPool) TryDo(g *Guard) (Result, bool) {
+	t0 := time.Now()
+	select {
+	case p.slots <- struct{}{}:
+	default:
+		return Result{}, false
+	}
+	return p.run(g, t0), true
+}
+
+// ShedFair sheds a check that per-tenant fairness refused to admit: the
+// same policy-governed verdict and no-silent-drop accounting as an
+// overload shed (it counts in Shed, preserving checks == admitted +
+// shed), plus the fairness counters on both ledgers.
+func (p *CheckPool) ShedFair(g *Guard) Result {
+	res := p.shedResult(g)
+	res.Reason = "per-tenant fair share exceeded: check shed"
+	g.noteFairnessShed(&res)
+	p.mu.Lock()
+	p.shed++
+	p.fairSheds++
+	p.mu.Unlock()
+	return res
+}
+
+// run executes an admitted check while holding a slot. t0 is the
+// admission start time (queue wait is t0 → now).
+func (p *CheckPool) run(g *Guard, t0 time.Time) Result {
 	t1 := time.Now()
 	if p.Stall != nil {
 		if d := p.Stall(); d > 0 {
@@ -170,7 +207,12 @@ type PoolStats struct {
 	Checks uint64
 	// Shed is the number of checks the pool could not admit; each one
 	// produced a policy-governed degraded verdict, never a silent drop.
+	// Fairness sheds are included (Shed counts every unadmitted check,
+	// whatever the reason, so Checks + Shed is the total offered load).
 	Shed uint64
+	// FairnessSheds is the subset of Shed forced by per-tenant fairness
+	// rather than raw overload.
+	FairnessSheds uint64
 	// Retried is the number of admission retries under SlowPathRetry.
 	Retried uint64
 	// Wait is the total time checks spent queued for a slot.
@@ -186,10 +228,21 @@ func (p *CheckPool) Snapshot() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return PoolStats{
-		Checks:  p.checks,
-		Shed:    p.shed,
-		Retried: p.retried,
-		Wait:    time.Duration(p.waitNanos),
-		Busy:    time.Duration(p.busyNanos),
+		Checks:        p.checks,
+		Shed:          p.shed,
+		FairnessSheds: p.fairSheds,
+		Retried:       p.retried,
+		Wait:          time.Duration(p.waitNanos),
+		Busy:          time.Duration(p.busyNanos),
 	}
+}
+
+// Merge adds o into s (fleet aggregation across shards).
+func (s *PoolStats) Merge(o PoolStats) {
+	s.Checks += o.Checks
+	s.Shed += o.Shed
+	s.FairnessSheds += o.FairnessSheds
+	s.Retried += o.Retried
+	s.Wait += o.Wait
+	s.Busy += o.Busy
 }

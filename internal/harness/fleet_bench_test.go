@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// The benchmark fleet is deliberately smaller than flowguardd's default
+// population: tier-1 samples must be cheap enough for fgperf's
+// interleaved iterations, and per-event throughput is
+// population-independent once every driver has processes to pick from.
+var (
+	benchFleetOnce sync.Once
+	benchFleet     *Fleet
+	benchFleetErr  error
+)
+
+func benchFleetFixture(b *testing.B) *Fleet {
+	b.Helper()
+	benchFleetOnce.Do(func() {
+		r := NewRunner()
+		benchFleet, benchFleetErr = r.NewFleet(FleetConfig{
+			Procs:           1024,
+			Tenants:         32,
+			Shards:          4,
+			WorkersPerShard: 4,
+			Drivers:         4,
+			ForkEvery:       2000,
+		})
+	})
+	if benchFleetErr != nil {
+		b.Fatal(benchFleetErr)
+	}
+	return benchFleet
+}
+
+// BenchmarkFleetThroughput is the tier-1 fleet gate (DESIGN.md §10):
+// one benchmark op is one check event through the full stack — Zipf
+// process pick, trace-chunk replay into the process's ToPA, sharded
+// fairness admission, and the artifact-backed hybrid check. The fleet
+// ledger invariants are validated at the end of every run, so a
+// regression that silently drops or double-counts checks fails the
+// benchmark outright rather than "speeding it up".
+func BenchmarkFleetThroughput(b *testing.B) {
+	f := benchFleetFixture(b)
+	b.ResetTimer()
+	res, err := f.Run(b.N, time.Minute)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if bad := res.Check(); len(bad) > 0 {
+		b.Fatalf("fleet invariants violated: %v", bad)
+	}
+	b.ReportMetric(res.ChecksPerSec, "checks/sec")
+}

@@ -162,7 +162,7 @@ func compareResults(check int, g guard.Result, o oracle.Result) (divs []string) 
 // synchronously; the async design guarantees the verdict-bearing
 // counters above still match it exactly).
 //
-//fg:statssync guard.Stats -exempt DecodeCycles,CheckCycles,OtherCycles,SlowCycles,BytesScanned,CacheHits,AsyncWindows,AsyncMaxLag,BackpressureStalls,WatchdogSheds,WorkerCrashes
+//fg:statssync guard.Stats -exempt DecodeCycles,CheckCycles,OtherCycles,SlowCycles,BytesScanned,CacheHits,AsyncWindows,AsyncMaxLag,BackpressureStalls,WatchdogSheds,WorkerCrashes,FairnessSheds,ForkInherits
 func compareStats(g *guard.Stats, o *oracle.Stats) (divs []string) {
 	pairs := []struct {
 		name   string
@@ -282,6 +282,53 @@ func diffRawStream(fx *DiffFixture, pol guard.Policy, raw []byte, chunks, region
 		g.EnableAsync(ap)
 	}
 	return replayStream(g, o, topa, raw, chunks), nil
+}
+
+// diffFleetStream is the fleet workload class of the soak: an
+// artifact-backed parent guard replays a benign stream to quiescence
+// (banking approvals), then a child built by ForkGuard replays its own
+// stream — benign or attacked — from a fresh window, compared against
+// a fresh oracle pre-seeded with the parent's approvals. This is the
+// fork-inheritance conformance contract (see ForkGuard) exercised at
+// soak scale: the child's verdicts must match an oracle that inherited
+// the same trained state, and an injected edge must still be caught
+// despite the inheritance.
+func diffFleetStream(fx *DiffFixture, pol guard.Policy, parentRaw, childRaw []byte, chunks int) (*DiffOutcome, error) {
+	region := len(parentRaw) + guard.DefaultToPARegion
+	if len(childRaw) > len(parentRaw) {
+		region = len(childRaw) + guard.DefaultToPARegion
+	}
+	parent, po, ptopa, err := newDiffPair(fx, pol, region)
+	if err != nil {
+		return nil, err
+	}
+	parent.UseArtifact(fx.An.ITC.Artifact())
+	var ap *guard.AsyncPool
+	if pol.Async {
+		ap = guard.NewAsyncPool(pol.AsyncWorkers, pol.AsyncQueue)
+		defer ap.Close()
+		parent.EnableAsync(ap)
+	}
+	out := replayStream(parent, po, ptopa, parentRaw, chunks)
+
+	ctopa := ipt.NewToPA(region, region)
+	ctr := ipt.NewTracer(ctopa)
+	if err := ctr.WriteMSR(ipt.MSRRTITCtl, ctlTrace); err != nil {
+		return nil, err
+	}
+	child := guard.ForkGuard(parent, nil, ctr)
+	if ap != nil {
+		child.EnableAsync(ap)
+	}
+	co := oracle.New(fx.An.OCFG.AS, fx.An.OCFG, fx.Ref, ctopa, oraclePolicy(pol))
+	co.AdoptApprovals(po)
+	cout := replayStream(child, co, ctopa, childRaw, chunks)
+
+	out.Checks += cout.Checks
+	out.GuardViolation = out.GuardViolation || cout.GuardViolation
+	out.Healths = append(out.Healths, cout.Healths...)
+	out.Divergences = append(out.Divergences, cout.Divergences...)
+	return out, nil
 }
 
 // newDiffPair builds a production guard and a reference oracle over one
@@ -465,11 +512,12 @@ func (r *OracleSoakRow) note(s string) {
 }
 
 // OracleSoak drives n seeded differential runs across the three
-// degraded modes and five workload classes: benign and fuzz-corpus
+// degraded modes and six workload classes: benign and fuzz-corpus
 // server traffic, ROP/SROP exploits, chaos-faulted runs, synthetic raw
-// streams (injected edges and PSB truncations), and generated progen
-// programs. A healthy repository reports zero divergences, panics and
-// errors.
+// streams (injected edges and PSB truncations), generated progen
+// programs, and fleet fork-inheritance replays (artifact-backed
+// parents, forked children). A healthy repository reports zero
+// divergences, panics and errors.
 func (r *Runner) OracleSoak(n int) ([]OracleSoakRow, error) {
 	fx, err := r.OracleFixture()
 	if err != nil {
@@ -520,8 +568,12 @@ func (r *Runner) soakOne(fx *DiffFixture, progs []*DiffFixture, corpus [][]byte,
 		isAttack bool
 		stream   bool
 	)
-	v := seed / 5
-	switch seed % 5 {
+	// OracleSoak cycles modes with period 3, which shares a factor with
+	// the six workload classes; divide the mode period out so the class
+	// cycles per-mode and every (mode, class) pair occurs.
+	k := seed / 3
+	v := k / 6
+	switch k % 6 {
 	case 0: // benign traffic, alternating generated and fuzz-corpus inputs
 		input := fx.Benign
 		if len(corpus) > 0 && v%2 == 1 {
@@ -560,9 +612,22 @@ func (r *Runner) soakOne(fx *DiffFixture, progs []*DiffFixture, corpus [][]byte,
 			p := psbs[v%len(psbs)]
 			out, err = diffRawStream(fx, pol, fx.BenignTrace[p:], 1+v%7, guard.DefaultToPARegion)
 		}
-	default: // generated programs
+	case 4: // generated programs
 		pfx := progs[v%len(progs)]
 		out, err = diffProtectedRun(pfx, nil, pol, nil)
+	default: // fleet fork-inheritance replays
+		stream = true
+		if v%2 == 0 {
+			isAttack = true
+			raw, ok := injectEdge(fx.BenignTrace, 1+v%8, jop)
+			if !ok {
+				err = fmt.Errorf("seed %d: injectEdge failed", seed)
+				break
+			}
+			out, err = diffFleetStream(fx, pol, fx.BenignTrace, raw, 1+v%7)
+		} else {
+			out, err = diffFleetStream(fx, pol, fx.BenignTrace, fx.BenignTrace, 1+v%7)
+		}
 	}
 	if err != nil {
 		row.Errors++

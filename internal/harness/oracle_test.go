@@ -321,35 +321,43 @@ func warmVerdicts(t *testing.T, fx *DiffFixture, chunks int, prevG *guard.Guard,
 	return verdicts, g, o
 }
 
-// underTrainedFixture trains both graphs on only the first third of the
-// very trace the test replays: the run's tail then exercises
+// newUnderTrainedFixture trains both graphs on only the first third of
+// the very trace the tests replay: the run's tail then exercises
 // legal-but-uncredited edges — the population slow-path approvals exist
 // for.
-func underTrainedFixture(t *testing.T) *DiffFixture {
-	t.Helper()
+func newUnderTrainedFixture() (*DiffFixture, error) {
 	r := NewRunner()
 	an, err := r.Analyze(apps.Vulnd())
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	benign := an.App.MakeInput(r.Scale, r.Seed)
 	raw, err := r.traceBytes(an.App, benign)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	cut := len(raw) / 3
 	evs, err := ipt.DecodeFast(raw[:cut]) // truncated tails stop cleanly
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	an.ITC.ObserveWindow(ipt.ExtractTIPs(evs))
 	ref := oracle.NewRef(an.OCFG)
 	if err := ref.ObserveTrace(raw[:cut]); err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	an.ITC.RebuildCache()
 	ref.Rebuild()
-	return &DiffFixture{An: an, Ref: ref, Benign: benign, BenignTrace: raw}
+	return &DiffFixture{An: an, Ref: ref, Benign: benign, BenignTrace: raw}, nil
+}
+
+func underTrainedFixture(t *testing.T) *DiffFixture {
+	t.Helper()
+	fx, err := newUnderTrainedFixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fx
 }
 
 // TestPropertyWarmApprovalCache: a warm approval cache may convert slow
@@ -434,6 +442,20 @@ func TestOracleReplay(t *testing.T) {
 		}
 		for _, d := range out.Divergences {
 			t.Errorf("replay: %s", d)
+		}
+	case "fork-inherit":
+		ffx, fart := forkFixture(t)
+		// The dispatch flavor is not recorded; replay both — the dumped
+		// bug reproduces in at least one.
+		for _, useArt := range []bool{false, true} {
+			p := forkPoint{pol: modePolicy(m), chunks: art.Chunks, forkAt: art.Pick, artifact: useArt}
+			divs, _, err := runForkConformance(ffx, fart, p, raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range divs {
+				t.Errorf("replay (artifact=%v): %s", useArt, d)
+			}
 		}
 	default:
 		t.Fatalf("unknown property %q in artifact", art.Property)

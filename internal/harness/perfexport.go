@@ -46,11 +46,13 @@ func StatsFields(s *guard.Stats) []StatField {
 		{"FailClosures", s.FailClosures},
 		{"Retries", s.Retries},
 		{"Shed", s.Shed},
+		{"FairnessSheds", s.FairnessSheds},
 		{"AsyncWindows", s.AsyncWindows},
 		{"AsyncMaxLag", s.AsyncMaxLag},
 		{"BackpressureStalls", s.BackpressureStalls},
 		{"WatchdogSheds", s.WatchdogSheds},
 		{"WorkerCrashes", s.WorkerCrashes},
+		{"ForkInherits", s.ForkInherits},
 	}
 }
 

@@ -35,6 +35,7 @@ const (
 	SysSigaction    uint64 = 13
 	SysSigreturn    uint64 = 15
 	SysGetpid       uint64 = 39
+	SysFork         uint64 = 57
 	SysExecve       uint64 = 59
 	SysExit         uint64 = 60
 	SysGettimeofday uint64 = 96
@@ -45,8 +46,8 @@ func SyscallName(n uint64) string {
 	names := map[uint64]string{
 		SysRead: "read", SysWrite: "write", SysOpen: "open", SysClose: "close",
 		SysMmap: "mmap", SysMprotect: "mprotect", SysSigaction: "sigaction",
-		SysSigreturn: "sigreturn", SysGetpid: "getpid", SysExecve: "execve",
-		SysExit: "exit", SysGettimeofday: "gettimeofday",
+		SysSigreturn: "sigreturn", SysGetpid: "getpid", SysFork: "fork",
+		SysExecve: "execve", SysExit: "exit", SysGettimeofday: "gettimeofday",
 	}
 	if s, ok := names[n]; ok {
 		return s
@@ -177,6 +178,21 @@ type Kernel struct {
 	// with the process about to execute — where the kernel reprograms
 	// the per-core trace unit's CR3 state (paper §5.1/§6).
 	OnSwitch func(p *Process)
+	// OnFork, if set, runs inside fork dispatch after the child is
+	// built but before either side resumes — where the kernel module
+	// inherits protection onto the child (guard.KernelModule wires
+	// ProtectForked here). An error vetoes the fork: the child is
+	// discarded and fork returns -1 to the parent, because a child the
+	// module failed to protect must never run unprotected.
+	OnFork func(parent, child *Process) error
+
+	// forkMu guards the process table and PID/CR3 allocation: unlike
+	// Spawn (setup-time only), fork happens during the run, possibly
+	// from several processes at once under RunParallel.
+	forkMu sync.Mutex
+	// forked accumulates children created since the last TakeForked
+	// drain; RunInterleaved picks them up at every sweep.
+	forked []*Process
 }
 
 // New returns an empty kernel.
@@ -235,6 +251,7 @@ func (k *Kernel) Spawn(name string, exec *module.Module, libs map[string]*module
 	if err != nil {
 		return nil, err
 	}
+	k.forkMu.Lock()
 	p := &Process{
 		PID:            k.nextPID,
 		Name:           name,
@@ -248,10 +265,89 @@ func (k *Kernel) Spawn(name string, exec *module.Module, libs map[string]*module
 	}
 	k.nextPID++
 	k.nextCR3 += 0x1000
+	k.procs[p.PID] = p
+	k.forkMu.Unlock()
 	p.CPU = cpu.New(as)
 	p.CPU.Sys = &procSyscalls{k: k, p: p}
-	k.procs[p.PID] = p
 	return p, nil
+}
+
+// Fork creates a child of parent: a fresh PID and CR3 (the trace-unit
+// filter key), a private copy of the address space, and a CPU resuming
+// at the parent's current PC with identical registers — the fork(2)
+// contract. File descriptors, stdin position, signal handlers and the
+// execve log are copied; accumulated Stdout is not (the child starts
+// with an empty output buffer, like a real fork's unflushed-stdio
+// hygiene). The caller differentiates the two sides via the fork return
+// value, which the syscall dispatch sets after Fork returns.
+//
+// Fork is safe to call from syscall dispatch during RunParallel: the
+// process table is locked for the insertion, and the child is queued
+// for TakeForked / RunInterleaved pickup.
+func (k *Kernel) Fork(parent *Process) (*Process, error) {
+	if parent.AS == nil || parent.CPU == nil {
+		return nil, errors.New("kernelsim: fork of an unspawned process")
+	}
+	as := parent.AS.Clone()
+	k.forkMu.Lock()
+	child := &Process{
+		PID:            k.nextPID,
+		Name:           parent.Name,
+		CR3:            k.nextCR3,
+		AS:             as,
+		stdin:          parent.stdin,
+		stdinPos:       parent.stdinPos,
+		files:          make(map[int]*openFile, len(parent.files)),
+		nextFD:         parent.nextFD,
+		SignalHandlers: make(map[uint64]uint64, len(parent.SignalHandlers)),
+		kern:           k,
+	}
+	k.nextPID++
+	k.nextCR3 += 0x1000
+	k.procs[child.PID] = child
+	k.forkMu.Unlock()
+	for fd, f := range parent.files {
+		cf := *f
+		child.files[fd] = &cf
+	}
+	for sig, h := range parent.SignalHandlers {
+		child.SignalHandlers[sig] = h
+	}
+	child.Execves = append([]ExecveRecord(nil), parent.Execves...)
+	c := cpu.New(as)
+	c.Regs = parent.CPU.Regs
+	c.PC = parent.CPU.PC
+	c.FlagZ = parent.CPU.FlagZ
+	c.FlagN = parent.CPU.FlagN
+	c.Instrs = parent.CPU.Instrs
+	c.CycleCount = parent.CPU.CycleCount
+	c.Sys = &procSyscalls{k: k, p: child}
+	child.CPU = c
+	return child, nil
+}
+
+// TakeForked drains the queue of children created by fork since the
+// last drain. Schedulers that run a fixed process set (RunParallel)
+// call this after the run — or concurrently, to schedule children as
+// they appear; RunInterleaved drains it automatically every sweep.
+func (k *Kernel) TakeForked() []*Process {
+	k.forkMu.Lock()
+	out := k.forked
+	k.forked = nil
+	k.forkMu.Unlock()
+	return out
+}
+
+// Procs returns a snapshot of the process table keyed by PID, children
+// created by fork included (fleet accounting and tests).
+func (k *Kernel) Procs() map[int]*Process {
+	k.forkMu.Lock()
+	defer k.forkMu.Unlock()
+	out := make(map[int]*Process, len(k.procs))
+	for pid, p := range k.procs {
+		out[pid] = p
+	}
+	return out
 }
 
 // Kill delivers a fatal signal (the guard's SIGKILL on violation).
@@ -356,12 +452,27 @@ func (k *Kernel) RunParallel(procs []*Process, maxInstrs uint64, maxConcurrent i
 // total budget is exhausted. It models the paper's single-core
 // multi-process scenario: one trace unit, one CR3 filter, many address
 // spaces (§6 suggestion 2 exists because this is limiting).
+//
+// Children created by fork join the rotation at the next sweep; their
+// exit statuses are appended after the initial processes', so callers
+// that forked may receive a longer status slice than they passed in
+// (initial indices are preserved).
 func (k *Kernel) RunInterleaved(procs []*Process, quantum, maxTotal uint64) ([]ExitStatus, error) {
+	procs = append([]*Process(nil), procs...)
 	statuses := make([]ExitStatus, len(procs))
 	done := make([]bool, len(procs))
 	remaining := len(procs)
 	var total uint64
-	for remaining > 0 {
+	for {
+		if kids := k.TakeForked(); len(kids) > 0 {
+			procs = append(procs, kids...)
+			statuses = append(statuses, make([]ExitStatus, len(kids))...)
+			done = append(done, make([]bool, len(kids))...)
+			remaining += len(kids)
+		}
+		if remaining == 0 {
+			return statuses, nil
+		}
 		for i, p := range procs {
 			if done[i] {
 				continue
@@ -391,7 +502,6 @@ func (k *Kernel) RunInterleaved(procs []*Process, quantum, maxTotal uint64) ([]E
 			statuses[i] = st
 		}
 	}
-	return statuses, nil
 }
 
 // procSyscalls binds the kernel's syscall dispatch to one process.
@@ -538,6 +648,31 @@ func (k *Kernel) dispatch(p *Process, c *cpu.CPU, sysno uint64) error {
 		return k.sigreturn(p, c)
 	case SysGetpid:
 		setRet(uint64(p.PID))
+	case SysFork:
+		child, err := k.Fork(p)
+		if err != nil {
+			setRet(eFAIL)
+			return nil
+		}
+		if k.OnFork != nil {
+			if ferr := k.OnFork(p, child); ferr != nil {
+				// The module could not inherit protection: a child that
+				// would run unprotected must not run at all.
+				k.forkMu.Lock()
+				delete(k.procs, child.PID)
+				k.forkMu.Unlock()
+				setRet(eFAIL)
+				return nil
+			}
+		}
+		// Child resumes at the same PC with fork's child-side return
+		// value; it is queued for the scheduler (TakeForked /
+		// RunInterleaved pickup) only once protection is inherited.
+		child.CPU.Regs[isa.R0] = 0
+		k.forkMu.Lock()
+		k.forked = append(k.forked, child)
+		k.forkMu.Unlock()
+		setRet(uint64(child.PID))
 	case SysExecve:
 		path, err := p.readCString(a0)
 		if err != nil {

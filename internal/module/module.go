@@ -612,6 +612,29 @@ func (as *AddressSpace) Mprotect(addr uint64, perm Perm) error {
 // Segments returns the mapped segments in address order.
 func (as *AddressSpace) Segments() []*Segment { return as.segs }
 
+// Clone returns a fork-style copy of the address space: every segment's
+// bytes are duplicated (memory is private to the child — the simulation
+// has no COW, so copying eagerly is the honest model), while the
+// loaded-module index (Mods/Exec/VDSO) is shared. That index is
+// immutable mapping metadata identical in parent and child, and sharing
+// it is what lets a forked child keep using the parent's per-binary CFG
+// artifacts without any re-analysis.
+func (as *AddressSpace) Clone() *AddressSpace {
+	out := &AddressSpace{
+		Mods:      as.Mods,
+		Exec:      as.Exec,
+		VDSO:      as.VDSO,
+		InitialSP: as.InitialSP,
+	}
+	out.segs = make([]*Segment, len(as.segs))
+	for i, s := range as.segs {
+		ns := *s
+		ns.Data = append([]byte(nil), s.Data...)
+		out.segs[i] = &ns
+	}
+	return out
+}
+
 // SymbolFor returns "module!symbol+off" for a code address, for
 // diagnostics.
 func (as *AddressSpace) SymbolFor(addr uint64) string {

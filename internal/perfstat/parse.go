@@ -153,6 +153,7 @@ func Tier1Names() []string {
 		"BenchmarkIncrementalWindow",
 		"BenchmarkCheckPoolThroughput",
 		"BenchmarkAsyncSyscallGate",
+		"BenchmarkFleetThroughput",
 	}
 	sort.Strings(names)
 	return names
