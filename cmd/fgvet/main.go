@@ -8,10 +8,26 @@
 //	failclosed       Verdict/TraceHealth decisions are exhaustive and
 //	                 never pass from a default branch (§7.1.2)
 //	hotpathalloc     //fg:hotpath functions stay allocation-free (§5.3)
+//	hotpathalloc-interproc
+//	                 helpers reachable from //fg:hotpath roots do not
+//	                 allocate; cold calls carry //fg:cold <reason> (§8)
 //	statssync        guard.Stats, Stats.Merge, the oracle comparison
 //	                 and the reporters stay in lockstep
 //	lockdiscipline   no checker lock held across blocking operations or
 //	                 callbacks (§6)
+//	lockorder        one global mutex acquisition order — opposite
+//	                 orders anywhere in the callgraph can deadlock (§8)
+//	atomicfield      a field accessed via sync/atomic is never touched
+//	                 plainly outside its constructor (§8)
+//	goroutinelifecycle
+//	                 Add before go, no spawn or Wait under a lock, no
+//	                 send on a channel nothing can drain (§8)
+//
+// Packages are analyzed in dependency order against a shared fact
+// store, so interprocedural analyzers (lockorder, atomicfield,
+// hotpathalloc-interproc) see through package boundaries. In-module
+// dependencies pulled in only to seed facts are analyzed but not
+// reported on.
 //
 // Findings are suppressed line-by-line with a documented
 //
@@ -23,41 +39,64 @@
 //
 // Usage:
 //
-//	fgvet [-quiet] [-list] [packages]
+//	fgvet [-quiet] [-list] [-json] [packages]
 //
-// With no package patterns, ./... is checked.
+// With no package patterns, ./... is checked. With -json, findings are
+// emitted as a single JSON array on stdout (suppressed ones included,
+// flagged) for tooling; the exit status is unchanged.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"flowguard/internal/analysis"
+	"flowguard/internal/analysis/atomicfield"
 	"flowguard/internal/analysis/failclosed"
+	"flowguard/internal/analysis/goroutinelifecycle"
 	"flowguard/internal/analysis/hotpathalloc"
+	"flowguard/internal/analysis/hotpathinterproc"
 	"flowguard/internal/analysis/lockdiscipline"
+	"flowguard/internal/analysis/lockorder"
 	"flowguard/internal/analysis/oracleisolation"
 	"flowguard/internal/analysis/statssync"
 )
 
 // analyzers is the full suite, in stable output order.
 var analyzers = []*analysis.Analyzer{
+	atomicfield.Analyzer,
 	failclosed.Analyzer,
+	goroutinelifecycle.Analyzer,
 	hotpathalloc.Analyzer,
+	hotpathinterproc.Analyzer,
 	lockdiscipline.Analyzer,
+	lockorder.Analyzer,
 	oracleisolation.Analyzer,
 	statssync.Analyzer,
+}
+
+// jsonFinding is the -json wire shape: flat, stable field names.
+type jsonFinding struct {
+	File           string `json:"file"`
+	Line           int    `json:"line"`
+	Column         int    `json:"column"`
+	Analyzer       string `json:"analyzer"`
+	Message        string `json:"message"`
+	Suppressed     bool   `json:"suppressed,omitempty"`
+	SuppressReason string `json:"suppressReason,omitempty"`
 }
 
 func main() {
 	quiet := flag.Bool("quiet", false, "do not print suppressed findings")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Parse()
 
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -77,29 +116,56 @@ func main() {
 		fail(err)
 	}
 
-	bad, suppressed := 0, 0
+	// One store across the whole run: Load returns dependencies before
+	// dependents, so each package sees its deps' facts.
+	store := analysis.NewFactStore()
+	bad, suppressed, reported := 0, 0, 0
+	var out []jsonFinding
 	for _, pkg := range pkgs {
-		findings, err := analysis.Run(pkg, analyzers)
+		findings, err := analysis.RunPkg(pkg, analyzers, store)
 		if err != nil {
 			fail(err)
 		}
+		if pkg.FactsOnly {
+			continue // analyzed for facts; not in the requested patterns
+		}
+		reported++
 		for _, f := range findings {
+			if *jsonOut {
+				out = append(out, jsonFinding{
+					File: f.Position.Filename, Line: f.Position.Line, Column: f.Position.Column,
+					Analyzer: f.Analyzer, Message: f.Message,
+					Suppressed: f.Suppressed, SuppressReason: f.SuppressReason,
+				})
+			}
 			if f.Suppressed {
 				suppressed++
-				if !*quiet {
+				if !*quiet && !*jsonOut {
 					fmt.Println(f)
 				}
 				continue
 			}
 			bad++
-			fmt.Println(f)
+			if !*jsonOut {
+				fmt.Println(f)
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if out == nil {
+			out = []jsonFinding{}
+		}
+		if err := enc.Encode(out); err != nil {
+			fail(err)
 		}
 	}
 	if suppressed > 0 {
 		fmt.Fprintf(os.Stderr, "fgvet: %d finding(s) suppressed by documented //fg:ignore\n", suppressed)
 	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "fgvet: %d finding(s) in %d package(s)\n", bad, len(pkgs))
+		fmt.Fprintf(os.Stderr, "fgvet: %d finding(s) in %d package(s)\n", bad, reported)
 		os.Exit(1)
 	}
 }

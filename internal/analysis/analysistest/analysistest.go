@@ -69,22 +69,54 @@ func moduleRoot() (string, error) {
 // exercise the //fg:ignore machinery.
 func RunFixture(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
 	t.Helper()
+	RunFixtureDeps(t, a, nil, dir, pkgPath)
+}
+
+// Dep names one dependency fixture package loaded (and analyzed
+// facts-only) before the main fixture, so cross-package
+// interprocedural fixtures can import it.
+type Dep struct {
+	Dir     string
+	PkgPath string
+}
+
+// RunFixtureDeps is RunFixture with dependency fixture packages: each
+// dep is loaded, registered with the loader so the main fixture can
+// import it, and run through the analyzer against the shared fact
+// store (findings discarded — deps model FactsOnly packages). Want
+// comments are checked on the main fixture only.
+func RunFixtureDeps(t *testing.T, a *analysis.Analyzer, deps []Dep, dir, pkgPath string) {
+	t.Helper()
+	store := analysis.NewFactStore()
 	var pkg *analysis.Package
 	var err error
-	if a.NeedTypes {
+	if a.Needs&(analysis.NeedTypes|analysis.NeedSummaries) != 0 {
 		var l *analysis.Loader
 		l, err = TestLoader()
 		if err != nil {
 			t.Fatalf("loader: %v", err)
 		}
+		for _, d := range deps {
+			dpkg, derr := l.LoadDir(d.Dir, d.PkgPath)
+			if derr != nil {
+				t.Fatalf("loading dep fixture %s: %v", d.Dir, derr)
+			}
+			l.AddPackage(dpkg.Types)
+			if _, derr := analysis.RunPkg(dpkg, []*analysis.Analyzer{a}, store); derr != nil {
+				t.Fatalf("running %s on dep %s: %v", a.Name, d.Dir, derr)
+			}
+		}
 		pkg, err = l.LoadDir(dir, pkgPath)
 	} else {
+		if len(deps) > 0 {
+			t.Fatalf("dependency fixtures need a type-aware analyzer")
+		}
 		pkg, err = analysis.ParseDir(dir, pkgPath)
 	}
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	findings, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	findings, err := analysis.RunPkg(pkg, []*analysis.Analyzer{a}, store)
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
 	}

@@ -1,0 +1,117 @@
+// Package atomicfield flags struct fields accessed both through
+// sync/atomic and through plain loads/stores. A field read with
+// atomic.LoadUint64 in one place and `s.f++` in another has no
+// synchronization at all on the plain side: the race detector only
+// catches the interleavings a test happens to produce, while the
+// checker's verdict path must never tear (a torn read of a generation
+// counter silently converts "CFI enforced" into "CFI skipped"). The
+// stats/counter idiom is therefore checked, not conventional: once any
+// package touches a field atomically, every access anywhere in the
+// module must be atomic.
+//
+// Field identity is the owning defined type ("pkg.Kernel.SyscallCount"),
+// and the atomic-access evidence is exported as a package fact, so a
+// plain access in a package that only *imports* the type is still
+// caught (dependencies are analyzed first; see the analysis package).
+//
+// One shape is exempt: plain stores inside a function that constructs
+// the owning type (its composite literal appears there). Initialization
+// before the value is shared cannot race — requiring atomic stores in
+// constructors would punish `k := &Kernel{}; k.clock = now` for no
+// soundness gain. Fields of the atomic.* struct types (atomic.Uint64,
+// atomic.Pointer) are immune by construction and outside this
+// analyzer's scope.
+package atomicfield
+
+import (
+	"sort"
+
+	"flowguard/internal/analysis"
+)
+
+// Analyzer is the atomicfield analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "a struct field accessed via sync/atomic anywhere must be accessed " +
+		"atomically everywhere (plain loads/stores tear)",
+	Needs: analysis.NeedSummaries,
+	Facts: func() any { return new(Facts) },
+	Run:   run,
+}
+
+// Facts records which fields this package accesses atomically, with
+// one witness site each.
+type Facts struct {
+	// Atomic maps "pkg.Type.field" to a "file:line" witness of an
+	// atomic access.
+	Atomic map[string]string
+}
+
+func run(pass *analysis.Pass) error {
+	// Atomic evidence: dependencies' facts plus this package's own.
+	atomic := map[string]string{}
+	err := pass.EachFact(func(pkgPath string, fact any) {
+		for k, site := range fact.(*Facts).Atomic {
+			if _, ok := atomic[k]; !ok {
+				atomic[k] = site
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	own := map[string]string{}
+	for _, key := range pass.Sum.Order {
+		for _, fa := range pass.Sum.Funcs[key].Fields {
+			if !fa.Atomic {
+				continue
+			}
+			k := fa.Key.String()
+			if _, ok := own[k]; !ok {
+				own[k] = pass.Fset.Position(fa.Pos).String()
+			}
+			if _, ok := atomic[k]; !ok {
+				atomic[k] = pass.Fset.Position(fa.Pos).String()
+			}
+		}
+	}
+
+	// Plain accesses against the merged evidence.
+	for _, key := range pass.Sum.Order {
+		fn := pass.Sum.Funcs[key]
+		for _, fa := range fn.Fields {
+			if fa.Atomic {
+				continue
+			}
+			k := fa.Key.String()
+			site, mixed := atomic[k]
+			if !mixed {
+				continue
+			}
+			if fn.Constructs[fa.Key.Type] {
+				continue // initialization inside the type's constructor
+			}
+			kind := "read"
+			if fa.Write {
+				kind = "write"
+			}
+			pass.Reportf(fa.Pos, "plain %s of %s, which is accessed atomically at %s: unsynchronized plain access tears (use sync/atomic everywhere)",
+				kind, fa.Expr, site)
+		}
+	}
+
+	// Export this package's atomic evidence (deterministically).
+	if len(own) > 0 {
+		keys := make([]string, 0, len(own))
+		for k := range own {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := &Facts{Atomic: make(map[string]string, len(own))}
+		for _, k := range keys {
+			out.Atomic[k] = own[k]
+		}
+		pass.ExportFact(out)
+	}
+	return nil
+}

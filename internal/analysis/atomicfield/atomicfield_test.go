@@ -1,0 +1,15 @@
+package atomicfield
+
+import (
+	"testing"
+
+	"flowguard/internal/analysis/analysistest"
+)
+
+func TestBad(t *testing.T) {
+	analysistest.RunFixture(t, Analyzer, "testdata/bad", "flowguard/internal/analysis/atomicfield/fixture")
+}
+
+func TestGood(t *testing.T) {
+	analysistest.RunFixture(t, Analyzer, "testdata/good", "flowguard/internal/analysis/atomicfield/fixture")
+}

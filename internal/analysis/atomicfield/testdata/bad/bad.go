@@ -1,0 +1,39 @@
+// Package fixture seeds mixed atomic/plain accesses: hits is touched
+// through sync/atomic in one function and plainly in others — the torn
+// counter shape.
+package fixture
+
+import "sync/atomic"
+
+type stats struct {
+	hits   uint64
+	misses uint64
+}
+
+// bump is the atomic side: it makes hits an atomic field everywhere.
+func bump(s *stats) {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+// snapshot reads hits without synchronization.
+func snapshot(s *stats) uint64 {
+	return s.hits // want "plain read of s.hits"
+}
+
+// reset writes hits without synchronization.
+func reset(s *stats) {
+	s.hits = 0 // want "plain write of s.hits"
+}
+
+// onlyPlain never goes atomic: misses is a plain field and stays one.
+func onlyPlain(s *stats) uint64 {
+	s.misses++
+	return s.misses
+}
+
+// suppressedRead documents a deliberate exception (single-goroutine
+// teardown path): the finding exists but is suppressed.
+func suppressedRead(s *stats) uint64 {
+	//fg:ignore atomicfield read after all workers joined in teardown
+	return s.hits
+}

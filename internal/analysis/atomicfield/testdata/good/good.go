@@ -1,0 +1,37 @@
+// Package fixture holds the allowed shapes: fields accessed atomically
+// everywhere, plain initialization inside the constructor, and plain
+// fields that never go atomic.
+package fixture
+
+import "sync/atomic"
+
+type stats struct {
+	hits   uint64
+	misses uint64
+	gen    uint32
+}
+
+// newStats constructs the value before it is shared: plain stores in
+// the constructor cannot race.
+func newStats(seed uint64) *stats {
+	s := &stats{}
+	s.hits = seed
+	s.gen = 1
+	return s
+}
+
+// bump and drain keep every hits/gen access atomic.
+func bump(s *stats) {
+	atomic.AddUint64(&s.hits, 1)
+	atomic.AddUint32(&s.gen, 1)
+}
+
+func drain(s *stats) (uint64, uint32) {
+	return atomic.LoadUint64(&s.hits), atomic.LoadUint32(&s.gen)
+}
+
+// onlyPlain fields never atomic: free to use plainly anywhere.
+func onlyPlain(s *stats) uint64 {
+	s.misses++
+	return s.misses
+}

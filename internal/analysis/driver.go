@@ -67,12 +67,23 @@ func collectIgnores(fset *token.FileSet, f *ast.File) (dirs []*ignoreDirective, 
 	return dirs, bad
 }
 
-// Run executes the analyzers over one loaded package and resolves
-// suppressions. Every unused //fg:ignore directive is itself reported:
+// Run executes the analyzers over one loaded package in isolation —
+// no cross-package facts. Interprocedural analyzers see only their own
+// package's summary. For dependency-ordered multi-package runs use
+// RunPkg with a shared FactStore.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	return RunPkg(pkg, analyzers, NewFactStore())
+}
+
+// RunPkg executes the analyzers over one loaded package against a
+// shared fact store and resolves suppressions. Callers drive packages
+// in dependency order (go list -deps emits exactly that), so the facts
+// a package's dependencies exported are in the store before the
+// package runs. Every unused //fg:ignore directive is itself reported:
 // a suppression that no longer suppresses anything is stale and must
 // be deleted, so suppressions can never outlive the finding they
 // documented.
-func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+func RunPkg(pkg *Package, analyzers []*Analyzer, store *FactStore) ([]Finding, error) {
 	var ignores []*ignoreDirective
 	var findings []Finding
 	for _, f := range pkg.Files {
@@ -81,7 +92,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 		findings = append(findings, bad...)
 	}
 	for _, a := range analyzers {
-		if a.NeedTypes && pkg.Types == nil {
+		if a.Needs&(NeedTypes|NeedSummaries) != 0 && pkg.Types == nil {
 			return nil, fmt.Errorf("analyzer %s needs types but package %s was loaded syntax-only", a.Name, pkg.Path)
 		}
 		pass := &Pass{
@@ -91,9 +102,21 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			PkgPath:   pkg.Path,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			store:     store,
+		}
+		if a.Needs&NeedSummaries != 0 {
+			pass.Sum = pkg.Summary()
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+		}
+		if pass.export != nil {
+			if a.Facts == nil {
+				return nil, fmt.Errorf("analyzer %s exported a fact but has no Facts prototype", a.Name)
+			}
+			if err := store.set(a.Name, pkg.Path, pass.export); err != nil {
+				return nil, err
+			}
 		}
 		for _, d := range pass.Diagnostics() {
 			fd := Finding{

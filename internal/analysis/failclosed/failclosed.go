@@ -36,7 +36,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "failclosed",
 	Doc: "switches/ifs over guard.Verdict or guard.TraceHealth must handle every value " +
 		"explicitly and must never reach a pass/clean outcome from a default branch",
-	NeedTypes: true,
+	Needs:     analysis.NeedTypes,
 	Run:       run,
 }
 

@@ -1,0 +1,62 @@
+// Package fixture seeds the spawn/join bugs goroutinelifecycle must
+// reject: spawning under a lock, the lost-Add race, Wait under a lock,
+// an Add no Done can ever balance, and a send nothing can receive.
+package fixture
+
+import "sync"
+
+type pool struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	n  int
+}
+
+func (p *pool) work() {
+	p.wg.Done()
+}
+
+// spawnUnderLock starts the worker while still holding p.mu.
+func spawnUnderLock(p *pool) {
+	p.mu.Lock()
+	go p.work() // want "goroutine spawned while holding p.mu"
+	p.n++
+	p.mu.Unlock()
+}
+
+// addInsideGoroutine puts the Add in the spawned body: Wait can run
+// before the goroutine is scheduled and return early.
+func addInsideGoroutine(p *pool) {
+	go func() {
+		p.wg.Add(1) // want "Add inside the spawned goroutine"
+		defer p.wg.Done()
+		p.n++
+	}()
+	p.wg.Wait()
+}
+
+// waitUnderLock holds the lock the workers need to finish.
+func waitUnderLock(p *pool) {
+	p.mu.Lock()
+	p.wg.Wait() // want "Wait while holding p.mu"
+	p.mu.Unlock()
+}
+
+type solo struct {
+	wg sync.WaitGroup
+}
+
+// addNoDone: nothing in this package ever calls solo.wg.Done.
+func addNoDone(s *solo) {
+	s.wg.Add(1) // want "no s.wg.Done anywhere in this package"
+	s.wg.Wait()
+}
+
+// leakySend: done is unbuffered, never escapes, and has no receiver or
+// close in scope — the sender goroutine leaks forever.
+func leakySend(p *pool) {
+	done := make(chan int)
+	go func() {
+		p.n++
+		done <- 1 // want "blocks forever"
+	}()
+}

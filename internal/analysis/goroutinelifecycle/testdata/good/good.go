@@ -1,0 +1,86 @@
+// Package fixture holds the sanctioned shapes: spawn after unlock,
+// Add before go with the Done deferred in the worker, Wait with
+// nothing held, buffered or escaping channels, and select-with-default
+// sends that shed instead of blocking.
+package fixture
+
+import "sync"
+
+type pool struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	n  int
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+}
+
+// startWorkers is the AsyncPool shape: Add before go, Done deferred
+// inside the worker, spawn with nothing held.
+func startWorkers(p *pool, workers int) {
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+}
+
+// spawnAfterUnlock snapshots under the lock and spawns released.
+func spawnAfterUnlock(p *pool) {
+	p.mu.Lock()
+	n := p.n
+	p.mu.Unlock()
+	_ = n
+	go p.worker()
+}
+
+// waitReleased joins with nothing held.
+func waitReleased(p *pool) {
+	p.wg.Wait()
+}
+
+// bufferedResult cannot block the sender: capacity covers the one
+// send.
+func bufferedResult(p *pool) int {
+	res := make(chan int, 1)
+	go func() {
+		res <- p.n
+	}()
+	return <-res
+}
+
+// escapingChannel hands the channel to another function: receivers
+// exist beyond this scope.
+func escapingChannel(p *pool) {
+	ch := make(chan int)
+	go consume(ch)
+	ch <- p.n
+}
+
+func consume(ch chan int) {
+	<-ch
+}
+
+// shedDontBlock sheds through select-with-default: an unbuffered wake
+// channel no one is draining cannot hang the sender.
+func shedDontBlock() {
+	wake := make(chan struct{})
+	select {
+	case wake <- struct{}{}:
+	default:
+	}
+}
+
+// closedPipeline closes what it makes: receivers terminate.
+func closedPipeline(p *pool) {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		out <- p.n
+	}()
+	for range out {
+	}
+}

@@ -28,364 +28,49 @@
 // The check is per-construct, not transitive: a call to an ordinary
 // unannotated function is allowed, which is also the sanctioned escape
 // hatch — hoist cold allocating work (violation diagnostics, say) into
-// a helper and keep the annotated loop clean.
+// a helper and keep the annotated loop clean. The transitive
+// obligation is enforced separately by the hotpathalloc-interproc
+// analyzer, which propagates the annotation through the callgraph.
+//
+// Since fgvet v2 the per-construct walk lives in the summary package
+// (allocation effects are recorded for every function, annotated or
+// not, because the interprocedural analyzer needs them); this analyzer
+// reports the recorded effects of //fg:hotpath functions unchanged.
 package hotpathalloc
 
 import (
-	"go/ast"
-	"go/token"
-	"go/types"
-	"strings"
-
 	"flowguard/internal/analysis"
+	"flowguard/internal/analysis/summary"
 )
 
 // Marker is the doc-comment line that opts a function into the check.
-const Marker = "fg:hotpath"
+const Marker = summary.HotMarker
 
 // BannedPackages always allocate (or force callbacks) and have no
 // business on a hot path.
-var BannedPackages = map[string]bool{
-	"fmt":     true,
-	"errors":  true,
-	"sort":    true,
-	"strconv": true,
-}
+var BannedPackages = summary.BannedPackages
 
 // Analyzer is the hotpathalloc analyzer.
 var Analyzer = &analysis.Analyzer{
 	Name: "hotpathalloc",
 	Doc: "functions annotated //fg:hotpath must not contain allocation-forcing " +
 		"constructs (fmt, closures, map/slice literals, interface boxing, non-scratch append)",
-	NeedTypes: true,
-	Run:       run,
-}
-
-// Annotated reports whether the declaration carries the marker.
-func Annotated(fd *ast.FuncDecl) bool {
-	if fd.Doc == nil {
-		return false
-	}
-	for _, c := range fd.Doc.List {
-		t := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
-		if strings.HasPrefix(strings.TrimSpace(t), Marker) {
-			return true
-		}
-	}
-	return false
+	Needs: analysis.NeedSummaries,
+	Run:   run,
 }
 
 func run(pass *analysis.Pass) error {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !Annotated(fd) {
-				continue
+	for _, key := range pass.Sum.Order {
+		fn := pass.Sum.Funcs[key]
+		if !fn.Hot {
+			continue
+		}
+		for _, a := range fn.Allocs {
+			if a.FailRet {
+				continue // sanctioned failure-exit shape
 			}
-			c := &checker{pass: pass, derived: derivedSet(pass, fd)}
-			c.walk(fd.Body, false)
+			pass.Reportf(a.Pos, "%s", a.Msg)
 		}
 	}
 	return nil
-}
-
-// derivedSet computes the function's scratch roots: the receiver, the
-// parameters, named results, and every local provably derived from one
-// of them (w := &g.win; buf := chunk; nb := append(w.buf, ...)).
-// Appending through such a root reuses caller- or receiver-owned
-// storage and is amortized allocation-free.
-func derivedSet(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
-	derived := make(map[types.Object]bool)
-	addField := func(fl *ast.FieldList) {
-		if fl == nil {
-			return
-		}
-		for _, f := range fl.List {
-			for _, name := range f.Names {
-				if obj := pass.TypesInfo.Defs[name]; obj != nil {
-					derived[obj] = true
-				}
-			}
-		}
-	}
-	addField(fd.Recv)
-	addField(fd.Type.Params)
-	addField(fd.Type.Results)
-
-	exprDerived := func(e ast.Expr) bool {
-		root := rootIdent(e)
-		if root == nil {
-			return false
-		}
-		obj := pass.TypesInfo.Uses[root.id]
-		if obj == nil {
-			obj = pass.TypesInfo.Defs[root.id]
-		}
-		return obj != nil && derived[obj]
-	}
-	for changed := true; changed; {
-		changed = false
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			as, ok := n.(*ast.AssignStmt)
-			if !ok || len(as.Lhs) != len(as.Rhs) {
-				return true
-			}
-			for i, lhs := range as.Lhs {
-				id, ok := lhs.(*ast.Ident)
-				if !ok {
-					continue
-				}
-				obj := pass.TypesInfo.Defs[id]
-				if obj == nil {
-					obj = pass.TypesInfo.Uses[id]
-				}
-				if obj == nil || derived[obj] {
-					continue
-				}
-				if exprDerived(as.Rhs[i]) {
-					derived[obj] = true
-					changed = true
-				}
-			}
-			return true
-		})
-	}
-	return derived
-}
-
-// root is the base identifier an expression ultimately reads.
-type root struct{ id *ast.Ident }
-
-// rootIdent peels selectors, indexing, slicing, derefs, address-of and
-// append calls down to the storage-owning identifier.
-func rootIdent(e ast.Expr) *root {
-	for {
-		switch x := e.(type) {
-		case *ast.Ident:
-			return &root{id: x}
-		case *ast.SelectorExpr:
-			e = x.X
-		case *ast.IndexExpr:
-			e = x.X
-		case *ast.SliceExpr:
-			e = x.X
-		case *ast.StarExpr:
-			e = x.X
-		case *ast.ParenExpr:
-			e = x.X
-		case *ast.UnaryExpr:
-			if x.Op != token.AND {
-				return nil
-			}
-			e = x.X
-		case *ast.CallExpr:
-			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" && len(x.Args) > 0 {
-				e = x.Args[0]
-				continue
-			}
-			return nil
-		default:
-			return nil
-		}
-	}
-}
-
-type checker struct {
-	pass    *analysis.Pass
-	derived map[types.Object]bool
-}
-
-// walk traverses the body flagging allocation-forcing constructs.
-// inFailRet marks descent through a return statement that also returns
-// a non-nil error — the exempt failure-exit shape.
-func (c *checker) walk(n ast.Node, inFailRet bool) {
-	if n == nil {
-		return
-	}
-	ast.Inspect(n, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.ReturnStmt:
-			if !inFailRet && c.returnsError(x) {
-				for _, r := range x.Results {
-					c.walk(r, true)
-				}
-				return false
-			}
-		case *ast.FuncLit:
-			if !inFailRet {
-				c.pass.Reportf(x.Pos(), "closure on the hot path: func literals allocate and defeat inlining")
-			}
-			return false
-		case *ast.CompositeLit:
-			if inFailRet {
-				return true
-			}
-			switch c.typeOf(x).Underlying().(type) {
-			case *types.Map:
-				c.pass.Reportf(x.Pos(), "map literal allocates on the hot path")
-			case *types.Slice:
-				c.pass.Reportf(x.Pos(), "slice literal allocates on the hot path")
-			}
-		case *ast.BinaryExpr:
-			if inFailRet {
-				return true
-			}
-			if x.Op == token.ADD {
-				if tv, ok := c.pass.TypesInfo.Types[x]; ok && tv.Value == nil {
-					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-						c.pass.Reportf(x.Pos(), "string concatenation allocates on the hot path")
-					}
-				}
-			}
-		case *ast.CallExpr:
-			if inFailRet {
-				return true
-			}
-			// A banned-package call is reported once, without also
-			// flagging the constructs inside its arguments (fixing the
-			// call removes them too).
-			return c.checkCall(x)
-		}
-		return true
-	})
-}
-
-// returnsError reports whether the return statement's results include
-// a non-nil expression of type error.
-func (c *checker) returnsError(ret *ast.ReturnStmt) bool {
-	for _, r := range ret.Results {
-		if id, ok := r.(*ast.Ident); ok && id.Name == "nil" {
-			continue
-		}
-		tv, ok := c.pass.TypesInfo.Types[r]
-		if !ok {
-			continue
-		}
-		if named, ok := tv.Type.(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
-			return true
-		}
-	}
-	return false
-}
-
-func (c *checker) typeOf(e ast.Expr) types.Type {
-	if tv, ok := c.pass.TypesInfo.Types[e]; ok && tv.Type != nil {
-		return tv.Type
-	}
-	return types.Typ[types.Invalid]
-}
-
-// checkCall flags banned-package calls, builtin allocators, non-scratch
-// appends, and interface boxing at the call site. It reports whether
-// the walk should descend into the call's children.
-func (c *checker) checkCall(call *ast.CallExpr) bool {
-	// Banned packages: fmt.Sprintf and friends.
-	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-		if id, ok := sel.X.(*ast.Ident); ok {
-			if pn, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName); ok && BannedPackages[pn.Imported().Path()] {
-				c.pass.Reportf(call.Pos(), "call to %s.%s on the hot path: %s allocates (hoist into an unannotated cold helper)",
-					pn.Imported().Path(), sel.Sel.Name, pn.Imported().Path())
-				return false
-			}
-		}
-	}
-	// Builtins.
-	if id, ok := call.Fun.(*ast.Ident); ok {
-		switch id.Name {
-		case "make":
-			if c.isBuiltin(id) {
-				c.pass.Reportf(call.Pos(), "make allocates on the hot path (reuse scratch storage instead)")
-				return true
-			}
-		case "new":
-			if c.isBuiltin(id) {
-				c.pass.Reportf(call.Pos(), "new allocates on the hot path")
-				return true
-			}
-		case "append":
-			if c.isBuiltin(id) {
-				c.checkAppend(call)
-				return true
-			}
-		}
-	}
-	// Conversions: string([]byte) and interface boxing.
-	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
-		c.checkConversion(call, tv.Type)
-		return true
-	}
-	// Ordinary call: implicit boxing into interface parameters.
-	c.checkArgBoxing(call)
-	return true
-}
-
-func (c *checker) isBuiltin(id *ast.Ident) bool {
-	_, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin)
-	return ok
-}
-
-// checkAppend allows appends routed through caller/receiver-owned
-// scratch and flags the rest.
-func (c *checker) checkAppend(call *ast.CallExpr) {
-	if len(call.Args) == 0 {
-		return
-	}
-	base := call.Args[0]
-	r := rootIdent(base)
-	if r != nil {
-		obj := c.pass.TypesInfo.Uses[r.id]
-		if obj == nil {
-			obj = c.pass.TypesInfo.Defs[r.id]
-		}
-		if obj != nil && c.derived[obj] {
-			return
-		}
-	}
-	c.pass.Reportf(call.Pos(), "append to a non-scratch slice allocates per call on the hot path (append into receiver- or caller-owned storage)")
-}
-
-// checkConversion flags T(x) conversions that box or copy.
-func (c *checker) checkConversion(call *ast.CallExpr, target types.Type) {
-	if len(call.Args) != 1 {
-		return
-	}
-	argT := c.typeOf(call.Args[0])
-	if types.IsInterface(target.Underlying()) && !types.IsInterface(argT.Underlying()) && !isNil(call.Args[0]) {
-		c.pass.Reportf(call.Pos(), "conversion boxes %s into %s on the hot path", argT, target)
-		return
-	}
-	if b, ok := target.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-		if _, ok := argT.Underlying().(*types.Slice); ok {
-			c.pass.Reportf(call.Pos(), "string conversion copies the byte slice on the hot path")
-		}
-	}
-}
-
-// checkArgBoxing flags concrete values passed to interface parameters.
-func (c *checker) checkArgBoxing(call *ast.CallExpr) {
-	sig, ok := c.typeOf(call.Fun).Underlying().(*types.Signature)
-	if !ok || call.Ellipsis != token.NoPos {
-		return // spreading an existing slice does not box per element
-	}
-	params := sig.Params()
-	for i, arg := range call.Args {
-		var pt types.Type
-		switch {
-		case sig.Variadic() && i >= params.Len()-1:
-			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
-		case i < params.Len():
-			pt = params.At(i).Type()
-		default:
-			continue
-		}
-		at := c.typeOf(arg)
-		if types.IsInterface(pt.Underlying()) && !types.IsInterface(at.Underlying()) && !isNil(arg) {
-			c.pass.Reportf(arg.Pos(), "argument boxes %s into interface parameter on the hot path", at)
-		}
-	}
-}
-
-func isNil(e ast.Expr) bool {
-	id, ok := e.(*ast.Ident)
-	return ok && id.Name == "nil"
 }

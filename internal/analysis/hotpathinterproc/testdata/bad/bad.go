@@ -1,0 +1,39 @@
+// Package fixture seeds the interprocedural hot-path holes: a direct
+// call to an allocating helper, a transitive chain through an innocent
+// middleman, and a //fg:cold annotation with no reason.
+package fixture
+
+// grow allocates a fresh buffer on every call.
+func grow(n int) []byte {
+	return make([]byte, n)
+}
+
+// ensure reaches grow's allocation one hop out: it never allocates
+// itself, which is exactly why the per-construct analyzer misses it.
+func ensure(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return grow(n)
+	}
+	return buf
+}
+
+// scanDirect calls the allocating helper straight from the fast path.
+//
+//fg:hotpath
+func scanDirect(pkts []byte) []byte {
+	return grow(len(pkts)) // want "call to grow on the hot path reaches an allocation: grow: make allocates"
+}
+
+// scanTransitive reaches the same allocation through ensure.
+//
+//fg:hotpath
+func scanTransitive(buf, pkts []byte) []byte {
+	return ensure(buf, len(pkts)) // want "call to ensure on the hot path reaches an allocation: ensure -> grow: make allocates"
+}
+
+// undocumented claims coldness without saying why.
+//
+//fg:cold
+func undocumented() []byte { // want "malformed //fg:cold"
+	return make([]byte, 64)
+}

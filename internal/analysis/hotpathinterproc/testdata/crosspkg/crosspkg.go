@@ -1,0 +1,22 @@
+// Package fixture exercises the fact boundary: the allocating helper
+// lives in fixturedep, analyzed first; only its exported facts are
+// visible here.
+package fixture
+
+import dep "flowguard/internal/analysis/hotpathinterproc/fixturedep"
+
+// scan calls across the package boundary into an allocating helper.
+//
+//fg:hotpath
+func scan(pkts []byte) int {
+	n := dep.Clean(len(pkts))
+	buf := dep.Fill(n) // want "call to dep.Fill on the hot path reaches an allocation: Fill: make allocates"
+	return len(buf)
+}
+
+// stop routes through the dependency's documented cold helper.
+//
+//fg:hotpath
+func stop(code int) []byte {
+	return dep.Explain(code)
+}

@@ -1,0 +1,21 @@
+// Package fixturedep is the dependency side of the cross-package
+// fixture: the facts exported here drive reports in the importing
+// package.
+package fixturedep
+
+// Fill allocates a fresh slice on every call.
+func Fill(n int) []byte {
+	return make([]byte, n)
+}
+
+// Explain formats a diagnostic — documented cold work.
+//
+//fg:cold diagnostics format once per violation, not per packet
+func Explain(code int) []byte {
+	return make([]byte, code)
+}
+
+// Clean is allocation-free.
+func Clean(x int) int {
+	return x + 1
+}

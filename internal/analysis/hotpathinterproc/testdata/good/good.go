@@ -1,0 +1,93 @@
+// Package fixture holds the sanctioned shapes: clean helpers, hot
+// callees that carry their own obligation, documented //fg:cold
+// helpers, failure-exit calls, allocations confined to a callee's own
+// failure exits, and spawned (off-path) work.
+package fixture
+
+import "errors"
+
+type scratch struct {
+	buf []byte
+	n   int
+}
+
+// index is a clean helper: no allocation anywhere.
+func index(pkts []byte, b byte) int {
+	for i, p := range pkts {
+		if p == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// advance carries its own zero-alloc obligation, checked on its own.
+//
+//fg:hotpath
+func advance(s *scratch) {
+	s.n++
+}
+
+// clone allocates on every call — reachable only through sanctioned
+// shapes below.
+func clone(pkts []byte) []byte {
+	out := make([]byte, len(pkts))
+	copy(out, pkts)
+	return out
+}
+
+// growCold amortizes buffer growth off the steady-state path.
+//
+//fg:cold amortized growth runs O(log n) times over a run, not per packet
+func growCold(n int) []byte {
+	return make([]byte, n)
+}
+
+// overflow is the failure handler: its allocation is reached only when
+// the hot caller is already abandoning the path.
+func overflow(s *scratch) error {
+	s.buf = clone(s.buf)
+	return errors.New("overflow")
+}
+
+// run calls only clean and hot callees.
+//
+//fg:hotpath
+func run(s *scratch, pkts []byte) {
+	advance(s)
+	s.n += index(pkts, 0)
+}
+
+// refill routes growth through the documented cold helper.
+//
+//fg:hotpath
+func refill(s *scratch, n int) {
+	if cap(s.buf) < n {
+		s.buf = growCold(n)
+	}
+	s.buf = s.buf[:n]
+}
+
+// step abandons the fast path on empty input: the failure-exit call
+// may reach allocations freely.
+//
+//fg:hotpath
+func step(s *scratch, pkts []byte) error {
+	if len(pkts) == 0 {
+		return overflow(s)
+	}
+	s.n++
+	return nil
+}
+
+// flush spawns the allocating work: the goroutine is off this path.
+//
+//fg:hotpath
+func flush(s *scratch) {
+	go logStats(s)
+	s.n = 0
+}
+
+func logStats(s *scratch) {
+	_ = clone(s.buf)
+}

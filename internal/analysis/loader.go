@@ -13,7 +13,10 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"sync"
+
+	"flowguard/internal/analysis/summary"
 )
 
 // Package is one loaded (and, when requested, type-checked) package.
@@ -25,6 +28,23 @@ type Package struct {
 	// Types and Info are nil when the package was loaded syntax-only.
 	Types *types.Package
 	Info  *types.Info
+	// FactsOnly marks an in-module dependency loaded only so
+	// interprocedural analyzers can export its facts: drivers run the
+	// analyzers but discard its findings (the package was not part of
+	// the requested pattern).
+	FactsOnly bool
+
+	sumOnce sync.Once
+	sum     *summary.Package
+}
+
+// Summary returns the package's function-effect summaries, built on
+// first use (requires a type-checked package).
+func (p *Package) Summary() *summary.Package {
+	p.sumOnce.Do(func() {
+		p.sum = summary.Build(p.Path, p.Fset, p.Files, p.Info)
+	})
+	return p.sum
 }
 
 // listedPkg is the subset of `go list -json` output the loader reads.
@@ -50,6 +70,37 @@ type Loader struct {
 	exports map[string]string // import path -> export data file
 	imp     types.Importer
 	fset    *token.FileSet
+	// extra holds type-checked packages registered via AddPackage —
+	// fixture packages with no export data, so cross-package
+	// interprocedural fixtures can import one another.
+	extra map[string]*types.Package
+}
+
+// AddPackage registers an already-type-checked package (typically a
+// fixture loaded with LoadDir) so later LoadDir calls can resolve
+// imports of its path. Fixture packages never have build-cache export
+// data; this is the substitute.
+func (l *Loader) AddPackage(tp *types.Package) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.extra == nil {
+		l.extra = make(map[string]*types.Package)
+	}
+	l.extra[tp.Path()] = tp
+}
+
+// chainImporter resolves imports from the loader's in-memory extras
+// first, then falls back to export data.
+type chainImporter struct{ l *Loader }
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	c.l.mu.Lock()
+	tp, ok := c.l.extra[path]
+	c.l.mu.Unlock()
+	if ok {
+		return tp, nil
+	}
+	return c.l.imp.Import(path)
 }
 
 // NewLoader returns a loader rooted at dir (a directory inside the
@@ -129,8 +180,14 @@ func newInfo() *types.Info {
 }
 
 // Load parses and type-checks the module packages matching patterns
-// (non-test files only). Type errors are returned, not ignored: the
-// analyzers assume a compiling package.
+// (non-test files only), in dependency order: `go list -deps` emits a
+// post-order walk, so a package always appears after every package it
+// imports — the order a fact-driven interprocedural driver needs.
+// In-module packages pulled in only as dependencies of the patterns
+// are included too, marked FactsOnly, so their exported facts exist
+// even when the requested pattern is a subset of the module. Type
+// errors are returned, not ignored: the analyzers assume a compiling
+// package.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	if err := l.ensureImporter(); err != nil {
 		return nil, err
@@ -139,10 +196,17 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	rootDir, err := filepath.Abs(l.Dir)
+	if err != nil {
+		return nil, err
+	}
 	var out []*Package
 	for _, lp := range listed {
-		if lp.DepOnly || lp.Standard {
+		if lp.Standard {
 			continue
+		}
+		if lp.DepOnly && !strings.HasPrefix(lp.Dir, rootDir+string(filepath.Separator)) && lp.Dir != rootDir {
+			continue // out-of-module dependency: export data suffices
 		}
 		if lp.Error != nil {
 			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
@@ -151,6 +215,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.FactsOnly = lp.DepOnly
 		out = append(out, pkg)
 	}
 	return out, nil
@@ -183,7 +248,7 @@ func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
 
 // ParseDir parses (without type-checking) the non-test .go files of a
 // directory — the syntax-only path used by analyzers with
-// NeedTypes == false and by thin runtime wrappers in tests.
+// no type needs and by thin runtime wrappers in tests.
 func ParseDir(dir, pkgPath string) (*Package, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -223,7 +288,7 @@ func (l *Loader) checkFiles(pkgPath, dir string, names []string) (*Package, erro
 		files = append(files, f)
 	}
 	info := newInfo()
-	conf := types.Config{Importer: l.imp}
+	conf := types.Config{Importer: chainImporter{l}}
 	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %v", pkgPath, err)

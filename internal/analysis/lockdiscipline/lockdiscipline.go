@@ -17,14 +17,19 @@
 // The walk is linear over the function body (defer x.Unlock() pins the
 // lock to function end), which catches the straight-line shapes real
 // code takes; it is a discipline check, not a model checker.
+//
+// Since fgvet v2 the lock-state walk lives in the summary package and
+// this analyzer reports over the recorded effects. That also made it
+// stricter in one deliberate way: function literals — previously
+// skipped entirely — are now pseudo-functions with their own lock
+// regions, so a goroutine body that sends on a channel while holding
+// its own lock is flagged too. Cross-function lock-order cycles and
+// transitive blocking are the lockorder analyzer's job.
 package lockdiscipline
 
 import (
-	"go/ast"
-	"go/token"
-	"go/types"
-
 	"flowguard/internal/analysis"
+	"flowguard/internal/analysis/summary"
 )
 
 // Analyzer is the lockdiscipline analyzer.
@@ -32,179 +37,38 @@ var Analyzer = &analysis.Analyzer{
 	Name: "lockdiscipline",
 	Doc: "no mutex held across a channel send/receive, time.Sleep, or callback " +
 		"invocation; no lock-containing value copied into a go statement",
-	NeedTypes: true,
-	Run:       run,
+	Needs: analysis.NeedSummaries,
+	Run:   run,
 }
 
 func run(pass *analysis.Pass) error {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				checkFunc(pass, fd)
+	for _, key := range pass.Sum.Order {
+		fn := pass.Sum.Funcs[key]
+		for _, cp := range fn.GoLockCopies {
+			pass.Reportf(cp.Pos, "copying a lock-containing %s value into a go statement: the copy guards nothing (pass a pointer)", cp.Type)
+		}
+		for _, c := range fn.Calls {
+			if len(c.Held) == 0 {
+				continue
+			}
+			switch {
+			case c.Callee == "time.Sleep":
+				pass.Reportf(c.Pos, "time.Sleep while holding %s: a stalled checker blocks every sibling (release the lock first)", c.Held[0].Expr)
+			case c.Dynamic:
+				pass.Reportf(c.Pos, "callback invoked while holding %s: hooks must never run under checker locks", c.Held[0].Expr)
+			}
+		}
+		for _, op := range fn.Chans {
+			if len(op.Held) == 0 {
+				continue
+			}
+			switch op.Kind {
+			case summary.ChanSend:
+				pass.Reportf(op.Pos, "channel send while holding %s", op.Held[0].Expr)
+			case summary.ChanRecv:
+				pass.Reportf(op.Pos, "channel receive while holding %s", op.Held[0].Expr)
 			}
 		}
 	}
 	return nil
-}
-
-// mutexType reports whether t is sync.Mutex or sync.RWMutex
-// (possibly behind a pointer).
-func mutexType(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	n, ok := t.(*types.Named)
-	if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
-		return false
-	}
-	name := n.Obj().Name()
-	return name == "Mutex" || name == "RWMutex"
-}
-
-// containsMutex reports whether a value of type t embeds a mutex by
-// value (so copying t copies the lock).
-func containsMutex(t types.Type, seen map[types.Type]bool) bool {
-	if t == nil || seen[t] {
-		return false
-	}
-	seen[t] = true
-	if mutexType(t) {
-		return true
-	}
-	switch u := t.Underlying().(type) {
-	case *types.Struct:
-		for i := 0; i < u.NumFields(); i++ {
-			if containsMutex(u.Field(i).Type(), seen) {
-				return true
-			}
-		}
-	case *types.Array:
-		return containsMutex(u.Elem(), seen)
-	}
-	return false
-}
-
-// lockCall classifies a call as Lock/RLock/Unlock/RUnlock on a mutex
-// and returns the receiver's printable key.
-func lockCall(pass *analysis.Pass, call *ast.CallExpr) (key, method string, ok bool) {
-	sel, isSel := call.Fun.(*ast.SelectorExpr)
-	if !isSel {
-		return "", "", false
-	}
-	switch sel.Sel.Name {
-	case "Lock", "RLock", "Unlock", "RUnlock":
-	default:
-		return "", "", false
-	}
-	tv, found := pass.TypesInfo.Types[sel.X]
-	if !found || !mutexType(tv.Type) {
-		return "", "", false
-	}
-	return types.ExprString(sel.X), sel.Sel.Name, true
-}
-
-// checkFunc runs the linear lock-state walk over one function body.
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	held := map[string]bool{}
-	heldAny := func() (string, bool) {
-		for k := range held {
-			return k, true
-		}
-		return "", false
-	}
-	var walk func(n ast.Node)
-	walk = func(n ast.Node) {
-		if n == nil {
-			return
-		}
-		ast.Inspect(n, func(n ast.Node) bool {
-			switch x := n.(type) {
-			case *ast.FuncLit:
-				// A nested closure runs later (defer, goroutine, stored
-				// hook) — its body is not part of this lock region.
-				return false
-			case *ast.DeferStmt:
-				if _, m, ok := lockCall(pass, x.Call); ok && (m == "Unlock" || m == "RUnlock") {
-					// defer x.Unlock(): held to function end — leave the
-					// lock in the held set for the rest of the walk.
-					return false
-				}
-				return true
-			case *ast.GoStmt:
-				for _, arg := range x.Call.Args {
-					if tv, ok := pass.TypesInfo.Types[arg]; ok && containsMutex(tv.Type, map[types.Type]bool{}) {
-						pass.Reportf(arg.Pos(), "copying a lock-containing %s value into a go statement: the copy guards nothing (pass a pointer)", tv.Type)
-					}
-				}
-				return true
-			case *ast.CallExpr:
-				if key, m, ok := lockCall(pass, x); ok {
-					switch m {
-					case "Lock", "RLock":
-						held[key] = true
-					case "Unlock", "RUnlock":
-						delete(held, key)
-					}
-					return false
-				}
-				if k, locked := heldAny(); locked {
-					if isTimeSleep(pass, x) {
-						pass.Reportf(x.Pos(), "time.Sleep while holding %s: a stalled checker blocks every sibling (release the lock first)", k)
-					} else if isDynamicCall(pass, x) {
-						pass.Reportf(x.Pos(), "callback invoked while holding %s: hooks must never run under checker locks", k)
-					}
-				}
-			case *ast.SendStmt:
-				if k, locked := heldAny(); locked {
-					pass.Reportf(x.Pos(), "channel send while holding %s", k)
-				}
-			case *ast.UnaryExpr:
-				if x.Op == token.ARROW {
-					if k, locked := heldAny(); locked {
-						pass.Reportf(x.Pos(), "channel receive while holding %s", k)
-					}
-				}
-			}
-			return true
-		})
-	}
-	walk(fd.Body)
-}
-
-// isTimeSleep matches time.Sleep(...).
-func isTimeSleep(pass *analysis.Pass, call *ast.CallExpr) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Sleep" {
-		return false
-	}
-	id, ok := sel.X.(*ast.Ident)
-	if !ok {
-		return false
-	}
-	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
-	return ok && pn.Imported().Path() == "time"
-}
-
-// isDynamicCall reports whether the callee is a function *value* — a
-// variable, parameter, or struct field of function type — rather than
-// a statically known function or method.
-func isDynamicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
-	var obj types.Object
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		obj = pass.TypesInfo.Uses[fun]
-	case *ast.SelectorExpr:
-		obj = pass.TypesInfo.Uses[fun.Sel]
-	default:
-		return false
-	}
-	v, ok := obj.(*types.Var)
-	if !ok {
-		return false
-	}
-	_, isSig := v.Type().Underlying().(*types.Signature)
-	return isSig
 }

@@ -1,0 +1,21 @@
+// Package fixture carries an //fg:ignore with no reason: undocumented
+// suppressions are refused (asserted by TestMalformedSuppression, not
+// by want comments — a trailing want would itself become the reason).
+package fixture
+
+import "sync"
+
+type pair struct {
+	first  sync.Mutex
+	second sync.Mutex
+	n      int
+}
+
+func (p *pair) undocumented() {
+	p.first.Lock()
+	//fg:ignore lockorder
+	p.second.Lock()
+	p.n++
+	p.second.Unlock()
+	p.first.Unlock()
+}

@@ -1,0 +1,23 @@
+// Package fixture proves suppressions cannot outlive their finding:
+// the cycle this //fg:ignore once documented has been fixed, so the
+// directive itself is now an error.
+package fixture
+
+import "sync"
+
+type pair struct {
+	first  sync.Mutex
+	second sync.Mutex
+	n      int
+}
+
+// orderedNow acquires in the one sanctioned order; the leftover
+// suppression must be reported as stale.
+func (p *pair) orderedNow() {
+	p.first.Lock()
+	//fg:ignore lockorder historical cycle, fixed in the ordering refactor // want "stale //fg:ignore lockorder"
+	p.second.Lock()
+	p.n++
+	p.second.Unlock()
+	p.first.Unlock()
+}

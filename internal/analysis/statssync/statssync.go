@@ -38,7 +38,7 @@ var Analyzer = &analysis.Analyzer{
 	Name: "statssync",
 	Doc: "a function annotated //fg:statssync T must reference every field of struct T " +
 		"(minus documented -exempt fields): Merge, oracle comparison and reporters stay in lockstep with Stats",
-	NeedTypes: true,
+	Needs:     analysis.NeedTypes,
 	Run:       run,
 }
 

@@ -172,6 +172,8 @@ func (g *Guard) asyncOnRegionFull(ev ipt.RegionFull) {
 // asyncNewBuf is the cold allocation path for a first-use chunk buffer,
 // kept out of the annotated capture hook. Captures span at most one
 // region, so the default region size is the steady-state capacity.
+//
+//fg:cold first-use buffer allocation, amortized to zero by the recycle pool
 func (g *Guard) asyncNewBuf() []byte {
 	return make([]byte, 0, DefaultToPARegion)
 }

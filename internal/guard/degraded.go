@@ -90,6 +90,8 @@ const CyclesPerRetryBackoff = 2000
 // resolveDegraded turns an unhealthy window into a policy-governed
 // verdict. Called with the guard's mutex held, after window()
 // classified res.Health (never HealthClean here).
+//
+//fg:cold runs only on unhealthy windows, never on the clean steady state
 func (g *Guard) resolveDegraded(res *Result, tips []ipt.TIPRecord, region []byte, decodeErr error) {
 	res.Degraded = true
 	g.Stats.DegradedChecks++

@@ -773,6 +773,8 @@ func (g *Guard) runChecks(res *Result, tips []ipt.TIPRecord, region []byte, forc
 // not //fg:hotpath: it runs at most once per Check, on the verdict that
 // stops the loop, so allocating here is fine — and keeping it a separate
 // cold helper keeps fmt-style formatting out of the annotated fast loop.
+//
+//fg:cold formats the terminal diagnostic at most once per Check
 func (g *Guard) violationReason(src, dst uint64) string {
 	return "ITC-CFG edge mismatch: " + g.AS.SymbolFor(src) + " -> " + g.AS.SymbolFor(dst)
 }

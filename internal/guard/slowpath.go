@@ -15,6 +15,8 @@ import (
 // TypeArmor forward-edge policy, and maintains a shadow stack enforcing
 // the single-target policy for returns. On a clean verdict the window's
 // suspicious edges are cached as approved for subsequent fast paths.
+//
+//fg:cold the precise check runs only on non-credible windows (§5.3)
 func (g *Guard) slowPath(res *Result, tips []ipt.TIPRecord, region []byte) {
 	res.UsedSlowPath = true
 	// Decode exactly the window the fast path inspected (§5.3:
