@@ -55,6 +55,7 @@ type suite struct {
 var fullSuites = []suite{
 	{pkg: ".", bench: "."},
 	{pkg: "./internal/guard", bench: "."},
+	{pkg: "./internal/trace/ipt", bench: "."},
 	{pkg: "./internal/harness", bench: "^BenchmarkFleetThroughput$"},
 }
 
@@ -63,6 +64,7 @@ var fullSuites = []suite{
 var shortSuites = []suite{
 	{pkg: ".", bench: "^(BenchmarkFastPath|BenchmarkFastDecode|BenchmarkGuardCheck|BenchmarkITCLookup|BenchmarkITCFlatSerialize|BenchmarkIPTPacketScan)$"},
 	{pkg: "./internal/guard", bench: "^(BenchmarkIncrementalWindow|BenchmarkApprovalCache|BenchmarkCheckPoolThroughput|BenchmarkAsyncSyscallGate)$"},
+	{pkg: "./internal/trace/ipt", bench: "^BenchmarkDemux$"},
 	{pkg: "./internal/harness", bench: "^BenchmarkFleetThroughput$"},
 }
 

@@ -76,6 +76,12 @@ func ByName(name string) (*App, error) {
 	if name == "forkd" {
 		return Forkd(), nil
 	}
+	if name == "signald" {
+		return Signald(), nil
+	}
+	if name == "threadd" {
+		return Threadd(), nil
+	}
 	if name == "transcoded" {
 		return Transcoded(), nil
 	}

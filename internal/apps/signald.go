@@ -1,0 +1,146 @@
+package apps
+
+import (
+	"flowguard/internal/asm"
+	"flowguard/internal/isa"
+	"flowguard/internal/kernelsim"
+)
+
+// sigUSR is the signal number signald plays with (SIGUSR1's slot).
+const sigUSR = 10
+
+// Signald builds "signald", the signal-delivery workload of the
+// preemptive-world scenarios (DESIGN.md §11): it registers a handler and
+// then processes stdin one command byte at a time; an 'S' command raises
+// the signal at itself via kill, so the kernel interrupts the flow
+// mid-window — handler entry and the sigreturn restore are both
+// kernel-performed transfers the tracer renders as async FUP+TIP edges.
+// The handler crosses a guarded write endpoint before returning through
+// a raw sigreturn (no ret: the restore IS the control transfer), so the
+// checker sees windows containing async edges on both sides of a check.
+//
+// Input bytes: 'S' self-signals; anything else selects a worker (byte & 1).
+func Signald() *App {
+	b := asm.NewModule("signald").Needs("libc")
+	b.DataSpace("ch", 8, false)
+	b.DataSpace("out", 8, false)
+	b.DataSpace("sigcnt", 8, false)
+	b.FuncTable("sig_tbl", []string{"on_sig"}, false)
+	b.FuncTable("work_tbl", []string{"w0", "w1"}, false)
+	emitExitCall(b)
+
+	main := b.Func("main", 0, true)
+	b.SetEntry("main")
+	main.Prologue(64)
+	// sigaction(sigUSR, on_sig): handler address out of the function
+	// table (the only relocation idiom the assembler offers).
+	main.AddrOf(r6, "sig_tbl")
+	main.Ld(r1, r6, 0)
+	main.Movi(r0, sigUSR)
+	main.Movu64(r7, kernelsim.SysSigaction)
+	main.Syscall()
+	main.Label("loop")
+	main.Movu64(r7, kernelsim.SysRead)
+	main.Movi(r0, 0)
+	main.AddrOf(r1, "ch")
+	main.Movi(r2, 1)
+	main.Syscall()
+	main.Cmpi(r0, 1)
+	main.Jcc(isa.LT, "fini")
+	main.AddrOf(r9, "ch")
+	main.Ldb(r8, r9, 0)
+	main.Cmpi(r8, 'S')
+	main.Jcc(isa.NE, "work")
+	// kill(0, sigUSR): the handler runs before kill's return value is
+	// even looked at; sigreturn resumes right here.
+	main.Movi(r0, 0)
+	main.Movi(r1, sigUSR)
+	main.Movu64(r7, kernelsim.SysKill)
+	main.Syscall()
+	main.Jmp("loop")
+	main.Label("work")
+	main.Mov(r10, r8)
+	main.Movi(r5, 1)
+	main.And(r10, r5)
+	main.Movi(r5, 8)
+	main.Mul(r10, r5)
+	main.AddrOf(r6, "work_tbl")
+	main.Add(r6, r10)
+	main.Ld(r6, r6, 0)
+	main.Mov(r0, r8)
+	main.CallR(r6)
+	main.Jmp("loop")
+	main.Label("fini")
+	main.Movi(r0, 0)
+	main.Call("do_exit")
+	main.Halt()
+
+	// on_sig(signo r0): count the delivery, cross a write endpoint while
+	// the interrupted context sits on the stack, then restore it with a
+	// raw sigreturn — no ret, no epilogue; the kernel performs the exit
+	// transfer (forging the frame instead is exactly SROP).
+	sig := b.Func("on_sig", 1, false)
+	sig.AddrOf(r9, "sigcnt")
+	sig.Ld(r8, r9, 0)
+	sig.Addi(r8, 1)
+	sig.St(r9, 0, r8)
+	sig.Movi(r0, 1)
+	sig.AddrOf(r1, "sigcnt")
+	sig.Movi(r2, 1)
+	sig.Movu64(r7, kernelsim.SysWrite)
+	sig.Syscall()
+	sig.Movu64(r7, kernelsim.SysSigreturn)
+	sig.Syscall()
+	sig.Halt() // unreachable: sigreturn never comes back
+
+	// Two workers with distinct compute shapes, both ending in a guarded
+	// write endpoint, so benign runs exercise the same dispatch pattern
+	// the other server workloads do.
+	worker := func(name string, iters int32, mixer uint64) {
+		w := b.Func(name, 1, false)
+		w.Prologue(32)
+		w.Mov(r9, r0)
+		w.Movi(r10, iters)
+		w.Label("spin")
+		w.Cmpi(r10, 0)
+		w.Jcc(isa.LE, "emit")
+		w.Movu64(r5, mixer)
+		w.Mul(r9, r5)
+		w.Movi(r5, 11)
+		w.Shr(r9, r5)
+		w.Addi(r10, -1)
+		w.Jmp("spin")
+		w.Label("emit")
+		w.AddrOf(r5, "out")
+		w.Stb(r5, 0, r9)
+		w.Movi(r0, 1)
+		w.AddrOf(r1, "out")
+		w.Movi(r2, 1)
+		w.Movu64(r7, kernelsim.SysWrite)
+		w.Syscall()
+		w.Epilogue()
+	}
+	worker("w0", 4, 0x9e3779b97f4a7c15)
+	worker("w1", 6, 0xc4ceb9fe1a85ec53)
+
+	return &App{
+		Name:     "signald",
+		Exec:     mustAssemble(b),
+		Libs:     StdLibs(),
+		VDSO:     VDSO(),
+		Category: "server",
+		MakeInput: func(scale int, seed int64) []byte {
+			r := rng(seed)
+			n := 4 + scale
+			in := make([]byte, 0, n)
+			for i := 0; i < n; i++ {
+				if r.Intn(4) == 0 {
+					in = append(in, 'S')
+					continue
+				}
+				in = append(in, byte('a'+r.Intn(2)))
+			}
+			return in
+		},
+	}
+}

@@ -1,0 +1,171 @@
+package apps
+
+import (
+	"flowguard/internal/asm"
+	"flowguard/internal/isa"
+	"flowguard/internal/kernelsim"
+)
+
+// threadStack sizes each clone stack (data-section space; the signal
+// frame and worker spills fit with a wide margin).
+const threadStack = 512
+
+// Threadd builds "threadd", the multi-threaded server workload of the
+// preemptive-world scenarios (DESIGN.md §11): the main thread clones one
+// or two worker threads — each with its own stack and a private argument
+// — and then keeps serving stdin commands through an indirect-call
+// dispatch table. Every thread crosses guarded write endpoints, so the
+// checker races syscall checks from sibling threads against their
+// demuxed per-thread streams. Worker threads finish with a raw exit
+// syscall (a clone entry has no return address to ret to).
+//
+// Threads only execute under kernelsim.RunMulticore; elsewhere threadd
+// degrades to its main thread, which is still a valid single-threaded
+// server.
+//
+// Input: first byte's low bit picks 1 or 2 workers; each later byte
+// selects a main-thread worker function (byte & 1).
+func Threadd() *App {
+	b := asm.NewModule("threadd").Needs("libc")
+	b.DataSpace("ch", 8, false)
+	b.DataSpace("out", 8, false)
+	b.DataSpace("tout", 8, false)
+	b.DataSpace("tstk0", threadStack, false)
+	b.DataSpace("tstk1", threadStack, false)
+	b.FuncTable("thr_tbl", []string{"tmain"}, false)
+	b.FuncTable("work_tbl", []string{"w0", "w1"}, false)
+	emitExitCall(b)
+
+	main := b.Func("main", 0, true)
+	b.SetEntry("main")
+	main.Prologue(64)
+	main.Movu64(r7, kernelsim.SysRead)
+	main.Movi(r0, 0)
+	main.AddrOf(r1, "ch")
+	main.Movi(r2, 1)
+	main.Syscall()
+	main.Cmpi(r0, 1)
+	main.Jcc(isa.LT, "fini")
+	// clone(tmain, tstk0 top, 1)
+	main.AddrOf(r6, "thr_tbl")
+	main.Ld(r0, r6, 0)
+	main.AddrOf(r1, "tstk0")
+	main.Addi(r1, threadStack-8)
+	main.Movi(r2, 1)
+	main.Movu64(r7, kernelsim.SysClone)
+	main.Syscall()
+	main.AddrOf(r9, "ch")
+	main.Ldb(r8, r9, 0)
+	main.Movi(r5, 1)
+	main.And(r8, r5)
+	main.Cmpi(r8, 1)
+	main.Jcc(isa.NE, "serve")
+	// clone(tmain, tstk1 top, 2)
+	main.AddrOf(r6, "thr_tbl")
+	main.Ld(r0, r6, 0)
+	main.AddrOf(r1, "tstk1")
+	main.Addi(r1, threadStack-8)
+	main.Movi(r2, 2)
+	main.Movu64(r7, kernelsim.SysClone)
+	main.Syscall()
+	main.Label("serve")
+	main.Movu64(r7, kernelsim.SysRead)
+	main.Movi(r0, 0)
+	main.AddrOf(r1, "ch")
+	main.Movi(r2, 1)
+	main.Syscall()
+	main.Cmpi(r0, 1)
+	main.Jcc(isa.LT, "fini")
+	main.AddrOf(r9, "ch")
+	main.Ldb(r8, r9, 0)
+	main.Mov(r10, r8)
+	main.Movi(r5, 1)
+	main.And(r10, r5)
+	main.Movi(r5, 8)
+	main.Mul(r10, r5)
+	main.AddrOf(r6, "work_tbl")
+	main.Add(r6, r10)
+	main.Ld(r6, r6, 0)
+	main.Mov(r0, r8)
+	main.CallR(r6)
+	main.Jmp("serve")
+	main.Label("fini")
+	main.Movi(r0, 0)
+	main.Call("do_exit")
+	main.Halt()
+
+	// tmain(arg r0): the clone entry. Runs a fixed number of mix+emit
+	// rounds, each crossing a write endpoint, then exits the thread with
+	// a raw exit syscall (clone entries have nowhere to return).
+	t := b.Func("tmain", 1, false)
+	t.Mov(r9, r0)
+	t.Movi(r10, 5)
+	t.Label("round")
+	t.Cmpi(r10, 0)
+	t.Jcc(isa.LE, "tdone")
+	t.Movu64(r5, 0xff51afd7ed558ccd)
+	t.Mul(r9, r5)
+	t.Movi(r5, 9)
+	t.Shr(r9, r5)
+	t.AddrOf(r5, "tout")
+	t.Stb(r5, 0, r9)
+	t.Movi(r0, 1)
+	t.AddrOf(r1, "tout")
+	t.Movi(r2, 1)
+	t.Movu64(r7, kernelsim.SysWrite)
+	t.Syscall()
+	t.Addi(r10, -1)
+	t.Jmp("round")
+	t.Label("tdone")
+	t.Movi(r0, 0)
+	t.Movu64(r7, kernelsim.SysExit)
+	t.Syscall()
+	t.Halt() // unreachable: exit never returns
+
+	// Main-thread workers, same shape as the other servers' dispatch
+	// targets.
+	worker := func(name string, iters int32, mixer uint64) {
+		w := b.Func(name, 1, false)
+		w.Prologue(32)
+		w.Mov(r9, r0)
+		w.Movi(r10, iters)
+		w.Label("spin")
+		w.Cmpi(r10, 0)
+		w.Jcc(isa.LE, "emit")
+		w.Movu64(r5, mixer)
+		w.Mul(r9, r5)
+		w.Movi(r5, 13)
+		w.Shr(r9, r5)
+		w.Addi(r10, -1)
+		w.Jmp("spin")
+		w.Label("emit")
+		w.AddrOf(r5, "out")
+		w.Stb(r5, 0, r9)
+		w.Movi(r0, 1)
+		w.AddrOf(r1, "out")
+		w.Movi(r2, 1)
+		w.Movu64(r7, kernelsim.SysWrite)
+		w.Syscall()
+		w.Epilogue()
+	}
+	worker("w0", 3, 0x2545f4914f6cdd1d)
+	worker("w1", 7, 0x9e3779b97f4a7c15)
+
+	return &App{
+		Name:     "threadd",
+		Exec:     mustAssemble(b),
+		Libs:     StdLibs(),
+		VDSO:     VDSO(),
+		Category: "server",
+		MakeInput: func(scale int, seed int64) []byte {
+			r := rng(seed)
+			n := 4 + scale
+			in := make([]byte, 0, n)
+			in = append(in, byte(r.Intn(256)))
+			for i := 1; i < n; i++ {
+				in = append(in, byte('a'+r.Intn(2)))
+			}
+			return in
+		},
+	}
+}

@@ -1,0 +1,180 @@
+package faults_test
+
+// Chaos at slice boundaries: seeded SliceFaults scenarios damage the
+// context-switch markers of a preempted multi-core run — benign and
+// hijacked processes sharing trace units — and the soak pins the
+// transport's failure contract: marker loss is never silent (it surfaces
+// as demux resynchronizations, unmarked-loss classifications, or
+// guard-level stream-loss accounting), and runs whose markers survived
+// intact still detect their attacks in every non-fail-open mode.
+
+import (
+	"testing"
+
+	"flowguard/internal/faults"
+	"flowguard/internal/guard"
+	"flowguard/internal/kernelsim"
+)
+
+// runSliceChaos executes one preempted three-process run (two benign
+// neighbors + exploit payload) on two cores — more tasks than cores, so
+// core 0 genuinely interleaves two CR3s and every slice boundary there
+// carries a marker — with sf wired into the shared per-core tracers.
+// The attack is always the last process.
+func runSliceChaos(t *testing.T, f *fixture, seed int64, mode guard.DegradedMode,
+	sf *faults.SliceFaults) (sts []kernelsim.ExitStatus, km *guard.KernelModule, guards []*guard.Guard) {
+	t.Helper()
+	payload := f.rop
+	if (seed/2)%2 == 1 {
+		payload = f.srop
+	}
+	k := kernelsim.New()
+	km = guard.InstallModule(k)
+	const cores = 2
+	if err := km.EnableMulticore(cores); err != nil {
+		t.Fatal(err)
+	}
+	pol := guard.DefaultPolicy()
+	pol.OnDegraded = mode
+	var procs []*kernelsim.Process
+	for _, input := range [][]byte{benignTraffic(), benignTraffic(), payload} {
+		p, err := f.app.Spawn(k, input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := km.ProtectMulticore(p, f.ocfg, f.ig, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, p)
+		guards = append(guards, g)
+	}
+	km.InjectCoreFaults(sf)
+	sts, err := k.RunMulticore(procs, cores, 150+uint64(seed%3)*100, 200_000_000)
+	if err != nil {
+		t.Fatalf("seed %d mode %v: run aborted: %v", seed, mode, err)
+	}
+	km.FlushMulticore()
+	km.Shutdown()
+	return sts, km, guards
+}
+
+// TestChaosSliceBoundarySoak sweeps seeded slice-fault scenarios across
+// the degraded modes. Per-seed guarantees are statistical (a dropped
+// marker is only classifiable once a PSB lands inside the misattributed
+// span), so the assertions are: intact-marker runs must still kill
+// their attacks; across the soak, every classification channel —
+// grammar-damage resyncs, unmarked losses, and per-guard stream-loss
+// counters — must actually fire; and no fired fault may leave the whole
+// soak unclassified.
+func TestChaosSliceBoundarySoak(t *testing.T) {
+	f := chaosFixture(t)
+	n := int64(48)
+	if testing.Short() {
+		n = 12
+	}
+	modes := []guard.DegradedMode{guard.FailClosed, guard.SlowPathRetry, guard.FailOpen}
+
+	var fired, resyncs, unmarked, streamLosses uint64
+	var faultedAttacks, faultedDetected, cleanRuns int
+	for seed := int64(0); seed < n; seed++ {
+		mode := modes[seed%3]
+		sf := faults.SliceFromSeed(seed)
+		sts, km, guards := runSliceChaos(t, f, seed, mode, sf)
+
+		total := sf.Total()
+		fired += total
+		dmx := km.DemuxStats()
+		resyncs += uint64(dmx.Resyncs)
+		unmarked += uint64(dmx.UnmarkedLosses)
+		for _, g := range guards {
+			streamLosses += g.Stats.StreamLosses
+		}
+		if total == 0 {
+			// Markers intact: the transport is byte-identical to the
+			// fault-free world, so the security contract holds exactly.
+			cleanRuns++
+			if mode != guard.FailOpen && !sts[2].Killed {
+				t.Errorf("seed %d mode %v: attack not detected with intact markers (cfg %+v)",
+					seed, mode, sf.Config())
+			}
+			if dmx.Resyncs != 0 || dmx.UnmarkedLosses != 0 {
+				t.Errorf("seed %d: no fault fired yet demux classified Resyncs=%d UnmarkedLosses=%d",
+					seed, dmx.Resyncs, dmx.UnmarkedLosses)
+			}
+		} else if mode != guard.FailOpen {
+			faultedAttacks++
+			if sts[2].Killed {
+				faultedDetected++
+			}
+		}
+	}
+
+	if fired == 0 {
+		t.Fatal("soak fired no slice faults; the injector never saw a marker write")
+	}
+	if resyncs == 0 {
+		t.Error("no truncated marker was contained by a resynchronization")
+	}
+	if unmarked == 0 {
+		t.Error("no dropped marker was classified as an unmarked loss")
+	}
+	if streamLosses == 0 {
+		t.Error("no marker fault surfaced in a guard's StreamLosses accounting")
+	}
+	if faultedAttacks > 0 && faultedDetected == 0 {
+		t.Errorf("0 of %d attacks detected under marker faults; detection collapsed entirely", faultedAttacks)
+	}
+	t.Logf("%d seeds (%d fault-free): fired=%d resyncs=%d unmarked=%d streamLosses=%d faultedAttacks=%d/%d",
+		n, cleanRuns, fired, resyncs, unmarked, streamLosses, faultedDetected, faultedAttacks)
+}
+
+// TestSliceFaultDropIsUnmarkedLoss is the deterministic core of the
+// soak's statistical claim: dropping EVERY context-switch marker leaves
+// attribution pinned to whatever the first PSB named, so each later
+// PSB+ PIP naming the other process must be classified as an unmarked
+// loss and charged to both processes' stream-loss accounts.
+func TestSliceFaultDropIsUnmarkedLoss(t *testing.T) {
+	f := chaosFixture(t)
+	sf := faults.NewSliceFaults(faults.SliceConfig{Seed: 1, DropRate: 1})
+	sts, km, guards := runSliceChaos(t, f, 0, guard.FailOpen, sf)
+	if sf.Dropped() == 0 {
+		t.Fatal("no markers dropped; scenario vacuous")
+	}
+	dmx := km.DemuxStats()
+	if dmx.UnmarkedLosses == 0 {
+		t.Errorf("every marker dropped yet UnmarkedLosses=0 (Resyncs=%d)", dmx.Resyncs)
+	}
+	var losses uint64
+	for _, g := range guards {
+		losses += g.Stats.StreamLosses
+	}
+	if losses == 0 {
+		t.Error("unmarked losses never reached the guards' StreamLosses counters")
+	}
+	_ = sts
+}
+
+// TestSliceFaultTruncateIsContained: truncating every marker must never
+// silently misroute — each damaged boundary surfaces as grammar-damage
+// resynchronization or unmarked-loss classification, with the affected
+// processes charged.
+func TestSliceFaultTruncateIsContained(t *testing.T) {
+	f := chaosFixture(t)
+	sf := faults.NewSliceFaults(faults.SliceConfig{Seed: 2, TruncateRate: 1})
+	_, km, guards := runSliceChaos(t, f, 1, guard.FailOpen, sf)
+	if sf.Truncated() == 0 {
+		t.Fatal("no markers truncated; scenario vacuous")
+	}
+	dmx := km.DemuxStats()
+	if dmx.Resyncs == 0 && dmx.UnmarkedLosses == 0 {
+		t.Error("every marker truncated yet the demux classified nothing")
+	}
+	var losses uint64
+	for _, g := range guards {
+		losses += g.Stats.StreamLosses
+	}
+	if losses == 0 {
+		t.Error("truncation damage never reached the guards' StreamLosses counters")
+	}
+}

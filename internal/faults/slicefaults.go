@@ -1,0 +1,141 @@
+package faults
+
+// SliceFaults targets the preemptive world's slice boundaries: it
+// recognizes the context-switch marker the kernel module writes when a
+// core's trace unit is handed to another task — a bare PIP naming the
+// incoming CR3 followed by a MODE.Exec packet, emitted as one 13-byte
+// write — and, by seeded draw, truncates it mid-PIP or drops it
+// entirely. Every other write passes through untouched, so the damage
+// model is precisely "the attribution breadcrumb went missing", the
+// §5.1 failure the demux must classify rather than silently misroute:
+//
+//   - a truncated marker is grammar damage (or, worse, a marker whose
+//     CR3 payload is swallowed from the following span — a binding to a
+//     CR3 that owns no sink); the demux contains it by dropping to the
+//     next PSB and reporting the span's process lost;
+//   - a dropped marker silently misattributes everything up to the next
+//     PSB, where the PSB+ PIP disagrees with the stale binding and the
+//     demux classifies an unmarked loss, reporting both processes.
+//
+// SliceFaults deliberately does NOT extend Plan's Kind enumeration:
+// FromSeed's draw sequence is seed-addressable scenario space, and
+// inserting kinds would renumber every existing chaos seed. It is its
+// own ipt.WriteFault, composable by wiring it into the per-core tracers
+// (guard.KernelModule.InjectCoreFaults) while a Plan damages a
+// process's own stream.
+
+import (
+	"math/rand"
+	"sync"
+
+	"flowguard/internal/trace/ipt"
+)
+
+var _ ipt.WriteFault = (*SliceFaults)(nil)
+
+// switchMarkerLen is the context-switch marker's size: a bare PIP
+// (2-byte opcode + 8-byte CR3) plus a MODE packet (2-byte opcode +
+// 1-byte payload).
+const switchMarkerLen = 13
+
+// isSwitchMarker matches a context-switch marker write by content:
+// PIP (0x02 0x43) directly followed by MODE (0x02 0x99). Solo tracers
+// never produce this write shape — PIPs otherwise appear only inside
+// PSB+ where they are part of a larger emission.
+func isSwitchMarker(p []byte) bool {
+	return len(p) == switchMarkerLen &&
+		p[0] == 0x02 && p[1] == 0x43 && p[10] == 0x02 && p[11] == 0x99
+}
+
+// SliceConfig parameterizes SliceFaults. The zero value injects nothing.
+type SliceConfig struct {
+	// Seed makes the injector deterministic per marker sequence.
+	Seed int64
+	// TruncateRate / DropRate are per-marker probabilities; at most one
+	// fault fires per marker (truncate is drawn first).
+	TruncateRate float64
+	DropRate     float64
+	// MaxFaults bounds the total injected faults (0 = unlimited).
+	MaxFaults int
+}
+
+// SliceFaults is a live slice-boundary fault injector. Safe for
+// concurrent use (per-core tracers may be pumped from test goroutines).
+type SliceFaults struct {
+	cfg SliceConfig
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	truncated uint64
+	dropped   uint64
+}
+
+// NewSliceFaults returns an injector for the config.
+func NewSliceFaults(cfg SliceConfig) *SliceFaults {
+	return &SliceFaults{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// SliceFromSeed derives a whole slice-fault scenario from one seed:
+// truncation-only, drop-only, or both, with rates high enough that a
+// preempted run of a few hundred slices fires several faults.
+func SliceFromSeed(seed int64) *SliceFaults {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := SliceConfig{Seed: seed}
+	switch rng.Intn(3) {
+	case 0:
+		cfg.TruncateRate = 0.05 + rng.Float64()*0.25
+	case 1:
+		cfg.DropRate = 0.05 + rng.Float64()*0.25
+	default:
+		cfg.TruncateRate = 0.03 + rng.Float64()*0.12
+		cfg.DropRate = 0.03 + rng.Float64()*0.12
+	}
+	return NewSliceFaults(cfg)
+}
+
+// Config returns the injector's configuration.
+func (sf *SliceFaults) Config() SliceConfig { return sf.cfg }
+
+// Truncated and Dropped count fired faults per kind; Total sums them.
+func (sf *SliceFaults) Truncated() uint64 {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	return sf.truncated
+}
+
+func (sf *SliceFaults) Dropped() uint64 {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	return sf.dropped
+}
+
+func (sf *SliceFaults) Total() uint64 {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	return sf.truncated + sf.dropped
+}
+
+// Corrupt implements ipt.WriteFault: non-marker writes pass through
+// unchanged; a marker write may be cut mid-PIP or suppressed entirely.
+func (sf *SliceFaults) Corrupt(p []byte, off uint64) []byte {
+	if !isSwitchMarker(p) {
+		return p
+	}
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if sf.cfg.MaxFaults > 0 && sf.truncated+sf.dropped >= uint64(sf.cfg.MaxFaults) {
+		return p
+	}
+	r := sf.rng.Float64()
+	switch {
+	case r < sf.cfg.TruncateRate:
+		sf.truncated++
+		// Keep 1..9 bytes: anywhere from a lone extension opcode to a
+		// PIP one byte short of its CR3 payload.
+		return p[:1+sf.rng.Intn(9)]
+	case r < sf.cfg.TruncateRate+sf.cfg.DropRate:
+		sf.dropped++
+		return nil
+	}
+	return p
+}

@@ -87,12 +87,14 @@ const DefaultRetryMax = 3
 // re-snapshot stall as interception-class overhead).
 const CyclesPerRetryBackoff = 2000
 
-// resolveDegraded turns an unhealthy window into a policy-governed
-// verdict. Called with the guard's mutex held, after window()
-// classified res.Health (never HealthClean here).
+// resolveDegradedOn turns an unhealthy window into a policy-governed
+// verdict. Called with the guard's mutex held, after windowOn()
+// classified res.Health (never HealthClean here). The window cache and
+// trace source are explicit so the same policy serves the process-level
+// stream and each per-thread stream.
 //
 //fg:cold runs only on unhealthy windows, never on the clean steady state
-func (g *Guard) resolveDegraded(res *Result, tips []ipt.TIPRecord, region []byte, decodeErr error) {
+func (g *Guard) resolveDegradedOn(res *Result, w *winState, topa *ipt.ToPA, tips []ipt.TIPRecord, region []byte, decodeErr error) {
 	res.Degraded = true
 	g.Stats.DegradedChecks++
 	detail := res.Health.String()
@@ -114,7 +116,7 @@ func (g *Guard) resolveDegraded(res *Result, tips []ipt.TIPRecord, region []byte
 		res.Verdict = VerdictClean
 		res.Reason = "degraded trace (" + detail + "): fail open"
 	case SlowPathRetry:
-		if res.Health == HealthResynced && g.win.dec.Synced() && g.tailCovered(tips) {
+		if res.Health == HealthResynced && w.dec.Synced() && g.tailCovered(w, tips) {
 			// The stream resynchronized on its own and the surviving
 			// window still vouches for the flow reaching the endpoint:
 			// verify it with full precision instead of the credit
@@ -122,7 +124,7 @@ func (g *Guard) resolveDegraded(res *Result, tips []ipt.TIPRecord, region []byte
 			g.runChecks(res, tips, region, true)
 			return
 		}
-		g.retrySlowPath(res, detail)
+		g.retrySlowPath(res, w, topa, detail)
 	default: // FailClosed
 		g.Stats.FailClosures++
 		res.Verdict = VerdictViolation
@@ -137,14 +139,14 @@ func (g *Guard) resolveDegraded(res *Result, tips []ipt.TIPRecord, region []byte
 // from a forced slow path over that window; if every attempt fails, the
 // check fails closed: no verifiable evidence reaches the endpoint, and
 // the guard refuses to vouch for it.
-func (g *Guard) retrySlowPath(res *Result, detail string) {
+func (g *Guard) retrySlowPath(res *Result, w *winState, topa *ipt.ToPA, detail string) {
 	max := g.Policy.RetryMax
 	if max <= 0 {
 		max = DefaultRetryMax
 	}
-	wrapLoss := g.win.wrapLoss
-	g.win.src = nil // recovery always restarts from a fresh snapshot
-	buf := g.Tracer.Out.Snapshot()
+	wrapLoss := w.wrapLoss
+	w.src = nil // recovery always restarts from a fresh snapshot
+	buf := topa.Snapshot()
 	pts := ipt.SyncPoints(buf)
 	attempts := len(pts)
 	if attempts > max {
@@ -194,11 +196,11 @@ func (g *Guard) retrySlowPath(res *Result, detail string) {
 // postdates the loss, so the bar is the policy's full packet count: a
 // thin post-loss window is exactly what a flood that erased the attack
 // evidence right before the endpoint leaves behind.
-func (g *Guard) tailCovered(tips []ipt.TIPRecord) bool {
-	if g.win.wrapLoss && len(tips) < g.Policy.PktCount {
+func (g *Guard) tailCovered(w *winState, tips []ipt.TIPRecord) bool {
+	if w.wrapLoss && len(tips) < g.Policy.PktCount {
 		return false
 	}
-	lastOVF := g.win.dec.LastOVFOff()
+	lastOVF := w.dec.LastOVFOff()
 	if lastOVF < 0 {
 		return len(tips) >= 2
 	}

@@ -237,6 +237,9 @@ type Stats struct {
 
 	// Fleet accounting (DESIGN.md §10).
 	ForkInherits uint64 // guards created by fork inheritance (ForkGuard)
+
+	// Preemptive-world accounting (DESIGN.md §11).
+	StreamLosses uint64 // demux-reported span losses folded into health
 }
 
 // FastCycles returns the accumulated fast-path cost (decode + check).
@@ -282,6 +285,7 @@ func (s *Stats) Merge(o *Stats) {
 	s.WatchdogSheds += o.WatchdogSheds
 	s.WorkerCrashes += o.WorkerCrashes
 	s.ForkInherits += o.ForkInherits
+	s.StreamLosses += o.StreamLosses
 }
 
 // CredRatioRuntime returns the runtime fraction of credible edges
@@ -403,6 +407,12 @@ type Guard struct {
 	win     winState
 	scratch modScratch
 
+	// streamLoss is set by NoteStreamLoss when the multicore demux
+	// reports this process's spans lost or misattributed in a shared
+	// per-core stream; the next window classification consumes it as an
+	// unmarked loss (wrap-loss shape: no OVF packet marks the hole).
+	streamLoss bool
+
 	// async, when non-nil, is the guard's attachment to an AsyncPool
 	// (EnableAsync): captured-window queue, cursor, and pipeline
 	// counters. nil guards check fully synchronously.
@@ -456,16 +466,36 @@ func (g *Guard) InvalidateWindow() {
 //
 //fg:hotpath steady-state window maintenance must not allocate
 func (g *Guard) window() (tips []ipt.TIPRecord, region []byte, scanned uint64, health TraceHealth, err error) {
+	g.Tracer.Flush()
+	return g.windowOn(&g.win, g.Tracer.Out)
+}
+
+// windowOn is window() over an explicit window cache and trace source —
+// the same routine serves the guard's own process stream (g.win over the
+// tracer's ToPA) and each per-thread stream (ThreadState.win over the
+// thread's demux sink). The caller is responsible for the source being
+// flushed/pumped up to date.
+//
+//fg:hotpath steady-state window maintenance must not allocate
+func (g *Guard) windowOn(w *winState, topa *ipt.ToPA) (tips []ipt.TIPRecord, region []byte, scanned uint64, health TraceHealth, err error) {
 	// Whatever this call classifies is "checked" for the next call's
 	// loss rule: synchronously checkedTotal therefore always equals
 	// total between calls, reducing the rule to the classic
 	// AppendSince-outrun test.
-	defer g.noteWindowed()
-	g.Tracer.Flush()
-	topa := g.Tracer.Out
-	w := &g.win
+	defer w.noteWindowed()
 	total := topa.TotalWritten()
 	w.wrapLoss = false
+	if g.streamLoss {
+		// The demux reported spans of this process's shared-core stream
+		// lost or misattributed (damage inside a span, or an unmarked
+		// context switch). No OVF packet marks the hole in the per-process
+		// stream, so it is folded into the wrap-loss classification: the
+		// health degrades to HealthResynced and the tail rule demands a
+		// full-strength window past the loss.
+		g.streamLoss = false
+		g.Stats.StreamLosses++
+		w.wrapLoss = true
+	}
 	fresh := w.src != topa || total < w.total
 	if !fresh && total > w.checkedTotal && total-w.checkedTotal > uint64(topa.Held()) {
 		// The buffer wrapped past the last *checked* offset: the span
@@ -669,7 +699,7 @@ func (g *Guard) Check() Result {
 	res.DecodeCycles = uint64(float64(scanned) * g.fastDecodeCost())
 	g.Stats.BytesScanned += scanned
 	if err != nil || health != HealthClean {
-		g.resolveDegraded(&res, tips, region, err)
+		g.resolveDegradedOn(&res, &g.win, g.Tracer.Out, tips, region, err)
 	} else if len(tips) >= 2 {
 		g.runChecks(&res, tips, region, g.Policy.NaiveFullDecode)
 	}
@@ -684,9 +714,70 @@ func (g *Guard) Check() Result {
 // the hot path does not capture g into a heap-allocated func value.
 func (g *Guard) endCheck() { g.inCheck = false }
 
-// noteWindowed is window()'s exit bookkeeping (named method: no closure
-// on the hot path).
-func (g *Guard) noteWindowed() { g.win.checkedTotal = g.win.total }
+// NoteStreamLoss records that the multicore demux lost or misattributed
+// spans of this process's trace in a shared per-core stream (grammar
+// damage inside a span, or an unmarked context switch detected at a
+// PSB). The next check — on any of the process's threads — classifies
+// its window as following an unmarked loss, exactly like a wrap that
+// outran the cache. Safe to call concurrently with checks.
+func (g *Guard) NoteStreamLoss() {
+	g.mu.Lock()
+	g.streamLoss = true
+	g.mu.Unlock()
+}
+
+// ThreadState is one thread's private check state: an incremental window
+// cache over the thread's own trace sink. All threads of a process share
+// the guard's graphs, approval cache, policy, and Stats; verdicts stay
+// deterministic under preemption because each thread's checks read only
+// its own demuxed stream, never a sibling's interleaved bytes.
+type ThreadState struct {
+	// Out is the thread's trace sink (the demux binding for the
+	// process's CR3 while this thread runs).
+	Out *ipt.ToPA
+	win winState
+}
+
+// NewThreadState returns fresh per-thread check state over sink.
+func NewThreadState(out *ipt.ToPA) *ThreadState { return &ThreadState{Out: out} }
+
+// CheckThread runs the hybrid flow check over one thread's stream — the
+// per-thread form of Check. Threads of the same process serialize on the
+// guard's mutex (the approval cache and Stats are shared), but each
+// check's evidence is the calling thread's private window, so racing
+// syscall checks from sibling threads cannot perturb each other's
+// verdicts. The caller must have pumped the demux up to date.
+//
+// The asynchronous pipeline is not consulted: per-thread streams are
+// checked synchronously (the async capture hooks are bound to the
+// process-level ToPA).
+func (g *Guard) CheckThread(ts *ThreadState) Result {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inCheck = true
+	defer g.endCheck()
+	if g.art != nil {
+		g.appr.SyncGen(g.art.Gen())
+	} else if g.ITC != nil {
+		g.appr.SyncGen(g.ITC.LabelGen())
+	}
+	g.Stats.Checks++
+	tips, region, scanned, health, err := g.windowOn(&ts.win, ts.Out)
+	res := Result{TIPs: len(tips), Health: health, OtherCycles: CyclesPerInterception}
+	res.DecodeCycles = uint64(float64(scanned) * g.fastDecodeCost())
+	g.Stats.BytesScanned += scanned
+	if err != nil || health != HealthClean {
+		g.resolveDegradedOn(&res, &ts.win, ts.Out, tips, region, err)
+	} else if len(tips) >= 2 {
+		g.runChecks(&res, tips, region, g.Policy.NaiveFullDecode)
+	}
+	g.finish(&res)
+	return res
+}
+
+// noteWindowed is windowOn()'s exit bookkeeping (named method: no
+// closure on the hot path).
+func (w *winState) noteWindowed() { w.checkedTotal = w.total }
 
 // runChecks applies the hybrid verification to one TIP window: the
 // ITC-CFG fast loop with credit assessment, then the slow path when the
@@ -710,8 +801,14 @@ func (g *Guard) runChecks(res *Result, tips []ipt.TIPRecord, region []byte, forc
 	suspicious := 0
 	checked := 0
 	for i := 0; i+1 < len(tips); i++ {
-		if tips[i+1].Resync {
-			continue // overflow seam: not a real consecutive pair
+		if tips[i].Async || tips[i+1].Resync || tips[i+1].Async {
+			// Overflow seam or kernel-performed asynchronous transfer
+			// (signal delivery, sigreturn): not a real consecutive pair.
+			// An async TARGET is no anchor either — it resumes mid-block,
+			// so the hop from it to the next indirect target is not an
+			// indirect-branch edge (the slow path's flow walk still
+			// verifies that span precisely).
+			continue
 		}
 		checked++
 		src, dst, sig := tips[i].IP, tips[i+1].IP, tips[i+1].TNTSig
@@ -749,7 +846,8 @@ func (g *Guard) runChecks(res *Result, tips []ipt.TIPRecord, region []byte, forc
 	if g.Policy.PathSensitive {
 		res.CheckCycles += uint64(len(tips)) * CyclesPerTIPCheck / 2
 		for i := 0; i+2 < len(tips); i++ {
-			if tips[i+1].Resync || tips[i+2].Resync {
+			if tips[i].Async || tips[i+1].Resync || tips[i+2].Resync ||
+				tips[i+1].Async || tips[i+2].Async {
 				continue
 			}
 			a, b, c := tips[i].IP, tips[i+1].IP, tips[i+2].IP

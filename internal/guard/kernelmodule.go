@@ -73,12 +73,19 @@ type KernelModule struct {
 	// ownsAPool marks a pool the module created itself and must close.
 	ownsAPool bool
 
+	// mc, when set (EnableMulticore), holds the preemptive-world state:
+	// shared per-core tracers and the demux routing their streams back
+	// into per-thread windows.
+	mc *multicore
+
 	installed map[uint64]bool
 }
 
 // InstallModule loads the kernel module into the simulated kernel. It
-// hooks fork dispatch: a protected process's children are automatically
-// protected by inheritance (ProtectForked) before they ever run.
+// hooks fork dispatch (a protected process's children are automatically
+// protected by inheritance before they ever run) and async-flow events
+// (signal delivery and sigreturn surface in the protected process's
+// trace as FUP+TIP async edges).
 func InstallModule(k *kernelsim.Kernel) *KernelModule {
 	m := &KernelModule{
 		K:         k,
@@ -86,6 +93,7 @@ func InstallModule(k *kernelsim.Kernel) *KernelModule {
 		installed: make(map[uint64]bool),
 	}
 	k.OnFork = m.onFork
+	k.OnAsyncFlow = m.onAsyncFlow
 	return m
 }
 
@@ -219,6 +227,10 @@ func (m *KernelModule) onFork(parent, child *kernelsim.Process) error {
 	if !ok {
 		return nil
 	}
+	if m.mc != nil {
+		_, err := m.mcProtectForked(pg, child)
+		return err
+	}
 	_, err := m.ProtectForked(pg, child)
 	return err
 }
@@ -303,7 +315,12 @@ func (m *KernelModule) onEndpoint(p *kernelsim.Process, sysno uint64) error {
 	if !ok {
 		return nil // not the protected process: forward
 	}
-	res := m.check(g)
+	var res Result
+	if m.mc != nil {
+		res = m.mcCheck(p, g)
+	} else {
+		res = m.check(g)
+	}
 	if res.Verdict == VerdictViolation {
 		m.report(ViolationReport{
 			PID: p.PID, Process: p.Name, Syscall: sysno, Reason: res.Reason,

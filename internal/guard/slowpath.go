@@ -87,7 +87,7 @@ func (g *Guard) slowPath(res *Result, tips []ipt.TIPRecord, region []byte) {
 	// re-decoding. Pairs straddling an overflow seam are not real edges
 	// and must not be cached as approved.
 	for i := 0; i+1 < len(tips); i++ {
-		if tips[i+1].Resync {
+		if tips[i].Async || tips[i+1].Resync || tips[i+1].Async {
 			continue
 		}
 		src, dst, sig := tips[i].IP, tips[i+1].IP, tips[i+1].TNTSig
@@ -95,7 +95,7 @@ func (g *Guard) slowPath(res *Result, tips []ipt.TIPRecord, region []byte) {
 		if l.Exists && !(l.HighCredit && l.SigMatch) {
 			g.appr.ApproveEdge(edgeKey{src, dst, sig})
 		}
-		if g.Policy.PathSensitive && i+2 < len(tips) && !tips[i+2].Resync {
+		if g.Policy.PathSensitive && i+2 < len(tips) && !tips[i+2].Resync && !tips[i+2].Async {
 			g.appr.ApprovePath(itc.PathKey(src, dst, tips[i+2].IP))
 		}
 	}

@@ -160,9 +160,12 @@ func compareResults(check int, g guard.Result, o oracle.Result) (divs []string) 
 // asynchronous-pipeline counters: production cost/shortcut/scheduling
 // bookkeeping with no oracle analogue (the oracle always decodes
 // synchronously; the async design guarantees the verdict-bearing
-// counters above still match it exactly).
+// counters above still match it exactly). StreamLosses counts
+// demux-reported losses, a transport event upstream of the oracle's
+// stream view — the health/degraded consequences it forces are still
+// compared through the counters above.
 //
-//fg:statssync guard.Stats -exempt DecodeCycles,CheckCycles,OtherCycles,SlowCycles,BytesScanned,CacheHits,AsyncWindows,AsyncMaxLag,BackpressureStalls,WatchdogSheds,WorkerCrashes,FairnessSheds,ForkInherits
+//fg:statssync guard.Stats -exempt DecodeCycles,CheckCycles,OtherCycles,SlowCycles,BytesScanned,CacheHits,AsyncWindows,AsyncMaxLag,BackpressureStalls,WatchdogSheds,WorkerCrashes,FairnessSheds,ForkInherits,StreamLosses
 func compareStats(g *guard.Stats, o *oracle.Stats) (divs []string) {
 	pairs := []struct {
 		name   string
@@ -512,18 +515,25 @@ func (r *OracleSoakRow) note(s string) {
 }
 
 // OracleSoak drives n seeded differential runs across the three
-// degraded modes and six workload classes: benign and fuzz-corpus
+// degraded modes and eight workload classes: benign and fuzz-corpus
 // server traffic, ROP/SROP exploits, chaos-faulted runs, synthetic raw
 // streams (injected edges and PSB truncations), generated progen
-// programs, and fleet fork-inheritance replays (artifact-backed
-// parents, forked children). A healthy repository reports zero
-// divergences, panics and errors.
+// programs, fleet fork-inheritance replays (artifact-backed parents,
+// forked children), preempted multicore runs (benign and ROP workloads
+// time-sliced across shared trace units with noise neighbors), and
+// preempted signal/thread workloads (signald's handler-interrupted
+// windows, threadd's per-thread demuxed streams). A healthy repository
+// reports zero divergences, panics and errors.
 func (r *Runner) OracleSoak(n int) ([]OracleSoakRow, error) {
 	fx, err := r.OracleFixture()
 	if err != nil {
 		return nil, err
 	}
 	progs, err := r.progenFixtures(3)
+	if err != nil {
+		return nil, err
+	}
+	preempt, err := r.preemptFixtures()
 	if err != nil {
 		return nil, err
 	}
@@ -553,14 +563,52 @@ func (r *Runner) OracleSoak(n int) ([]OracleSoakRow, error) {
 					row.note(fmt.Sprintf("seed %d: panic: %v", seed, p))
 				}
 			}()
-			r.soakOne(fx, progs, corpus, jop, psbs, seed, pol, row)
+			r.soakOne(fx, progs, preempt, corpus, jop, psbs, seed, pol, row)
 		}()
 	}
 	return rows, nil
 }
 
+// preemptFixtures diff-trains the signal- and thread-heavy servers for
+// the preempted workload class (class 7): signald interrupts its own
+// checked windows with handler entries and sigreturns; threadd fans
+// endpoint checks out across cloned threads sharing one address space.
+func (r *Runner) preemptFixtures() ([]*DiffFixture, error) {
+	out := make([]*DiffFixture, 0, 2)
+	for _, name := range []string{"signald", "threadd"} {
+		a, err := apps.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		fx, err := r.DiffTrain(a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fx)
+	}
+	return out, nil
+}
+
+// mcSoakRun folds one multicore differential run into the soak's
+// DiffOutcome shape, adding the transport-cleanliness assertion: these
+// runs inject no faults, so any demux resynchronization or attribution
+// loss is itself a divergence.
+func mcSoakRun(fx *DiffFixture, input []byte, pol guard.Policy,
+	cores int, quantum uint64, noise [][]byte) (*DiffOutcome, error) {
+	mo, err := diffMulticoreRun(fx, input, pol, cores, quantum, noise)
+	if err != nil {
+		return nil, err
+	}
+	if mo.Demux != nil && (mo.Demux.Resyncs != 0 || mo.Demux.UnmarkedLosses != 0) {
+		mo.Divergences = append(mo.Divergences, fmt.Sprintf(
+			"fault-free multicore run: demux Resyncs=%d UnmarkedLosses=%d",
+			mo.Demux.Resyncs, mo.Demux.UnmarkedLosses))
+	}
+	return &mo.DiffOutcome, nil
+}
+
 // soakOne runs a single soak seed, folding its outcome into row.
-func (r *Runner) soakOne(fx *DiffFixture, progs []*DiffFixture, corpus [][]byte,
+func (r *Runner) soakOne(fx *DiffFixture, progs, preempt []*DiffFixture, corpus [][]byte,
 	jop uint64, psbs []int, seed int, pol guard.Policy, row *OracleSoakRow) {
 	var (
 		out      *DiffOutcome
@@ -569,11 +617,11 @@ func (r *Runner) soakOne(fx *DiffFixture, progs []*DiffFixture, corpus [][]byte,
 		stream   bool
 	)
 	// OracleSoak cycles modes with period 3, which shares a factor with
-	// the six workload classes; divide the mode period out so the class
+	// the eight workload classes; divide the mode period out so the class
 	// cycles per-mode and every (mode, class) pair occurs.
 	k := seed / 3
-	v := k / 6
-	switch k % 6 {
+	v := k / 8
+	switch k % 8 {
 	case 0: // benign traffic, alternating generated and fuzz-corpus inputs
 		input := fx.Benign
 		if len(corpus) > 0 && v%2 == 1 {
@@ -615,7 +663,7 @@ func (r *Runner) soakOne(fx *DiffFixture, progs []*DiffFixture, corpus [][]byte,
 	case 4: // generated programs
 		pfx := progs[v%len(progs)]
 		out, err = diffProtectedRun(pfx, nil, pol, nil)
-	default: // fleet fork-inheritance replays
+	case 5: // fleet fork-inheritance replays
 		stream = true
 		if v%2 == 0 {
 			isAttack = true
@@ -628,6 +676,23 @@ func (r *Runner) soakOne(fx *DiffFixture, progs []*DiffFixture, corpus [][]byte,
 		} else {
 			out, err = diffFleetStream(fx, pol, fx.BenignTrace, fx.BenignTrace, 1+v%7)
 		}
+	case 6: // preempted multicore runs, benign and hijacked alternating
+		input := fx.Benign
+		if v%2 == 1 {
+			isAttack = true
+			input = fx.ROP
+		}
+		var noise [][]byte
+		if v%3 != 0 {
+			noise = [][]byte{fx.An.App.MakeInput(r.Scale/2+2, int64(seed+500))}
+		}
+		quanta := [...]uint64{120, 250, 400}
+		out, err = mcSoakRun(fx, input, pol, 1+v%3, quanta[v%len(quanta)], noise)
+	default: // preempted signal/thread workloads (handler windows, clones)
+		pfx := preempt[v%len(preempt)]
+		input := pfx.An.App.MakeInput(16+v%16, int64(seed))
+		quanta := [...]uint64{120, 200, 300}
+		out, err = mcSoakRun(pfx, input, pol, 1+v%3, quanta[v%len(quanta)], nil)
 	}
 	if err != nil {
 		row.Errors++

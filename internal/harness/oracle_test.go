@@ -457,6 +457,19 @@ func TestOracleReplay(t *testing.T) {
 				t.Errorf("replay (artifact=%v): %s", useArt, d)
 			}
 		}
+	case "demux-roundtrip":
+		mfx, mrop := mcFixture(t)
+		// The point decodes from the seed; the (possibly shrunk) artifact
+		// bytes replace the workload input.
+		p := mcPointFor(art.Seed)
+		divs, _, err := runMCConformance(mfx, p, raw, mcNoise(mfx, p, art.Seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range divs {
+			t.Errorf("replay: %s", d)
+		}
+		_ = mrop
 	default:
 		t.Fatalf("unknown property %q in artifact", art.Property)
 	}
@@ -509,6 +522,19 @@ func FuzzHybridVsOracle(f *testing.F) {
 			tail = tail[len(tail)-2048:]
 		}
 		f.Add(append([]byte{}, tail...), uint8(2), uint8(2))
+	}
+	// Context-switch markers at region seams: the bare PIP+MODE pair the
+	// multicore world writes between slices — whole, truncated mid-CR3
+	// (a slice-boundary fault), and spliced into a benign stream where
+	// the replay chunking will cut it.
+	mark := []byte{0x02, 0x43, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x00, 0x02, 0x99, 0x01}
+	f.Add(append(append([]byte{}, psb...), mark...), uint8(0), uint8(2))
+	f.Add(append(append([]byte{}, psb...), mark[:6]...), uint8(1), uint8(3))
+	if len(fx.BenignTrace) > 1024 {
+		spliced := append([]byte{}, fx.BenignTrace[:512]...)
+		spliced = append(spliced, mark...)
+		spliced = append(spliced, fx.BenignTrace[512:1024]...)
+		f.Add(spliced, uint8(2), uint8(5))
 	}
 	f.Fuzz(func(t *testing.T, raw []byte, mode, chunks uint8) {
 		m := diffModes[int(mode)%len(diffModes)]

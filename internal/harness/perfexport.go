@@ -53,6 +53,7 @@ func StatsFields(s *guard.Stats) []StatField {
 		{"WatchdogSheds", s.WatchdogSheds},
 		{"WorkerCrashes", s.WorkerCrashes},
 		{"ForkInherits", s.ForkInherits},
+		{"StreamLosses", s.StreamLosses},
 	}
 }
 

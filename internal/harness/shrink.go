@@ -16,11 +16,18 @@ import (
 )
 
 // packetOffsets returns every packet boundary of the parseable prefix
-// plus the end-of-stream sentinel.
+// plus the end-of-stream sentinel. Inputs that are not packet streams at
+// all (the multicore property shrinks workload bytes, not traces)
+// degrade to byte-aligned offsets, so the delta debugger still works —
+// just without the alignment guarantee.
 func packetOffsets(raw []byte) []int {
 	pkts, _, err := oracle.ParsePackets(raw)
-	if err != nil {
-		return nil
+	if err != nil || len(pkts) == 0 {
+		offs := make([]int, len(raw)+1)
+		for i := range offs {
+			offs[i] = i
+		}
+		return offs
 	}
 	offs := make([]int, 0, len(pkts)+1)
 	for _, p := range pkts {

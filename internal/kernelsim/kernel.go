@@ -35,9 +35,12 @@ const (
 	SysSigaction    uint64 = 13
 	SysSigreturn    uint64 = 15
 	SysGetpid       uint64 = 39
+	SysClone        uint64 = 56
 	SysFork         uint64 = 57
 	SysExecve       uint64 = 59
 	SysExit         uint64 = 60
+	SysKill         uint64 = 62
+	SysGettid       uint64 = 186
 	SysGettimeofday uint64 = 96
 )
 
@@ -46,8 +49,9 @@ func SyscallName(n uint64) string {
 	names := map[uint64]string{
 		SysRead: "read", SysWrite: "write", SysOpen: "open", SysClose: "close",
 		SysMmap: "mmap", SysMprotect: "mprotect", SysSigaction: "sigaction",
-		SysSigreturn: "sigreturn", SysGetpid: "getpid", SysFork: "fork",
-		SysExecve: "execve", SysExit: "exit", SysGettimeofday: "gettimeofday",
+		SysSigreturn: "sigreturn", SysGetpid: "getpid", SysClone: "clone",
+		SysFork: "fork", SysExecve: "execve", SysExit: "exit",
+		SysKill: "kill", SysGettid: "gettid", SysGettimeofday: "gettimeofday",
 	}
 	if s, ok := names[n]; ok {
 		return s
@@ -121,6 +125,23 @@ type Process struct {
 	// SignalHandlers maps signal number to registered handler address.
 	SignalHandlers map[uint64]uint64
 
+	// Threads lists the process's threads, main thread first. All of
+	// them share the address space, CR3, file table, and signal state;
+	// each has private registers, stack pointer, and flags. Threads
+	// beyond the first execute only under RunMulticore.
+	Threads []*Thread
+
+	// sigMu guards pendingSigs and the thread list against cross-process
+	// senders (SysKill under RunParallel).
+	sigMu sync.Mutex
+	// pendingSigs queues signals sent by other processes; the multicore
+	// scheduler delivers them at the target's next slice boundary.
+	pendingSigs []uint64
+	// curThread is the thread whose slice is currently executing, set by
+	// the multicore scheduler so interceptors (whose signature predates
+	// threads) can attribute a syscall to the right thread.
+	curThread *Thread
+
 	// Execves records execve attempts.
 	Execves []ExecveRecord
 
@@ -144,10 +165,17 @@ func (p *Process) StdinRemaining() int { return len(p.stdin) - p.stdinPos }
 // Kernel is the machine-wide OS model.
 //
 // Kernel services reachable from syscall dispatch (filesystem, clock,
-// syscall accounting) are safe for concurrent use, so processes may run
-// simultaneously via RunParallel. Setup calls (Spawn, Intercept) and the
-// per-process state are not thread-safe: configure everything before the
-// run starts, as a real kernel module's init does.
+// syscall accounting, fork/clone bookkeeping, cross-process signals) are
+// safe for concurrent use, so processes may run simultaneously via
+// RunParallel. Per-process state IS touched concurrently once a process
+// has threads or receives cross-process signals: the thread list and
+// pending-signal queue are guarded by the process's sigMu, while a
+// thread's registers and the rest of the per-process state are only ever
+// touched by the scheduler slice currently running that task (the
+// multicore scheduler is a deterministic serial interleaving, so no two
+// slices overlap). Setup calls (Spawn, Intercept) remain init-time only:
+// configure everything before the run starts, as a real kernel module's
+// init does.
 type Kernel struct {
 	procs    map[int]*Process
 	nextPID  int
@@ -185,6 +213,18 @@ type Kernel struct {
 	// discarded and fork returns -1 to the parent, because a child the
 	// module failed to protect must never run unprotected.
 	OnFork func(parent, child *Process) error
+	// OnCoreSwitch, if set, runs at every slice start of RunMulticore
+	// with the core about to execute the task — where the kernel
+	// reprograms the core's trace unit: save the outgoing task's trace
+	// context, restore the incoming one's, and emit the PIP/MODE
+	// context-switch marker into the core's shared stream (§5.1/§6).
+	OnCoreSwitch func(core int, p *Process, t *Thread)
+	// OnAsyncFlow, if set, observes every kernel-performed control
+	// transfer invisible to the CPU's branch retirement: signal delivery
+	// (from = interrupted PC, to = handler entry) and sigreturn (from =
+	// the instruction after the syscall, to = the restored context). The
+	// trace unit renders it as the FUP+TIP asynchronous-event shape.
+	OnAsyncFlow func(p *Process, from, to uint64)
 
 	// forkMu guards the process table and PID/CR3 allocation: unlike
 	// Spawn (setup-time only), fork happens during the run, possibly
@@ -193,6 +233,12 @@ type Kernel struct {
 	// forked accumulates children created since the last TakeForked
 	// drain; RunInterleaved picks them up at every sweep.
 	forked []*Process
+	// cloned accumulates threads created by clone since the last
+	// TakeCloned drain; RunMulticore picks them up at every sweep.
+	cloned []*Thread
+	// nextTID allocates thread IDs for clone (main threads reuse the
+	// PID, Linux-style).
+	nextTID int
 }
 
 // New returns an empty kernel.
@@ -268,7 +314,9 @@ func (k *Kernel) Spawn(name string, exec *module.Module, libs map[string]*module
 	k.procs[p.PID] = p
 	k.forkMu.Unlock()
 	p.CPU = cpu.New(as)
-	p.CPU.Sys = &procSyscalls{k: k, p: p}
+	main := &Thread{TID: p.PID, CPU: p.CPU, proc: p}
+	p.Threads = []*Thread{main}
+	p.CPU.Sys = &procSyscalls{k: k, p: p, t: main}
 	return p, nil
 }
 
@@ -321,7 +369,9 @@ func (k *Kernel) Fork(parent *Process) (*Process, error) {
 	c.FlagN = parent.CPU.FlagN
 	c.Instrs = parent.CPU.Instrs
 	c.CycleCount = parent.CPU.CycleCount
-	c.Sys = &procSyscalls{k: k, p: child}
+	cm := &Thread{TID: child.PID, CPU: c, proc: child}
+	child.Threads = []*Thread{cm}
+	c.Sys = &procSyscalls{k: k, p: child, t: cm}
 	child.CPU = c
 	return child, nil
 }
@@ -336,6 +386,23 @@ func (k *Kernel) TakeForked() []*Process {
 	k.forked = nil
 	k.forkMu.Unlock()
 	return out
+}
+
+// TakeCloned drains the queue of threads created by clone since the
+// last drain; RunMulticore drains it automatically every sweep.
+func (k *Kernel) TakeCloned() []*Thread {
+	k.forkMu.Lock()
+	out := k.cloned
+	k.cloned = nil
+	k.forkMu.Unlock()
+	return out
+}
+
+// findProc looks up a process by PID under the table lock.
+func (k *Kernel) findProc(pid int) *Process {
+	k.forkMu.Lock()
+	defer k.forkMu.Unlock()
+	return k.procs[pid]
 }
 
 // Procs returns a snapshot of the process table keyed by PID, children
@@ -504,10 +571,13 @@ func (k *Kernel) RunInterleaved(procs []*Process, quantum, maxTotal uint64) ([]E
 	}
 }
 
-// procSyscalls binds the kernel's syscall dispatch to one process.
+// procSyscalls binds the kernel's syscall dispatch to one thread of one
+// process (each thread's CPU carries its own handler, so dispatch knows
+// which register file and stack it is operating on).
 type procSyscalls struct {
 	k *Kernel
 	p *Process
+	t *Thread
 }
 
 // Syscall implements cpu.SyscallHandler: run the interceptor for the
@@ -533,10 +603,10 @@ func (s *procSyscalls) Syscall(c *cpu.CPU) error {
 			return ie
 		}
 	}
-	return k.dispatch(p, c, sysno)
+	return k.dispatch(p, s.t, c, sysno)
 }
 
-func (k *Kernel) dispatch(p *Process, c *cpu.CPU, sysno uint64) error {
+func (k *Kernel) dispatch(p *Process, t *Thread, c *cpu.CPU, sysno uint64) error {
 	a0, a1, a2 := c.Regs[isa.R0], c.Regs[isa.R1], c.Regs[isa.R2]
 	setRet := func(v uint64) { c.Regs[isa.R0] = v }
 	const eFAIL = ^uint64(0) // -1
@@ -648,6 +718,65 @@ func (k *Kernel) dispatch(p *Process, c *cpu.CPU, sysno uint64) error {
 		return k.sigreturn(p, c)
 	case SysGetpid:
 		setRet(uint64(p.PID))
+	case SysGettid:
+		if t != nil {
+			setRet(uint64(t.TID))
+		} else {
+			setRet(uint64(p.PID))
+		}
+	case SysClone:
+		// a0 = entry point, a1 = stack top, a2 = argument (landed in the
+		// new thread's R0). Returns the new TID to the caller; the thread
+		// joins the multicore rotation at the next sweep.
+		if a0 == 0 || a1 == 0 {
+			setRet(eFAIL)
+			return nil
+		}
+		nt := k.newThread(p, a0, a1, a2)
+		setRet(uint64(nt.TID))
+	case SysKill:
+		target := int(int64(a0))
+		sig := a1
+		if target == p.PID || target == 0 {
+			// Self-signal: delivered immediately, at the point where kill
+			// would have returned — the interrupted context the frame
+			// saves is the instruction after the syscall, with kill's own
+			// return value already in R0.
+			if sig == SIGKILL {
+				k.Kill(p, SIGKILL)
+				return ErrKilled
+			}
+			h, ok := p.SignalHandlers[sig]
+			if !ok {
+				setRet(0) // no handler registered: ignored
+				return nil
+			}
+			ct := t
+			if ct == nil {
+				ct = p.mainThread()
+			}
+			setRet(0)
+			if err := k.deliverSignal(p, ct, sig, h); err != nil {
+				return err
+			}
+			if p.Killed {
+				return ErrKilled
+			}
+			return nil
+		}
+		// Cross-process: queue on the target; the multicore scheduler
+		// delivers at the target's next slice boundary (under other
+		// schedulers the signal stays pending). Queueing rather than
+		// mutating the target keeps delivery deterministic and race-free.
+		tp := k.findProc(target)
+		if tp == nil {
+			setRet(eFAIL)
+			return nil
+		}
+		tp.sigMu.Lock()
+		tp.pendingSigs = append(tp.pendingSigs, sig)
+		tp.sigMu.Unlock()
+		setRet(0)
 	case SysFork:
 		child, err := k.Fork(p)
 		if err != nil {
@@ -681,6 +810,11 @@ func (k *Kernel) dispatch(p *Process, c *cpu.CPU, sysno uint64) error {
 		p.Execves = append(p.Execves, ExecveRecord{Path: path, PC: c.PC})
 		setRet(0)
 	case SysExit:
+		if t != nil && t.TID != p.PID {
+			// A non-main thread's exit terminates only that thread; the
+			// scheduler drops it from the rotation and the process lives.
+			return ErrExited
+		}
 		p.Exited = true
 		p.ExitCode = int(int64(a0))
 		return ErrExited
@@ -704,6 +838,7 @@ func (k *Kernel) dispatch(p *Process, c *cpu.CPU, sysno uint64) error {
 const SigFrameWords = 18
 
 func (k *Kernel) sigreturn(p *Process, c *cpu.CPU) error {
+	resume := c.PC // the instruction after the sigreturn syscall
 	sp := c.Regs[isa.SP]
 	var frame [SigFrameWords]uint64
 	for i := range frame {
@@ -720,6 +855,11 @@ func (k *Kernel) sigreturn(p *Process, c *cpu.CPU) error {
 	c.PC = frame[16]
 	c.FlagZ = frame[17]&1 != 0
 	c.FlagN = frame[17]&2 != 0
+	if k.OnAsyncFlow != nil {
+		// The kernel teleports the flow from the handler's tail back to
+		// the interrupted context — the trace unit's second async edge.
+		k.OnAsyncFlow(p, resume, c.PC)
+	}
 	if p.Killed {
 		return ErrKilled
 	}

@@ -1,0 +1,400 @@
+package kernelsim_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flowguard/internal/asm"
+	"flowguard/internal/isa"
+	"flowguard/internal/kernelsim"
+	"flowguard/internal/module"
+)
+
+func mustAssemble(t *testing.T, b *asm.Builder) *module.Module {
+	t.Helper()
+	m, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// cloneServer builds a process whose main thread clones one worker and
+// then emits mainN 'M' bytes with a spin delay between writes; the worker
+// emits workerN 'T' bytes and leaves through a raw exit syscall.
+func cloneServer(t *testing.T, mainN, workerN int32) *module.Module {
+	b := asm.NewModule("tserv")
+	b.DataSpace("tstk", 512, false)
+	b.DataBytes("mb", []byte("M"), false)
+	b.DataBytes("tb", []byte("T"), false)
+	b.FuncTable("tbl", []string{"tmain"}, false)
+
+	f := b.Func("main", 0, true)
+	b.SetEntry("main")
+	f.AddrOf(isa.R6, "tbl")
+	f.Ld(isa.R0, isa.R6, 0)
+	f.AddrOf(isa.R1, "tstk")
+	f.Addi(isa.R1, 512-8)
+	f.Movi(isa.R2, 1)
+	f.Movu64(isa.R7, kernelsim.SysClone)
+	f.Syscall()
+	f.Movi(isa.R9, 0)
+	f.Label("mloop")
+	f.Cmpi(isa.R9, 0)
+	// spin between writes so worker slices interleave
+	f.Movi(isa.R10, 40)
+	f.Label("spin")
+	f.Cmpi(isa.R10, 0)
+	f.Jcc(isa.LE, "emit")
+	f.Addi(isa.R10, -1)
+	f.Jmp("spin")
+	f.Label("emit")
+	f.Movu64(isa.R7, kernelsim.SysWrite)
+	f.Movi(isa.R0, 1)
+	f.AddrOf(isa.R1, "mb")
+	f.Movi(isa.R2, 1)
+	f.Syscall()
+	f.Addi(isa.R9, 1)
+	f.Cmpi(isa.R9, mainN)
+	f.Jcc(isa.LT, "mloop")
+	// drain: let the worker finish before process teardown
+	f.Movi(isa.R10, 400)
+	f.Label("drain")
+	f.Cmpi(isa.R10, 0)
+	f.Jcc(isa.LE, "exit")
+	f.Addi(isa.R10, -1)
+	f.Jmp("drain")
+	f.Label("exit")
+	f.Movu64(isa.R7, kernelsim.SysExit)
+	f.Movi(isa.R0, 0)
+	f.Syscall()
+
+	w := b.Func("tmain", 1, false)
+	w.Movi(isa.R9, 0)
+	w.Label("tloop")
+	w.Movi(isa.R10, 40)
+	w.Label("tspin")
+	w.Cmpi(isa.R10, 0)
+	w.Jcc(isa.LE, "temit")
+	w.Addi(isa.R10, -1)
+	w.Jmp("tspin")
+	w.Label("temit")
+	w.Movu64(isa.R7, kernelsim.SysWrite)
+	w.Movi(isa.R0, 1)
+	w.AddrOf(isa.R1, "tb")
+	w.Movi(isa.R2, 1)
+	w.Syscall()
+	w.Addi(isa.R9, 1)
+	w.Cmpi(isa.R9, workerN)
+	w.Jcc(isa.LT, "tloop")
+	w.Movu64(isa.R7, kernelsim.SysExit)
+	w.Movi(isa.R0, 0)
+	w.Syscall()
+	w.Halt()
+	return mustAssemble(t, b)
+}
+
+func TestCloneThreadsInterleave(t *testing.T) {
+	k := kernelsim.New()
+	p, err := k.Spawn("tserv", cloneServer(t, 4, 4), nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts, err := k.RunMulticore([]*kernelsim.Process{p}, 2, 30, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sts[0].Exited {
+		t.Fatalf("status = %v, want clean exit", sts[0])
+	}
+	out := string(p.Stdout)
+	if strings.Count(out, "M") != 4 || strings.Count(out, "T") != 4 {
+		t.Fatalf("stdout = %q, want 4 M and 4 T", out)
+	}
+	// With a 30-instruction quantum the worker runs between main-thread
+	// writes: the streams must actually interleave, not serialize.
+	if strings.HasPrefix(out, "MMMM") || strings.HasPrefix(out, "TTTT") {
+		t.Errorf("stdout = %q: threads did not interleave", out)
+	}
+	if len(p.Threads) != 2 {
+		t.Errorf("len(Threads) = %d, want 2", len(p.Threads))
+	}
+}
+
+func TestGettidDistinguishesThreads(t *testing.T) {
+	b := asm.NewModule("tids")
+	b.DataSpace("tstk", 512, false)
+	b.DataSpace("buf", 8, false)
+	b.FuncTable("tbl", []string{"tmain"}, false)
+
+	f := b.Func("main", 0, true)
+	b.SetEntry("main")
+	// write(1, &gettid_low_byte, 1)
+	f.Movu64(isa.R7, kernelsim.SysGettid)
+	f.Syscall()
+	f.AddrOf(isa.R1, "buf")
+	f.Stb(isa.R1, 0, isa.R0)
+	f.Movu64(isa.R7, kernelsim.SysWrite)
+	f.Movi(isa.R0, 1)
+	f.Movi(isa.R2, 1)
+	f.Syscall()
+	f.AddrOf(isa.R6, "tbl")
+	f.Ld(isa.R0, isa.R6, 0)
+	f.AddrOf(isa.R1, "tstk")
+	f.Addi(isa.R1, 512-8)
+	f.Movi(isa.R2, 0)
+	f.Movu64(isa.R7, kernelsim.SysClone)
+	f.Syscall()
+	// spin long enough for the worker's slice, then exit
+	f.Movi(isa.R9, 300)
+	f.Label("spin")
+	f.Cmpi(isa.R9, 0)
+	f.Jcc(isa.LE, "done")
+	f.Addi(isa.R9, -1)
+	f.Jmp("spin")
+	f.Label("done")
+	f.Movu64(isa.R7, kernelsim.SysExit)
+	f.Movi(isa.R0, 0)
+	f.Syscall()
+
+	w := b.Func("tmain", 1, false)
+	w.Movu64(isa.R7, kernelsim.SysGettid)
+	w.Syscall()
+	w.AddrOf(isa.R1, "buf")
+	w.Stb(isa.R1, 0, isa.R0)
+	w.Movu64(isa.R7, kernelsim.SysWrite)
+	w.Movi(isa.R0, 1)
+	w.Movi(isa.R2, 1)
+	w.Syscall()
+	w.Movu64(isa.R7, kernelsim.SysExit)
+	w.Movi(isa.R0, 0)
+	w.Syscall()
+	w.Halt()
+
+	k := kernelsim.New()
+	p, err := k.Spawn("tids", mustAssemble(t, b), nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts, err := k.RunMulticore([]*kernelsim.Process{p}, 1, 25, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sts[0].Exited {
+		t.Fatalf("status = %v, want clean exit", sts[0])
+	}
+	if len(p.Stdout) != 2 {
+		t.Fatalf("stdout = %v, want 2 tid bytes", p.Stdout)
+	}
+	if p.Stdout[0] != byte(p.PID) {
+		t.Errorf("main tid byte = %d, want pid low byte %d", p.Stdout[0], byte(p.PID))
+	}
+	if p.Stdout[0] == p.Stdout[1] {
+		t.Errorf("worker tid byte %d equals main's: gettid must distinguish threads", p.Stdout[1])
+	}
+}
+
+func TestSignalDeliveryAndSigreturnRestore(t *testing.T) {
+	// The handler clobbers r9 and crosses a write endpoint; sigreturn
+	// must restore the interrupted context so the process exits with the
+	// pre-signal r9 value.
+	b := asm.NewModule("selfsig")
+	b.FuncTable("tbl", []string{"on_sig"}, false)
+	b.DataBytes("hb", []byte("H"), false)
+
+	f := b.Func("main", 0, true)
+	b.SetEntry("main")
+	f.AddrOf(isa.R6, "tbl")
+	f.Ld(isa.R1, isa.R6, 0)
+	f.Movi(isa.R0, 10)
+	f.Movu64(isa.R7, kernelsim.SysSigaction)
+	f.Syscall()
+	f.Movi(isa.R9, 42)
+	f.Movi(isa.R0, 0)
+	f.Movi(isa.R1, 10)
+	f.Movu64(isa.R7, kernelsim.SysKill)
+	f.Syscall()
+	f.Movu64(isa.R7, kernelsim.SysExit)
+	f.Mov(isa.R0, isa.R9)
+	f.Syscall()
+
+	h := b.Func("on_sig", 1, false)
+	h.Movi(isa.R9, 7) // clobber, must not survive sigreturn
+	h.Movu64(isa.R7, kernelsim.SysWrite)
+	h.Movi(isa.R0, 1)
+	h.AddrOf(isa.R1, "hb")
+	h.Movi(isa.R2, 1)
+	h.Syscall()
+	h.Movu64(isa.R7, kernelsim.SysSigreturn)
+	h.Syscall()
+	h.Halt()
+
+	k := kernelsim.New()
+	p, err := k.Spawn("selfsig", mustAssemble(t, b), nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := k.Run(p, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Exited || st.Code != 42 {
+		t.Fatalf("status = %v, want exit 42 (context restored)", st)
+	}
+	if !bytes.Equal(p.Stdout, []byte("H")) {
+		t.Errorf("stdout = %q, want handler output H", p.Stdout)
+	}
+}
+
+// sigTarget builds the receiving process: registers a handler for signal
+// 10 that writes 'H', then spins and exits 0.
+func sigTarget(t *testing.T) *module.Module {
+	b := asm.NewModule("sigtarget")
+	b.FuncTable("tbl", []string{"on_sig"}, false)
+	b.DataBytes("hb", []byte("H"), false)
+	f := b.Func("main", 0, true)
+	b.SetEntry("main")
+	f.AddrOf(isa.R6, "tbl")
+	f.Ld(isa.R1, isa.R6, 0)
+	f.Movi(isa.R0, 10)
+	f.Movu64(isa.R7, kernelsim.SysSigaction)
+	f.Syscall()
+	f.Movi(isa.R9, 400)
+	f.Label("spin")
+	f.Cmpi(isa.R9, 0)
+	f.Jcc(isa.LE, "done")
+	f.Addi(isa.R9, -1)
+	f.Jmp("spin")
+	f.Label("done")
+	f.Movu64(isa.R7, kernelsim.SysExit)
+	f.Movi(isa.R0, 0)
+	f.Syscall()
+	h := b.Func("on_sig", 1, false)
+	h.Movu64(isa.R7, kernelsim.SysWrite)
+	h.Movi(isa.R0, 1)
+	h.AddrOf(isa.R1, "hb")
+	h.Movi(isa.R2, 1)
+	h.Syscall()
+	h.Movu64(isa.R7, kernelsim.SysSigreturn)
+	h.Syscall()
+	h.Halt()
+	return mustAssemble(t, b)
+}
+
+// sigSender builds the sending process: reads the target pid (2 bytes,
+// little-endian) and the signal number (1 byte) from stdin, kills, then
+// exits 0.
+func sigSender(t *testing.T) *module.Module {
+	b := asm.NewModule("sigsender")
+	b.DataSpace("buf", 8, false)
+	f := b.Func("main", 0, true)
+	b.SetEntry("main")
+	f.Movu64(isa.R7, kernelsim.SysRead)
+	f.Movi(isa.R0, 0)
+	f.AddrOf(isa.R1, "buf")
+	f.Movi(isa.R2, 3)
+	f.Syscall()
+	f.AddrOf(isa.R1, "buf")
+	f.Ldb(isa.R0, isa.R1, 0)
+	f.Ldb(isa.R8, isa.R1, 1)
+	f.Movi(isa.R5, 8)
+	f.Shl(isa.R8, isa.R5)
+	f.Add(isa.R0, isa.R8)
+	f.Ldb(isa.R1, isa.R1, 2)
+	f.Movu64(isa.R7, kernelsim.SysKill)
+	f.Syscall()
+	f.Movu64(isa.R7, kernelsim.SysExit)
+	f.Movi(isa.R0, 0)
+	f.Syscall()
+	return mustAssemble(t, b)
+}
+
+func TestCrossProcessSignalDeliveredAtSlice(t *testing.T) {
+	k := kernelsim.New()
+	tgt, err := k.Spawn("sigtarget", sigTarget(t), nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdin := []byte{byte(tgt.PID), byte(tgt.PID >> 8), 10}
+	snd, err := k.Spawn("sigsender", sigSender(t), nil, nil, stdin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts, err := k.RunMulticore([]*kernelsim.Process{tgt, snd}, 2, 25, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sts[0].Exited || !sts[1].Exited {
+		t.Fatalf("statuses = %v, want both exited", sts)
+	}
+	if !bytes.Equal(tgt.Stdout, []byte("H")) {
+		t.Errorf("target stdout = %q, want handler output H", tgt.Stdout)
+	}
+}
+
+func TestCrossProcessSIGKILLQueued(t *testing.T) {
+	k := kernelsim.New()
+	tgt, err := k.Spawn("sigtarget", sigTarget(t), nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdin := []byte{byte(tgt.PID), byte(tgt.PID >> 8), kernelsim.SIGKILL}
+	snd, err := k.Spawn("sigsender", sigSender(t), nil, nil, stdin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts, err := k.RunMulticore([]*kernelsim.Process{tgt, snd}, 2, 25, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sts[0].Killed || sts[0].Signal != kernelsim.SIGKILL {
+		t.Fatalf("target status = %v, want SIGKILL", sts[0])
+	}
+	if !sts[1].Exited {
+		t.Fatalf("sender status = %v, want clean exit", sts[1])
+	}
+}
+
+func TestRunMulticoreCoreAffinity(t *testing.T) {
+	// Task i must always land on core i%cores: the per-core streams are
+	// only reproducible if the placement is.
+	k := kernelsim.New()
+	p0, err := k.Spawn("a", cloneServer(t, 2, 2), nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := k.Spawn("b", cloneServer(t, 2, 2), nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]map[int]bool) // tid -> cores used
+	k.OnCoreSwitch = func(core int, p *kernelsim.Process, th *kernelsim.Thread) {
+		if seen[th.TID] == nil {
+			seen[th.TID] = make(map[int]bool)
+		}
+		seen[th.TID][core] = true
+	}
+	if _, err := k.RunMulticore([]*kernelsim.Process{p0, p1}, 2, 20, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) < 4 {
+		t.Fatalf("saw %d threads on core switches, want >= 4", len(seen))
+	}
+	for tid, cores := range seen {
+		if len(cores) != 1 {
+			t.Errorf("tid %d ran on %d cores, want a fixed core", tid, len(cores))
+		}
+	}
+}
+
+func TestRunMulticoreBudget(t *testing.T) {
+	k := kernelsim.New()
+	p, err := k.Spawn("tserv", cloneServer(t, 4, 4), nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.RunMulticore([]*kernelsim.Process{p}, 2, 30, 10); err == nil {
+		t.Fatal("want budget-exhausted error")
+	}
+}

@@ -31,7 +31,7 @@ type pktCursor struct {
 func (c *pktCursor) skipMeta() {
 	for c.i < len(c.pkts) {
 		switch p := c.pkts[c.i]; p.Kind {
-		case PkPAD, PkPIP, PkPSBEND, PkPSB:
+		case PkPAD, PkPIP, PkPSBEND, PkPSB, PkMODE:
 			c.i++
 		case PkFUP:
 			if p.Ctx {
@@ -80,6 +80,36 @@ func (c *pktCursor) nextIP(want PacketKind) (Packet, error) {
 	return p, nil
 }
 
+// nextAsync consumes a pending asynchronous-transfer pair — a non-context
+// FUP whose IP equals the current walk position followed directly by a
+// TIP — and returns the TIP target. The kernel performs this jump (signal
+// delivery or sigreturn), so the walker relocates without recording a
+// flow edge; on mismatch the cursor is restored.
+func (c *pktCursor) nextAsync(ip uint64) (uint64, bool) {
+	si, sbit := c.i, c.bit
+	c.skipMeta()
+	if c.i >= len(c.pkts) {
+		c.i, c.bit = si, sbit
+		return 0, false
+	}
+	p := c.pkts[c.i]
+	if p.Kind != PkFUP || p.Ctx || p.IP != ip {
+		c.i, c.bit = si, sbit
+		return 0, false
+	}
+	c.i++
+	c.bit = 0
+	c.skipMeta()
+	if c.i >= len(c.pkts) || c.pkts[c.i].Kind != PkTIP {
+		c.i, c.bit = si, sbit
+		return 0, false
+	}
+	t := c.pkts[c.i].IP
+	c.i++
+	c.bit = 0
+	return t, true
+}
+
 // seekPSB advances to the next PSB's context FUP and returns its IP.
 func (c *pktCursor) seekPSB() (uint64, bool) {
 	for ; c.i < len(c.pkts); c.i++ {
@@ -123,6 +153,14 @@ func (o *Oracle) walkFlow(pkts []Packet) (flow []flowEdge, resyncPts []int, err 
 		return true
 	}
 	for {
+		// A pending FUP(ip)+TIP pair is a kernel-performed asynchronous
+		// transfer: relocate without fetching an instruction or recording
+		// a flow edge (async edges are not in the O-CFG; the shadow stack
+		// carries across — sigreturn brings the flow back).
+		if t, aok := cur.nextAsync(ip); aok {
+			ip = t
+			continue
+		}
 		raw, ferr := o.AS.FetchInstr(ip)
 		if ferr != nil {
 			return flow, resyncPts, fmt.Errorf("oracle: flow fetch at %#x: %w", ip, ferr)
@@ -309,7 +347,7 @@ func (o *Oracle) slowPath(res *Result, recs []tipRec, region []byte) {
 	}
 	// Clean: remember the verdict for the window's low-credit edges.
 	for i := 0; i+1 < len(recs); i++ {
-		if recs[i+1].Resync {
+		if recs[i].Async || recs[i+1].Resync || recs[i+1].Async {
 			continue
 		}
 		src, dst, sig := recs[i].IP, recs[i+1].IP, recs[i+1].Sig
@@ -317,7 +355,7 @@ func (o *Oracle) slowPath(res *Result, recs []tipRec, region []byte) {
 		if exists && !(count > 0 && sigOK) {
 			o.apprEdges[edgeApproval{src, dst, sig}] = true
 		}
-		if o.Policy.PathSensitive && i+2 < len(recs) && !recs[i+2].Resync {
+		if o.Policy.PathSensitive && i+2 < len(recs) && !recs[i+2].Resync && !recs[i+2].Async {
 			o.apprPaths[[3]uint64{src, dst, recs[i+2].IP}] = true
 		}
 	}

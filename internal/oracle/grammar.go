@@ -32,6 +32,7 @@ const (
 	extPSBEND = 0x23
 	extPIP    = 0x43
 	extOVF    = 0xF3
+	extMODE   = 0x99
 
 	psbRepeat = 8
 	psbSize   = 2 * psbRepeat
@@ -71,6 +72,7 @@ const (
 	PkPSBEND
 	PkPIP
 	PkOVF
+	PkMODE
 )
 
 // Packet is one fully parsed packet, carrying enough to re-serialize it
@@ -234,6 +236,12 @@ func parse(buf []byte, base int, stream bool) (pkts []Packet, consumed int, err 
 			case extOVF:
 				pkts = append(pkts, Packet{Kind: PkOVF, Off: base + i})
 				i += 2
+			case extMODE:
+				if i+3 > len(buf) {
+					return pkts, i, nil
+				}
+				pkts = append(pkts, Packet{Kind: PkMODE, TNTBits: buf[i+2], Off: base + i})
+				i += 3
 			default:
 				return pkts, i, fmt.Errorf("oracle: unknown extended opcode %#02x at %d", buf[i+1], base+i)
 			}
@@ -363,6 +371,8 @@ func Serialize(pkts []Packet) []byte {
 			}
 		case PkOVF:
 			out = append(out, 0x02, extOVF)
+		case PkMODE:
+			out = append(out, 0x02, extMODE, p.TNTBits)
 		}
 	}
 	return out
@@ -376,6 +386,11 @@ type tipRec struct {
 	SigLen int
 	Off    int
 	Resync bool
+	// Async marks a TIP directly following a non-context FUP: the
+	// kernel's asynchronous-transfer shape (signal delivery, sigreturn).
+	// Like Resync, the record is not control-flow-adjacent to its
+	// predecessor and edge checks admit the pair unchecked.
+	Async bool
 }
 
 // extractRecords folds TNT runs into signatures and emits one record per
@@ -384,8 +399,17 @@ type tipRec struct {
 func extractRecords(pkts []Packet) []tipRec {
 	sig, n := tntSigEmpty, 0
 	skipping, resync := false, false
+	prevFUP := false
 	var out []tipRec
 	for _, p := range pkts {
+		// Async adjacency: a TIP directly following a non-context FUP.
+		// PAD preserves the flag (the production scanners skip PAD
+		// without touching their adjacency state); every other packet
+		// clears it.
+		async := prevFUP
+		if p.Kind != PkPAD {
+			prevFUP = p.Kind == PkFUP && !p.Ctx
+		}
 		switch p.Kind {
 		case PkTNT:
 			if skipping {
@@ -403,7 +427,7 @@ func extractRecords(pkts []Packet) []tipRec {
 			if n > tntRunCap {
 				s = tntSigLongRun
 			}
-			out = append(out, tipRec{IP: p.IP, Sig: s, SigLen: n, Off: p.Off, Resync: resync})
+			out = append(out, tipRec{IP: p.IP, Sig: s, SigLen: n, Off: p.Off, Resync: resync, Async: async})
 			sig, n = tntSigEmpty, 0
 			resync = false
 		case PkPSB:

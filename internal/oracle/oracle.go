@@ -334,8 +334,11 @@ func (o *Oracle) runChecks(res *Result, recs []tipRec, region []byte, forceSlow 
 	}
 	suspicious, checked := 0, 0
 	for i := 0; i+1 < len(recs); i++ {
-		if recs[i+1].Resync {
-			continue // not control-flow-adjacent
+		if recs[i].Async || recs[i+1].Resync || recs[i+1].Async {
+			// Not control-flow-adjacent: seam, async transfer, or a pair
+			// anchored at an async target (a mid-block resume point is not
+			// an indirect-branch target; the flow walk verifies that span).
+			continue
 		}
 		checked++
 		src, dst, sig := recs[i].IP, recs[i+1].IP, recs[i+1].Sig
@@ -358,7 +361,8 @@ func (o *Oracle) runChecks(res *Result, recs []tipRec, region []byte, forceSlow 
 	}
 	if o.Policy.PathSensitive {
 		for i := 0; i+2 < len(recs); i++ {
-			if recs[i+1].Resync || recs[i+2].Resync {
+			if recs[i].Async || recs[i+1].Resync || recs[i+2].Resync ||
+				recs[i+1].Async || recs[i+2].Async {
 				continue
 			}
 			a, b, c := recs[i].IP, recs[i+1].IP, recs[i+2].IP

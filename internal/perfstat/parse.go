@@ -154,6 +154,7 @@ func Tier1Names() []string {
 		"BenchmarkCheckPoolThroughput",
 		"BenchmarkAsyncSyscallGate",
 		"BenchmarkFleetThroughput",
+		"BenchmarkDemux",
 	}
 	sort.Strings(names)
 	return names

@@ -145,6 +145,12 @@ func decodeFastFrom(buf []byte, base int) ([]Event, error) {
 				}
 				evs = append(evs, Event{Kind: KindPIP, CR3: leUint64(buf[i+2 : i+10]), Off: base + i})
 				i += 10
+			case extMODE:
+				if i+modePacketLen > n {
+					return evs, nil
+				}
+				evs = append(evs, Event{Kind: KindMODE, TNTBits: buf[i+2], Off: base + i})
+				i += modePacketLen
 			case extOVF:
 				evs = append(evs, Event{Kind: KindOVF, Off: base + i})
 				i += 2
@@ -237,6 +243,14 @@ type TIPRecord struct {
 	// record before it. Pair-wise edge checks must not treat the two as
 	// a consecutive edge.
 	Resync bool
+	// Async marks a TIP directly following a non-context FUP: the
+	// kernel's asynchronous-transfer shape (signal delivery into a
+	// handler, sigreturn restoring the interrupted flow). The jump it
+	// records was performed by the kernel, not by a retired branch, so
+	// pair-wise edge checks must admit it without consulting the CFG —
+	// like Resync, the record is not control-flow-adjacent to its
+	// predecessor.
+	Async bool
 }
 
 // TNTSigEmpty is the signature of an empty TNT run.
@@ -279,7 +293,15 @@ func ExtractTIPs(evs []Event) []TIPRecord {
 	n := 0
 	skipping := false
 	resync := false
+	prevFUP := false
 	for _, e := range evs {
+		// A TIP directly following a non-context FUP is the kernel's
+		// asynchronous-transfer shape (TIPRecord.Async). PAD never
+		// appears here — the batch decoder emits no events for it — so
+		// adjacency over events matches the incremental scanner, which
+		// carries the flag across PAD bytes.
+		async := prevFUP
+		prevFUP = e.Kind == KindFUP && !e.Ctx
 		switch e.Kind {
 		case KindTNT:
 			if skipping {
@@ -296,7 +318,7 @@ func ExtractTIPs(evs []Event) []TIPRecord {
 			if n > TNTRunCap {
 				sig = TNTSigLongRun
 			}
-			out = append(out, TIPRecord{IP: e.IP, TNTSig: sig, TNTLen: int32(n), Off: e.Off, Resync: resync})
+			out = append(out, TIPRecord{IP: e.IP, TNTSig: sig, TNTLen: int32(n), Off: e.Off, Resync: resync, Async: async})
 			sig, n = TNTSigEmpty, 0
 			resync = false
 		case KindPSB:

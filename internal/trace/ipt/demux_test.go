@@ -1,0 +1,317 @@
+package ipt_test
+
+// Demux tests: splitting a shared per-core stream back into per-process
+// streams must reproduce, byte for byte, what a dedicated CR3-filtered
+// tracer would have captured for each process alone; switch markers are
+// stripped, damage is contained by PSB resynchronization, and lost
+// markers surface as unmarked losses at the next PSB's attribution check.
+
+import (
+	"bytes"
+	"testing"
+
+	"flowguard/internal/isa"
+	"flowguard/internal/trace"
+	"flowguard/internal/trace/ipt"
+)
+
+// demuxTask is one simulated task: its CR3, saved packetization context
+// for the shared tracer, branch-generation state, and a dedicated solo
+// tracer fed the identical branch sequence as the byte-identity
+// reference.
+type demuxTask struct {
+	cr3  uint64
+	ctx  ipt.TraceContext
+	ip   uint64
+	n    int
+	solo *ipt.Tracer
+}
+
+func newDemuxTask(t testing.TB, cr3, base uint64, psbPeriod int) *demuxTask {
+	t.Helper()
+	solo := ipt.NewTracer(ipt.NewToPA(1 << 20))
+	ctl := ctlDefault | ipt.CtlCR3Filter
+	if err := solo.WriteMSR(ipt.MSRRTITCtl, ctl); err != nil {
+		t.Fatal(err)
+	}
+	if err := solo.WriteMSR(ipt.MSRRTITCR3Match, cr3); err != nil {
+		t.Fatal(err)
+	}
+	solo.SetCR3(cr3)
+	if psbPeriod > 0 {
+		solo.PSBPeriod = psbPeriod
+	}
+	return &demuxTask{cr3: cr3, ip: base, solo: solo}
+}
+
+// sliceBranches generates the task's next slice of branches: TNT runs
+// and indirect TIPs, always ending on an indirect so no TNT bits are
+// pending across a slice boundary end (the tests compare final buffers;
+// mid-run pending bits travel in the context either way).
+func (tk *demuxTask) sliceBranches(n int) []trace.Branch {
+	var out []trace.Branch
+	for i := 0; i < n; i++ {
+		tk.n++
+		run := tk.n % 5
+		for j := 0; j < run; j++ {
+			out = append(out, trace.Branch{
+				Class: isa.CoFICond, Source: tk.ip, Target: tk.ip + 4,
+				Taken: (tk.n+j)%3 != 0,
+			})
+		}
+		cls := isa.CoFIIndirect
+		if tk.n%7 == 3 {
+			cls = isa.CoFIRet
+		}
+		tgt := tk.ip&^0xfffff | uint64((tk.n*2654435761)%(1<<20))
+		out = append(out, trace.Branch{Class: cls, Source: tk.ip, Target: tgt, Taken: true})
+		tk.ip = tgt
+	}
+	return out
+}
+
+// runShared drives tasks round-robin over one shared-core tracer for the
+// given number of rounds, mirroring every branch into each task's solo
+// tracer, and returns the shared stream plus the byte offset of every
+// context-switch marker.
+func runShared(t testing.TB, tasks []*demuxTask, rounds, slice, psbPeriod int) (*ipt.Tracer, []uint64) {
+	t.Helper()
+	shared := ipt.NewTracer(ipt.NewToPA(1 << 20))
+	if err := shared.WriteMSR(ipt.MSRRTITCtl, ctlDefault); err != nil {
+		t.Fatal(err)
+	}
+	if psbPeriod > 0 {
+		shared.PSBPeriod = psbPeriod
+	}
+	var markers []uint64
+	var cur *demuxTask
+	for r := 0; r < rounds; r++ {
+		for _, tk := range tasks {
+			if cur != tk {
+				// Same task keeping the core is not a context switch (the
+				// kernel module skips the marker the same way).
+				var prev *ipt.TraceContext
+				if cur != nil {
+					prev = &cur.ctx
+				}
+				markers = append(markers, shared.Out.TotalWritten())
+				shared.SwitchTask(prev, tk.ctx, tk.cr3, 1)
+				cur = tk
+			}
+			for _, b := range tk.sliceBranches(slice) {
+				shared.Branch(b)
+				tk.solo.Branch(b)
+			}
+		}
+	}
+	return shared, markers
+}
+
+// markerLen is the on-stream size of one context-switch marker: a bare
+// PIP (10 bytes) plus the accompanying MODE packet (3 bytes).
+const markerLen = 13
+
+func feedChunks(dmx *ipt.Demux, core int, stream []byte, chunk int) {
+	for off := 0; off < len(stream); off += chunk {
+		end := off + chunk
+		if end > len(stream) {
+			end = len(stream)
+		}
+		dmx.Feed(core, stream[off:end])
+	}
+}
+
+func TestDemuxRoundTripByteIdentity(t *testing.T) {
+	for _, chunk := range []int{1, 7, 501, 1 << 20} {
+		tasks := []*demuxTask{
+			newDemuxTask(t, 0x1000, 0x400000, 0),
+			newDemuxTask(t, 0x2000, 0x800000, 0),
+			newDemuxTask(t, 0x3000, 0xc00000, 0),
+		}
+		shared, markers := runShared(t, tasks, 8, 12, 0)
+		stream := shared.Out.Snapshot()
+
+		dmx := ipt.NewDemux(1)
+		sinks := make([]*ipt.ToPA, len(tasks))
+		for i, tk := range tasks {
+			sinks[i] = ipt.NewToPA(1 << 20)
+			dmx.Bind(tk.cr3, sinks[i])
+		}
+		feedChunks(dmx, 0, stream, chunk)
+
+		for i, tk := range tasks {
+			got, want := sinks[i].Snapshot(), tk.solo.Out.Snapshot()
+			if !bytes.Equal(got, want) {
+				t.Fatalf("chunk=%d task %d: demuxed stream (%d bytes) != solo stream (%d bytes)",
+					chunk, i, len(got), len(want))
+			}
+		}
+		if dmx.Resyncs != 0 || dmx.UnmarkedLosses != 0 {
+			t.Errorf("chunk=%d: clean stream counted Resyncs=%d UnmarkedLosses=%d",
+				chunk, dmx.Resyncs, dmx.UnmarkedLosses)
+		}
+		wantStripped := uint64(len(markers) * markerLen)
+		if dmx.StrippedBytes != wantStripped {
+			t.Errorf("chunk=%d: StrippedBytes = %d, want %d (%d markers)",
+				chunk, dmx.StrippedBytes, wantStripped, len(markers))
+		}
+		if dmx.DroppedBytes != 0 {
+			t.Errorf("chunk=%d: DroppedBytes = %d, want 0", chunk, dmx.DroppedBytes)
+		}
+		if got := dmx.ForwardedBytes + dmx.StrippedBytes; got != uint64(len(stream)) {
+			t.Errorf("chunk=%d: forwarded+stripped = %d, want full input %d",
+				chunk, got, len(stream))
+		}
+	}
+}
+
+func TestDemuxUnboundSpansDropped(t *testing.T) {
+	tasks := []*demuxTask{
+		newDemuxTask(t, 0x1000, 0x400000, 0),
+		newDemuxTask(t, 0x2000, 0x800000, 0),
+	}
+	shared, _ := runShared(t, tasks, 6, 10, 0)
+	stream := shared.Out.Snapshot()
+
+	dmx := ipt.NewDemux(1)
+	sink := ipt.NewToPA(1 << 20)
+	dmx.Bind(tasks[0].cr3, sink) // task 1 deliberately unbound
+	feedChunks(dmx, 0, stream, 777)
+
+	if !bytes.Equal(sink.Snapshot(), tasks[0].solo.Out.Snapshot()) {
+		t.Fatal("bound task's stream perturbed by an unbound neighbor")
+	}
+	if dmx.DroppedBytes == 0 {
+		t.Error("unbound task's spans were not counted as dropped")
+	}
+	if dmx.Resyncs != 0 || dmx.UnmarkedLosses != 0 {
+		t.Errorf("unbound != lost: Resyncs=%d UnmarkedLosses=%d", dmx.Resyncs, dmx.UnmarkedLosses)
+	}
+}
+
+func TestDemuxCorruptMarkerResyncs(t *testing.T) {
+	tasks := []*demuxTask{
+		newDemuxTask(t, 0x1000, 0x400000, 256),
+		newDemuxTask(t, 0x2000, 0x800000, 256),
+	}
+	shared, markers := runShared(t, tasks, 8, 15, 256)
+	stream := shared.Out.Snapshot()
+
+	// Corrupt a mid-stream switch marker into an unknown extended packet:
+	// grammar damage inside the span, contained by dropping to the next
+	// PSB and reporting the attributed process.
+	mid := markers[len(markers)/2]
+	stream[mid+1] = 0x55
+
+	dmx := ipt.NewDemux(1)
+	var lost []uint64
+	dmx.OnLoss = func(cr3 uint64) { lost = append(lost, cr3) }
+	for i := range tasks {
+		dmx.Bind(tasks[i].cr3, ipt.NewToPA(1<<20))
+	}
+	feedChunks(dmx, 0, stream, 333)
+
+	if dmx.Resyncs == 0 {
+		t.Error("corrupt marker did not force a resync")
+	}
+	if len(lost) == 0 {
+		t.Error("corrupt marker reported no loss")
+	}
+	if dmx.DroppedBytes == 0 {
+		t.Error("resync dropped no bytes")
+	}
+}
+
+func TestDemuxLostMarkerIsUnmarkedLoss(t *testing.T) {
+	// A low PSB period and fat slices guarantee a PSB inside the
+	// misattributed span, which is the detection opportunity.
+	tasks := []*demuxTask{
+		newDemuxTask(t, 0x1000, 0x400000, 64),
+		newDemuxTask(t, 0x2000, 0x800000, 64),
+	}
+	shared, markers := runShared(t, tasks, 8, 40, 64)
+	stream := shared.Out.Snapshot()
+
+	// Excise one whole mid-stream marker: the following span is silently
+	// misattributed until the next PSB+ PIP names the true CR3.
+	mid := markers[len(markers)/2]
+	cut := append(append([]byte(nil), stream[:mid]...), stream[mid+markerLen:]...)
+
+	dmx := ipt.NewDemux(1)
+	lost := map[uint64]bool{}
+	dmx.OnLoss = func(cr3 uint64) { lost[cr3] = true }
+	for i := range tasks {
+		dmx.Bind(tasks[i].cr3, ipt.NewToPA(1<<20))
+	}
+	feedChunks(dmx, 0, cut, 4096)
+
+	if dmx.UnmarkedLosses == 0 {
+		t.Fatal("lost context-switch marker was not classified as an unmarked loss")
+	}
+	if !lost[tasks[0].cr3] || !lost[tasks[1].cr3] {
+		t.Errorf("unmarked loss must report both processes, got %v", lost)
+	}
+}
+
+func TestDemuxMultiCoreStreamsIndependent(t *testing.T) {
+	// Two cores fed interleaved chunks: per-core carry and attribution
+	// state must not bleed between streams.
+	tasksA := []*demuxTask{
+		newDemuxTask(t, 0x1000, 0x400000, 0),
+		newDemuxTask(t, 0x2000, 0x800000, 0),
+	}
+	tasksB := []*demuxTask{
+		newDemuxTask(t, 0x3000, 0xc00000, 0),
+	}
+	sharedA, _ := runShared(t, tasksA, 6, 10, 0)
+	sharedB, _ := runShared(t, tasksB, 6, 10, 0)
+	sA, sB := sharedA.Out.Snapshot(), sharedB.Out.Snapshot()
+
+	dmx := ipt.NewDemux(2)
+	sinks := map[uint64]*ipt.ToPA{}
+	for _, tk := range append(append([]*demuxTask(nil), tasksA...), tasksB...) {
+		sinks[tk.cr3] = ipt.NewToPA(1 << 20)
+		dmx.Bind(tk.cr3, sinks[tk.cr3])
+	}
+	// Alternate small chunks between the cores.
+	for off := 0; off < len(sA) || off < len(sB); off += 97 {
+		for core, s := range [][]byte{sA, sB} {
+			if off >= len(s) {
+				continue
+			}
+			end := off + 97
+			if end > len(s) {
+				end = len(s)
+			}
+			dmx.Feed(core, s[off:end])
+		}
+	}
+	for _, tk := range append(append([]*demuxTask(nil), tasksA...), tasksB...) {
+		if !bytes.Equal(sinks[tk.cr3].Snapshot(), tk.solo.Out.Snapshot()) {
+			t.Fatalf("cr3 %#x: interleaved two-core feed broke byte identity", tk.cr3)
+		}
+	}
+}
+
+// BenchmarkDemux measures demux throughput over a realistic two-task
+// shared-core stream (tier-1: the pump runs at every slice boundary and
+// endpoint in multicore mode).
+func BenchmarkDemux(b *testing.B) {
+	tasks := []*demuxTask{
+		newDemuxTask(b, 0x1000, 0x400000, 0),
+		newDemuxTask(b, 0x2000, 0x800000, 0),
+	}
+	shared, _ := runShared(b, tasks, 40, 25, 0)
+	stream := shared.Out.Snapshot()
+	sinkA := ipt.NewToPA(1 << 20)
+	sinkB := ipt.NewToPA(1 << 20)
+	b.SetBytes(int64(len(stream)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dmx := ipt.NewDemux(1)
+		dmx.Bind(tasks[0].cr3, sinkA)
+		dmx.Bind(tasks[1].cr3, sinkB)
+		feedChunks(dmx, 0, stream, 4096)
+	}
+}

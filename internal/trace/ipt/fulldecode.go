@@ -57,7 +57,7 @@ var errDesync = errors.New("ipt: decoder desynchronized")
 func (c *tokenCursor) skipMeta() {
 	for c.i < len(c.evs) {
 		switch e := c.evs[c.i]; e.Kind {
-		case KindPAD, KindPIP, KindPSBEND:
+		case KindPAD, KindPIP, KindPSBEND, KindMODE:
 			c.i++
 		case KindPSB:
 			c.i++
@@ -114,6 +114,40 @@ func (c *tokenCursor) nextIP(want Kind) (Event, error) {
 	c.i++
 	c.bit = 0
 	return e, nil
+}
+
+// nextAsync consumes an asynchronous-transfer pair — a non-context FUP
+// whose IP matches the current walk position, immediately followed by a
+// TIP — and returns the TIP target. The kernel emits this shape at signal
+// delivery (FUP = interrupted PC, TIP = handler entry) and at sigreturn
+// (FUP = resume point of the handler, TIP = restored context). The jump
+// is performed by the kernel, not by a retired branch, so the walker
+// relocates without recording a flow edge: async edges are not part of
+// the on-disk CFG and must not feed edge checks. On any mismatch the
+// cursor is restored and (0, false) is returned.
+func (c *tokenCursor) nextAsync(ip uint64) (uint64, bool) {
+	si, sbit := c.i, c.bit
+	c.skipMeta()
+	if c.i >= len(c.evs) {
+		c.i, c.bit = si, sbit
+		return 0, false
+	}
+	e := c.evs[c.i]
+	if e.Kind != KindFUP || e.Ctx || e.IP != ip {
+		c.i, c.bit = si, sbit
+		return 0, false
+	}
+	c.i++
+	c.bit = 0
+	c.skipMeta()
+	if c.i >= len(c.evs) || c.evs[c.i].Kind != KindTIP {
+		c.i, c.bit = si, sbit
+		return 0, false
+	}
+	t := c.evs[c.i].IP
+	c.i++
+	c.bit = 0
+	return t, true
 }
 
 // seekPSB advances to the next PSB and returns its context IP, used for
@@ -178,6 +212,16 @@ func DecodeFullEvents(as *module.AddressSpace, evs []Event, maxInstrs uint64) (*
 	for {
 		if maxInstrs > 0 && ft.Instrs >= maxInstrs {
 			break
+		}
+		// A pending FUP(ip)+TIP pair is a kernel-performed asynchronous
+		// transfer (signal delivery or sigreturn): relocate the walk
+		// without fetching an instruction or recording a flow edge. The
+		// shadow-stack state of stateful consumers stays intact — the
+		// handler runs on the same stack discipline and sigreturn brings
+		// the flow back.
+		if t, ok := cur.nextAsync(ip); ok {
+			ip = t
+			continue
 		}
 		raw, err := as.FetchInstr(ip)
 		if err != nil {

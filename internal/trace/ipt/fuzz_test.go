@@ -26,9 +26,12 @@ func FuzzDecodeFast(f *testing.F) {
 	f.Add(appendPIP(nil, 0x1234))
 	var last uint64
 	f.Add(appendIPPacket(nil, opTIP, 0x400000, &last))
-	f.Add([]byte{0x02, 0xF3}) // OVF
-	f.Add([]byte{0x02, 0x99}) // unknown extended opcode
-	f.Add([]byte{0xFF})       // unknown TIP-family header
+	f.Add([]byte{0x02, 0xF3})                                      // OVF
+	f.Add([]byte{0x02, 0x99})                                      // truncated MODE packet
+	f.Add([]byte{0x02, 0x55})                                      // unknown extended opcode
+	f.Add([]byte{0xFF})                                            // unknown TIP-family header
+	f.Add(appendMODE(nil, 1))                                      // context-switch MODE marker
+	f.Add(append(appendPIP(nil, 0x77<<12), appendMODE(nil, 1)...)) // switch marker pair
 
 	// Fault-shaped seeds: the corruption classes the chaos harness
 	// injects (internal/faults).
@@ -101,6 +104,23 @@ func FuzzWindowDecoder(f *testing.F) {
 		s = appendIPPacket(s, opTIP, 0x4aff00, &last) // ipb=1, back up
 		f.Add(s, 2)
 		f.Add(s, 5)
+	}
+	{
+		// Context-switch marker at a region seam: the bare PIP+MODE pair
+		// the multicore kernel module writes between slices, with chunk
+		// sizes that cut the marker after the escape prefix, mid-CR3
+		// payload, and between the PIP and its MODE — plus a marker cut
+		// short by end-of-stream (a slice-boundary truncation fault).
+		s := appendPSB(nil)
+		var last uint64
+		s = appendIPPacket(s, opTIP, 0x400000, &last)
+		s = appendPIP(s, 0x77<<12)
+		s = appendMODE(s, 1)
+		s = appendIPPacket(s, opTIP, 0x400100, &last)
+		f.Add(s, 1)
+		f.Add(s, 3)
+		f.Add(s, 7)
+		f.Add(append(appendPSB(nil), appendPIP(nil, 0x55<<12)[:6]...), 2)
 	}
 	{
 		// 4-byte compression split mid-payload: the target changes bits

@@ -199,6 +199,88 @@ func (t *Tracer) Branch(b trace.Branch) {
 	t.maybePSB(b.Target)
 }
 
+// TraceContext is the per-task slice of a shared-core trace unit's
+// mutable state. A multi-core scheduler saves the outgoing task's
+// context and restores the incoming one at every slice boundary, so the
+// packet bytes each task contributes to the shared stream are identical
+// to what a dedicated CR3-filtered tracer would have produced — pending
+// TNT bits included (hardware keeps them across a context switch; they
+// drain into the stream only when the same task runs again).
+type TraceContext struct {
+	LastIP   uint64
+	TNTBits  uint8
+	TNTCount int
+	SincePSB int
+	Started  bool
+}
+
+// SaveContext captures the running task's packetization state.
+func (t *Tracer) SaveContext() TraceContext {
+	return TraceContext{
+		LastIP: t.lastIP, TNTBits: t.tntBits, TNTCount: t.tntCount,
+		SincePSB: t.sincePSB, Started: t.started,
+	}
+}
+
+// RestoreContext reinstates state captured by SaveContext.
+func (t *Tracer) RestoreContext(c TraceContext) {
+	t.lastIP, t.tntBits, t.tntCount = c.LastIP, c.TNTBits, c.TNTCount
+	t.sincePSB, t.started = c.SincePSB, c.Started
+}
+
+// SwitchTask performs a context switch on a shared-core tracer: the
+// outgoing task's packetization state is saved into prev (nil for the
+// first switch on a core), the incoming task's restored, the CR3 view
+// updated, and a bare PIP + MODE switch marker written to the stream —
+// exactly the attribution breadcrumbs hardware leaves for a trace
+// demultiplexer. The marker bytes pass the fault filter (slice-boundary
+// chaos targets them) but do not advance the PSB countdown: the restored
+// task's sincePSB must reflect only its own bytes, or interleaving would
+// perturb its PSB cadence relative to dedicated tracing and break the
+// demux byte-identity property.
+func (t *Tracer) SwitchTask(prev *TraceContext, next TraceContext, cr3 uint64, mode uint8) {
+	if prev != nil {
+		*prev = t.SaveContext()
+	}
+	t.RestoreContext(next)
+	t.curCR3 = cr3
+	if t.ctl&CtlTraceEn == 0 {
+		return
+	}
+	t.scratch = t.scratch[:0]
+	t.scratch = appendPIP(t.scratch, cr3)
+	t.scratch = appendMODE(t.scratch, mode)
+	t.Packets += 2
+	keep := t.sincePSB
+	t.write(t.scratch)
+	t.sincePSB = keep
+}
+
+// AsyncEvent records an asynchronous control transfer performed by the
+// kernel rather than by a retired branch — signal delivery redirecting
+// the interrupted flow into a handler, or sigreturn restoring it. The
+// shape is a FUP carrying the pre-event address immediately followed by
+// a TIP with the new one; that adjacency (never produced by any retired
+// branch class) is what decoders classify as an async edge
+// (TIPRecord.Async) and flow walkers admit without consulting the CFG.
+func (t *Tracer) AsyncEvent(from, to uint64) {
+	if !t.Enabled() || t.ctl&CtlUser == 0 {
+		return
+	}
+	t.scratch = t.scratch[:0]
+	if !t.started {
+		t.started = true
+		t.emitPSB(from)
+	}
+	t.flushTNT()
+	t.scratch = appendIPPacket(t.scratch, opFUP, from, &t.lastIP)
+	t.scratch = appendIPPacket(t.scratch, opTIP, to, &t.lastIP)
+	t.TIPCount++
+	t.Packets += 2
+	t.write(t.scratch)
+	t.maybePSB(to)
+}
+
 // Flush drains any pending TNT bits into the output buffer (end-of-window
 // readout by the checker).
 func (t *Tracer) Flush() {

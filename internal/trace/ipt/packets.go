@@ -21,6 +21,8 @@
 //	PSBEND   02 23
 //	PIP      02 43, then 8 bytes of CR3
 //	OVF      02 f3
+//	MODE     02 99, then 1 byte of execution-mode payload (emitted at
+//	         context switch-in alongside the bare PIP; never part of PSB+)
 //
 // IP payloads are compressed against the decoder-visible "last IP": the
 // ipb field selects how many low bytes are updated (0 = unchanged,
@@ -62,12 +64,13 @@ const (
 	KindPSBEND
 	KindPIP
 	KindOVF
+	KindMODE
 )
 
 var kindNames = [...]string{
 	KindPAD: "PAD", KindTNT: "TNT", KindTIP: "TIP", KindTIPPGE: "TIP.PGE",
 	KindTIPPGD: "TIP.PGD", KindFUP: "FUP", KindPSB: "PSB",
-	KindPSBEND: "PSBEND", KindPIP: "PIP", KindOVF: "OVF",
+	KindPSBEND: "PSBEND", KindPIP: "PIP", KindOVF: "OVF", KindMODE: "MODE",
 }
 
 func (k Kind) String() string {
@@ -92,7 +95,11 @@ const (
 	extPSBEND = 0x23
 	extPIP    = 0x43
 	extOVF    = 0xF3
+	extMODE   = 0x99
 )
+
+// modePacketLen is the encoded size of a MODE packet (02 99 + payload).
+const modePacketLen = 3
 
 // psbRepeat is the number of "02 82" pairs forming a PSB.
 const psbRepeat = 8
@@ -196,4 +203,11 @@ func appendPIP(dst []byte, cr3 uint64) []byte {
 		dst = append(dst, byte(cr3>>(8*i)))
 	}
 	return dst
+}
+
+// appendMODE appends a MODE packet carrying the execution-mode payload
+// byte (the multi-core scheduler emits one next to the bare PIP at every
+// context switch-in, as hardware does for MODE.Exec).
+func appendMODE(dst []byte, mode uint8) []byte {
+	return append(dst, 0x02, extMODE, mode)
 }

@@ -159,7 +159,7 @@ func TestSync(t *testing.T) {
 // TestDecodeFastRejectsGarbage: unknown extended opcodes are errors, not
 // silent skips.
 func TestDecodeFastRejectsGarbage(t *testing.T) {
-	if _, err := DecodeFast([]byte{0x02, 0x99}); err == nil {
+	if _, err := DecodeFast([]byte{0x02, 0x55}); err == nil {
 		t.Fatal("accepted unknown extended opcode")
 	}
 }

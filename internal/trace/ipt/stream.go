@@ -34,6 +34,15 @@ type WindowDecoder struct {
 	// resync marks that the next emitted TIP record follows an
 	// OVF-forced resynchronization (TIPRecord.Resync).
 	resync bool
+	// inPSB is set between a PSB and its PSBEND: the FUP in that region
+	// is synchronization context, not an asynchronous event.
+	inPSB bool
+	// prevFUP is set when the previous packet was a non-context FUP: a
+	// TIP directly following one is the kernel's asynchronous-transfer
+	// shape (signal delivery, sigreturn) and its record is flagged
+	// TIPRecord.Async. PAD packets do not clear it (the batch decoder
+	// emits no events for them, and the record extractors must agree).
+	prevFUP bool
 	// ovf counts OVF packets seen since Reset (monotonic across
 	// DropBefore); the guard uses the delta between checks to classify
 	// trace health.
@@ -65,6 +74,8 @@ func (d *WindowDecoder) Reset(base int) {
 	d.synced = false
 	d.skipping = false
 	d.resync = false
+	d.inPSB = false
+	d.prevFUP = false
 	d.ovf = 0
 	d.lastOVF = -1
 	d.off = base
@@ -187,6 +198,7 @@ func (d *WindowDecoder) scan(buf []byte, base int) (int, error) {
 	// header instead of reloading d.tips through the pointer per record.
 	lastIP, sig, sigN, skipping := d.lastIP, d.sig, d.sigN, d.skipping
 	resync, tips := d.resync, d.tips
+	inPSB, prevFUP := d.inPSB, d.prevFUP
 	n := len(buf)
 	for i < n {
 		b := buf[i]
@@ -199,13 +211,13 @@ func (d *WindowDecoder) scan(buf []byte, base int) (int, error) {
 		if b&1 != 0 {
 			op := b & 0x1f
 			if tipOpSet>>op&1 == 0 {
-				d.stash(lastIP, sig, sigN, skipping, resync, tips)
+				d.stash(lastIP, sig, sigN, skipping, resync, inPSB, prevFUP, tips)
 				return i, malformedf("unknown packet header %#02x at %d", b, base+i)
 			}
 			ipb := b >> 5
 			plen := 1 + int(ipLenNibbles>>(ipb*4)&0xf)
 			if i+plen > n {
-				d.stash(lastIP, sig, sigN, skipping, resync, tips)
+				d.stash(lastIP, sig, sigN, skipping, resync, inPSB, prevFUP, tips)
 				return i, nil // truncated tail
 			}
 			if ipb != 0 {
@@ -231,15 +243,18 @@ func (d *WindowDecoder) scan(buf []byte, base int) (int, error) {
 				r.Off = base + i
 				r.TNTLen = int32(sigN)
 				r.Resync = resync
+				r.Async = prevFUP
 				sig, sigN = TNTSigEmpty, 0
 				resync = false
 			}
+			prevFUP = op == opFUP && !inPSB
 			i += plen
 			continue
 		}
 		e := pktTab[b]
 		c := e & pcClassMask
 		if c == pcTNT {
+			prevFUP = false
 			if skipping {
 				// Resynchronizing after OVF: outcomes are discarded, so
 				// whole TNT words are skipped with one probe each.
@@ -298,67 +313,82 @@ func (d *WindowDecoder) scan(buf []byte, base int) (int, error) {
 			}
 		} else if c == pcExt {
 			if i+1 >= n {
-				d.stash(lastIP, sig, sigN, skipping, resync, tips)
+				d.stash(lastIP, sig, sigN, skipping, resync, inPSB, prevFUP, tips)
 				return i, nil // truncated tail
 			}
 			switch buf[i+1] {
 			case extPSB:
 				if i+PSBSize > n {
-					d.stash(lastIP, sig, sigN, skipping, resync, tips)
+					d.stash(lastIP, sig, sigN, skipping, resync, inPSB, prevFUP, tips)
 					if isPSBPrefix(buf[i:]) {
 						return i, nil // PSB split across chunks
 					}
 					return i, malformedf("malformed PSB at %d", base+i)
 				}
 				if !isPSBAt(buf, i) {
-					d.stash(lastIP, sig, sigN, skipping, resync, tips)
+					d.stash(lastIP, sig, sigN, skipping, resync, inPSB, prevFUP, tips)
 					return i, malformedf("malformed PSB at %d", base+i)
 				}
 				d.pts = append(d.pts, base+i)
 				lastIP = 0
 				d.synced = true
+				inPSB = true
+				prevFUP = false
 				if skipping {
 					skipping = false
 					resync = true
 				}
 				i += PSBSize
 			case extPSBEND:
+				inPSB = false
+				prevFUP = false
 				i += 2
 			case extPIP:
 				if i+10 > n {
-					d.stash(lastIP, sig, sigN, skipping, resync, tips)
+					d.stash(lastIP, sig, sigN, skipping, resync, inPSB, prevFUP, tips)
 					return i, nil
 				}
+				prevFUP = false
 				i += 10
+			case extMODE:
+				if i+modePacketLen > n {
+					d.stash(lastIP, sig, sigN, skipping, resync, inPSB, prevFUP, tips)
+					return i, nil
+				}
+				prevFUP = false
+				i += modePacketLen
 			case extOVF:
 				// Data lost: the accumulated TNT run is unreliable, and
 				// so is everything up to the next sync point.
 				sig, sigN = TNTSigEmpty, 0
 				skipping = true
+				prevFUP = false
 				d.ovf++
 				d.lastOVF = base + i
 				i += 2
 			default:
-				d.stash(lastIP, sig, sigN, skipping, resync, tips)
+				d.stash(lastIP, sig, sigN, skipping, resync, inPSB, prevFUP, tips)
 				return i, malformedf("unknown extended opcode %#02x at %d", buf[i+1], base+i)
 			}
 		} else { // pcBad: an even byte that is no packet — impossible TNT
-			d.stash(lastIP, sig, sigN, skipping, resync, tips)
+			d.stash(lastIP, sig, sigN, skipping, resync, inPSB, prevFUP, tips)
 			return i, malformedf("malformed TNT byte %#02x at %d", b, base+i)
 		}
 	}
-	d.stash(lastIP, sig, sigN, skipping, resync, tips)
+	d.stash(lastIP, sig, sigN, skipping, resync, inPSB, prevFUP, tips)
 	return i, nil
 }
 
 // stash writes the register-carried scan state back to the decoder; every
 // scan exit calls it exactly once.
-func (d *WindowDecoder) stash(lastIP, sig uint64, sigN int, skipping, resync bool, tips []TIPRecord) {
+func (d *WindowDecoder) stash(lastIP, sig uint64, sigN int, skipping, resync, inPSB, prevFUP bool, tips []TIPRecord) {
 	d.lastIP = lastIP
 	d.sig = sig
 	d.sigN = sigN
 	d.skipping = skipping
 	d.resync = resync
+	d.inPSB = inPSB
+	d.prevFUP = prevFUP
 	d.tips = tips
 }
 
